@@ -1,0 +1,19 @@
+//! Baseline systems the paper compares against (§VI).
+//!
+//! * [`gemmini`] — an analytic model of Gemmini's 16×16 weight-stationary
+//!   systolic array (256 MACs, 256 KB scratchpad, 16 GB/s — the paper's
+//!   "fair comparison" configuration). Its fixed dataflow is what LEGO's
+//!   switchable dataflows beat, most dramatically on depthwise layers.
+//! * [`structural`] — structural models of the related generators. Their
+//!   overheads are *mechanistic*, not fudge factors: AutoSA/TensorLib
+//!   replicate control (counters + address generators) per FU, DSAGen adds
+//!   a flexible switch fabric per FU, SODA's HLS pipeline stalls on memory;
+//!   we build those structures with the same backend and count them.
+
+pub mod gemmini;
+pub mod structural;
+
+pub use gemmini::{gemmini_hw, simulate_model_gemmini};
+pub use structural::{
+    dsagen_cost, naive_fusion_adg, per_fu_control_cost, shared_control_cost, soda_perf,
+};

@@ -1,0 +1,79 @@
+//! Criterion benches backing Table IV's generation-time claim and the
+//! per-stage runtime of the front and back ends.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lego_backend::{lower, optimize, BackendConfig, OptimizeOptions};
+use lego_frontend::{build_adg, FrontendConfig};
+use lego_ir::kernels::{self, dataflows};
+use lego_model::TechModel;
+use lego_sim::{perf::simulate_model, HwConfig};
+
+fn bench_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("full_generation");
+    group.sample_size(10);
+    for p in [4i64, 8, 16] {
+        group.bench_with_input(BenchmarkId::from_parameter(p * p), &p, |b, &p| {
+            let d = 2 * p;
+            let gemm = kernels::gemm(d, d, d);
+            b.iter(|| {
+                let df = dataflows::gemm_ij(&gemm, p);
+                let adg = build_adg(&gemm, &[df], &FrontendConfig::default()).unwrap();
+                let mut dag = lower(&adg, &BackendConfig::default());
+                optimize(&mut dag, &OptimizeOptions::default());
+                dag.nodes.len()
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_frontend(c: &mut Criterion) {
+    let mut group = c.benchmark_group("frontend");
+    group.sample_size(10);
+    let gemm = kernels::gemm(32, 32, 32);
+    group.bench_function("adg_gemm_fused_8x8", |b| {
+        b.iter(|| {
+            let ij = dataflows::gemm_ij(&gemm, 8);
+            let kj = dataflows::gemm_kj(&gemm, 8);
+            build_adg(&gemm, &[ij, kj], &FrontendConfig::default()).unwrap()
+        });
+    });
+    group.finish();
+}
+
+fn bench_backend(c: &mut Criterion) {
+    let mut group = c.benchmark_group("backend");
+    group.sample_size(10);
+    let gemm = kernels::gemm(32, 32, 32);
+    let df = dataflows::gemm_kj(&gemm, 8);
+    let adg = build_adg(&gemm, &[df], &FrontendConfig::default()).unwrap();
+    group.bench_function("optimize_passes_8x8", |b| {
+        b.iter(|| {
+            let mut dag = lower(&adg, &BackendConfig::default());
+            optimize(&mut dag, &OptimizeOptions::default());
+            dag.pipeline_register_bits()
+        });
+    });
+    group.finish();
+}
+
+fn bench_simulator(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulator");
+    group.sample_size(10);
+    let tech = TechModel::default();
+    let hw = HwConfig::lego_256();
+    let model = lego_workloads::zoo::resnet50();
+    group.bench_function("map_resnet50", |b| {
+        b.iter(|| simulate_model(&model, &hw, &tech));
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_generation,
+    bench_frontend,
+    bench_backend,
+    bench_simulator
+);
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! Figure 11: end-to-end performance (GOP/s) and energy efficiency
+//! (GOPS/W) of Gemmini vs LEGO on seven NN models, 256 MACs / 256 KB /
+//! 16 GB/s each. Paper: 3.2× speedup and 2.4× energy savings on average.
+//! The instruction-stream column reproduces the §VI-B(e) system-overhead
+//! check (< 1 % of DRAM bandwidth).
+
+use lego_baselines::simulate_model_gemmini;
+use lego_bench::harness::{f, geomean, row, section};
+use lego_model::TechModel;
+use lego_sim::{perf::simulate_model, HwConfig};
+use lego_workloads::zoo;
+
+fn main() {
+    let tech = TechModel::default();
+    let hw = HwConfig::lego_256();
+
+    section("Figure 11: end-to-end Gemmini vs LEGO (256 MACs, 256 KB, 16 GB/s)");
+    row(&[
+        "model".into(),
+        "Gemmini GOP/s".into(),
+        "LEGO GOP/s".into(),
+        "speedup".into(),
+        "Gem GOPS/W".into(),
+        "LEGO GOPS/W".into(),
+        "eff x".into(),
+        "instr GB/s".into(),
+    ]);
+
+    let mut speedups = Vec::new();
+    let mut effs = Vec::new();
+    for m in zoo::figure11_models() {
+        let g = simulate_model_gemmini(&m, &tech);
+        let l = simulate_model(&m, &hw, &tech);
+        let sp = l.gops / g.gops;
+        let ef = l.gops_per_watt / g.gops_per_watt;
+        speedups.push(sp);
+        effs.push(ef);
+        row(&[
+            m.name.clone(),
+            f(g.gops, 0),
+            f(l.gops, 0),
+            f(sp, 2),
+            f(g.gops_per_watt, 0),
+            f(l.gops_per_watt, 0),
+            f(ef, 2),
+            f(l.instr_gbps, 3),
+        ]);
+    }
+    row(&[
+        "GEOMEAN".into(),
+        "-".into(),
+        "-".into(),
+        f(geomean(&speedups), 2),
+        "-".into(),
+        "-".into(),
+        f(geomean(&effs), 2),
+        "-".into(),
+    ]);
+    println!("paper reports: 3.2x average speedup, 2.4x average energy savings");
+    println!("paper GOP/s   (Gemmini): 118 24 290 131 159 11 143");
+    println!("paper GOP/s   (LEGO)   : 241 310 475 430 456 29 441");
+}

@@ -1,0 +1,90 @@
+//! Figure 12: (a) area and on-chip power breakdown of the LEGO-MNICOC
+//! design (paper: buffers 86 % of 1.76 mm²; FU array 57 % of 285 mW) and
+//! (b) the end-to-end latency share of the post-processing units
+//! (paper: 0.5 %–7.2 % per model).
+
+use lego_backend::{lower, optimize, BackendConfig, OptimizeOptions};
+use lego_bench::harness::{f, row, section};
+use lego_frontend::{build_adg, FrontendConfig};
+use lego_ir::kernels::{self, dataflows};
+use lego_model::{dag_cost, SramModel, TechModel};
+use lego_sim::{perf::simulate_model, HwConfig};
+use lego_workloads::zoo;
+
+fn main() {
+    let tech = TechModel::default();
+    let sram = SramModel::default();
+
+    // The LEGO-MNICOC FU array: fused GEMM-MN + Conv ICOC on 16×16.
+    let gemm = kernels::gemm(64, 64, 64);
+    let conv = kernels::conv2d(1, 16, 16, 64, 64, 3, 3, 1);
+    let mn = build_design(&gemm, &[dataflows::gemm_ij(&gemm, 16)], &tech);
+    let icoc = build_design(&conv, &[dataflows::conv_icoc(&conv, 16)], &tech);
+    let fu_area = mn.0.max(icoc.0);
+    let fu_power = mn.1.max(icoc.1);
+
+    let buf_bytes = 256 * 1024u64;
+    let buf_area = sram.area_um2(buf_bytes, 32);
+    let buf_power = sram.leakage_uw(buf_bytes) / 1000.0
+        + sram.access_energy_pj(buf_bytes, 64) * tech.freq_ghz; // ~64 B/cycle
+
+    // L1 butterfly + distribution switches.
+    let bf = lego_noc::Butterfly::with_endpoints(32);
+    let noc_area = bf.switch_count() as f64 * 2.0 * 64.0 * tech.mux_area_um2_per_bit
+        + 3000.0 * tech.ff_area_um2;
+    let noc_power = 64.0 * tech.noc_pj_per_byte_hop * bf.stages() as f64 * tech.freq_ghz;
+
+    // 16 PPUs: 256-entry LUT + 16-wide reduction each.
+    let ppu_area = 16.0 * (256.0 * 16.0 * 0.35 + 15.0 * 16.0 * tech.lut_area_um2);
+    let ppu_power = 16.0 * 0.9;
+
+    let total_area = fu_area + buf_area + noc_area + ppu_area;
+    let total_power = fu_power + buf_power + noc_power + ppu_power;
+
+    section("Figure 12a: area breakdown of LEGO-MNICOC");
+    row(&["component".into(), "area mm2".into(), "share %".into()]);
+    for (n, a) in [
+        ("FU array", fu_area),
+        ("Buffers", buf_area),
+        ("NoC", noc_area),
+        ("PPUs", ppu_area),
+    ] {
+        row(&[n.into(), f(a / 1e6, 3), f(100.0 * a / total_area, 1)]);
+    }
+    row(&["TOTAL".into(), f(total_area / 1e6, 2), "100.0".into()]);
+    println!("paper reports: FU 7%, buffers 86%, NoC 5%, PPUs 2% of 1.76 mm^2");
+
+    section("Figure 12a: on-chip power breakdown of LEGO-MNICOC");
+    row(&["component".into(), "power mW".into(), "share %".into()]);
+    for (n, p) in [
+        ("FU array", fu_power),
+        ("Buffers", buf_power),
+        ("NoC", noc_power),
+        ("PPUs", ppu_power),
+    ] {
+        row(&[n.into(), f(p, 1), f(100.0 * p / total_power, 1)]);
+    }
+    row(&["TOTAL".into(), f(total_power, 1), "100.0".into()]);
+    println!("paper reports: FU 57%, buffers 12%, NoC 26%, PPUs 5% of 285 mW");
+
+    section("Figure 12b: post-processing share of end-to-end latency");
+    row(&["model".into(), "PPU %".into()]);
+    let hw = HwConfig::lego_256();
+    for m in zoo::figure11_models() {
+        let perf = simulate_model(&m, &hw, &tech);
+        row(&[m.name.clone(), f(100.0 * perf.ppu_fraction, 1)]);
+    }
+    println!("paper reports per-model PPU overhead between 0.5% and 7.2%");
+}
+
+fn build_design(
+    w: &lego_ir::Workload,
+    dfs: &[lego_ir::Dataflow],
+    tech: &TechModel,
+) -> (f64, f64) {
+    let adg = build_adg(w, dfs, &FrontendConfig::default()).expect("valid");
+    let mut dag = lower(&adg, &BackendConfig::default());
+    optimize(&mut dag, &OptimizeOptions::default());
+    let c = dag_cost(&dag, tech, 1.0);
+    (c.area_um2, c.total_mw())
+}

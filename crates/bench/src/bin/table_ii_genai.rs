@@ -1,0 +1,37 @@
+//! Table II: large generative models on LEGO-ICOC-1K (1024 FUs, 576 KB,
+//! 32 PPUs, 32 GB/s). Paper: DDPM 92.9 % util / 1903 GOP/s, Stable
+//! Diffusion 80.2 % / 1642, LLaMA-7B bs=1 3.1 % / 63, bs=32 42.9 % / 878.
+
+use lego_bench::harness::{f, row, section};
+use lego_model::TechModel;
+use lego_sim::{perf::simulate_model, HwConfig};
+use lego_workloads::zoo;
+
+fn main() {
+    let tech = TechModel::default();
+    let hw = HwConfig::lego_icoc_1k();
+
+    section("Table II: generative models on LEGO-ICOC-1K (1024 FUs, 32 GB/s)");
+    row(&[
+        "model".into(),
+        "util %".into(),
+        "GOP/s".into(),
+        "GOPS/W".into(),
+    ]);
+    for m in [
+        zoo::ddpm(),
+        zoo::stable_diffusion(),
+        zoo::llama7b_decode(1),
+        zoo::llama7b_decode(32),
+    ] {
+        let p = simulate_model(&m, &hw, &tech);
+        row(&[
+            m.name.clone(),
+            f(100.0 * p.utilization, 1),
+            f(p.gops, 0),
+            f(p.gops_per_watt, 0),
+        ]);
+    }
+    println!("paper reports: DDPM 92.9%/1903/3165, SD 80.2%/1642/2731,");
+    println!("               LLaMA-7B bs=1 3.1%/63/105, bs=32 42.9%/878/1461");
+}

@@ -1,0 +1,84 @@
+//! Table IV: runtime cost and performance when scaling the design from 64
+//! to 16 384 FUs. Up to 1024 FUs the array itself grows; beyond that, PE
+//! clusters scale out over the L2 wormhole NoC. Paper: generation stays
+//! under 3 minutes even at 16k FUs and the L2 NoC adds < 10 % area/power.
+
+use std::time::Instant;
+
+use lego_backend::{lower, optimize, BackendConfig, OptimizeOptions};
+use lego_bench::harness::{f, row, section};
+use lego_frontend::{build_adg, FrontendConfig};
+use lego_ir::kernels::{self, dataflows};
+use lego_model::{dag_cost, SramModel, TechModel};
+use lego_sim::{perf::simulate_model, HwConfig, SpatialMapping};
+
+fn main() {
+    let tech = TechModel::default();
+    let sram = SramModel::default();
+    section("Table IV: scaling from 64 to 16384 FUs");
+    row(&[
+        "#FUs".into(),
+        "array".into(),
+        "L2 NoC".into(),
+        "gen time s".into(),
+        "area mm2".into(),
+        "power mW".into(),
+        "GOPS/W".into(),
+    ]);
+
+    for (fus, p, clusters) in [
+        (64i64, 8i64, (1u32, 1u32)),
+        (256, 16, (1, 1)),
+        (1024, 32, (1, 1)),
+        (4096, 32, (2, 2)),
+        (16384, 32, (4, 4)),
+    ] {
+        let start = Instant::now();
+        let d = 2 * p;
+        let gemm = kernels::gemm(d, d, d);
+        let df = dataflows::gemm_ij(&gemm, p);
+        let adg = build_adg(&gemm, &[df], &FrontendConfig::default()).expect("valid");
+        let mut dag = lower(&adg, &BackendConfig::default());
+        optimize(&mut dag, &OptimizeOptions::default());
+        let gen_s = start.elapsed().as_secs_f64();
+
+        let n_clusters = i64::from(clusters.0) * i64::from(clusters.1);
+        let c = dag_cost(&dag, &tech, 0.9);
+        let buf = 64 * 1024 * (fus as u64 / 64).max(1); // buffers scale with FUs
+        let mut area = (c.area_um2 * n_clusters as f64 + sram.area_um2(buf, 16)) / 1e6;
+        let mut power = c.total_mw() * n_clusters as f64
+            + sram.leakage_uw(buf) / 1000.0
+            + sram.access_energy_pj(buf, 16 * n_clusters as u64) * tech.freq_ghz;
+        if n_clusters > 1 {
+            // Wormhole L2: routers + links, < 10% of the array cost.
+            let mesh = lego_noc::Mesh::new(clusters.0, clusters.1, 16, 1);
+            let router_area = 128.0 * 16.0 * tech.mux_area_um2_per_bit + 512.0 * tech.ff_area_um2;
+            area += mesh.routers() as f64 * router_area / 1e6;
+            power += mesh.routers() as f64 * 16.0 * tech.noc_pj_per_byte_hop * tech.freq_ghz;
+        }
+
+        let hw = HwConfig {
+            array: (p, p),
+            clusters,
+            buffer_kb: buf / 1024,
+            dram_gbps: 16.0 * n_clusters as f64,
+            num_ppus: 16,
+            dataflows: vec![SpatialMapping::GemmMN, SpatialMapping::ConvIcOc],
+            static_mw: power * 0.2,
+            dynamic_mw: power * 0.8,
+        };
+        let perf = simulate_model(&lego_workloads::zoo::resnet50(), &hw, &tech);
+
+        row(&[
+            fus.to_string(),
+            format!("{p}x{p}"),
+            format!("{}x{}", clusters.0, clusters.1),
+            f(gen_s, 1),
+            f(area, 2),
+            f(power, 0),
+            f(perf.gops_per_watt, 0),
+        ]);
+    }
+    println!("paper reports: generation 13.1s..134.3s; 0.02..4.21 mm2; 29..6987 mW;");
+    println!("               energy efficiency roughly flat (~4400-4850 GOPS/W)");
+}

@@ -1,0 +1,94 @@
+//! Table VI: improvement factors of LEGO over related generators at equal
+//! latency, derived from the structural baseline models: DSAGen's switch
+//! fabric, TensorLib's per-FU (STT) control, AutoSA's polyhedral per-PE
+//! control, and SODA's HLS pipeline. Paper: 2.4-2.6× vs DSAGen, 2.0-2.6×
+//! vs TensorLib, 5.0-6.5× FF/LUT vs AutoSA, 14×/32× vs SODA.
+
+use lego_baselines::{dsagen_cost, per_fu_control_cost, shared_control_cost, soda_perf};
+use lego_bench::harness::{f, row, section};
+use lego_ir::kernels::{self, dataflows};
+use lego_model::TechModel;
+use lego_sim::{perf::simulate_model, HwConfig, SpatialMapping};
+
+fn main() {
+    let tech = TechModel::default();
+    let gemm = kernels::gemm(64, 64, 64);
+    let df = dataflows::gemm_ij(&gemm, 8);
+    let lego = shared_control_cost(&gemm, std::slice::from_ref(&df), &tech);
+
+    section("Table VI: LEGO improvement over related work (GEMM-IJ, 8x8)");
+    row(&["vs".into(), "metric".into(), "factor".into(), "paper".into()]);
+
+    let dsa = dsagen_cost(&gemm, std::slice::from_ref(&df), 64, &tech);
+    row(&[
+        "DSAGen".into(),
+        "area savings".into(),
+        f(dsa.area_um2 / lego.area_um2, 1),
+        "2.4x".into(),
+    ]);
+    row(&[
+        "DSAGen".into(),
+        "power savings".into(),
+        f(dsa.total_mw() / lego.total_mw(), 1),
+        "2.6x".into(),
+    ]);
+
+    let stt = per_fu_control_cost(&gemm, std::slice::from_ref(&df), &tech);
+    row(&[
+        "TensorLib".into(),
+        "area savings".into(),
+        f(stt.area_um2 / lego.area_um2, 1),
+        "2.0x".into(),
+    ]);
+    row(&[
+        "TensorLib".into(),
+        "power savings".into(),
+        f(stt.total_mw() / lego.total_mw(), 1),
+        "2.6x".into(),
+    ]);
+    row(&[
+        "AutoSA".into(),
+        "FF savings".into(),
+        f(stt.fpga.ff / lego.fpga.ff, 1),
+        "6.5x".into(),
+    ]);
+    row(&[
+        "AutoSA".into(),
+        "LUT savings".into(),
+        f(stt.fpga.lut / lego.fpga.lut, 1),
+        "5.0x".into(),
+    ]);
+
+    // SODA on MobileNetV2 with a 16-FU LEGO-MNICOC-Tiny at 45 nm / 500 MHz.
+    let mut t45 = tech.scaled_to(45.0);
+    t45.freq_ghz = 0.5;
+    let tiny = HwConfig {
+        array: (4, 4),
+        clusters: (1, 1),
+        buffer_kb: 64,
+        dram_gbps: 8.0,
+        num_ppus: 4,
+        dataflows: vec![
+            SpatialMapping::GemmMN,
+            SpatialMapping::ConvIcOc,
+            SpatialMapping::ConvOhOw,
+        ],
+        static_mw: 18.0,
+        dynamic_mw: 70.0,
+    };
+    let m = lego_workloads::zoo::mobilenet_v2();
+    let lego_perf = simulate_model(&m, &tiny, &t45);
+    let (soda_gflops, soda_eff, _) = soda_perf(&m);
+    row(&[
+        "SODA".into(),
+        "speedup".into(),
+        f(lego_perf.gops / soda_gflops, 1),
+        "14x".into(),
+    ]);
+    row(&[
+        "SODA".into(),
+        "energy eff".into(),
+        f(lego_perf.gops_per_watt / soda_eff, 1),
+        "32x".into(),
+    ]);
+}

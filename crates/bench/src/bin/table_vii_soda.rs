@@ -1,0 +1,79 @@
+//! Table VII: LEGO (MNICOC-Tiny, 16 FUs) vs the SODA+MLIR+Bambu toolchain
+//! at FreePDK 45 nm / 500 MHz on LeNet, MobileNetV2 and ResNet50.
+//! Paper: SODA 0.65-0.90 GFLOPS at 2.3-3.3 GFLOPS/W; LEGO 10-15 GFLOPS at
+//! 52-77 GFLOPS/W in 0.945 mm².
+
+use lego_backend::{lower, optimize, BackendConfig, OptimizeOptions};
+use lego_baselines::soda_perf;
+use lego_bench::harness::{f, row, section};
+use lego_frontend::{build_adg, FrontendConfig};
+use lego_ir::kernels::{self, dataflows};
+use lego_model::{dag_cost, SramModel, TechModel};
+use lego_sim::{perf::simulate_model, HwConfig, SpatialMapping};
+
+fn main() {
+    let mut t45 = TechModel::default().scaled_to(45.0);
+    t45.freq_ghz = 0.5;
+
+    // Generate the 16-FU MNICOC-Tiny and price it at 45 nm.
+    let conv = kernels::conv2d(1, 4, 4, 16, 16, 3, 3, 1);
+    let adg = build_adg(
+        &conv,
+        &[dataflows::conv_icoc(&conv, 4), dataflows::conv_ohow(&conv, 4)],
+        &FrontendConfig::default(),
+    )
+    .expect("valid design");
+    let mut dag = lower(&adg, &BackendConfig::default());
+    optimize(&mut dag, &OptimizeOptions::default());
+    let c = dag_cost(&dag, &t45, 1.0);
+    let sram = SramModel {
+        area_um2_per_byte: SramModel::default().area_um2_per_byte * (45.0f64 / 28.0).powi(2),
+        ..SramModel::default()
+    };
+    let lego_area = (c.area_um2 + sram.area_um2(64 * 1024, 8)) / 1e6;
+
+    let tiny = HwConfig {
+        array: (4, 4),
+        clusters: (1, 1),
+        buffer_kb: 64,
+        dram_gbps: 8.0,
+        num_ppus: 4,
+        dataflows: vec![
+            SpatialMapping::GemmMN,
+            SpatialMapping::ConvIcOc,
+            SpatialMapping::ConvOhOw,
+        ],
+        static_mw: c.static_mw + 8.0,
+        dynamic_mw: c.dynamic_mw + 40.0,
+    };
+
+    section("Table VII: SODA toolchain vs LEGO-MNICOC-Tiny (45 nm, 500 MHz)");
+    row(&[
+        "model".into(),
+        "SODA GFLOPS".into(),
+        "SODA GF/W".into(),
+        "SODA mm2".into(),
+        "LEGO GFLOPS".into(),
+        "LEGO GF/W".into(),
+        "LEGO mm2".into(),
+    ]);
+    for m in [
+        lego_workloads::zoo::lenet(),
+        lego_workloads::zoo::mobilenet_v2(),
+        lego_workloads::zoo::resnet50(),
+    ] {
+        let (sg, se, sa) = soda_perf(&m);
+        let p = simulate_model(&m, &tiny, &t45);
+        row(&[
+            m.name.clone(),
+            f(sg, 2),
+            f(se, 2),
+            f(sa, 2),
+            f(p.gops, 2),
+            f(p.gops_per_watt, 1),
+            f(lego_area, 3),
+        ]);
+    }
+    println!("paper reports: SODA 0.90/0.87/0.65 GFLOPS at 3.27/2.28/3.20 GFLOPS/W;");
+    println!("               LEGO 10.23/14.21/15.03 GFLOPS at 52.3/72.7/76.9 GFLOPS/W");
+}

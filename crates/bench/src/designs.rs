@@ -1,0 +1,98 @@
+//! The eleven kernel/dataflow design points of Figures 10, 13 and 14.
+
+use lego_ir::kernels::{self, dataflows};
+use lego_ir::{Dataflow, DataflowBuilder, Workload};
+
+/// One named design point: a workload and the dataflows fused into it.
+pub struct KernelDesign {
+    /// Name as it appears on the paper's x-axis (Operation-Dataflow).
+    pub name: &'static str,
+    /// Workload.
+    pub workload: Workload,
+    /// Spatial dataflows fused into the design.
+    pub dataflows: Vec<Dataflow>,
+}
+
+/// Builds all eleven designs on a `p × p` array.
+///
+/// # Panics
+///
+/// Panics if `p` does not divide the fixed problem sizes (use 4, 8, or 16).
+pub fn kernel_designs(p: i64) -> Vec<KernelDesign> {
+    let d = 4 * p; // problem dimension, divisible by p
+    let gemm = kernels::gemm(d, d, d);
+    let conv = kernels::conv2d(1, p, p, d, d, 3, 3, 1);
+    let mtt = kernels::mttkrp(d, d, p, p);
+    let attn = kernels::attention_scores(d, d, d);
+
+    let gemm_systolic_ik = DataflowBuilder::new(&gemm)
+        .par("i", p)
+        .par("k", p)
+        .control(vec![1, 1])
+        .build("GEMM-IK")
+        .expect("valid GEMM-IK");
+    let attn_qp = dataflows::par2(&attn, "q", p, "p", p, "Attn-QP").expect("valid Attn-QP");
+    let attn_pd = dataflows::par2(&attn, "p", p, "d", p, "Attn-PD").expect("valid Attn-PD");
+    let mtt_mj = vec![
+        dataflows::mttkrp_ij(&mtt, p),
+        dataflows::mttkrp_kj(&mtt, p),
+    ];
+
+    vec![
+        KernelDesign {
+            name: "Attention",
+            workload: attn.clone(),
+            dataflows: vec![attn_qp, attn_pd],
+        },
+        KernelDesign {
+            name: "Conv2d-ICOC",
+            workload: conv.clone(),
+            dataflows: vec![dataflows::conv_icoc(&conv, p)],
+        },
+        KernelDesign {
+            name: "Conv2d-MNICOC",
+            workload: conv.clone(),
+            dataflows: vec![dataflows::conv_icoc(&conv, p), dataflows::conv_ohow(&conv, p)],
+        },
+        KernelDesign {
+            name: "Conv2d-OHOW",
+            workload: conv.clone(),
+            dataflows: vec![dataflows::conv_ohow(&conv, p)],
+        },
+        KernelDesign {
+            name: "GEMM-IJ",
+            workload: gemm.clone(),
+            dataflows: vec![dataflows::gemm_ij(&gemm, p)],
+        },
+        KernelDesign {
+            name: "GEMM-IK",
+            workload: gemm.clone(),
+            dataflows: vec![gemm_systolic_ik],
+        },
+        KernelDesign {
+            name: "GEMM-KJ",
+            workload: gemm.clone(),
+            dataflows: vec![dataflows::gemm_kj(&gemm, p)],
+        },
+        KernelDesign {
+            name: "GEMM-MJ",
+            workload: gemm.clone(),
+            dataflows: vec![dataflows::gemm_ij(&gemm, p), dataflows::gemm_kj(&gemm, p)],
+        },
+        KernelDesign {
+            name: "MTTKRP-IJ",
+            workload: mtt.clone(),
+            dataflows: vec![dataflows::mttkrp_ij(&mtt, p)],
+        },
+        KernelDesign {
+            name: "MTTKRP-KJ",
+            workload: mtt.clone(),
+            dataflows: vec![dataflows::mttkrp_kj(&mtt, p)],
+        },
+        KernelDesign {
+            name: "MTTKRP-MJ",
+            workload: mtt,
+            dataflows: mtt_mj,
+        },
+    ]
+}

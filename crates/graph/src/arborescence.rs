@@ -1,0 +1,327 @@
+//! Minimum spanning arborescence (directed MST) — Chu-Liu/Edmonds.
+//!
+//! The LEGO front end models every feasible FU interconnection as a directed
+//! edge weighted by its delay-FIFO depth, then extracts the cheapest set of
+//! connections that still gives each FU exactly one valid data source: a
+//! minimum spanning arborescence rooted at a virtual memory node
+//! (paper §IV-B, citing Tarjan's formulation of Chu-Liu/Edmonds).
+
+use crate::digraph::{DiGraph, EdgeId, NodeId};
+
+/// Result of a minimum spanning arborescence computation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Arborescence {
+    /// Total weight of the selected edges.
+    pub cost: i64,
+    /// Selected edge ids (exactly one incoming edge per non-root node).
+    pub edges: Vec<EdgeId>,
+}
+
+#[derive(Clone, Copy)]
+struct Ed {
+    from: usize,
+    to: usize,
+    w: i64,
+    parent_idx: usize,
+}
+
+/// Computes a minimum spanning arborescence of `g` rooted at `root`.
+///
+/// Returns `None` if some node is unreachable from the root. Self-loops are
+/// ignored; parallel edges are allowed.
+///
+/// # Examples
+///
+/// ```
+/// use lego_graph::{min_spanning_arborescence, DiGraph};
+///
+/// let mut g = DiGraph::new(3);
+/// g.add_edge(0, 1, 5);
+/// g.add_edge(0, 2, 1);
+/// g.add_edge(2, 1, 1);
+/// let arb = min_spanning_arborescence(&g, 0).unwrap();
+/// assert_eq!(arb.cost, 2); // 0→2 (1) then 2→1 (1) beats 0→1 (5)
+/// ```
+pub fn min_spanning_arborescence(g: &DiGraph, root: NodeId) -> Option<Arborescence> {
+    let edges: Vec<Ed> = g
+        .edges()
+        .map(|e| Ed {
+            from: e.from,
+            to: e.to,
+            w: e.weight,
+            parent_idx: e.id,
+        })
+        .collect();
+    let chosen = mst_rec(g.node_count(), &edges, root)?;
+    let edge_ids: Vec<EdgeId> = chosen.iter().map(|&i| edges[i].parent_idx).collect();
+    let cost = edge_ids.iter().map(|&id| g.edge(id).weight).sum();
+    Some(Arborescence { cost, edges: edge_ids })
+}
+
+/// Recursive Chu-Liu/Edmonds. Returns indices into `edges` forming a minimum
+/// arborescence over nodes `0..n` rooted at `root`.
+fn mst_rec(n: usize, edges: &[Ed], root: usize) -> Option<Vec<usize>> {
+    if n <= 1 {
+        return Some(Vec::new());
+    }
+    // 1. Cheapest incoming edge per non-root node.
+    let mut best: Vec<Option<usize>> = vec![None; n];
+    for (i, e) in edges.iter().enumerate() {
+        if e.to == root || e.from == e.to {
+            continue;
+        }
+        if best[e.to].is_none_or(|b| e.w < edges[b].w) {
+            best[e.to] = Some(i);
+        }
+    }
+    if (0..n).any(|v| v != root && best[v].is_none()) {
+        return None;
+    }
+
+    // 2. Look for a cycle among the chosen parent pointers.
+    let mut state = vec![0u8; n]; // 0 = unseen, 1 = on current path, 2 = done
+    state[root] = 2;
+    let mut cycle: Option<Vec<usize>> = None;
+    for start in 0..n {
+        if state[start] != 0 {
+            continue;
+        }
+        let mut path = Vec::new();
+        let mut v = start;
+        while state[v] == 0 {
+            state[v] = 1;
+            path.push(v);
+            v = edges[best[v].expect("non-root has best edge")].from;
+        }
+        if state[v] == 1 {
+            let pos = path.iter().position(|&x| x == v).expect("v on path");
+            cycle = Some(path[pos..].to_vec());
+        }
+        for &u in &path {
+            state[u] = 2;
+        }
+        if cycle.is_some() {
+            break;
+        }
+    }
+
+    let Some(cyc) = cycle else {
+        // Acyclic: the greedy choice is the optimum.
+        return Some(
+            (0..n)
+                .filter(|&v| v != root)
+                .map(|v| best[v].expect("non-root has best edge"))
+                .collect(),
+        );
+    };
+
+    // 3. Contract the cycle into a super node.
+    let mut in_cycle = vec![false; n];
+    for &v in &cyc {
+        in_cycle[v] = true;
+    }
+    let mut comp = vec![usize::MAX; n];
+    let mut next = 0usize;
+    for (v, slot) in comp.iter_mut().enumerate() {
+        if !in_cycle[v] {
+            *slot = next;
+            next += 1;
+        }
+    }
+    let super_id = next;
+    next += 1;
+    for &v in &cyc {
+        comp[v] = super_id;
+    }
+
+    let mut new_edges = Vec::new();
+    for (i, e) in edges.iter().enumerate() {
+        let (cu, cv) = (comp[e.from], comp[e.to]);
+        if cu == cv {
+            continue;
+        }
+        // Edges entering the cycle are re-weighted by the cycle edge they
+        // would displace (the classic Chu-Liu reduction).
+        let w = if cv == super_id {
+            e.w - edges[best[e.to].expect("cycle node has best edge")].w
+        } else {
+            e.w
+        };
+        new_edges.push(Ed {
+            from: cu,
+            to: cv,
+            w,
+            parent_idx: i,
+        });
+    }
+
+    let sub = mst_rec(next, &new_edges, comp[root])?;
+    let mut result: Vec<usize> = sub.iter().map(|&j| new_edges[j].parent_idx).collect();
+
+    // 4. Expand: keep all cycle edges except the one displaced by the single
+    // chosen edge that enters the contracted node.
+    let enter = result
+        .iter()
+        .copied()
+        .find(|&i| in_cycle[edges[i].to])
+        .expect("arborescence must enter the contracted cycle");
+    let v_star = edges[enter].to;
+    for &v in &cyc {
+        if v != v_star {
+            result.push(best[v].expect("cycle node has best edge"));
+        }
+    }
+    Some(result)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Exhaustive minimum arborescence for small graphs (test oracle).
+    fn brute_force(g: &DiGraph, root: NodeId) -> Option<i64> {
+        let n = g.node_count();
+        let mut per_node: Vec<Vec<EdgeId>> = vec![Vec::new(); n];
+        for e in g.edges() {
+            if e.to != root && e.from != e.to {
+                per_node[e.to].push(e.id);
+            }
+        }
+        let non_root: Vec<usize> = (0..n).filter(|&v| v != root).collect();
+        if non_root.iter().any(|&v| per_node[v].is_empty()) {
+            return None;
+        }
+        let mut best: Option<i64> = None;
+        let mut pick = vec![0usize; non_root.len()];
+        loop {
+            // Check this combination forms an arborescence (all reach root).
+            let mut parent = vec![usize::MAX; n];
+            let mut cost = 0i64;
+            for (slot, &v) in non_root.iter().enumerate() {
+                let e = g.edge(per_node[v][pick[slot]]);
+                parent[v] = e.from;
+                cost += e.weight;
+            }
+            let ok = non_root.iter().all(|&v| {
+                let mut cur = v;
+                let mut steps = 0;
+                while cur != root && steps <= n {
+                    cur = parent[cur];
+                    steps += 1;
+                }
+                cur == root
+            });
+            if ok {
+                best = Some(best.map_or(cost, |b: i64| b.min(cost)));
+            }
+            // Next combination.
+            let mut k = 0;
+            loop {
+                if k == pick.len() {
+                    return best;
+                }
+                pick[k] += 1;
+                if pick[k] < per_node[non_root[k]].len() {
+                    break;
+                }
+                pick[k] = 0;
+                k += 1;
+            }
+        }
+    }
+
+    fn validate(g: &DiGraph, root: NodeId, arb: &Arborescence) {
+        let n = g.node_count();
+        // One incoming edge per non-root node.
+        let mut indeg = vec![0usize; n];
+        let mut parent = vec![usize::MAX; n];
+        for &id in &arb.edges {
+            let e = g.edge(id);
+            indeg[e.to] += 1;
+            parent[e.to] = e.from;
+        }
+        assert_eq!(indeg[root], 0);
+        for v in 0..n {
+            if v != root {
+                assert_eq!(indeg[v], 1, "node {v} in-degree");
+            }
+        }
+        // Everything reaches the root.
+        for v in 0..n {
+            let mut cur = v;
+            let mut steps = 0;
+            while cur != root {
+                cur = parent[cur];
+                steps += 1;
+                assert!(steps <= n, "cycle detected");
+            }
+        }
+    }
+
+    #[test]
+    fn chain_beats_direct() {
+        let mut g = DiGraph::new(3);
+        g.add_edge(0, 1, 5);
+        g.add_edge(0, 2, 1);
+        g.add_edge(2, 1, 1);
+        let arb = min_spanning_arborescence(&g, 0).unwrap();
+        validate(&g, 0, &arb);
+        assert_eq!(arb.cost, 2);
+    }
+
+    #[test]
+    fn cycle_contraction_case() {
+        // Classic case that forces a contraction: 1 and 2 prefer each other.
+        let mut g = DiGraph::new(3);
+        g.add_edge(1, 2, 1);
+        g.add_edge(2, 1, 1);
+        g.add_edge(0, 1, 10);
+        g.add_edge(0, 2, 12);
+        let arb = min_spanning_arborescence(&g, 0).unwrap();
+        validate(&g, 0, &arb);
+        assert_eq!(arb.cost, 11); // 0→1 (10) + 1→2 (1)
+    }
+
+    #[test]
+    fn unreachable_returns_none() {
+        let mut g = DiGraph::new(3);
+        g.add_edge(0, 1, 1);
+        assert!(min_spanning_arborescence(&g, 0).is_none());
+    }
+
+    #[test]
+    fn single_node_is_trivial() {
+        let g = DiGraph::new(1);
+        let arb = min_spanning_arborescence(&g, 0).unwrap();
+        assert_eq!(arb.cost, 0);
+        assert!(arb.edges.is_empty());
+    }
+
+    #[test]
+    fn matches_brute_force_on_random_graphs() {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(0xd1_5ea5e);
+        for trial in 0..300 {
+            let n = rng.gen_range(2..=5);
+            let m = rng.gen_range(1..=9);
+            let mut g = DiGraph::new(n);
+            for _ in 0..m {
+                let from = rng.gen_range(0..n);
+                let to = rng.gen_range(0..n);
+                let w = rng.gen_range(0..=8);
+                g.add_edge(from, to, w);
+            }
+            let root = rng.gen_range(0..n);
+            let expected = brute_force(&g, root);
+            let actual = min_spanning_arborescence(&g, root);
+            match (expected, actual) {
+                (None, None) => {}
+                (Some(c), Some(arb)) => {
+                    validate(&g, root, &arb);
+                    assert_eq!(arb.cost, c, "trial {trial}: wrong cost");
+                }
+                (e, a) => panic!("trial {trial}: feasibility mismatch {e:?} vs {:?}", a.map(|x| x.cost)),
+            }
+        }
+    }
+}

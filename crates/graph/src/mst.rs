@@ -1,0 +1,129 @@
+//! Undirected minimum spanning forest (Kruskal).
+//!
+//! Used by the back end's broadcast pin rewiring (paper §V-B): for each
+//! broadcast source, direct edges to every destination and forwarding edges
+//! between spatially adjacent destinations compete; the MST picks the
+//! cheapest mix of broadcast and forwarding.
+
+use crate::digraph::{DiGraph, EdgeId};
+use crate::unionfind::UnionFind;
+
+/// Computes a minimum spanning forest of `g` viewed as an undirected graph.
+///
+/// Returns the selected edge ids. If the graph is connected, the result is a
+/// spanning tree with `node_count() - 1` edges; otherwise one tree per
+/// component. Self-loops are never selected.
+///
+/// # Examples
+///
+/// ```
+/// use lego_graph::{undirected_mst, DiGraph};
+///
+/// let mut g = DiGraph::new(3);
+/// g.add_edge(0, 1, 4);
+/// g.add_edge(1, 2, 1);
+/// g.add_edge(0, 2, 2);
+/// let mst = undirected_mst(&g);
+/// let cost: i64 = mst.iter().map(|&id| g.edge(id).weight).sum();
+/// assert_eq!(cost, 3);
+/// ```
+pub fn undirected_mst(g: &DiGraph) -> Vec<EdgeId> {
+    let mut ids: Vec<EdgeId> = g
+        .edges()
+        .filter(|e| e.from != e.to)
+        .map(|e| e.id)
+        .collect();
+    ids.sort_by_key(|&id| (g.edge(id).weight, id));
+    let mut uf = UnionFind::new(g.node_count());
+    let mut chosen = Vec::new();
+    for id in ids {
+        let e = g.edge(id);
+        if uf.union(e.from, e.to) {
+            chosen.push(id);
+        }
+    }
+    chosen
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spanning_tree_of_connected_graph() {
+        let mut g = DiGraph::new(4);
+        g.add_edge(0, 1, 1);
+        g.add_edge(1, 2, 2);
+        g.add_edge(2, 3, 3);
+        g.add_edge(0, 3, 10);
+        g.add_edge(0, 2, 10);
+        let mst = undirected_mst(&g);
+        assert_eq!(mst.len(), 3);
+        let cost: i64 = mst.iter().map(|&id| g.edge(id).weight).sum();
+        assert_eq!(cost, 6);
+    }
+
+    #[test]
+    fn forest_for_disconnected_graph() {
+        let mut g = DiGraph::new(4);
+        g.add_edge(0, 1, 1);
+        g.add_edge(2, 3, 1);
+        let mst = undirected_mst(&g);
+        assert_eq!(mst.len(), 2);
+    }
+
+    #[test]
+    fn self_loops_ignored() {
+        let mut g = DiGraph::new(2);
+        g.add_edge(0, 0, 0);
+        g.add_edge(0, 1, 5);
+        let mst = undirected_mst(&g);
+        assert_eq!(mst.len(), 1);
+        assert_eq!(g.edge(mst[0]).weight, 5);
+    }
+
+    #[test]
+    fn matches_brute_force_cost_on_random_graphs() {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            let n = rng.gen_range(2..=6);
+            let mut g = DiGraph::new(n);
+            // Random connected graph: a random spanning path plus extras.
+            for v in 1..n {
+                g.add_edge(v - 1, v, rng.gen_range(1..=9));
+            }
+            for _ in 0..rng.gen_range(0..6) {
+                let a = rng.gen_range(0..n);
+                let b = rng.gen_range(0..n);
+                g.add_edge(a, b, rng.gen_range(1..=9));
+            }
+            let mst = undirected_mst(&g);
+            assert_eq!(mst.len(), n - 1);
+            let cost: i64 = mst.iter().map(|&id| g.edge(id).weight).sum();
+            // Oracle: Prim's algorithm.
+            let mut in_tree = vec![false; n];
+            in_tree[0] = true;
+            let mut oracle = 0i64;
+            for _ in 1..n {
+                let mut best: Option<(i64, usize)> = None;
+                for e in g.edges() {
+                    if e.from == e.to {
+                        continue;
+                    }
+                    for (a, b) in [(e.from, e.to), (e.to, e.from)] {
+                        if in_tree[a] && !in_tree[b] {
+                            if best.is_none_or(|(w, _)| e.weight < w) {
+                                best = Some((e.weight, b));
+                            }
+                        }
+                    }
+                }
+                let (w, v) = best.expect("graph is connected");
+                oracle += w;
+                in_tree[v] = true;
+            }
+            assert_eq!(cost, oracle);
+        }
+    }
+}

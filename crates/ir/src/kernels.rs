@@ -1,0 +1,338 @@
+//! The tensor kernels evaluated in the paper (§VI-A) and their named
+//! spatial dataflows.
+//!
+//! GEMM, Conv2D (plus the depthwise variant that dominates MobileNetV2),
+//! attention's two matrix products, and MTTKRP (the bottleneck of
+//! alternating-least-squares tensor factorization).
+
+use crate::dataflow::{Dataflow, DataflowBuilder};
+use crate::workload::{FuOp, TensorAccess, TensorRole, Workload};
+use lego_linalg::{AffineMap, IMat};
+
+fn access(tensor: &str, role: TensorRole, map: AffineMap) -> TensorAccess {
+    TensorAccess {
+        tensor: tensor.to_string(),
+        role,
+        map,
+    }
+}
+
+/// Selects `rows` out of an identity over `rank` dims.
+fn select(rank: usize, rows: &[usize]) -> IMat {
+    let mut m = IMat::zeros(rows.len(), rank);
+    for (r, &c) in rows.iter().enumerate() {
+        m[(r, c)] = 1;
+    }
+    m
+}
+
+/// General matrix multiplication `Y[i,j] += X[i,k] · W[k,j]`.
+///
+/// # Examples
+///
+/// ```
+/// let g = lego_ir::kernels::gemm(128, 64, 32);
+/// assert_eq!(g.dims, vec!["i", "j", "k"]);
+/// ```
+pub fn gemm(m: i64, n: i64, k: i64) -> Workload {
+    Workload::new(
+        "GEMM",
+        vec![("i", m), ("j", n), ("k", k)],
+        vec![
+            access("Y", TensorRole::Output, AffineMap::linear(select(3, &[0, 1]))),
+            access("X", TensorRole::Input, AffineMap::linear(select(3, &[0, 2]))),
+            access("W", TensorRole::Input, AffineMap::linear(select(3, &[2, 1]))),
+        ],
+        FuOp::MulAcc,
+    )
+    .expect("gemm construction is well-formed")
+}
+
+/// 2D convolution `Y[n,oc,oh,ow] += X[n,ic,s·oh+kh,s·ow+kw] · W[oc,ic,kh,kw]`
+/// with stride `s` and zero padding folded into the input extent.
+///
+/// Iteration dims follow the paper's Figure 4 order:
+/// `[n, oc, ic, oh, ow, kh, kw]`.
+pub fn conv2d(n: i64, ic: i64, oc: i64, oh: i64, ow: i64, kh: i64, kw: i64, stride: i64) -> Workload {
+    assert!(stride >= 1, "stride must be >= 1");
+    // dims: 0:n 1:oc 2:ic 3:oh 4:ow 5:kh 6:kw
+    let y = select(7, &[0, 1, 3, 4]);
+    let w = select(7, &[1, 2, 5, 6]);
+    let mut x = IMat::zeros(4, 7);
+    x[(0, 0)] = 1; // n
+    x[(1, 2)] = 1; // ic
+    x[(2, 3)] = stride; // ih = stride*oh + kh
+    x[(2, 5)] = 1;
+    x[(3, 4)] = stride; // iw = stride*ow + kw
+    x[(3, 6)] = 1;
+    Workload::new(
+        "Conv2D",
+        vec![
+            ("n", n),
+            ("oc", oc),
+            ("ic", ic),
+            ("oh", oh),
+            ("ow", ow),
+            ("kh", kh),
+            ("kw", kw),
+        ],
+        vec![
+            access("Y", TensorRole::Output, AffineMap::linear(y)),
+            access("X", TensorRole::Input, AffineMap::linear(x)),
+            access("W", TensorRole::Input, AffineMap::linear(w)),
+        ],
+        FuOp::MulAcc,
+    )
+    .expect("conv2d construction is well-formed")
+}
+
+/// Depthwise 2D convolution `Y[n,c,oh,ow] += X[n,c,s·oh+kh,s·ow+kw] · W[c,kh,kw]`.
+///
+/// The single channel dimension is shared between input and output — the
+/// case where IC-OC-parallel dataflows collapse to 1/P utilization and the
+/// paper's dynamically switched OH-OW dataflow wins (§VI-B).
+pub fn depthwise_conv2d(n: i64, c: i64, oh: i64, ow: i64, kh: i64, kw: i64, stride: i64) -> Workload {
+    assert!(stride >= 1, "stride must be >= 1");
+    // dims: 0:n 1:c 2:oh 3:ow 4:kh 5:kw
+    let y = select(6, &[0, 1, 2, 3]);
+    let w = select(6, &[1, 4, 5]);
+    let mut x = IMat::zeros(4, 6);
+    x[(0, 0)] = 1;
+    x[(1, 1)] = 1;
+    x[(2, 2)] = stride;
+    x[(2, 4)] = 1;
+    x[(3, 3)] = stride;
+    x[(3, 5)] = 1;
+    Workload::new(
+        "DWConv2D",
+        vec![("n", n), ("c", c), ("oh", oh), ("ow", ow), ("kh", kh), ("kw", kw)],
+        vec![
+            access("Y", TensorRole::Output, AffineMap::linear(y)),
+            access("X", TensorRole::Input, AffineMap::linear(x)),
+            access("W", TensorRole::Input, AffineMap::linear(w)),
+        ],
+        FuOp::MulAcc,
+    )
+    .expect("depthwise conv2d construction is well-formed")
+}
+
+/// Matricized tensor times Khatri-Rao product:
+/// `Y[i,j] += A[i,k,l] · B[k,j] · C[l,j]`.
+pub fn mttkrp(i: i64, j: i64, k: i64, l: i64) -> Workload {
+    // dims: 0:i 1:j 2:k 3:l
+    Workload::new(
+        "MTTKRP",
+        vec![("i", i), ("j", j), ("k", k), ("l", l)],
+        vec![
+            access("Y", TensorRole::Output, AffineMap::linear(select(4, &[0, 1]))),
+            access("A", TensorRole::Input, AffineMap::linear(select(4, &[0, 2, 3]))),
+            access("B", TensorRole::Input, AffineMap::linear(select(4, &[2, 1]))),
+            access("C", TensorRole::Input, AffineMap::linear(select(4, &[3, 1]))),
+        ],
+        FuOp::TripleMulAcc,
+    )
+    .expect("mttkrp construction is well-formed")
+}
+
+/// Attention score computation `S[q,p] += Q[q,d] · K[p,d]` (`Q·Kᵀ`).
+pub fn attention_scores(seq_q: i64, seq_kv: i64, dk: i64) -> Workload {
+    // dims: 0:q 1:p 2:d
+    Workload::new(
+        "Attention-QK",
+        vec![("q", seq_q), ("p", seq_kv), ("d", dk)],
+        vec![
+            access("S", TensorRole::Output, AffineMap::linear(select(3, &[0, 1]))),
+            access("Q", TensorRole::Input, AffineMap::linear(select(3, &[0, 2]))),
+            access("K", TensorRole::Input, AffineMap::linear(select(3, &[1, 2]))),
+        ],
+        FuOp::MulAcc,
+    )
+    .expect("attention scores construction is well-formed")
+}
+
+/// Attention value aggregation `O[q,d] += P[q,p] · V[p,d]`.
+pub fn attention_values(seq_q: i64, seq_kv: i64, dv: i64) -> Workload {
+    // dims: 0:q 1:d 2:p
+    Workload::new(
+        "Attention-PV",
+        vec![("q", seq_q), ("d", dv), ("p", seq_kv)],
+        vec![
+            access("O", TensorRole::Output, AffineMap::linear(select(3, &[0, 1]))),
+            access("P", TensorRole::Input, AffineMap::linear(select(3, &[0, 2]))),
+            access("V", TensorRole::Input, AffineMap::linear(select(3, &[2, 1]))),
+        ],
+        FuOp::MulAcc,
+    )
+    .expect("attention values construction is well-formed")
+}
+
+/// Named dataflows used by the paper's evaluation (Figures 10, 13, 14).
+///
+/// Each helper parallelizes the named dimensions over a `p0 × p1` array and
+/// auto-completes the temporal loops.
+pub mod dataflows {
+    use super::*;
+    use crate::workload::IrError;
+
+    /// Generic two-axis parallelization with broadcast control.
+    pub fn par2(w: &Workload, d0: &str, p0: i64, d1: &str, p1: i64, name: &str) -> Result<Dataflow, IrError> {
+        DataflowBuilder::new(w).par(d0, p0).par(d1, p1).build(name)
+    }
+
+    /// Generic two-axis parallelization with systolic control `c = [1, 1]`.
+    pub fn par2_systolic(
+        w: &Workload,
+        d0: &str,
+        p0: i64,
+        d1: &str,
+        p1: i64,
+        name: &str,
+    ) -> Result<Dataflow, IrError> {
+        DataflowBuilder::new(w)
+            .par(d0, p0)
+            .par(d1, p1)
+            .control(vec![1, 1])
+            .build(name)
+    }
+
+    /// GEMM with output-stationary I-J parallelism.
+    pub fn gemm_ij(w: &Workload, p: i64) -> Dataflow {
+        par2(w, "i", p, "j", p, "GEMM-IJ").expect("valid gemm_ij")
+    }
+
+    /// GEMM with I-K parallelism (input-stationary flavor).
+    pub fn gemm_ik(w: &Workload, p: i64) -> Dataflow {
+        par2(w, "i", p, "k", p, "GEMM-IK").expect("valid gemm_ik")
+    }
+
+    /// GEMM with the TPU-style K-J systolic parallelism (paper Figure 3).
+    pub fn gemm_kj(w: &Workload, p: i64) -> Dataflow {
+        par2_systolic(w, "k", p, "j", p, "GEMM-KJ").expect("valid gemm_kj")
+    }
+
+    /// Conv2D parallelizing input and output channels (NVDLA-style).
+    pub fn conv_icoc(w: &Workload, p: i64) -> Dataflow {
+        par2(w, "ic", p, "oc", p, "Conv2d-ICOC").expect("valid conv_icoc")
+    }
+
+    /// Conv2D parallelizing the output plane (ShiDianNao-style, Figure 4).
+    pub fn conv_ohow(w: &Workload, p: i64) -> Dataflow {
+        par2(w, "oh", p, "ow", p, "Conv2d-OHOW").expect("valid conv_ohow")
+    }
+
+    /// Conv2D parallelizing kernel and output rows (Eyeriss-style).
+    pub fn conv_khoh(w: &Workload, pkh: i64, poh: i64) -> Dataflow {
+        par2(w, "kh", pkh, "oh", poh, "Conv2d-KHOH").expect("valid conv_khoh")
+    }
+
+    /// MTTKRP parallelizing i and j.
+    pub fn mttkrp_ij(w: &Workload, p: i64) -> Dataflow {
+        par2(w, "i", p, "j", p, "MTTKRP-IJ").expect("valid mttkrp_ij")
+    }
+
+    /// MTTKRP parallelizing k and j.
+    pub fn mttkrp_kj(w: &Workload, p: i64) -> Dataflow {
+        par2(w, "k", p, "j", p, "MTTKRP-KJ").expect("valid mttkrp_kj")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_kernels_validate() {
+        gemm(4, 4, 4);
+        conv2d(1, 2, 2, 3, 3, 3, 3, 1);
+        depthwise_conv2d(1, 4, 3, 3, 3, 3, 1);
+        mttkrp(4, 4, 2, 2);
+        attention_scores(8, 8, 4);
+        attention_values(8, 8, 4);
+    }
+
+    #[test]
+    fn named_dataflows_are_bijective() {
+        let g = gemm(8, 8, 8);
+        assert!(dataflows::gemm_ij(&g, 2).verify_bijective(&g));
+        assert!(dataflows::gemm_ik(&g, 2).verify_bijective(&g));
+        assert!(dataflows::gemm_kj(&g, 2).verify_bijective(&g));
+        let c = conv2d(1, 4, 4, 4, 4, 3, 3, 1);
+        assert!(dataflows::conv_icoc(&c, 2).verify_bijective(&c));
+        assert!(dataflows::conv_ohow(&c, 2).verify_bijective(&c));
+        let m = mttkrp(4, 4, 4, 4);
+        assert!(dataflows::mttkrp_ij(&m, 2).verify_bijective(&m));
+        assert!(dataflows::mttkrp_kj(&m, 2).verify_bijective(&m));
+    }
+
+    #[test]
+    fn gemm_matches_paper_figure3_mappings() {
+        let g = gemm(4, 4, 4);
+        // ⃗y = [[1,0,0],[0,1,0]]·⃗i, ⃗x = [[1,0,0],[0,0,1]]·⃗i, ⃗w = [[0,0,1],[0,1,0]]·⃗i
+        let y = g.access("Y").unwrap().map.matrix().clone();
+        assert_eq!(y, IMat::from_rows(&[vec![1, 0, 0], vec![0, 1, 0]]));
+        let x = g.access("X").unwrap().map.matrix().clone();
+        assert_eq!(x, IMat::from_rows(&[vec![1, 0, 0], vec![0, 0, 1]]));
+        let w = g.access("W").unwrap().map.matrix().clone();
+        assert_eq!(w, IMat::from_rows(&[vec![0, 0, 1], vec![0, 1, 0]]));
+    }
+
+    #[test]
+    fn depthwise_shares_channel_dim() {
+        let d = depthwise_conv2d(1, 8, 4, 4, 3, 3, 1);
+        let y = d.access("Y").unwrap();
+        let w = d.access("W").unwrap();
+        // Channel (dim 1) appears in both Y and W maps.
+        assert_eq!(y.map.matrix()[(1, 1)], 1);
+        assert_eq!(w.map.matrix()[(0, 1)], 1);
+    }
+
+    #[test]
+    fn mttkrp_has_three_inputs() {
+        let m = mttkrp(2, 2, 2, 2);
+        assert_eq!(m.inputs().count(), 3);
+        assert_eq!(m.op, FuOp::TripleMulAcc);
+        assert_eq!(m.total_ops(), 3 * 16);
+    }
+}
+
+/// Mixed-precision GEMM in the BitFusion style (paper §II's user-defined
+/// FU example): `Y[i,j] += (A[i,k] · B[k,j]) << S[k]`, where the per-column
+/// shift composes low-precision products into higher-precision results.
+pub fn bitfusion_gemm(m: i64, n: i64, k: i64) -> Workload {
+    Workload::new(
+        "BitFusion-GEMM",
+        vec![("i", m), ("j", n), ("k", k)],
+        vec![
+            access("Y", TensorRole::Output, AffineMap::linear(select(3, &[0, 1]))),
+            access("A", TensorRole::Input, AffineMap::linear(select(3, &[0, 2]))),
+            access("B", TensorRole::Input, AffineMap::linear(select(3, &[2, 1]))),
+            access("S", TensorRole::Input, AffineMap::linear(select(3, &[2]))),
+        ],
+        FuOp::MulShiftAcc,
+    )
+    .expect("bitfusion gemm construction is well-formed")
+}
+
+/// 2D max pooling `Y[n,c,oh,ow] = max X[n,c,s·oh+kh,s·ow+kw]`.
+pub fn max_pool2d(n: i64, c: i64, oh: i64, ow: i64, kh: i64, kw: i64, stride: i64) -> Workload {
+    assert!(stride >= 1, "stride must be >= 1");
+    // dims: 0:n 1:c 2:oh 3:ow 4:kh 5:kw
+    let y = select(6, &[0, 1, 2, 3]);
+    let mut x = IMat::zeros(4, 6);
+    x[(0, 0)] = 1;
+    x[(1, 1)] = 1;
+    x[(2, 2)] = stride;
+    x[(2, 4)] = 1;
+    x[(3, 3)] = stride;
+    x[(3, 5)] = 1;
+    Workload::new(
+        "MaxPool2D",
+        vec![("n", n), ("c", c), ("oh", oh), ("ow", ow), ("kh", kh), ("kw", kw)],
+        vec![
+            access("Y", TensorRole::Output, AffineMap::linear(y)),
+            access("X", TensorRole::Input, AffineMap::linear(x)),
+        ],
+        FuOp::MaxAcc,
+    )
+    .expect("max pool construction is well-formed")
+}

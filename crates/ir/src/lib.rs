@@ -1,0 +1,33 @@
+//! LEGO's relation-centric input representation (paper §III).
+//!
+//! A tensor operation is described by two affine relations plus a control
+//! flow vector:
+//!
+//! * the hardware-agnostic **data mapping** `d = f_{I→D}(i) = M_{I→D}·i + b`
+//!   from the computation iteration domain to each tensor's index space
+//!   ([`Workload`], Definition 1);
+//! * the workload-agnostic **dataflow mapping**
+//!   `i = f_{TS→I}(t, s) = [M_{T→I} M_{S→I}]·[t; s]` describing tiling,
+//!   reordering, and parallelization ([`Dataflow`], Definition 2);
+//! * the **control flow** vector `c` describing how control signals
+//!   propagate across the FU array (§III-C), which converts broadcast into
+//!   systolic forwarding via the timestamp bias `t_bias = sᵀ·c`.
+//!
+//! Unlike the polyhedral/STT representations, mapping *from* `[t; s]` *to*
+//! `i` keeps everything affine — no division or modulo — which is what makes
+//! the front end's reuse analysis a pure integer-linear-system problem
+//! (§III-D).
+//!
+//! [`kernels`] provides ready-made workloads (GEMM, Conv2D, depthwise
+//! Conv2D, MTTKRP, attention) and the named dataflows used throughout the
+//! paper's evaluation. [`tensor`] supplies dense integer tensors and a
+//! reference loop-nest executor used to verify generated hardware.
+
+pub mod dataflow;
+pub mod kernels;
+pub mod tensor;
+pub mod workload;
+
+pub use dataflow::{Dataflow, DataflowBuilder};
+pub use tensor::TensorData;
+pub use workload::{FuOp, IrError, TensorAccess, TensorRole, Workload};

@@ -1,0 +1,421 @@
+//! Assignment problems: Hungarian algorithm and reducer pin remapping.
+//!
+//! Pin reusing (paper §V-C, Figure 9) maps the original input pins of an
+//! extracted reducer onto `max_k |A(k)|` physical pins, where `A(k)` is the
+//! set of pins live in dataflow `k`. Each *distinct* (original pin, physical
+//! pin) pair that is ever used costs one mux input, so the objective is to
+//! reuse the same pair across dataflows wherever possible — the paper's 0-1
+//! integer program. We solve small instances exactly by branch-and-bound and
+//! fall back to a Hungarian-assignment greedy for larger ones.
+
+/// Solves the square/rectangular assignment problem (minimization).
+///
+/// `cost[i][j]` is the cost of assigning row `i` to column `j`; requires
+/// `rows <= cols`. Returns `(total_cost, assignment)` where
+/// `assignment[i]` is the column matched to row `i`.
+///
+/// # Panics
+///
+/// Panics if `cost` is empty, ragged, or has more rows than columns.
+///
+/// # Examples
+///
+/// ```
+/// let cost = vec![vec![4, 1, 3], vec![2, 0, 5], vec![3, 2, 2]];
+/// let (total, asg) = lego_lp::hungarian(&cost);
+/// assert_eq!(total, 5);
+/// assert_eq!(asg, vec![1, 0, 2]);
+/// ```
+pub fn hungarian(cost: &[Vec<i64>]) -> (i64, Vec<usize>) {
+    let n = cost.len();
+    assert!(n > 0, "hungarian: empty cost matrix");
+    let m = cost[0].len();
+    assert!(cost.iter().all(|r| r.len() == m), "hungarian: ragged matrix");
+    assert!(n <= m, "hungarian: more rows than columns");
+
+    const INF: i64 = i64::MAX / 4;
+    // 1-indexed potentials-based O(n^2·m) implementation.
+    let mut u = vec![0i64; n + 1];
+    let mut v = vec![0i64; m + 1];
+    let mut p = vec![0usize; m + 1]; // column -> row match (0 = free)
+    let mut way = vec![0usize; m + 1];
+
+    for i in 1..=n {
+        p[0] = i;
+        let mut j0 = 0usize;
+        let mut minv = vec![INF; m + 1];
+        let mut used = vec![false; m + 1];
+        loop {
+            used[j0] = true;
+            let i0 = p[j0];
+            let mut delta = INF;
+            let mut j1 = 0usize;
+            for j in 1..=m {
+                if !used[j] {
+                    let cur = cost[i0 - 1][j - 1] - u[i0] - v[j];
+                    if cur < minv[j] {
+                        minv[j] = cur;
+                        way[j] = j0;
+                    }
+                    if minv[j] < delta {
+                        delta = minv[j];
+                        j1 = j;
+                    }
+                }
+            }
+            for j in 0..=m {
+                if used[j] {
+                    u[p[j]] += delta;
+                    v[j] -= delta;
+                } else {
+                    minv[j] -= delta;
+                }
+            }
+            j0 = j1;
+            if p[j0] == 0 {
+                break;
+            }
+        }
+        loop {
+            let j1 = way[j0];
+            p[j0] = p[j1];
+            j0 = j1;
+            if j0 == 0 {
+                break;
+            }
+        }
+    }
+
+    let mut assignment = vec![usize::MAX; n];
+    for j in 1..=m {
+        if p[j] != 0 {
+            assignment[p[j] - 1] = j - 1;
+        }
+    }
+    let total = assignment
+        .iter()
+        .enumerate()
+        .map(|(i, &j)| cost[i][j])
+        .sum();
+    (total, assignment)
+}
+
+/// Result of reducer pin remapping across dataflow configurations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PinRemap {
+    /// Number of physical pins the reducer keeps (`max_k |A(k)|`).
+    pub physical_pins: usize,
+    /// Per dataflow: `(original_pin, physical_pin)` pairs for live pins.
+    pub mapping: Vec<Vec<(usize, usize)>>,
+    /// Number of distinct `(original, physical)` pairs over all dataflows —
+    /// the total mux-input count after remapping.
+    pub distinct_pairs: usize,
+}
+
+/// Computes a pin remapping minimizing distinct (original, physical) pairs.
+///
+/// `active[k]` lists the original pins live in dataflow `k`. Instances with
+/// a small search space are solved exactly by branch-and-bound; larger ones
+/// use a Hungarian-assignment greedy that processes dataflows from most to
+/// least populated, preferring already-used pairs.
+///
+/// # Examples
+///
+/// ```
+/// // Figure 9: pins {A,B}, {A,C}, {B,C} over 3 dataflows fit in 2 physical
+/// // pins; an optimal remap uses 4 distinct pairs or fewer than the 6 naive.
+/// let remap = lego_lp::optimize_pin_remap(&[vec![0, 1], vec![0, 2], vec![1, 2]]);
+/// assert_eq!(remap.physical_pins, 2);
+/// assert!(remap.distinct_pairs <= 4);
+/// ```
+pub fn optimize_pin_remap(active: &[Vec<usize>]) -> PinRemap {
+    let q = active.iter().map(Vec::len).max().unwrap_or(0);
+    if q == 0 {
+        return PinRemap {
+            physical_pins: 0,
+            mapping: vec![Vec::new(); active.len()],
+            distinct_pairs: 0,
+        };
+    }
+    let max_pin = active.iter().flatten().copied().max().unwrap_or(0);
+    let pair_bits = (max_pin + 1) * q;
+
+    // Order dataflows by descending live-pin count: the fullest dataflow
+    // pins down the physical layout, the rest reuse it.
+    let mut order: Vec<usize> = (0..active.len()).collect();
+    order.sort_by_key(|&k| std::cmp::Reverse(active[k].len()));
+
+    let exact_feasible = pair_bits <= 64 && q <= 5 && active.len() <= 6;
+    let (pairs_used, mut mapping) = if exact_feasible {
+        exact_search(active, &order, q)
+    } else {
+        greedy_search(active, &order, q)
+    };
+
+    for m in mapping.iter_mut() {
+        m.sort_unstable();
+    }
+    PinRemap {
+        physical_pins: q,
+        mapping,
+        distinct_pairs: pairs_used,
+    }
+}
+
+/// Greedy: per dataflow, a Hungarian assignment that costs 0 for pairs seen
+/// before and 1 for new pairs.
+fn greedy_search(
+    active: &[Vec<usize>],
+    order: &[usize],
+    q: usize,
+) -> (usize, Vec<Vec<(usize, usize)>>) {
+    let mut used = std::collections::HashSet::<(usize, usize)>::new();
+    let mut mapping = vec![Vec::new(); active.len()];
+    for &k in order {
+        let pins = &active[k];
+        if pins.is_empty() {
+            continue;
+        }
+        let cost: Vec<Vec<i64>> = pins
+            .iter()
+            .map(|&p| {
+                (0..q)
+                    .map(|j| i64::from(!used.contains(&(p, j))))
+                    .collect()
+            })
+            .collect();
+        let (_, asg) = hungarian(&cost);
+        for (idx, &p) in pins.iter().enumerate() {
+            used.insert((p, asg[idx]));
+            mapping[k].push((p, asg[idx]));
+        }
+    }
+    (used.len(), mapping)
+}
+
+/// Exact branch-and-bound over per-dataflow injective mappings, state = the
+/// bitmask of (pin, physical) pairs already used.
+fn exact_search(
+    active: &[Vec<usize>],
+    order: &[usize],
+    q: usize,
+) -> (usize, Vec<Vec<(usize, usize)>>) {
+    struct Ctx<'a> {
+        active: &'a [Vec<usize>],
+        order: &'a [usize],
+        q: usize,
+        best: usize,
+        best_mapping: Vec<Vec<(usize, usize)>>,
+        current: Vec<Vec<(usize, usize)>>,
+    }
+
+    fn pair_bit(pin: usize, phys: usize, q: usize) -> u64 {
+        1u64 << (pin * q + phys)
+    }
+
+    fn dfs(ctx: &mut Ctx, level: usize, used_mask: u64) {
+        let cost_so_far = used_mask.count_ones() as usize;
+        if cost_so_far >= ctx.best {
+            return;
+        }
+        if level == ctx.order.len() {
+            ctx.best = cost_so_far;
+            ctx.best_mapping = ctx.current.clone();
+            return;
+        }
+        let k = ctx.order[level];
+        let pins = ctx.active[k].clone();
+        // Enumerate injective assignments pins -> physical slots.
+        fn assign(
+            ctx: &mut Ctx,
+            k: usize,
+            pins: &[usize],
+            idx: usize,
+            taken: u32,
+            used_mask: u64,
+            level: usize,
+        ) {
+            if used_mask.count_ones() as usize >= ctx.best {
+                return;
+            }
+            if idx == pins.len() {
+                dfs(ctx, level + 1, used_mask);
+                return;
+            }
+            let pin = pins[idx];
+            // Prefer slots that reuse an existing pair (explored first).
+            let mut slots: Vec<usize> = (0..ctx.q).filter(|&j| taken & (1 << j) == 0).collect();
+            slots.sort_by_key(|&j| used_mask & pair_bit(pin, j, ctx.q) == 0);
+            for j in slots {
+                ctx.current[k].push((pin, j));
+                assign(
+                    ctx,
+                    k,
+                    pins,
+                    idx + 1,
+                    taken | (1 << j),
+                    used_mask | pair_bit(pin, j, ctx.q),
+                    level,
+                );
+                ctx.current[k].pop();
+            }
+        }
+        assign(ctx, k, &pins, 0, 0, used_mask, level);
+    }
+
+    // Seed with the greedy result so pruning starts tight.
+    let (greedy_cost, greedy_mapping) = greedy_search(active, order, q);
+    let mut ctx = Ctx {
+        active,
+        order,
+        q,
+        best: greedy_cost + 1,
+        best_mapping: greedy_mapping,
+        current: vec![Vec::new(); active.len()],
+    };
+    dfs(&mut ctx, 0, 0);
+    (ctx.best.min(greedy_cost), ctx.best_mapping)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hungarian_identity() {
+        let cost = vec![vec![0, 9], vec![9, 0]];
+        let (total, asg) = hungarian(&cost);
+        assert_eq!(total, 0);
+        assert_eq!(asg, vec![0, 1]);
+    }
+
+    #[test]
+    fn hungarian_rectangular() {
+        let cost = vec![vec![5, 1, 9]];
+        let (total, asg) = hungarian(&cost);
+        assert_eq!(total, 1);
+        assert_eq!(asg, vec![1]);
+    }
+
+    #[test]
+    fn hungarian_matches_brute_force() {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(11);
+        for _ in 0..200 {
+            let n = rng.gen_range(1..=4);
+            let m = rng.gen_range(n..=5);
+            let cost: Vec<Vec<i64>> = (0..n)
+                .map(|_| (0..m).map(|_| rng.gen_range(0..20)).collect())
+                .collect();
+            let (total, asg) = hungarian(&cost);
+            // Validity: injective.
+            let mut seen = std::collections::HashSet::new();
+            for &j in &asg {
+                assert!(seen.insert(j));
+            }
+            // Optimality by brute force over permutations.
+            let mut cols: Vec<usize> = (0..m).collect();
+            let mut best = i64::MAX;
+            permute(&mut cols, 0, n, &mut |perm| {
+                let c: i64 = (0..n).map(|i| cost[i][perm[i]]).sum();
+                best = best.min(c);
+            });
+            assert_eq!(total, best);
+        }
+    }
+
+    fn permute(cols: &mut Vec<usize>, k: usize, n: usize, f: &mut impl FnMut(&[usize])) {
+        if k == n {
+            f(&cols[..n]);
+            return;
+        }
+        for i in k..cols.len() {
+            cols.swap(k, i);
+            permute(cols, k + 1, n, f);
+            cols.swap(k, i);
+        }
+    }
+
+    fn validate_remap(active: &[Vec<usize>], remap: &PinRemap) {
+        assert_eq!(remap.physical_pins, active.iter().map(Vec::len).max().unwrap_or(0));
+        let mut pairs = std::collections::HashSet::new();
+        for (k, pins) in active.iter().enumerate() {
+            let mapped: std::collections::HashMap<usize, usize> =
+                remap.mapping[k].iter().copied().collect();
+            assert_eq!(mapped.len(), pins.len(), "dataflow {k}: wrong count");
+            let mut phys = std::collections::HashSet::new();
+            for &p in pins {
+                let j = *mapped.get(&p).unwrap_or_else(|| panic!("pin {p} unmapped in {k}"));
+                assert!(j < remap.physical_pins);
+                assert!(phys.insert(j), "dataflow {k}: physical pin reused");
+                pairs.insert((p, j));
+            }
+        }
+        assert_eq!(pairs.len(), remap.distinct_pairs);
+    }
+
+    #[test]
+    fn figure9_example() {
+        // Three dataflows over pins {A,B,C} = {0,1,2}, two live at a time.
+        let active = vec![vec![0, 1], vec![0, 2], vec![1, 2]];
+        let remap = optimize_pin_remap(&active);
+        validate_remap(&active, &remap);
+        assert_eq!(remap.physical_pins, 2);
+        // Paper Figure 9 reaches "# remapped pins = 2"-style sharing; the
+        // distinct-pair optimum for this instance is 4 (6 naive).
+        assert_eq!(remap.distinct_pairs, 4);
+    }
+
+    #[test]
+    fn single_dataflow_uses_each_pin_once() {
+        let active = vec![vec![3, 5, 7]];
+        let remap = optimize_pin_remap(&active);
+        validate_remap(&active, &remap);
+        assert_eq!(remap.physical_pins, 3);
+        assert_eq!(remap.distinct_pairs, 3);
+    }
+
+    #[test]
+    fn identical_dataflows_share_everything() {
+        let active = vec![vec![0, 1, 2], vec![0, 1, 2], vec![0, 1, 2]];
+        let remap = optimize_pin_remap(&active);
+        validate_remap(&active, &remap);
+        assert_eq!(remap.distinct_pairs, 3);
+    }
+
+    #[test]
+    fn empty_input() {
+        let remap = optimize_pin_remap(&[]);
+        assert_eq!(remap.physical_pins, 0);
+        assert_eq!(remap.distinct_pairs, 0);
+        let remap = optimize_pin_remap(&[vec![]]);
+        assert_eq!(remap.physical_pins, 0);
+    }
+
+    #[test]
+    fn greedy_never_worse_than_naive() {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(23);
+        for _ in 0..100 {
+            let k = rng.gen_range(1..=4);
+            let total_pins = rng.gen_range(1..=8);
+            let active: Vec<Vec<usize>> = (0..k)
+                .map(|_| {
+                    let cnt = rng.gen_range(1..=total_pins.min(4));
+                    let mut pins: Vec<usize> = (0..total_pins).collect();
+                    for i in 0..cnt {
+                        let j = rng.gen_range(i..total_pins);
+                        pins.swap(i, j);
+                    }
+                    let mut chosen = pins[..cnt].to_vec();
+                    chosen.sort_unstable();
+                    chosen
+                })
+                .collect();
+            let remap = optimize_pin_remap(&active);
+            validate_remap(&active, &remap);
+            let naive: usize = active.iter().map(Vec::len).sum();
+            assert!(remap.distinct_pairs <= naive);
+        }
+    }
+}

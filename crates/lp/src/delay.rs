@@ -1,0 +1,359 @@
+//! Exact delay matching (paper §V-A).
+//!
+//! Every component in the DAG must see all of its inputs at the same cycle,
+//! so pipeline registers are inserted on edges. Minimizing the inserted
+//! register bits is the LP
+//!
+//! ```text
+//! min Σ W_uv · EL_uv      s.t.  EL_uv = D_v − D_u − L_uv ≥ 0
+//! ```
+//!
+//! where `W` is the edge bit-width and `L` the required latency of the edge
+//! (the head component's internal latency). The constraint matrix is a
+//! network matrix, so the LP dual is a min-cost transshipment on the same
+//! graph: find arc flows `y ≥ 0` with node balance `Σ_in y − Σ_out y = a_w`
+//! (`a_w` = in-width minus out-width) maximizing `Σ L·y`. We solve that with
+//! [`MinCostFlow`] and read the primal `D` off the optimal node potentials —
+//! an exact integral optimum, no external LP solver required.
+
+use crate::mcmf::MinCostFlow;
+
+/// One DAG edge participating in delay matching.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DelayEdge {
+    /// Source node.
+    pub from: usize,
+    /// Destination node.
+    pub to: usize,
+    /// Bit-width of the signal — the per-cycle register cost.
+    pub width: i64,
+    /// Latency this edge must provide at minimum (the head's internal
+    /// latency plus any latency already attached to the wire).
+    pub latency: i64,
+}
+
+/// Result of delay matching.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DelayAssignment {
+    /// Arrival cycle `D_v` of each node's output, normalized to min 0.
+    pub node_delay: Vec<i64>,
+    /// Extra pipeline registers `EL_uv` per edge, in input order.
+    pub extra_latency: Vec<i64>,
+    /// Total inserted register bits `Σ W·EL` (the LP objective).
+    pub register_cost: i64,
+}
+
+/// Errors from [`solve_delay_matching`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DelayError {
+    /// The graph contains a directed cycle; delays cannot be matched.
+    Cyclic,
+    /// An edge references a node `>= n`.
+    NodeOutOfRange,
+    /// An edge has a negative width.
+    NegativeWidth,
+}
+
+impl std::fmt::Display for DelayError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DelayError::Cyclic => write!(f, "delay matching requires an acyclic graph"),
+            DelayError::NodeOutOfRange => write!(f, "edge endpoint out of range"),
+            DelayError::NegativeWidth => write!(f, "edge width must be non-negative"),
+        }
+    }
+}
+
+impl std::error::Error for DelayError {}
+
+/// Solves the delay-matching LP exactly.
+///
+/// Returns per-node arrival times and per-edge inserted register counts that
+/// minimize total register bits. Nodes not touched by any edge get delay 0.
+///
+/// # Errors
+///
+/// Returns [`DelayError::Cyclic`] if the edges form a directed cycle,
+/// [`DelayError::NodeOutOfRange`] / [`DelayError::NegativeWidth`] on
+/// malformed input.
+///
+/// Note that *independent* sources are freely schedulable: the controller
+/// can simply start one read port later, so only *reconvergent* paths force
+/// real registers (exactly the paper's semantics, where the timestamp is
+/// local to each component).
+///
+/// # Examples
+///
+/// ```
+/// use lego_lp::{solve_delay_matching, DelayEdge};
+///
+/// // One source feeding the same sink over a 1-cycle and a 3-cycle path:
+/// // the short path needs 2 extra registers of 8 bits.
+/// let edges = [
+///     DelayEdge { from: 0, to: 1, width: 8, latency: 1 },
+///     DelayEdge { from: 0, to: 1, width: 16, latency: 3 },
+/// ];
+/// let sol = solve_delay_matching(2, &edges).unwrap();
+/// assert_eq!(sol.register_cost, 8 * 2);
+/// ```
+pub fn solve_delay_matching(n: usize, edges: &[DelayEdge]) -> Result<DelayAssignment, DelayError> {
+    for e in edges {
+        if e.from >= n || e.to >= n {
+            return Err(DelayError::NodeOutOfRange);
+        }
+        if e.width < 0 {
+            return Err(DelayError::NegativeWidth);
+        }
+    }
+    if !is_dag(n, edges) {
+        return Err(DelayError::Cyclic);
+    }
+
+    // Node balance a_w = Σ_in W − Σ_out W.
+    let mut a = vec![0i64; n];
+    for e in edges {
+        a[e.to] += e.width;
+        a[e.from] -= e.width;
+    }
+    let total_supply: i64 = a.iter().filter(|&&x| x < 0).map(|&x| -x).sum();
+
+    let s = n;
+    let t = n + 1;
+    let mut net = MinCostFlow::new(n + 2);
+    for e in edges {
+        // The feasible point y = W routes at most total_supply extra units
+        // through any single arc, so this capacity is effectively infinite.
+        net.add_arc(e.from, e.to, e.width + total_supply, -e.latency);
+    }
+    for (w, &bal) in a.iter().enumerate() {
+        if bal < 0 {
+            net.add_arc(s, w, -bal, 0);
+        } else if bal > 0 {
+            net.add_arc(w, t, bal, 0);
+        }
+    }
+    let (flow, _cost) = net.run(s, t);
+    debug_assert_eq!(flow, total_supply, "transshipment must saturate");
+
+    // Primal solution from the dual potentials: D_w = −π_w.
+    let pi = net.potentials();
+    let mut node_delay: Vec<i64> = (0..n).map(|w| -pi[w]).collect();
+    // Isolated nodes keep delay 0 after normalization; normalize over nodes
+    // that participate in at least one edge.
+    let mut touched = vec![false; n];
+    for e in edges {
+        touched[e.from] = true;
+        touched[e.to] = true;
+    }
+    if let Some(min) = node_delay
+        .iter()
+        .zip(&touched)
+        .filter(|(_, &t)| t)
+        .map(|(&d, _)| d)
+        .min()
+    {
+        for (d, &t) in node_delay.iter_mut().zip(&touched) {
+            if t {
+                *d -= min;
+            } else {
+                *d = 0;
+            }
+        }
+    }
+
+    let mut register_cost = 0i64;
+    let extra_latency: Vec<i64> = edges
+        .iter()
+        .map(|e| {
+            let el = node_delay[e.to] - node_delay[e.from] - e.latency;
+            debug_assert!(el >= 0, "delay matching produced negative slack");
+            register_cost += el * e.width;
+            el
+        })
+        .collect();
+
+    Ok(DelayAssignment {
+        node_delay,
+        extra_latency,
+        register_cost,
+    })
+}
+
+fn is_dag(n: usize, edges: &[DelayEdge]) -> bool {
+    let mut indeg = vec![0usize; n];
+    let mut out: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for e in edges {
+        indeg[e.to] += 1;
+        out[e.from].push(e.to);
+    }
+    let mut queue: std::collections::VecDeque<usize> =
+        (0..n).filter(|&v| indeg[v] == 0).collect();
+    let mut seen = 0;
+    while let Some(v) = queue.pop_front() {
+        seen += 1;
+        for &w in &out[v] {
+            indeg[w] -= 1;
+            if indeg[w] == 0 {
+                queue.push_back(w);
+            }
+        }
+    }
+    seen == n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::simplex::{solve_lp, Constraint, LpProblem, LpResult, Relation};
+
+    /// Solves the same LP with the dense simplex as an oracle.
+    fn simplex_oracle(n: usize, edges: &[DelayEdge]) -> f64 {
+        // Variables: D_0..D_{n-1} >= 0 (differences make the bound harmless).
+        let objective: Vec<f64> = {
+            let mut c = vec![0.0; n];
+            for e in edges {
+                c[e.to] += e.width as f64;
+                c[e.from] -= e.width as f64;
+            }
+            c
+        };
+        let constraints = edges
+            .iter()
+            .map(|e| {
+                let mut coeffs = vec![0.0; n];
+                coeffs[e.to] += 1.0;
+                coeffs[e.from] -= 1.0;
+                Constraint {
+                    coeffs,
+                    rel: Relation::Ge,
+                    rhs: e.latency as f64,
+                }
+            })
+            .collect();
+        let p = LpProblem {
+            objective,
+            minimize: true,
+            constraints,
+        };
+        match solve_lp(&p) {
+            LpResult::Optimal { objective, .. } => {
+                let base: f64 = edges.iter().map(|e| (e.width * e.latency) as f64).sum();
+                objective - base
+            }
+            other => panic!("oracle failed: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn independent_sources_are_rescheduled_for_free() {
+        // Two distinct sources joining at node 2: the controller can start
+        // source 0 two cycles late, so no registers are needed.
+        let edges = [
+            DelayEdge { from: 0, to: 2, width: 8, latency: 1 },
+            DelayEdge { from: 1, to: 2, width: 16, latency: 3 },
+        ];
+        let sol = solve_delay_matching(3, &edges).unwrap();
+        assert_eq!(sol.register_cost, 0);
+        assert_eq!(sol.node_delay[2] - sol.node_delay[0], 1);
+        assert_eq!(sol.node_delay[2] - sol.node_delay[1], 3);
+    }
+
+    #[test]
+    fn reconvergent_paths_force_registers() {
+        // The same source reaching one sink over unequal paths: registers
+        // must balance, and the LP pads the cheaper (8-bit) edge.
+        let edges = [
+            DelayEdge { from: 0, to: 1, width: 8, latency: 1 },
+            DelayEdge { from: 0, to: 1, width: 16, latency: 3 },
+        ];
+        let sol = solve_delay_matching(2, &edges).unwrap();
+        assert_eq!(sol.register_cost, 16);
+        assert_eq!(sol.extra_latency, vec![2, 0]);
+    }
+
+    #[test]
+    fn shared_source_prefers_light_edge_registers() {
+        // Source 0 fans out to 1 (L=1) and 2 (L=3), both feed 3 (L=1, L=1).
+        let edges = [
+            DelayEdge { from: 0, to: 1, width: 8, latency: 1 },
+            DelayEdge { from: 0, to: 2, width: 8, latency: 3 },
+            DelayEdge { from: 1, to: 3, width: 32, latency: 1 },
+            DelayEdge { from: 2, to: 3, width: 32, latency: 1 },
+        ];
+        let sol = solve_delay_matching(4, &edges).unwrap();
+        // Equalize by padding the 8-bit 0→1 edge, not a 32-bit edge.
+        assert_eq!(sol.register_cost, 2 * 8);
+        assert_eq!(sol.extra_latency, vec![2, 0, 0, 0]);
+    }
+
+    #[test]
+    fn already_matched_costs_nothing() {
+        let edges = [
+            DelayEdge { from: 0, to: 1, width: 8, latency: 2 },
+            DelayEdge { from: 1, to: 2, width: 8, latency: 1 },
+        ];
+        let sol = solve_delay_matching(3, &edges).unwrap();
+        assert_eq!(sol.register_cost, 0);
+        assert_eq!(sol.node_delay, vec![0, 2, 3]);
+    }
+
+    #[test]
+    fn cycle_rejected() {
+        let edges = [
+            DelayEdge { from: 0, to: 1, width: 1, latency: 1 },
+            DelayEdge { from: 1, to: 0, width: 1, latency: 1 },
+        ];
+        assert_eq!(solve_delay_matching(2, &edges), Err(DelayError::Cyclic));
+    }
+
+    #[test]
+    fn bad_inputs_rejected() {
+        let e = DelayEdge { from: 0, to: 5, width: 1, latency: 0 };
+        assert_eq!(solve_delay_matching(2, &[e]), Err(DelayError::NodeOutOfRange));
+        let e = DelayEdge { from: 0, to: 1, width: -1, latency: 0 };
+        assert_eq!(solve_delay_matching(2, &[e]), Err(DelayError::NegativeWidth));
+    }
+
+    #[test]
+    fn isolated_nodes_untouched() {
+        let edges = [DelayEdge { from: 1, to: 3, width: 4, latency: 2 }];
+        let sol = solve_delay_matching(5, &edges).unwrap();
+        assert_eq!(sol.node_delay[0], 0);
+        assert_eq!(sol.node_delay[2], 0);
+        assert_eq!(sol.node_delay[4], 0);
+        assert_eq!(sol.register_cost, 0);
+    }
+
+    #[test]
+    fn matches_simplex_on_random_dags() {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(7);
+        for trial in 0..200 {
+            let n = rng.gen_range(2..=7);
+            let m = rng.gen_range(1..=12);
+            let mut edges = Vec::new();
+            for _ in 0..m {
+                // Ensure acyclicity: edges only go up in node index.
+                let from = rng.gen_range(0..n - 1);
+                let to = rng.gen_range(from + 1..n);
+                edges.push(DelayEdge {
+                    from,
+                    to,
+                    width: rng.gen_range(1..=8),
+                    latency: rng.gen_range(0..=4),
+                });
+            }
+            let sol = solve_delay_matching(n, &edges).unwrap();
+            for (e, &el) in edges.iter().zip(&sol.extra_latency) {
+                assert!(el >= 0);
+                assert_eq!(sol.node_delay[e.to] - sol.node_delay[e.from], e.latency + el);
+            }
+            let oracle = simplex_oracle(n, &edges);
+            assert!(
+                (sol.register_cost as f64 - oracle).abs() < 1e-6,
+                "trial {trial}: network {} vs simplex {oracle}",
+                sol.register_cost
+            );
+        }
+    }
+}

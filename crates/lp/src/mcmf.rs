@@ -1,0 +1,294 @@
+//! Min-cost max-flow with node potentials.
+//!
+//! Successive-shortest-path implementation: one Bellman-Ford pass to
+//! initialize potentials (the networks built by [`crate::delay`] contain
+//! negative arc costs but never negative cycles), then Dijkstra with reduced
+//! costs per augmentation. The final node potentials are exactly the dual
+//! variables of the flow LP, which is what delay matching consumes.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+const INF: i64 = i64::MAX / 4;
+
+#[derive(Debug, Clone, Copy)]
+struct Arc {
+    to: usize,
+    cap: i64,
+    cost: i64,
+    /// Index of the reverse arc in `arcs`.
+    rev: usize,
+}
+
+/// A min-cost max-flow network over dense node indices.
+///
+/// # Examples
+///
+/// ```
+/// use lego_lp::MinCostFlow;
+///
+/// let mut net = MinCostFlow::new(3);
+/// let a = net.add_arc(0, 1, 10, 1);
+/// let _ = net.add_arc(1, 2, 10, 1);
+/// let (flow, cost) = net.run(0, 2);
+/// assert_eq!((flow, cost), (10, 20));
+/// assert_eq!(net.flow_on(a), 10);
+/// ```
+#[derive(Debug, Clone)]
+pub struct MinCostFlow {
+    graph: Vec<Vec<usize>>,
+    arcs: Vec<Arc>,
+    /// Original capacity per public arc id, used to report flow.
+    caps: Vec<i64>,
+    potentials: Vec<i64>,
+}
+
+impl MinCostFlow {
+    /// Creates an empty network with `n` nodes.
+    pub fn new(n: usize) -> Self {
+        MinCostFlow {
+            graph: vec![Vec::new(); n],
+            arcs: Vec::new(),
+            caps: Vec::new(),
+            potentials: vec![0; n],
+        }
+    }
+
+    /// Adds a directed arc and returns its public id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an endpoint is out of range or `cap < 0`.
+    pub fn add_arc(&mut self, from: usize, to: usize, cap: i64, cost: i64) -> usize {
+        assert!(from < self.graph.len() && to < self.graph.len(), "arc endpoint out of range");
+        assert!(cap >= 0, "negative capacity");
+        let fwd = self.arcs.len();
+        self.arcs.push(Arc { to, cap, cost, rev: fwd + 1 });
+        self.arcs.push(Arc { to: from, cap: 0, cost: -cost, rev: fwd });
+        self.graph[from].push(fwd);
+        self.graph[to].push(fwd + 1);
+        self.caps.push(cap);
+        fwd / 2
+    }
+
+    /// Flow currently routed through the arc with the given public id.
+    pub fn flow_on(&self, arc_id: usize) -> i64 {
+        self.caps[arc_id] - self.arcs[arc_id * 2].cap
+    }
+
+    /// Node potentials (shortest-path duals) after [`Self::run`].
+    pub fn potentials(&self) -> &[i64] {
+        &self.potentials
+    }
+
+    /// Computes a min-cost max-flow from `s` to `t`.
+    ///
+    /// Returns `(total_flow, total_cost)`. Arc costs may be negative as long
+    /// as the network has no negative-cost directed cycle (true for all
+    /// networks LEGO builds, which are DAG-shaped plus source/sink arcs).
+    pub fn run(&mut self, s: usize, t: usize) -> (i64, i64) {
+        let n = self.graph.len();
+        self.bellman_ford_init(s);
+        let mut total_flow = 0i64;
+        let mut total_cost = 0i64;
+
+        loop {
+            // Dijkstra over reduced costs.
+            let mut dist = vec![INF; n];
+            let mut prev_arc = vec![usize::MAX; n];
+            let mut heap = BinaryHeap::new();
+            dist[s] = 0;
+            heap.push(Reverse((0i64, s)));
+            while let Some(Reverse((d, v))) = heap.pop() {
+                if d > dist[v] {
+                    continue;
+                }
+                for &ai in &self.graph[v] {
+                    let arc = self.arcs[ai];
+                    if arc.cap <= 0 {
+                        continue;
+                    }
+                    let rc = arc.cost + self.potentials[v] - self.potentials[arc.to];
+                    debug_assert!(rc >= 0, "negative reduced cost: potentials invalid");
+                    let nd = d + rc;
+                    if nd < dist[arc.to] {
+                        dist[arc.to] = nd;
+                        prev_arc[arc.to] = ai;
+                        heap.push(Reverse((nd, arc.to)));
+                    }
+                }
+            }
+            if dist[t] >= INF {
+                break;
+            }
+            // Update potentials; unreached nodes keep validity via clamping.
+            for v in 0..n {
+                self.potentials[v] += dist[v].min(dist[t]);
+            }
+            // Augment along the shortest path by its bottleneck.
+            let mut bottleneck = INF;
+            let mut v = t;
+            while v != s {
+                let ai = prev_arc[v];
+                bottleneck = bottleneck.min(self.arcs[ai].cap);
+                v = self.arcs[self.arcs[ai].rev].to;
+            }
+            let mut v = t;
+            while v != s {
+                let ai = prev_arc[v];
+                self.arcs[ai].cap -= bottleneck;
+                let rev = self.arcs[ai].rev;
+                self.arcs[rev].cap += bottleneck;
+                total_cost += bottleneck * self.arcs[ai].cost;
+                v = self.arcs[rev].to;
+            }
+            total_flow += bottleneck;
+        }
+        (total_flow, total_cost)
+    }
+
+    /// Initializes potentials with Bellman-Ford distances from `s` so the
+    /// first Dijkstra sees non-negative reduced costs.
+    fn bellman_ford_init(&mut self, s: usize) {
+        let n = self.graph.len();
+        let mut dist = vec![INF; n];
+        dist[s] = 0;
+        // SPFA-style relaxation.
+        let mut in_queue = vec![false; n];
+        let mut queue = std::collections::VecDeque::new();
+        queue.push_back(s);
+        in_queue[s] = true;
+        let mut relaxations = 0usize;
+        let budget = n.saturating_mul(self.arcs.len()).max(64);
+        while let Some(v) = queue.pop_front() {
+            in_queue[v] = false;
+            for &ai in &self.graph[v] {
+                let arc = self.arcs[ai];
+                if arc.cap <= 0 || dist[v] >= INF {
+                    continue;
+                }
+                let nd = dist[v] + arc.cost;
+                if nd < dist[arc.to] {
+                    dist[arc.to] = nd;
+                    relaxations += 1;
+                    assert!(
+                        relaxations <= budget,
+                        "negative cycle detected in flow network"
+                    );
+                    if !in_queue[arc.to] {
+                        in_queue[arc.to] = true;
+                        queue.push_back(arc.to);
+                    }
+                }
+            }
+        }
+        for v in 0..n {
+            // Unreachable nodes get potential 0; they are never on a path.
+            self.potentials[v] = if dist[v] >= INF { 0 } else { dist[v] };
+        }
+        // Clamp so reduced costs stay provably non-negative for arcs leaving
+        // reachable nodes into unreachable ones (cap > 0 can't occur there:
+        // if an arc with capacity existed, the head would be reachable).
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simple_path() {
+        let mut net = MinCostFlow::new(4);
+        net.add_arc(0, 1, 5, 1);
+        net.add_arc(1, 3, 5, 1);
+        net.add_arc(0, 2, 5, 2);
+        net.add_arc(2, 3, 5, 2);
+        let (flow, cost) = net.run(0, 3);
+        assert_eq!(flow, 10);
+        assert_eq!(cost, 5 * 2 + 5 * 4);
+    }
+
+    #[test]
+    fn prefers_cheap_route_first() {
+        let mut net = MinCostFlow::new(3);
+        let cheap = net.add_arc(0, 1, 3, 0);
+        let pricey = net.add_arc(0, 1, 3, 10);
+        net.add_arc(1, 2, 4, 0);
+        let (flow, cost) = net.run(0, 2);
+        assert_eq!(flow, 4);
+        assert_eq!(cost, 10);
+        assert_eq!(net.flow_on(cheap), 3);
+        assert_eq!(net.flow_on(pricey), 1);
+    }
+
+    #[test]
+    fn negative_costs_handled() {
+        // DAG with a negative arc: still no negative cycle.
+        let mut net = MinCostFlow::new(4);
+        net.add_arc(0, 1, 2, 4);
+        net.add_arc(0, 2, 2, 1);
+        net.add_arc(2, 1, 2, -3);
+        net.add_arc(1, 3, 4, 0);
+        let (flow, cost) = net.run(0, 3);
+        assert_eq!(flow, 4);
+        // 2 units via 0→2→1 (cost -2 each), 2 units via 0→1 (cost 4 each).
+        assert_eq!(cost, 2 * (1 - 3) + 2 * 4);
+    }
+
+    #[test]
+    fn rerouting_through_residual_arcs() {
+        // Classic case where a later augmentation must undo earlier flow.
+        let mut net = MinCostFlow::new(4);
+        net.add_arc(0, 1, 1, 1);
+        net.add_arc(0, 2, 1, 5);
+        net.add_arc(1, 2, 1, -4);
+        net.add_arc(1, 3, 1, 5);
+        net.add_arc(2, 3, 1, 1);
+        let (flow, cost) = net.run(0, 3);
+        assert_eq!(flow, 2);
+        // Optimal: 0→1→2→3 (1-4+1=-2) and 0→2... cap(2→3)=1. So
+        // 0→1→2→3 = -2 and 0→2 is blocked at 2→3; use 0→1? cap used.
+        // Best pair: 0→1→2→3 (-2) + rerouted 0→2→(residual 2→1)→1→3:
+        // 5 + 4 + 5 = 14; total 12. Alternative 0→1→3 (6) + 0→2→3 (6) = 12.
+        assert_eq!(cost, 12);
+    }
+
+    #[test]
+    fn disconnected_sink_gives_zero_flow() {
+        let mut net = MinCostFlow::new(3);
+        net.add_arc(0, 1, 1, 1);
+        let (flow, cost) = net.run(0, 2);
+        assert_eq!((flow, cost), (0, 0));
+    }
+
+    #[test]
+    fn potentials_satisfy_reduced_cost_optimality() {
+        let mut net = MinCostFlow::new(5);
+        let arcs = [
+            (0usize, 1usize, 3i64, 2i64),
+            (0, 2, 2, 4),
+            (1, 2, 2, 1),
+            (1, 3, 2, 7),
+            (2, 3, 4, 2),
+            (3, 4, 5, 0),
+        ];
+        let mut ids = Vec::new();
+        for &(u, v, c, w) in &arcs {
+            ids.push((net.add_arc(u, v, c, w), u, v, c, w));
+        }
+        net.run(0, 4);
+        let pi = net.potentials().to_vec();
+        for &(id, u, v, _c, w) in &ids {
+            let f = net.flow_on(id);
+            let rc = w + pi[u] - pi[v];
+            // Arcs with leftover capacity must have non-negative reduced cost;
+            // arcs carrying flow must have non-positive reduced cost.
+            if f < _c {
+                assert!(rc >= 0, "arc {u}->{v} violates optimality");
+            }
+            if f > 0 {
+                assert!(rc <= 0, "arc {u}->{v} with flow has positive reduced cost");
+            }
+        }
+    }
+}

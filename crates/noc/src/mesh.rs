@@ -1,0 +1,186 @@
+//! 2D wormhole mesh with dimension-ordered (X-Y) routing.
+//!
+//! X-Y routing is deadlock-free because packets fully traverse the X
+//! dimension before turning into Y: the channel dependency graph contains
+//! no cycle (turns from Y back to X never occur). The test suite checks
+//! that property explicitly by building the dependency graph.
+
+use crate::Transfer;
+
+/// A `cols × rows` wormhole mesh.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Mesh {
+    /// Columns (X extent).
+    pub cols: u32,
+    /// Rows (Y extent).
+    pub rows: u32,
+    /// Link width in bytes.
+    pub link_bytes: u32,
+    /// Per-hop router latency in cycles.
+    pub hop_cycles: u32,
+}
+
+/// One hop of an X-Y route.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct XyRoute {
+    /// Node sequence from source to destination (inclusive).
+    pub path: Vec<(u32, u32)>,
+}
+
+impl Mesh {
+    /// Creates a mesh.
+    ///
+    /// # Panics
+    ///
+    /// Panics on zero extents.
+    pub fn new(cols: u32, rows: u32, link_bytes: u32, hop_cycles: u32) -> Self {
+        assert!(cols > 0 && rows > 0, "mesh extents must be positive");
+        Mesh {
+            cols,
+            rows,
+            link_bytes,
+            hop_cycles,
+        }
+    }
+
+    /// Number of routers.
+    pub fn routers(&self) -> u64 {
+        u64::from(self.cols) * u64::from(self.rows)
+    }
+
+    /// X-Y route: move along X to the destination column, then along Y.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an endpoint is outside the mesh.
+    pub fn route(&self, src: (u32, u32), dst: (u32, u32)) -> XyRoute {
+        assert!(src.0 < self.cols && src.1 < self.rows, "src out of mesh");
+        assert!(dst.0 < self.cols && dst.1 < self.rows, "dst out of mesh");
+        let mut path = vec![src];
+        let (mut x, mut y) = src;
+        while x != dst.0 {
+            x = if dst.0 > x { x + 1 } else { x - 1 };
+            path.push((x, y));
+        }
+        while y != dst.1 {
+            y = if dst.1 > y { y + 1 } else { y - 1 };
+            path.push((x, y));
+        }
+        XyRoute { path }
+    }
+
+    /// Wormhole transfer: head latency = hops × hop_cycles, then the body
+    /// streams at one flit per cycle.
+    pub fn transfer(&self, src: (u32, u32), dst: (u32, u32), bytes: u64) -> Transfer {
+        let hops = (self.route(src, dst).path.len() - 1) as u64;
+        let flits = bytes.div_ceil(u64::from(self.link_bytes).max(1)).max(1);
+        Transfer {
+            cycles: hops * u64::from(self.hop_cycles) + flits - 1,
+            hops,
+        }
+    }
+
+    /// Average hop count under uniform random traffic (≈ (cols+rows)/3),
+    /// used by the analytic energy model.
+    pub fn mean_hops(&self) -> f64 {
+        (f64::from(self.cols) + f64::from(self.rows)) / 3.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn xy_route_goes_x_first() {
+        let m = Mesh::new(4, 4, 16, 1);
+        let r = m.route((0, 0), (3, 2));
+        assert_eq!(r.path.first(), Some(&(0, 0)));
+        assert_eq!(r.path.last(), Some(&(3, 2)));
+        // X strictly before Y: once Y changes, X must be final.
+        let mut y_started = false;
+        for w in r.path.windows(2) {
+            let (a, b) = (w[0], w[1]);
+            if a.1 != b.1 {
+                y_started = true;
+            }
+            if y_started {
+                assert_eq!(a.0, 3, "X movement after Y turn");
+            }
+        }
+    }
+
+    #[test]
+    fn transfer_latency_model() {
+        let m = Mesh::new(4, 4, 16, 2);
+        let t = m.transfer((0, 0), (3, 3), 64);
+        assert_eq!(t.hops, 6);
+        assert_eq!(t.cycles, 6 * 2 + 4 - 1);
+    }
+
+    #[test]
+    fn xy_routing_is_deadlock_free() {
+        // Build the channel dependency graph over all source/destination
+        // pairs: a dependency exists when a route uses channel A then B.
+        // X-Y routing must yield an acyclic dependency graph.
+        let m = Mesh::new(3, 3, 8, 1);
+        let chan_id = |a: (u32, u32), b: (u32, u32)| -> usize {
+            let na = (a.1 * m.cols + a.0) as usize;
+            let nb = (b.1 * m.cols + b.0) as usize;
+            na * m.routers() as usize + nb
+        };
+        let n_chan = (m.routers() * m.routers()) as usize;
+        let mut deps: std::collections::HashSet<(usize, usize)> =
+            std::collections::HashSet::new();
+        for sx in 0..3 {
+            for sy in 0..3 {
+                for dx in 0..3 {
+                    for dy in 0..3 {
+                        let r = m.route((sx, sy), (dx, dy));
+                        for w in r.path.windows(3) {
+                            deps.insert((chan_id(w[0], w[1]), chan_id(w[1], w[2])));
+                        }
+                    }
+                }
+            }
+        }
+        // Cycle detection over the dependency graph.
+        let mut g = lego_noc_test_graph(n_chan, &deps);
+        assert!(toposort_ok(&mut g), "channel dependency cycle found");
+    }
+
+    fn lego_noc_test_graph(
+        n: usize,
+        deps: &std::collections::HashSet<(usize, usize)>,
+    ) -> (usize, Vec<(usize, usize)>) {
+        (n, deps.iter().copied().collect())
+    }
+
+    fn toposort_ok((n, edges): &mut (usize, Vec<(usize, usize)>)) -> bool {
+        let mut indeg = vec![0usize; *n];
+        let mut adj: Vec<Vec<usize>> = vec![Vec::new(); *n];
+        for &(a, b) in edges.iter() {
+            indeg[b] += 1;
+            adj[a].push(b);
+        }
+        let mut queue: std::collections::VecDeque<usize> =
+            (0..*n).filter(|&v| indeg[v] == 0).collect();
+        let mut seen = 0usize;
+        while let Some(v) = queue.pop_front() {
+            seen += 1;
+            for &w in &adj[v] {
+                indeg[w] -= 1;
+                if indeg[w] == 0 {
+                    queue.push_back(w);
+                }
+            }
+        }
+        seen == *n
+    }
+
+    #[test]
+    fn mean_hops_reasonable() {
+        let m = Mesh::new(4, 5, 16, 1);
+        assert!((m.mean_hops() - 3.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,435 @@
+//! Layer-level performance/energy evaluation.
+
+use crate::HwConfig;
+use lego_model::{SramModel, TechModel};
+use lego_workloads::{Layer, LayerKind, Model};
+
+/// A spatial dataflow the hardware can be configured into.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpatialMapping {
+    /// GEMM output tile (M on rows, N on columns); convs run as im2col.
+    GemmMN,
+    /// GEMM K on rows, N on columns (reduction-parallel).
+    GemmKN,
+    /// Conv input channels × output channels (NVDLA-style).
+    ConvIcOc,
+    /// Conv output plane (ShiDianNao-style) — the depthwise rescuer.
+    ConvOhOw,
+    /// Conv kernel rows × output rows (Eyeriss-style).
+    ConvKhOh,
+}
+
+impl SpatialMapping {
+    /// Short display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            SpatialMapping::GemmMN => "MN",
+            SpatialMapping::GemmKN => "KN",
+            SpatialMapping::ConvIcOc => "ICOC",
+            SpatialMapping::ConvOhOw => "OHOW",
+            SpatialMapping::ConvKhOh => "KHOH",
+        }
+    }
+}
+
+/// Energy breakdown of one layer execution (picojoules).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct EnergyBreakdown {
+    /// MAC (datapath) energy.
+    pub mac_pj: f64,
+    /// On-chip buffer access energy.
+    pub sram_pj: f64,
+    /// DRAM traffic energy.
+    pub dram_pj: f64,
+    /// NoC transport energy.
+    pub noc_pj: f64,
+    /// Static energy over the layer's runtime.
+    pub static_pj: f64,
+    /// Post-processing unit energy.
+    pub ppu_pj: f64,
+}
+
+impl EnergyBreakdown {
+    /// Total energy in pJ.
+    pub fn total_pj(&self) -> f64 {
+        self.mac_pj + self.sram_pj + self.dram_pj + self.noc_pj + self.static_pj + self.ppu_pj
+    }
+}
+
+/// Result of simulating one layer instance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LayerPerf {
+    /// Execution cycles (compute/memory overlapped, PPU serialized).
+    pub cycles: i64,
+    /// Spatial utilization of the FU array in [0, 1].
+    pub utilization: f64,
+    /// MAC operations executed.
+    pub macs: i64,
+    /// DRAM bytes moved.
+    pub dram_bytes: i64,
+    /// L1 accesses (reads + writes).
+    pub l1_accesses: i64,
+    /// Cycles spent in post-processing (already included in `cycles`).
+    pub ppu_cycles: i64,
+    /// Energy breakdown.
+    pub energy: EnergyBreakdown,
+    /// The mapping that was used.
+    pub mapping: SpatialMapping,
+}
+
+/// Aggregated whole-model performance.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ModelPerf {
+    /// Total cycles.
+    pub cycles: i64,
+    /// Total operations (2 × MACs).
+    pub ops: i64,
+    /// Throughput in GOP/s at the technology frequency.
+    pub gops: f64,
+    /// Average power in W.
+    pub watts: f64,
+    /// Energy efficiency in GOPS/W.
+    pub gops_per_watt: f64,
+    /// MAC-weighted average utilization.
+    pub utilization: f64,
+    /// Fraction of total latency spent on post-processing.
+    pub ppu_fraction: f64,
+    /// Instruction-stream bandwidth demand in GB/s (system overhead check).
+    pub instr_gbps: f64,
+}
+
+/// Ceiling division for positive i64 (the std `div_ceil` on signed
+/// integers is unstable).
+fn div_ceil(a: i64, b: i64) -> i64 {
+    (a + b - 1) / b
+}
+
+/// `dim` work items on `p` lanes: achieved fraction of peak.
+fn eff(dim: i64, p: i64) -> f64 {
+    if dim <= 0 || p <= 0 {
+        return 0.0;
+    }
+    let waves = div_ceil(dim, p);
+    dim as f64 / (waves * p) as f64
+}
+
+/// GEMM-view dimensions (m, n, k) of any layer.
+fn gemm_view(kind: &LayerKind) -> (i64, i64, i64) {
+    match *kind {
+        LayerKind::Gemm { m, n, k } => (m, n, k),
+        LayerKind::Conv { n, ic, oc, oh, ow, kh, kw, .. } => (n * oh * ow, oc, ic * kh * kw),
+        LayerKind::DwConv { n, c, oh, ow, kh, kw, .. } => (n * oh * ow * c, 1, kh * kw),
+        LayerKind::Attention { heads, seq_q, seq_kv, dk, dv } => {
+            // Two chained GEMMs; expose the score GEMM's shape, the PV GEMM
+            // has the same aggregate cost.
+            (heads * seq_q, seq_kv, dk + dv)
+        }
+    }
+}
+
+/// Spatial utilization of `kind` under `mapping` on a `p0 × p1` array.
+fn spatial_utilization(kind: &LayerKind, mapping: SpatialMapping, p0: i64, p1: i64) -> f64 {
+    let (m, n, k) = gemm_view(kind);
+    match mapping {
+        SpatialMapping::GemmMN => eff(m, p0) * eff(n, p1),
+        SpatialMapping::GemmKN => eff(k, p0) * eff(n, p1),
+        SpatialMapping::ConvIcOc => match *kind {
+            LayerKind::Conv { ic, oc, .. } => eff(ic, p0) * eff(oc, p1),
+            // Depthwise has one input channel per output channel: the IC
+            // axis collapses to a single lane.
+            LayerKind::DwConv { c, .. } => eff(1, p0) * eff(c, p1),
+            _ => eff(k, p0) * eff(n, p1),
+        },
+        SpatialMapping::ConvOhOw => match *kind {
+            LayerKind::Conv { oh, ow, .. } | LayerKind::DwConv { oh, ow, .. } => {
+                eff(oh, p0) * eff(ow, p1)
+            }
+            // Output-plane parallelism degenerates to M-only for GEMMs.
+            _ => eff(m, p0 * p1),
+        },
+        SpatialMapping::ConvKhOh => match *kind {
+            LayerKind::Conv { kh, oh, .. } | LayerKind::DwConv { kh, oh, .. } => {
+                eff(kh, p0) * eff(oh, p1)
+            }
+            _ => eff(m, p1) * eff(1, p0),
+        },
+    }
+}
+
+/// DRAM traffic of a tiled `m×n×k` contraction with a byte budget.
+///
+/// Square-ish L1 tiles: weights are re-read once per M-tile sweep, inputs
+/// once per N-tile sweep, outputs written once (partials stay on chip).
+fn dram_traffic(m: i64, n: i64, k: i64, buffer_bytes: i64) -> i64 {
+    let weights = n * k;
+    let inputs = m * k;
+    let outputs = m * n;
+    // Pick the largest square tile fitting the double-buffered budget:
+    // t·k (weights) + t·k (inputs) + t·t (outputs) ≤ B/2.
+    let budget = (buffer_bytes / 2).max(64);
+    let mut t = 1i64;
+    while (t + 1) * k * 2 + (t + 1) * (t + 1) <= budget && t < m.max(n) {
+        t += 1;
+    }
+    let tm = t.min(m).max(1);
+    let tn = t.min(n).max(1);
+    let m_sweeps = div_ceil(m, tm);
+    let n_sweeps = div_ceil(n, tn);
+    // Streaming the stationary side once; the moving side repeats.
+    weights * m_sweeps.min(n_sweeps).max(1).min(m_sweeps)
+        + inputs * if weights >= inputs { 1 } else { n_sweeps }
+        + outputs
+}
+
+/// Simulates one layer instance under a fixed mapping.
+pub fn simulate_layer(
+    layer: &Layer,
+    mapping: SpatialMapping,
+    hw: &HwConfig,
+    tech: &TechModel,
+) -> LayerPerf {
+    let (p0, p1) = hw.array;
+    let clusters = i64::from(hw.clusters.0) * i64::from(hw.clusters.1);
+    let macs = layer.macs();
+    let util = spatial_utilization(&layer.kind, mapping, p0, p1).max(1e-4);
+
+    // Compute cycles: clusters split the M dimension of the layer.
+    let peak_per_cycle = (p0 * p1 * clusters) as f64;
+    let compute_cycles = (macs as f64 / (peak_per_cycle * util)).ceil() as i64;
+
+    // DRAM traffic (int8 operands, int8 writeback after quantization).
+    let (m, n, k) = gemm_view(&layer.kind);
+    let mut bytes = dram_traffic(m, n, k, hw.buffer_kb as i64 * 1024);
+    // Convs re-read less input than the im2col view thanks to halo overlap.
+    if matches!(layer.kind, LayerKind::Conv { .. } | LayerKind::DwConv { .. }) {
+        let dense_in = layer.input_elems();
+        let im2col_in = m * k;
+        bytes -= im2col_in - dense_in.min(im2col_in);
+    }
+    let bytes_per_cycle = hw.dram_gbps / tech.freq_ghz; // GB/s ÷ Gcycle/s
+    let mem_cycles = (bytes as f64 / bytes_per_cycle).ceil() as i64;
+
+    // PPU: vectorized LUT + reduction, 4 elements per PPU per cycle,
+    // pipelined behind the array so it overlaps with compute/memory; only
+    // the non-overlapped tail adds latency (paper Figure 12b).
+    let ppu_total = div_ceil(layer.nonlinear_elems().max(0), 4 * hw.num_ppus.max(1));
+    let body = compute_cycles.max(mem_cycles);
+    let ppu_cycles = (ppu_total - body * 4 / 5).max(ppu_total / 16);
+
+    let fill = p0 + p1 + 8; // pipeline fill/drain
+    let cycles = body + ppu_cycles + fill;
+
+    // L1 accesses: operand reads shrink by the mapping's spatial reuse; the
+    // stationary operand also amortizes over the innermost temporal loop.
+    let (reuse_in, reuse_w) = match mapping {
+        SpatialMapping::GemmMN => (p1, p0),       // input row reused across N, weight across M
+        SpatialMapping::GemmKN => (p1, 1),
+        SpatialMapping::ConvIcOc => (p1, 1),
+        SpatialMapping::ConvOhOw => (1, p0 * p1), // weights broadcast over the plane
+        SpatialMapping::ConvKhOh => (p0, p1),
+    };
+    let in_reads = macs / reuse_in.max(1);
+    let w_reads = macs / reuse_w.max(1);
+    let out_writes = layer.output_elems();
+    let l1_accesses = in_reads + w_reads + out_writes;
+
+    // Energy roll-up.
+    let sram = SramModel::default();
+    let mac_pj = macs as f64 * (64.0 * tech.mult_energy_pj_per_bit2 + 32.0 * tech.add_energy_pj_per_bit);
+    let sram_pj = sram.access_energy_pj(hw.buffer_kb * 1024, 1) * l1_accesses as f64;
+    let dram_pj = bytes as f64 * tech.dram_pj_per_byte;
+    let mesh = hw.l2_mesh();
+    let noc_pj = if clusters > 1 {
+        bytes as f64 * mesh.mean_hops() * tech.noc_pj_per_byte_hop
+    } else {
+        bytes as f64 * 0.25 * tech.noc_pj_per_byte_hop // L1 distribution only
+    };
+    let time_ns = cycles as f64 / tech.freq_ghz;
+    let static_pj = hw.static_mw * time_ns; // mW × ns = pJ
+    // Dynamic power scales with utilization of the busy resource.
+    let busy = compute_cycles as f64 / cycles.max(1) as f64;
+    let array_pj = hw.dynamic_mw * time_ns * busy * util * 0.35; // clock/net share
+    let ppu_pj = ppu_total as f64 * hw.num_ppus as f64 * 0.9;
+
+    LayerPerf {
+        cycles,
+        utilization: util * (compute_cycles as f64 / cycles.max(1) as f64),
+        macs,
+        dram_bytes: bytes,
+        l1_accesses,
+        ppu_cycles,
+        energy: EnergyBreakdown {
+            mac_pj: mac_pj + array_pj,
+            sram_pj,
+            dram_pj,
+            noc_pj,
+            static_pj,
+            ppu_pj,
+        },
+        mapping,
+    }
+}
+
+/// Picks the best supported mapping for a layer (fewest cycles, then least
+/// energy) — the paper's mapping-search tool at layer granularity.
+pub fn best_mapping(layer: &Layer, hw: &HwConfig, tech: &TechModel) -> LayerPerf {
+    hw.dataflows
+        .iter()
+        .map(|&m| simulate_layer(layer, m, hw, tech))
+        .min_by(|a, b| {
+            (a.cycles, a.energy.total_pj())
+                .partial_cmp(&(b.cycles, b.energy.total_pj()))
+                .expect("finite costs")
+        })
+        .expect("hardware supports at least one dataflow")
+}
+
+/// Aggregates per-layer results into whole-model numbers.
+pub fn aggregate(model: &Model, perfs: &[(i64, LayerPerf)], tech: &TechModel) -> ModelPerf {
+    let cycles: i64 = perfs.iter().map(|(c, p)| c * p.cycles).sum();
+    let ppu: i64 = perfs.iter().map(|(c, p)| c * p.ppu_cycles).sum();
+    let ops = model.total_ops();
+    let time_s = cycles as f64 / (tech.freq_ghz * 1e9);
+    let energy_pj: f64 = perfs
+        .iter()
+        .map(|(c, p)| *c as f64 * p.energy.total_pj())
+        .sum();
+    let watts = energy_pj * 1e-12 / time_s.max(1e-12);
+    let gops = ops as f64 / 1e9 / time_s.max(1e-12);
+    let util = perfs
+        .iter()
+        .map(|(c, p)| (c * p.macs) as f64 * p.utilization)
+        .sum::<f64>()
+        / perfs.iter().map(|(c, p)| (c * p.macs) as f64).sum::<f64>().max(1.0);
+    // Instruction stream: ~32 B of configuration per tile of work; tiles
+    // approximated by layer count × sweeps (≥ 2000 cycles per instruction
+    // per the paper's §VI-B system-overhead analysis).
+    let instrs: f64 = perfs.iter().map(|(c, _)| *c as f64 * 24.0).sum();
+    let instr_gbps = instrs * 32.0 / time_s.max(1e-12) / 1e9;
+
+    ModelPerf {
+        cycles,
+        ops,
+        gops,
+        watts,
+        gops_per_watt: gops / watts.max(1e-9),
+        utilization: util,
+        ppu_fraction: ppu as f64 / cycles.max(1) as f64,
+        instr_gbps,
+    }
+}
+
+/// Maps every layer with [`best_mapping`] and aggregates.
+pub fn simulate_model(model: &Model, hw: &HwConfig, tech: &TechModel) -> ModelPerf {
+    let perfs: Vec<(i64, LayerPerf)> = model
+        .layers
+        .iter()
+        .map(|l| (l.count, best_mapping(l, hw, tech)))
+        .collect();
+    aggregate(model, &perfs, tech)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lego_workloads::zoo;
+
+    fn tech() -> TechModel {
+        TechModel::default()
+    }
+
+    #[test]
+    fn utilization_model_basics() {
+        // Perfect fit.
+        let k = LayerKind::Gemm { m: 64, n: 64, k: 64 };
+        assert!((spatial_utilization(&k, SpatialMapping::GemmMN, 16, 16) - 1.0).abs() < 1e-9);
+        // Remainder wave: 20 rows on 16 lanes → 20/32.
+        let k = LayerKind::Gemm { m: 20, n: 64, k: 64 };
+        assert!((spatial_utilization(&k, SpatialMapping::GemmMN, 16, 16) - 20.0 / 32.0).abs() < 1e-9);
+        // Depthwise on ICOC collapses to one lane of 16.
+        let dw = LayerKind::DwConv { n: 1, c: 64, oh: 28, ow: 28, kh: 3, kw: 3, stride: 1 };
+        assert!(spatial_utilization(&dw, SpatialMapping::ConvIcOc, 16, 16) <= 1.0 / 16.0 + 1e-9);
+        // ...but OHOW keeps it busy.
+        assert!(spatial_utilization(&dw, SpatialMapping::ConvOhOw, 16, 16) > 0.7);
+    }
+
+    #[test]
+    fn decode_gemv_is_memory_bound() {
+        let hw = HwConfig::lego_256();
+        let l = lego_workloads::Layer::new(
+            "ffn",
+            LayerKind::Gemm { m: 1, n: 3072, k: 768 },
+        );
+        let p = best_mapping(&l, &hw, &tech());
+        // Weights dominate traffic; utilization collapses.
+        assert!(p.dram_bytes >= 3072 * 768);
+        assert!(p.utilization < 0.1, "{p:?}");
+    }
+
+    #[test]
+    fn dataflow_switching_saves_depthwise() {
+        let hw_fused = HwConfig::lego_256();
+        let mut hw_icoc = HwConfig::lego_256();
+        hw_icoc.dataflows = vec![SpatialMapping::GemmMN, SpatialMapping::ConvIcOc];
+        let dw = lego_workloads::Layer::new(
+            "dw",
+            LayerKind::DwConv { n: 1, c: 144, oh: 56, ow: 56, kh: 3, kw: 3, stride: 1 },
+        );
+        let fused = best_mapping(&dw, &hw_fused, &tech());
+        let icoc = best_mapping(&dw, &hw_icoc, &tech());
+        assert!(
+            icoc.cycles > 3 * fused.cycles,
+            "OHOW must rescue depthwise: {} vs {}",
+            icoc.cycles,
+            fused.cycles
+        );
+        assert_eq!(fused.mapping, SpatialMapping::ConvOhOw);
+    }
+
+    #[test]
+    fn model_aggregate_is_consistent() {
+        let hw = HwConfig::lego_256();
+        let m = zoo::resnet50();
+        let perf = simulate_model(&m, &hw, &tech());
+        assert!(perf.gops > 50.0, "{perf:?}");
+        assert!(perf.gops_per_watt > 100.0, "{perf:?}");
+        assert!(perf.utilization > 0.3, "{perf:?}");
+        assert!(perf.ppu_fraction < 0.25, "{perf:?}");
+    }
+
+    #[test]
+    fn ppu_overhead_is_small_across_models() {
+        let hw = HwConfig::lego_256();
+        for m in zoo::figure11_models() {
+            let perf = simulate_model(&m, &hw, &tech());
+            assert!(
+                perf.ppu_fraction < 0.30,
+                "{}: PPU fraction {}",
+                m.name,
+                perf.ppu_fraction
+            );
+        }
+    }
+
+    #[test]
+    fn instruction_overhead_below_one_percent() {
+        let hw = HwConfig::lego_256();
+        let perf = simulate_model(&zoo::resnet50(), &hw, &tech());
+        assert!(
+            perf.instr_gbps < 0.01 * hw.dram_gbps,
+            "instr {} GB/s",
+            perf.instr_gbps
+        );
+    }
+
+    #[test]
+    fn scaling_up_helps_compute_bound_models() {
+        let small = HwConfig::lego_256();
+        let mut big = HwConfig::lego_icoc_1k();
+        big.dataflows = small.dataflows.clone();
+        let m = zoo::ddpm();
+        let ps = simulate_model(&m, &small, &tech());
+        let pb = simulate_model(&m, &big, &tech());
+        assert!(pb.gops > 2.0 * ps.gops, "{} vs {}", pb.gops, ps.gops);
+    }
+}

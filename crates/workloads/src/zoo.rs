@@ -1,0 +1,421 @@
+//! Concrete model definitions (batch 1, image sizes per paper §VI-A:
+//! 224×224×3 for vision models, 384×384×3 for EfficientNetV2, BERT sequence
+//! length 16, GPT-2/LLaMA prompt length 1000 with one generated token).
+//!
+//! Shapes are the standard published configurations; grouped convolutions
+//! are folded into their dense-equivalent MAC counts.
+
+use crate::{Layer, LayerKind, Model, Nonlinear};
+
+fn conv(name: &str, ic: i64, oc: i64, oh: i64, kh: i64, stride: i64) -> Layer {
+    let l = Layer::new(
+        name,
+        LayerKind::Conv { n: 1, ic, oc, oh, ow: oh, kh, kw: kh, stride },
+    );
+    let outs = l.output_elems();
+    l.with_nonlinear(Nonlinear::Activation, outs)
+        .with_nonlinear(Nonlinear::Normalization, outs)
+}
+
+fn dwconv(name: &str, c: i64, oh: i64, kh: i64, stride: i64) -> Layer {
+    let l = Layer::new(
+        name,
+        LayerKind::DwConv { n: 1, c, oh, ow: oh, kh, kw: kh, stride },
+    );
+    let outs = l.output_elems();
+    l.with_nonlinear(Nonlinear::Activation, outs)
+        .with_nonlinear(Nonlinear::Normalization, outs)
+}
+
+fn fc(name: &str, n: i64, k: i64) -> Layer {
+    Layer::new(name, LayerKind::Gemm { m: 1, n, k })
+}
+
+/// LeNet-5 on 28×28 MNIST (SODA comparison, Table VII).
+pub fn lenet() -> Model {
+    Model {
+        name: "LeNet".into(),
+        layers: vec![
+            conv("conv1", 1, 6, 24, 5, 1),
+            conv("conv2", 6, 16, 8, 5, 1),
+            fc("fc1", 120, 400),
+            fc("fc2", 84, 120),
+            fc("fc3", 10, 84),
+        ],
+    }
+}
+
+/// AlexNet at 224×224 (groups folded dense).
+pub fn alexnet() -> Model {
+    Model {
+        name: "AlexNet".into(),
+        layers: vec![
+            conv("conv1", 3, 96, 55, 11, 4),
+            conv("conv2", 96, 256, 27, 5, 1),
+            conv("conv3", 256, 384, 13, 3, 1),
+            conv("conv4", 384, 384, 13, 3, 1),
+            conv("conv5", 384, 256, 13, 3, 1),
+            fc("fc6", 4096, 9216),
+            fc("fc7", 4096, 4096),
+            fc("fc8", 1000, 4096),
+        ],
+    }
+}
+
+/// MobileNetV2 at 224×224: the depthwise-separable blocks that dominate
+/// the paper's Figure 11 speedup.
+pub fn mobilenet_v2() -> Model {
+    let mut layers = vec![conv("stem", 3, 32, 112, 3, 2)];
+    // (expansion t, channels c, repeats n, first stride s, input size)
+    let blocks: [(i64, i64, i64, i64, i64); 7] = [
+        (1, 16, 1, 1, 112),
+        (6, 24, 2, 2, 112),
+        (6, 32, 3, 2, 56),
+        (6, 64, 4, 2, 28),
+        (6, 96, 3, 1, 14),
+        (6, 160, 3, 2, 14),
+        (6, 320, 1, 1, 7),
+    ];
+    let mut cin = 32i64;
+    for (bi, (t, c, n, s, insize)) in blocks.into_iter().enumerate() {
+        for rep in 0..n {
+            let stride = if rep == 0 { s } else { 1 };
+            let out = if rep == 0 { insize / s } else { insize / s };
+            let hidden = cin * t;
+            if t != 1 {
+                layers.push(conv(&format!("b{bi}.{rep}.expand"), cin, hidden, out * stride / stride, 1, 1));
+            }
+            layers.push(dwconv(&format!("b{bi}.{rep}.dw"), hidden, out, 3, stride));
+            layers.push(conv(&format!("b{bi}.{rep}.project"), hidden, c, out, 1, 1));
+            cin = c;
+        }
+    }
+    layers.push(conv("head", 320, 1280, 7, 1, 1));
+    layers.push(fc("fc", 1000, 1280));
+    Model { name: "MobileNetV2".into(), layers }
+}
+
+/// ResNet50 at 224×224.
+pub fn resnet50() -> Model {
+    let mut layers = vec![conv("conv1", 3, 64, 112, 7, 2)];
+    let stages: [(i64, i64, i64, i64); 4] = [
+        (64, 256, 3, 56),
+        (128, 512, 4, 28),
+        (256, 1024, 6, 14),
+        (512, 2048, 3, 7),
+    ];
+    let mut cin = 64i64;
+    for (si, (mid, out, blocks, size)) in stages.into_iter().enumerate() {
+        for b in 0..blocks {
+            let stride = if b == 0 && si > 0 { 2 } else { 1 };
+            layers.push(conv(&format!("s{si}.{b}.c1"), cin, mid, size, 1, stride));
+            layers.push(conv(&format!("s{si}.{b}.c2"), mid, mid, size, 3, 1));
+            layers.push(conv(&format!("s{si}.{b}.c3"), mid, out, size, 1, 1));
+            if b == 0 {
+                layers.push(conv(&format!("s{si}.{b}.down"), cin, out, size, 1, stride));
+            }
+            cin = out;
+        }
+    }
+    layers.push(fc("fc", 1000, 2048));
+    Model { name: "ResNet50".into(), layers }
+}
+
+/// EfficientNetV2-S at 384×384 (fused-MBConv early, MBConv late).
+pub fn efficientnet_v2() -> Model {
+    let mut layers = vec![conv("stem", 3, 24, 192, 3, 2)];
+    // Fused-MBConv stages (plain conv3x3 expansion).
+    for i in 0..2 {
+        layers.push(conv(&format!("f1.{i}"), 24, 24, 192, 3, 1));
+    }
+    for i in 0..4 {
+        let s = if i == 0 { 2 } else { 1 };
+        layers.push(conv(&format!("f2.{i}.a"), if i == 0 { 24 } else { 48 }, 192, 96, 3, s));
+        layers.push(conv(&format!("f2.{i}.b"), 192, 48, 96, 1, 1));
+    }
+    for i in 0..4 {
+        let s = if i == 0 { 2 } else { 1 };
+        layers.push(conv(&format!("f3.{i}.a"), if i == 0 { 48 } else { 64 }, 256, 48, 3, s));
+        layers.push(conv(&format!("f3.{i}.b"), 256, 64, 48, 1, 1));
+    }
+    // MBConv stages with depthwise.
+    let mb: [(i64, i64, i64, i64, i64); 3] = [
+        (64, 128, 6, 24, 2),
+        (128, 160, 9, 24, 1),
+        (160, 256, 15, 12, 2),
+    ];
+    for (si, (cin0, cout, n, size, s0)) in mb.into_iter().enumerate() {
+        let mut cin = cin0;
+        for i in 0..n {
+            let s = if i == 0 { s0 } else { 1 };
+            let hidden = cin * 4;
+            layers.push(conv(&format!("mb{si}.{i}.expand"), cin, hidden, size * s, 1, 1));
+            layers.push(dwconv(&format!("mb{si}.{i}.dw"), hidden, size, 3, s));
+            layers.push(conv(&format!("mb{si}.{i}.project"), hidden, cout, size, 1, 1));
+            cin = cout;
+        }
+    }
+    layers.push(conv("head", 256, 1280, 12, 1, 1));
+    layers.push(fc("fc", 1000, 1280));
+    Model { name: "EfficientNetV2".into(), layers }
+}
+
+fn transformer_block(name: &str, seq: i64, d: i64, heads: i64, ffn: i64, kv: i64) -> Vec<Layer> {
+    let dk = d / heads;
+    vec![
+        Layer::new(format!("{name}.qkv"), LayerKind::Gemm { m: seq, n: 3 * d, k: d })
+            .with_nonlinear(Nonlinear::Normalization, seq * d),
+        Layer::new(
+            format!("{name}.attn"),
+            LayerKind::Attention { heads, seq_q: seq, seq_kv: kv, dk, dv: dk },
+        )
+        .with_nonlinear(Nonlinear::Softmax, heads * seq * kv),
+        Layer::new(format!("{name}.proj"), LayerKind::Gemm { m: seq, n: d, k: d }),
+        Layer::new(format!("{name}.ffn1"), LayerKind::Gemm { m: seq, n: ffn, k: d })
+            .with_nonlinear(Nonlinear::Activation, seq * ffn)
+            .with_nonlinear(Nonlinear::Normalization, seq * d),
+        Layer::new(format!("{name}.ffn2"), LayerKind::Gemm { m: seq, n: d, k: ffn }),
+    ]
+}
+
+/// BERT-base with sequence length 16 (paper §VI-A).
+pub fn bert_base() -> Model {
+    let mut layers = Vec::new();
+    for b in 0..12 {
+        layers.extend(transformer_block(&format!("l{b}"), 16, 768, 12, 3072, 16));
+    }
+    Model { name: "BERT".into(), layers }
+}
+
+/// GPT-2 decoding one token with a 1000-token prompt in the KV cache.
+pub fn gpt2_decode() -> Model {
+    let mut layers = Vec::new();
+    for b in 0..12 {
+        layers.extend(transformer_block(&format!("l{b}"), 1, 768, 12, 3072, 1001));
+    }
+    layers.push(fc("lm_head", 50257, 768));
+    Model { name: "GPT2".into(), layers }
+}
+
+/// CoAtNet-0 at 224×224: convolution stages followed by attention stages.
+pub fn coatnet() -> Model {
+    let mut layers = vec![
+        conv("stem.0", 3, 64, 112, 3, 2),
+        conv("stem.1", 64, 64, 112, 3, 1),
+    ];
+    // MBConv stages.
+    let mut cin = 64i64;
+    for (si, (c, n, size)) in [(96i64, 2i64, 56i64), (192, 3, 28)].into_iter().enumerate() {
+        for i in 0..n {
+            let s = if i == 0 { 2 } else { 1 };
+            let hidden = cin * 4;
+            layers.push(conv(&format!("c{si}.{i}.expand"), cin, hidden, size * s, 1, 1));
+            layers.push(dwconv(&format!("c{si}.{i}.dw"), hidden, size, 3, s));
+            layers.push(conv(&format!("c{si}.{i}.project"), hidden, c, size, 1, 1));
+            cin = c;
+        }
+    }
+    // Transformer stages (relative attention ≈ standard attention cost).
+    for (si, (d, n, size)) in [(384i64, 5i64, 14i64), (768, 2, 7)].into_iter().enumerate() {
+        let seq = size * size;
+        layers.push(conv(&format!("t{si}.proj_in"), cin, d, size, 1, if si == 0 { 2 } else { 2 }));
+        for i in 0..n {
+            layers.extend(transformer_block(&format!("t{si}.{i}"), seq, d, d / 32, d * 4, seq));
+            let _ = i;
+        }
+        cin = d;
+    }
+    layers.push(fc("fc", 1000, 768));
+    Model { name: "CoAtNet".into(), layers }
+}
+
+/// DDPM denoising UNet (CIFAR-scale 32×32, channel multiplier 128).
+pub fn ddpm() -> Model {
+    let c = 128i64;
+    let mut layers = Vec::new();
+    layers.push(conv("in", 3, c, 32, 3, 1));
+    for (si, (mult, size)) in [(1i64, 32i64), (2, 16), (2, 8), (2, 4)].into_iter().enumerate() {
+        let ch = c * mult;
+        layers.push(conv(&format!("down{si}.a"), ch, ch, size, 3, 1).repeat(2));
+        layers.push(conv(&format!("down{si}.b"), ch, ch, size, 3, 1).repeat(2));
+        if size == 16 {
+            let seq = size * size;
+            layers.push(
+                Layer::new(
+                    format!("down{si}.attn"),
+                    LayerKind::Attention { heads: 8, seq_q: seq, seq_kv: seq, dk: ch / 8, dv: ch / 8 },
+                )
+                .with_nonlinear(Nonlinear::Softmax, 8 * seq * seq),
+            );
+        }
+    }
+    for (si, (mult, size)) in [(2i64, 4i64), (2, 8), (2, 16), (1, 32)].into_iter().enumerate() {
+        let ch = c * mult;
+        layers.push(conv(&format!("up{si}.a"), ch * 2, ch, size, 3, 1).repeat(3));
+    }
+    layers.push(conv("out", c, 3, 32, 3, 1));
+    Model { name: "DDPM".into(), layers }
+}
+
+/// Stable Diffusion UNet, one denoising step on a 64×64 latent.
+pub fn stable_diffusion() -> Model {
+    let c = 320i64;
+    let mut layers = Vec::new();
+    layers.push(conv("in", 4, c, 64, 3, 1));
+    let stages: [(i64, i64, bool); 4] = [(1, 64, true), (2, 32, true), (4, 16, true), (4, 8, false)];
+    for (si, (mult, size, attn)) in stages.into_iter().enumerate() {
+        let ch = c * mult;
+        layers.push(conv(&format!("down{si}.res"), ch, ch, size, 3, 1).repeat(2));
+        if attn {
+            let seq = size * size;
+            let heads = 8;
+            layers.push(
+                Layer::new(
+                    format!("down{si}.attn"),
+                    LayerKind::Attention { heads, seq_q: seq, seq_kv: seq, dk: ch / heads, dv: ch / heads },
+                )
+                .with_nonlinear(Nonlinear::Softmax, heads * seq * seq),
+            );
+            layers.push(Layer::new(
+                format!("down{si}.xattn_proj"),
+                LayerKind::Gemm { m: seq, n: ch, k: ch },
+            ).repeat(2));
+        }
+    }
+    for (si, (mult, size, _)) in stages.into_iter().rev().enumerate() {
+        let ch = c * mult;
+        layers.push(conv(&format!("up{si}.res"), ch * 2, ch, size, 3, 1).repeat(3));
+    }
+    layers.push(conv("out", c, 4, 64, 3, 1));
+    Model { name: "StableDiffusion".into(), layers }
+}
+
+/// LLaMA-7B decoding one token (32 layers, d=4096, KV cache of 1000).
+pub fn llama7b_decode(batch: i64) -> Model {
+    let d = 4096i64;
+    let heads = 32i64;
+    let ffn = 11008i64;
+    let kv = 1000i64;
+    let mut layers = Vec::new();
+    for b in 0..32 {
+        let dk = d / heads;
+        layers.push(
+            Layer::new(format!("l{b}.qkv"), LayerKind::Gemm { m: batch, n: 3 * d, k: d })
+                .with_nonlinear(Nonlinear::Normalization, batch * d),
+        );
+        layers.push(
+            Layer::new(
+                format!("l{b}.attn"),
+                LayerKind::Attention { heads: heads * batch, seq_q: 1, seq_kv: kv, dk, dv: dk },
+            )
+            .with_nonlinear(Nonlinear::Softmax, batch * heads * kv),
+        );
+        layers.push(Layer::new(format!("l{b}.proj"), LayerKind::Gemm { m: batch, n: d, k: d }));
+        layers.push(
+            Layer::new(format!("l{b}.gate"), LayerKind::Gemm { m: batch, n: ffn, k: d })
+                .with_nonlinear(Nonlinear::Activation, batch * ffn),
+        );
+        layers.push(Layer::new(format!("l{b}.up"), LayerKind::Gemm { m: batch, n: ffn, k: d }));
+        layers.push(Layer::new(format!("l{b}.down"), LayerKind::Gemm { m: batch, n: d, k: ffn }));
+    }
+    Model { name: format!("LLaMA-7B bs={batch}"), layers }
+}
+
+/// The seven models of Figure 11, in the paper's order.
+pub fn figure11_models() -> Vec<Model> {
+    vec![
+        alexnet(),
+        mobilenet_v2(),
+        resnet50(),
+        efficientnet_v2(),
+        bert_base(),
+        gpt2_decode(),
+        coatnet(),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mac_counts_are_in_published_ballparks() {
+        // Published MAC counts (±40% tolerance — folding groups and heads
+        // shifts the totals slightly).
+        let cases: [(Model, f64); 4] = [
+            (alexnet(), 0.71e9),
+            (mobilenet_v2(), 0.30e9),
+            (resnet50(), 4.1e9),
+            (lenet(), 0.4e6),
+        ];
+        for (m, expect) in cases {
+            let macs = m.total_macs() as f64;
+            assert!(
+                macs > expect * 0.6 && macs < expect * 1.7,
+                "{}: {macs:.2e} vs published {expect:.2e}",
+                m.name
+            );
+        }
+    }
+
+    #[test]
+    fn decode_models_are_memory_bound_shapes() {
+        let g = gpt2_decode();
+        // GEMV-dominated: weight bytes ≫ activation bytes.
+        let weights = g.weight_bytes(1);
+        assert!(weights > 80_000_000, "GPT-2 ~124M params, got {weights}");
+        let l = llama7b_decode(1);
+        assert!(l.weight_bytes(1) > 6_000_000_000, "LLaMA-7B ~6.7G params");
+    }
+
+    #[test]
+    fn mobilenet_contains_depthwise() {
+        let m = mobilenet_v2();
+        assert!(m.layers.iter().any(|l| matches!(l.kind, LayerKind::DwConv { .. })));
+        // Depthwise MACs are a small share of totals but dominate runtime on
+        // channel-parallel hardware.
+        let dw: i64 = m
+            .layers
+            .iter()
+            .filter(|l| matches!(l.kind, LayerKind::DwConv { .. }))
+            .map(|l| l.macs() * l.count)
+            .sum();
+        assert!(dw > 0 && dw < m.total_macs() / 5);
+    }
+
+    #[test]
+    fn transformers_record_softmax_work() {
+        for m in [bert_base(), gpt2_decode(), coatnet()] {
+            assert!(
+                m.layers
+                    .iter()
+                    .any(|l| l.nonlinear.iter().any(|(k, _)| *k == Nonlinear::Softmax)),
+                "{} has no softmax",
+                m.name
+            );
+        }
+    }
+
+    #[test]
+    fn all_models_have_positive_ops() {
+        for m in [
+            alexnet(),
+            mobilenet_v2(),
+            resnet50(),
+            efficientnet_v2(),
+            bert_base(),
+            gpt2_decode(),
+            coatnet(),
+            lenet(),
+            ddpm(),
+            stable_diffusion(),
+            llama7b_decode(1),
+            llama7b_decode(32),
+        ] {
+            assert!(m.total_ops() > 0, "{}", m.name);
+            for l in &m.layers {
+                assert!(l.macs() > 0, "{}: layer {} empty", m.name, l.name);
+            }
+        }
+    }
+}

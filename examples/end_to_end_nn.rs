@@ -1,0 +1,49 @@
+//! End-to-end neural-network evaluation (paper Figure 11): map every layer
+//! of MobileNetV2 onto the Gemmini-comparable LEGO configuration, watch the
+//! mapper switch dataflows per layer, and compare against the Gemmini
+//! baseline.
+//!
+//! Run with: `cargo run --release --example end_to_end_nn`
+
+use lego::baselines::simulate_model_gemmini;
+use lego::mapper::{dataflow_histogram, map_model};
+use lego::model::TechModel;
+use lego::sim::HwConfig;
+use lego::workloads::zoo;
+
+fn main() {
+    let tech = TechModel::default();
+    let hw = HwConfig::lego_256();
+    let model = zoo::mobilenet_v2();
+
+    let mapping = map_model(&model, &hw, &tech);
+    println!(
+        "MobileNetV2 on LEGO-256: {:.0} GOP/s at {:.0} GOPS/W ({:.1}% utilization)",
+        mapping.perf.gops,
+        mapping.perf.gops_per_watt,
+        100.0 * mapping.perf.utilization
+    );
+    println!("per-layer dataflow choices: {:?}", dataflow_histogram(&mapping));
+
+    // Show a few interesting layers: depthwise picks OHOW, pointwise ICOC.
+    for l in mapping.layers.iter().filter(|l| l.name.contains("b3.0")) {
+        println!(
+            "  {:<18} -> {:<5} {:>9} cycles, util {:.2}",
+            l.name,
+            l.perf.mapping.name(),
+            l.perf.cycles,
+            l.perf.utilization
+        );
+    }
+
+    let gemmini = simulate_model_gemmini(&model, &tech);
+    println!(
+        "Gemmini baseline: {:.0} GOP/s at {:.0} GOPS/W",
+        gemmini.gops, gemmini.gops_per_watt
+    );
+    println!(
+        "LEGO speedup: {:.1}x, energy-efficiency gain: {:.1}x (paper MobileNetV2: ~12.9x / ~9.6x)",
+        mapping.perf.gops / gemmini.gops,
+        mapping.perf.gops_per_watt / gemmini.gops_per_watt
+    );
+}

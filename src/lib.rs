@@ -1,0 +1,58 @@
+//! # LEGO — Spatial Accelerator Generation and Optimization
+//!
+//! A complete Rust reproduction of *LEGO: Spatial Accelerator Generation
+//! and Optimization for Tensor Applications* (HPCA 2025). This facade crate
+//! re-exports the whole workspace:
+//!
+//! * [`linalg`] — integer linear algebra (HNF, nullspaces, affine maps);
+//! * [`graph`] — Chu-Liu/Edmonds arborescences, MSTs, union-find;
+//! * [`lp`] — simplex, min-cost flow, exact delay-matching, pin remapping;
+//! * [`ir`] — the relation-centric workload/dataflow representation (§III);
+//! * [`frontend`] — interconnect planning, fusion, memory banking (§IV);
+//! * [`backend`] — the primitive DAG and its optimization passes (§V);
+//! * [`rtl`] — Verilog emission and edge-accurate functional simulation;
+//! * [`model`] — 28 nm area/power/energy tables and a CACTI-style SRAM fit;
+//! * [`noc`] — butterfly and wormhole-mesh NoC models;
+//! * [`sim`] — the performance/energy simulator;
+//! * [`mapper`] — per-layer dataflow search;
+//! * [`workloads`] — the ten-model NN zoo of the paper's evaluation;
+//! * [`baselines`] — Gemmini / AutoSA / TensorLib / SODA / DSAGen models;
+//! * [`core`] — the [`Lego`](core::Lego) builder tying it all together.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use lego::core::Lego;
+//! use lego::ir::kernels::{self, dataflows};
+//!
+//! // Generate the 2×2 systolic GEMM array of the paper's Figure 3 and
+//! // verify it against the reference loop nest.
+//! let gemm = kernels::gemm(8, 4, 4);
+//! let design = Lego::new(gemm.clone())
+//!     .dataflow(dataflows::gemm_kj(&gemm, 2))
+//!     .generate()
+//!     .unwrap();
+//!
+//! use lego::ir::{tensor::reference_execute, TensorData};
+//! let x = TensorData::from_fn(&[8, 4], |i| i as i64 % 5);
+//! let w = TensorData::from_fn(&[4, 4], |i| i as i64 % 3);
+//! assert_eq!(
+//!     design.simulate(0, &[&x, &w]).output,
+//!     reference_execute(&gemm, &[&x, &w]),
+//! );
+//! ```
+
+pub use lego_backend as backend;
+pub use lego_baselines as baselines;
+pub use lego_core as core;
+pub use lego_frontend as frontend;
+pub use lego_graph as graph;
+pub use lego_ir as ir;
+pub use lego_linalg as linalg;
+pub use lego_lp as lp;
+pub use lego_mapper as mapper;
+pub use lego_model as model;
+pub use lego_noc as noc;
+pub use lego_rtl as rtl;
+pub use lego_sim as sim;
+pub use lego_workloads as workloads;

@@ -1,0 +1,120 @@
+//! Shape checks for the paper's headline claims: these assert *direction
+//! and rough magnitude*, not the authors' absolute testbed numbers
+//! (see EXPERIMENTS.md for the full side-by-side).
+
+use lego::baselines::{
+    per_fu_control_cost, shared_control_cost, simulate_model_gemmini,
+};
+use lego::ir::kernels::{self, dataflows};
+use lego::model::TechModel;
+use lego::sim::{perf::simulate_model, HwConfig};
+use lego::workloads::zoo;
+
+fn geomean(xs: &[f64]) -> f64 {
+    (xs.iter().map(|x| x.ln()).sum::<f64>() / xs.len() as f64).exp()
+}
+
+#[test]
+fn lego_beats_gemmini_by_2x_geomean() {
+    // Paper Figure 11: 3.2× average speedup, 2.4× energy savings.
+    let tech = TechModel::default();
+    let hw = HwConfig::lego_256();
+    let mut speedups = Vec::new();
+    let mut effs = Vec::new();
+    for m in zoo::figure11_models() {
+        let g = simulate_model_gemmini(&m, &tech);
+        let l = simulate_model(&m, &hw, &tech);
+        speedups.push(l.gops / g.gops);
+        effs.push(l.gops_per_watt / g.gops_per_watt);
+    }
+    let sp = geomean(&speedups);
+    let ef = geomean(&effs);
+    assert!(sp > 2.0, "geomean speedup {sp:.2} (paper 3.2x)");
+    assert!(ef > 1.5, "geomean efficiency {ef:.2} (paper 2.4x)");
+}
+
+#[test]
+fn ppu_overhead_within_paper_band() {
+    // Paper Figure 12b: 0.5%..7.2% per model; we allow a little slack.
+    let tech = TechModel::default();
+    let hw = HwConfig::lego_256();
+    for m in zoo::figure11_models() {
+        let p = simulate_model(&m, &hw, &tech);
+        assert!(
+            p.ppu_fraction < 0.10,
+            "{}: PPU fraction {:.3}",
+            m.name,
+            p.ppu_fraction
+        );
+    }
+}
+
+#[test]
+fn generative_models_match_table2_shape() {
+    // Paper Table II: DDPM > 80% utilization, LLaMA-7B bs=1 in the low
+    // single digits, batching recovers an order of magnitude.
+    let tech = TechModel::default();
+    let hw = HwConfig::lego_icoc_1k();
+    let ddpm = simulate_model(&zoo::ddpm(), &hw, &tech);
+    assert!(ddpm.utilization > 0.6, "DDPM util {:.2}", ddpm.utilization);
+    let sd = simulate_model(&zoo::stable_diffusion(), &hw, &tech);
+    assert!(sd.utilization > 0.5, "SD util {:.2}", sd.utilization);
+    let l1 = simulate_model(&zoo::llama7b_decode(1), &hw, &tech);
+    assert!(l1.utilization < 0.10, "LLaMA bs=1 util {:.3}", l1.utilization);
+    let l32 = simulate_model(&zoo::llama7b_decode(32), &hw, &tech);
+    assert!(
+        l32.gops > 5.0 * l1.gops,
+        "batching must pay: {} vs {}",
+        l32.gops,
+        l1.gops
+    );
+}
+
+#[test]
+fn backend_optimizations_never_hurt_and_help_fused_designs() {
+    // Paper Figures 13/14: savings concentrate on designs with reduction
+    // chains and fused dataflows.
+    use lego::backend::{lower, optimize, BackendConfig, OptimizeOptions};
+    use lego::frontend::{build_adg, FrontendConfig};
+    use lego::model::dag_cost;
+
+    let tech = TechModel::default();
+    let conv = kernels::conv2d(1, 8, 8, 16, 16, 3, 3, 1);
+    let adg = build_adg(
+        &conv,
+        &[dataflows::conv_icoc(&conv, 8)],
+        &FrontendConfig::default(),
+    )
+    .unwrap();
+    let mut base = lower(&adg, &BackendConfig::default());
+    optimize(&mut base, &OptimizeOptions::baseline());
+    let mut opt = lower(&adg, &BackendConfig::default());
+    optimize(&mut opt, &OptimizeOptions::default());
+    let cb = dag_cost(&base, &tech, 1.0);
+    let co = dag_cost(&opt, &tech, 1.0);
+    assert!(co.area_um2 < cb.area_um2, "ICOC design must shrink");
+    assert!(co.total_mw() <= cb.total_mw());
+}
+
+#[test]
+fn shared_control_is_several_times_lighter() {
+    // Paper Table VIII / §III-D: per-FU control costs multiples in FF/LUT.
+    let tech = TechModel::default();
+    let gemm = kernels::gemm(64, 64, 64);
+    let df = dataflows::gemm_ij(&gemm, 8);
+    let lego = shared_control_cost(&gemm, std::slice::from_ref(&df), &tech);
+    let autosa = per_fu_control_cost(&gemm, &[df], &tech);
+    assert!(autosa.fpga.ff > 3.0 * lego.fpga.ff);
+    assert!(autosa.fpga.lut > 3.0 * lego.fpga.lut);
+}
+
+#[test]
+fn instruction_overhead_is_negligible() {
+    // Paper §VI-B(e): instruction bandwidth < 1% of DRAM bandwidth.
+    let tech = TechModel::default();
+    let hw = HwConfig::lego_256();
+    for m in [zoo::resnet50(), zoo::bert_base()] {
+        let p = simulate_model(&m, &hw, &tech);
+        assert!(p.instr_gbps < 0.01 * hw.dram_gbps, "{}: {}", m.name, p.instr_gbps);
+    }
+}

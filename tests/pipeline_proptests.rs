@@ -1,0 +1,95 @@
+//! Property-based end-to-end tests: random workload shapes, tilings,
+//! parallelizations and control vectors must always generate designs that
+//! compute bit-exact results under every fused configuration.
+
+use lego::core::Lego;
+use lego::ir::kernels;
+use lego::ir::{tensor::reference_execute, DataflowBuilder, TensorData};
+use proptest::prelude::*;
+
+fn divisors_upto(n: i64, cap: i64) -> Vec<i64> {
+    (1..=cap.min(n)).filter(|d| n % d == 0).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn random_gemm_designs_are_correct(
+        mi in 1usize..3,
+        ni in 1usize..3,
+        ki in 1usize..3,
+        pi in 0usize..4,
+        pj in 0usize..4,
+        systolic in proptest::bool::ANY,
+    ) {
+        let dims = [4i64, 6, 8];
+        let (m, n, k) = (dims[mi], dims[ni], dims[ki]);
+        let g = kernels::gemm(m, n, k);
+        // Choose parallel factors among the divisors of the dims.
+        let pis = divisors_upto(m, 4);
+        let pjs = divisors_upto(n, 4);
+        let p_i = pis[pi % pis.len()];
+        let p_j = pjs[pj % pjs.len()];
+        prop_assume!(p_i * p_j > 1);
+        let c = if systolic { vec![1, 1] } else { vec![0, 0] };
+        let df = DataflowBuilder::new(&g)
+            .par("i", p_i)
+            .par("j", p_j)
+            .control(c)
+            .build("rand")
+            .unwrap();
+        let design = Lego::new(g.clone()).dataflow(df).generate().unwrap();
+        design.dag.check().unwrap();
+
+        let x = TensorData::from_fn(&[m, k], |i| (i as i64 % 11) - 5);
+        let w = TensorData::from_fn(&[k, n], |i| (i as i64 % 7) - 3);
+        let out = design.simulate(0, &[&x, &w]);
+        prop_assert_eq!(out.output, reference_execute(&g, &[&x, &w]));
+    }
+
+    #[test]
+    fn random_conv_designs_are_correct(
+        ic in 1i64..4,
+        oc in 1i64..4,
+        par_choice in 0usize..3,
+    ) {
+        let c = kernels::conv2d(1, ic, oc, 4, 4, 3, 3, 1);
+        let df = match par_choice {
+            0 => DataflowBuilder::new(&c).par("oh", 2).par("ow", 2).build("ohow"),
+            1 if ic % 1 == 0 => DataflowBuilder::new(&c)
+                .par("oh", 4)
+                .par("ow", 2)
+                .build("oh4ow2"),
+            _ => DataflowBuilder::new(&c).par("kh", 3).par("oh", 2).build("khoh"),
+        }
+        .unwrap();
+        let design = Lego::new(c.clone()).dataflow(df).generate().unwrap();
+        let x = TensorData::from_fn(&c.tensor_shape("X"), |i| (i as i64 % 5) - 2);
+        let w = TensorData::from_fn(&c.tensor_shape("W"), |i| (i as i64 % 3) - 1);
+        let out = design.simulate(0, &[&x, &w]);
+        prop_assert_eq!(out.output, reference_execute(&c, &[&x, &w]));
+    }
+
+    #[test]
+    fn random_loop_orders_preserve_correctness(
+        order in proptest::sample::select(vec![
+            ["i", "j", "k"], ["i", "k", "j"], ["j", "i", "k"],
+            ["j", "k", "i"], ["k", "i", "j"], ["k", "j", "i"],
+        ]),
+    ) {
+        // The same spatial layout with every temporal loop order.
+        let g = kernels::gemm(4, 4, 4);
+        let mut b = DataflowBuilder::new(&g).par("i", 2).par("j", 2);
+        for d in order {
+            b = b.seq(d, if d == "i" || d == "j" { 2 } else { 4 });
+        }
+        let df = b.build("perm").unwrap();
+        prop_assume!(df.verify_bijective(&g));
+        let design = Lego::new(g.clone()).dataflow(df).generate().unwrap();
+        let x = TensorData::from_fn(&[4, 4], |i| i as i64 - 8);
+        let w = TensorData::from_fn(&[4, 4], |i| 2 * (i as i64 % 4) - 3);
+        let out = design.simulate(0, &[&x, &w]);
+        prop_assert_eq!(out.output, reference_execute(&g, &[&x, &w]));
+    }
+}
