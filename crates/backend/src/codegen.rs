@@ -78,9 +78,18 @@ pub fn lower(adg: &Adg, config: &BackendConfig) -> Dag {
                     config.addr_width,
                     format!("ag_{}_fu{fu}", plan.tensor),
                 );
-                dag.add_edge(ctr, ag, 0, config.addr_width * max_levels as u32, all.clone(), 0);
+                dag.add_edge(
+                    ctr,
+                    ag,
+                    0,
+                    config.addr_width * max_levels as u32,
+                    all.clone(),
+                    0,
+                );
                 let hs = dag.add_node(
-                    Prim::Fifo { depth: vec![Some(2); n_df] },
+                    Prim::Fifo {
+                        depth: vec![Some(2); n_df],
+                    },
                     Some(fu),
                     config.addr_width,
                     format!("hs_{}_fu{fu}", plan.tensor),
@@ -103,7 +112,14 @@ pub fn lower(adg: &Adg, config: &BackendConfig) -> Dag {
                 config.addr_width,
                 format!("ag_{}", plan.tensor),
             );
-            dag.add_edge(ctr, ag, 0, config.addr_width * max_levels as u32, all.clone(), 0);
+            dag.add_edge(
+                ctr,
+                ag,
+                0,
+                config.addr_width * max_levels as u32,
+                all.clone(),
+                0,
+            );
             let mut tap = ag;
             if systolic {
                 // One forwarding register per FU hop; ports tap the chain at
@@ -141,23 +157,23 @@ pub fn lower(adg: &Adg, config: &BackendConfig) -> Dag {
     // ------------------------------------------------------------------
     // Compute per FU.
     // ------------------------------------------------------------------
-    let inputs: Vec<&str> = adg
-        .workload
-        .inputs()
-        .map(|a| a.tensor.as_str())
-        .collect();
+    let inputs: Vec<&str> = adg.workload.inputs().map(|a| a.tensor.as_str()).collect();
     let mut product: Vec<NodeId> = Vec::with_capacity(adg.num_fus);
     for fu in 0..adg.num_fus {
         let operand = |_dag: &mut Dag, name: &str| -> NodeId {
-            *pin.get(&(name.to_string(), fu)).unwrap_or_else(|| {
-                panic!("operand {name} undelivered at FU {fu}")
-            })
+            *pin.get(&(name.to_string(), fu))
+                .unwrap_or_else(|| panic!("operand {name} undelivered at FU {fu}"))
         };
         let out = match adg.workload.op {
             FuOp::MulAcc => {
                 let a = operand(&mut dag, inputs[0]);
                 let b = operand(&mut dag, inputs[1]);
-                let m = dag.add_node(Prim::Mul, Some(fu), config.input_width * 2, format!("mul_fu{fu}"));
+                let m = dag.add_node(
+                    Prim::Mul,
+                    Some(fu),
+                    config.input_width * 2,
+                    format!("mul_fu{fu}"),
+                );
                 dag.add_edge(a, m, 0, config.input_width, all.clone(), 0);
                 dag.add_edge(b, m, 1, config.input_width, all.clone(), 0);
                 m
@@ -166,10 +182,20 @@ pub fn lower(adg: &Adg, config: &BackendConfig) -> Dag {
                 let a = operand(&mut dag, inputs[0]);
                 let b = operand(&mut dag, inputs[1]);
                 let c = operand(&mut dag, inputs[2]);
-                let m1 = dag.add_node(Prim::Mul, Some(fu), config.input_width * 2, format!("mul1_fu{fu}"));
+                let m1 = dag.add_node(
+                    Prim::Mul,
+                    Some(fu),
+                    config.input_width * 2,
+                    format!("mul1_fu{fu}"),
+                );
                 dag.add_edge(a, m1, 0, config.input_width, all.clone(), 0);
                 dag.add_edge(b, m1, 1, config.input_width, all.clone(), 0);
-                let m2 = dag.add_node(Prim::Mul, Some(fu), config.input_width * 3, format!("mul2_fu{fu}"));
+                let m2 = dag.add_node(
+                    Prim::Mul,
+                    Some(fu),
+                    config.input_width * 3,
+                    format!("mul2_fu{fu}"),
+                );
                 dag.add_edge(m1, m2, 0, config.input_width * 2, all.clone(), 0);
                 dag.add_edge(c, m2, 1, config.input_width, all.clone(), 0);
                 m2
@@ -178,17 +204,32 @@ pub fn lower(adg: &Adg, config: &BackendConfig) -> Dag {
                 let a = operand(&mut dag, inputs[0]);
                 let b = operand(&mut dag, inputs[1]);
                 let c = operand(&mut dag, inputs[2]);
-                let m = dag.add_node(Prim::Mul, Some(fu), config.input_width * 2, format!("mul_fu{fu}"));
+                let m = dag.add_node(
+                    Prim::Mul,
+                    Some(fu),
+                    config.input_width * 2,
+                    format!("mul_fu{fu}"),
+                );
                 dag.add_edge(a, m, 0, config.input_width, all.clone(), 0);
                 dag.add_edge(b, m, 1, config.input_width, all.clone(), 0);
-                let sh = dag.add_node(Prim::Shift, Some(fu), config.acc_width, format!("shift_fu{fu}"));
+                let sh = dag.add_node(
+                    Prim::Shift,
+                    Some(fu),
+                    config.acc_width,
+                    format!("shift_fu{fu}"),
+                );
                 dag.add_edge(m, sh, 0, config.input_width * 2, all.clone(), 0);
                 dag.add_edge(c, sh, 1, config.input_width, all.clone(), 0);
                 sh
             }
             FuOp::MaxAcc => {
                 let a = operand(&mut dag, inputs[0]);
-                let mx = dag.add_node(Prim::Max, Some(fu), config.input_width, format!("max_fu{fu}"));
+                let mx = dag.add_node(
+                    Prim::Max,
+                    Some(fu),
+                    config.input_width,
+                    format!("max_fu{fu}"),
+                );
                 dag.add_edge(a, mx, 0, config.input_width, all.clone(), 0);
                 mx
             }
@@ -229,7 +270,9 @@ fn lower_input_delivery(
 
     for dn in &plan.data_nodes {
         let port = dag.add_node(
-            Prim::ReadPort { tensor: tensor.clone() },
+            Prim::ReadPort {
+                tensor: tensor.clone(),
+            },
             Some(dn.fu),
             config.input_width,
             format!("rd_{tensor}_fu{}", dn.fu),
@@ -246,8 +289,7 @@ fn lower_input_delivery(
     // Deliver along edges in BFS order from data nodes so upstream pins
     // exist before downstream consumers.
     let mut resolved: HashMap<usize, NodeId> = HashMap::new();
-    let mut pending: Vec<&lego_frontend::FuEdge> =
-        adg.edges_for(&tensor).collect();
+    let mut pending: Vec<&lego_frontend::FuEdge> = adg.edges_for(&tensor).collect();
     let mut queue: VecDeque<usize> = drivers.keys().copied().collect();
     let mut guard = 0usize;
     while !queue.is_empty() || !pending.is_empty() {
@@ -294,7 +336,9 @@ fn lower_input_delivery(
                 let max_depth = e.max_depth();
                 let drv = if max_depth > 0 {
                     let fifo = dag.add_node(
-                        Prim::Fifo { depth: e.depth_per_df.clone() },
+                        Prim::Fifo {
+                            depth: e.depth_per_df.clone(),
+                        },
                         Some(e.to),
                         config.input_width,
                         format!("fifo_{tensor}_{}to{}", e.from, e.to),
@@ -345,7 +389,10 @@ fn lower_output(
     let mut incoming: BTreeMap<usize, Vec<(usize, Vec<bool>, i64)>> = BTreeMap::new();
     for e in adg.edges_for(&tensor) {
         let act: Vec<bool> = (0..n_df).map(|k| e.active_in(k)).collect();
-        incoming.entry(e.to).or_default().push((e.from, act, e.max_depth()));
+        incoming
+            .entry(e.to)
+            .or_default()
+            .push((e.from, act, e.max_depth()));
     }
 
     // The accumulated output of each FU: local product + incoming partials,
@@ -394,7 +441,9 @@ fn lower_output(
                         .find(|e| e.from == *from && e.to == fu)
                         .expect("edge exists");
                     let fifo = dag.add_node(
-                        Prim::Fifo { depth: e.depth_per_df.clone() },
+                        Prim::Fifo {
+                            depth: e.depth_per_df.clone(),
+                        },
                         Some(fu),
                         config.acc_width,
                         format!("fifo_{tensor}_{from}to{fu}"),
@@ -428,7 +477,9 @@ fn lower_output(
 
     for dn in &plan.data_nodes {
         let port = dag.add_node(
-            Prim::WritePort { tensor: tensor.clone() },
+            Prim::WritePort {
+                tensor: tensor.clone(),
+            },
             Some(dn.fu),
             config.acc_width,
             format!("wr_{tensor}_fu{}", dn.fu),
@@ -456,11 +507,7 @@ mod tests {
     use lego_frontend::{build_adg, FrontendConfig};
     use lego_ir::kernels::{self, dataflows};
 
-    fn dag_for(
-        w: &lego_ir::Workload,
-        dfs: &[lego_ir::Dataflow],
-        cfg: &BackendConfig,
-    ) -> Dag {
+    fn dag_for(w: &lego_ir::Workload, dfs: &[lego_ir::Dataflow], cfg: &BackendConfig) -> Dag {
         let adg = build_adg(w, dfs, &FrontendConfig::default()).unwrap();
         let dag = lower(&adg, cfg);
         dag.check().expect("valid DAG");
@@ -470,7 +517,11 @@ mod tests {
     #[test]
     fn systolic_gemm_structure() {
         let gemm = kernels::gemm(8, 4, 4);
-        let dag = dag_for(&gemm, &[dataflows::gemm_kj(&gemm, 2)], &BackendConfig::default());
+        let dag = dag_for(
+            &gemm,
+            &[dataflows::gemm_kj(&gemm, 2)],
+            &BackendConfig::default(),
+        );
         // 4 FUs: 4 muls, 4+ adds (reduction chain), FIFOs on X forward and
         // Y forward edges, one shared counter, 3 address generators.
         assert_eq!(dag.count_nodes(|p| matches!(p, Prim::Mul)), 4);
@@ -485,7 +536,11 @@ mod tests {
     #[test]
     fn broadcast_gemm_has_no_ctrl_chain() {
         let gemm = kernels::gemm(4, 4, 4);
-        let dag = dag_for(&gemm, &[dataflows::gemm_ij(&gemm, 2)], &BackendConfig::default());
+        let dag = dag_for(
+            &gemm,
+            &[dataflows::gemm_ij(&gemm, 2)],
+            &BackendConfig::default(),
+        );
         assert_eq!(dag.count_nodes(|p| matches!(p, Prim::CtrlFwd)), 0);
         assert_eq!(dag.count_nodes(|p| matches!(p, Prim::Counter { .. })), 1);
     }
@@ -493,7 +548,10 @@ mod tests {
     #[test]
     fn per_fu_control_replicates_generators() {
         let gemm = kernels::gemm(4, 4, 4);
-        let cfg = BackendConfig { per_fu_control: true, ..Default::default() };
+        let cfg = BackendConfig {
+            per_fu_control: true,
+            ..Default::default()
+        };
         let dag = dag_for(&gemm, &[dataflows::gemm_ij(&gemm, 2)], &cfg);
         // AutoSA/TensorLib-style: counters and address generators per FU.
         assert_eq!(dag.count_nodes(|p| matches!(p, Prim::Counter { .. })), 4);
@@ -519,14 +577,22 @@ mod tests {
     #[test]
     fn mttkrp_uses_two_multipliers_per_fu() {
         let m = kernels::mttkrp(4, 4, 4, 4);
-        let dag = dag_for(&m, &[dataflows::mttkrp_ij(&m, 2)], &BackendConfig::default());
+        let dag = dag_for(
+            &m,
+            &[dataflows::mttkrp_ij(&m, 2)],
+            &BackendConfig::default(),
+        );
         assert_eq!(dag.count_nodes(|p| matches!(p, Prim::Mul)), 8);
     }
 
     #[test]
     fn every_fu_product_feeds_an_adder() {
         let conv = kernels::conv2d(1, 2, 2, 4, 4, 3, 3, 1);
-        let dag = dag_for(&conv, &[dataflows::conv_ohow(&conv, 2)], &BackendConfig::default());
+        let dag = dag_for(
+            &conv,
+            &[dataflows::conv_ohow(&conv, 2)],
+            &BackendConfig::default(),
+        );
         for (id, n) in dag.nodes.iter().enumerate() {
             if matches!(n.prim, Prim::Mul) {
                 assert!(
@@ -543,7 +609,11 @@ mod tests {
     #[test]
     fn stationary_output_sets_accumulate() {
         let gemm = kernels::gemm(4, 4, 4);
-        let dag = dag_for(&gemm, &[dataflows::gemm_ij(&gemm, 2)], &BackendConfig::default());
+        let dag = dag_for(
+            &gemm,
+            &[dataflows::gemm_ij(&gemm, 2)],
+            &BackendConfig::default(),
+        );
         assert!(dag
             .nodes
             .iter()

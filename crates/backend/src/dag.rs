@@ -75,9 +75,7 @@ impl Prim {
         match self {
             Prim::Mul => 1,
             Prim::Add | Prim::Max | Prim::Shift => 1,
-            Prim::Reducer { inputs } => {
-                (usize::BITS - inputs.max(&1).leading_zeros()) as i64
-            }
+            Prim::Reducer { inputs } => (usize::BITS - inputs.max(&1).leading_zeros()) as i64,
             Prim::Mux { .. } | Prim::Const { .. } | Prim::CtrlFwd => 0,
             Prim::Fifo { .. } => 0, // semantic depth handled on the edge
             Prim::Counter { .. } => 0,
@@ -149,7 +147,13 @@ impl Dag {
     }
 
     /// Adds a node and returns its id.
-    pub fn add_node(&mut self, prim: Prim, fu: Option<usize>, width: u32, label: impl Into<String>) -> NodeId {
+    pub fn add_node(
+        &mut self,
+        prim: Prim,
+        fu: Option<usize>,
+        width: u32,
+        label: impl Into<String>,
+    ) -> NodeId {
         self.nodes.push(DagNode {
             prim,
             fu,
@@ -165,8 +169,19 @@ impl Dag {
     /// # Panics
     ///
     /// Panics if an endpoint is out of range.
-    pub fn add_edge(&mut self, from: NodeId, to: NodeId, to_pin: usize, width: u32, active: Vec<bool>, sem_delay: i64) {
-        assert!(from < self.nodes.len() && to < self.nodes.len(), "edge endpoint out of range");
+    pub fn add_edge(
+        &mut self,
+        from: NodeId,
+        to: NodeId,
+        to_pin: usize,
+        width: u32,
+        active: Vec<bool>,
+        sem_delay: i64,
+    ) {
+        assert!(
+            from < self.nodes.len() && to < self.nodes.len(),
+            "edge endpoint out of range"
+        );
         assert_eq!(active.len(), self.n_dataflows, "activity vector arity");
         self.edges.push(DagEdge {
             from,

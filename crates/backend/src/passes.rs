@@ -140,7 +140,9 @@ pub fn infer_bitwidths(dag: &mut Dag) {
                     let grow = (usize::BITS - inputs.max(&1).leading_zeros()) as u32;
                     (max_in + grow).clamp(1, CLAMP)
                 }
-                Prim::Mux { .. } | Prim::Fifo { .. } => max_in.max(dag.nodes[id].width.min(CLAMP)).max(1),
+                Prim::Mux { .. } | Prim::Fifo { .. } => {
+                    max_in.max(dag.nodes[id].width.min(CLAMP)).max(1)
+                }
                 // Fixed-width primitives keep their declared width.
                 _ => dag.nodes[id].width,
             };
@@ -217,8 +219,7 @@ pub fn match_delays(dag: &mut Dag) -> Result<i64, DelayError> {
                 let (edges, ids) = build(dag, &|e: &DagEdge| e.active[k]);
                 let sol = solve_delay_matching(n, &edges)?;
                 for (i, &id) in ids.iter().enumerate() {
-                    dag.edges[id].extra_regs =
-                        dag.edges[id].extra_regs.max(sol.extra_latency[i]);
+                    dag.edges[id].extra_regs = dag.edges[id].extra_regs.max(sol.extra_latency[i]);
                 }
             }
             Ok(dag.pipeline_register_bits())
@@ -301,7 +302,9 @@ pub fn extract_reduction_trees(dag: &mut Dag) {
         let acc = chain.iter().any(|&id| dag.nodes[id].accumulate);
         let width = dag.nodes[tail].width;
         let reducer = dag.add_node(
-            Prim::Reducer { inputs: leaf_edges.len() },
+            Prim::Reducer {
+                inputs: leaf_edges.len(),
+            },
             fu,
             width,
             format!("red_{}", dag.nodes[tail].label),
@@ -338,7 +341,8 @@ fn compact(dag: &mut Dag, dead: &HashSet<NodeId>) {
         }
     }
     dag.nodes = nodes;
-    dag.edges.retain(|e| !dead.contains(&e.from) && !dead.contains(&e.to));
+    dag.edges
+        .retain(|e| !dead.contains(&e.from) && !dead.contains(&e.to));
     for e in dag.edges.iter_mut() {
         e.from = remap[e.from];
         e.to = remap[e.to];
@@ -404,7 +408,10 @@ pub fn rewire_broadcasts(dag: &mut Dag) {
             .filter(|(_, e)| e.from == s && e.sem_delay == 0)
             .map(|(i, _)| i)
             .collect();
-        let lat: Vec<i64> = branch_ids.iter().map(|&i| dag.edges[i].extra_regs).collect();
+        let lat: Vec<i64> = branch_ids
+            .iter()
+            .map(|&i| dag.edges[i].extra_regs)
+            .collect();
 
         // Rewiring graph: node 0 = source, 1.. = branches. Direct edges cost
         // the branch latency; forwarding edges between branches cost the
@@ -505,7 +512,9 @@ pub fn reuse_pins(dag: &mut Dag) {
         .collect();
 
     for r in reducers {
-        let Prim::Reducer { inputs } = dag.nodes[r].prim else { continue };
+        let Prim::Reducer { inputs } = dag.nodes[r].prim else {
+            continue;
+        };
         let n_df = dag.n_dataflows;
         // Liveness: pin is live in dataflow k if any active edge drives it.
         let mut live: Vec<Vec<usize>> = vec![Vec::new(); n_df];
@@ -557,7 +566,9 @@ pub fn reuse_pins(dag: &mut Dag) {
                 // Several original pins share a physical pin: mux them.
                 let width = dag.nodes[r].width;
                 let mux = dag.add_node(
-                    Prim::Mux { inputs: origs.len() },
+                    Prim::Mux {
+                        inputs: origs.len(),
+                    },
                     dag.nodes[r].fu,
                     width,
                     format!("pinmux_{}_{p}", dag.nodes[r].label),
@@ -682,14 +693,20 @@ mod tests {
         let srcs: Vec<NodeId> = (0..3)
             .map(|i| dag.add_node(Prim::Const { value: i }, None, 16, format!("s{i}")))
             .collect();
-        let live = [[true, true, false], [true, false, true], [false, true, true]];
+        let live = [
+            [true, true, false],
+            [true, false, true],
+            [false, true, true],
+        ];
         for (pin, &s) in srcs.iter().enumerate() {
             let act: Vec<bool> = (0..3).map(|k| live[k][pin]).collect();
             dag.add_edge(s, red, pin, 16, act, 0);
         }
         reuse_pins(&mut dag);
         dag.check().unwrap();
-        let Prim::Reducer { inputs } = dag.nodes[red].prim else { panic!() };
+        let Prim::Reducer { inputs } = dag.nodes[red].prim else {
+            panic!()
+        };
         assert_eq!(inputs, 2, "max two live pins");
         // At least one mux appears for the shared physical pin.
         assert!(dag.count_nodes(|p| matches!(p, Prim::Mux { .. })) >= 1);
@@ -702,7 +719,10 @@ mod tests {
         let kj = dataflows::gemm_kj(&gemm, 2);
         let mut dag = dag_for(&gemm, &[ij, kj]);
         apply_power_gating(&mut dag);
-        assert!(dag.edges.iter().any(|e| e.gated), "fused design has idle paths");
+        assert!(
+            dag.edges.iter().any(|e| e.gated),
+            "fused design has idle paths"
+        );
         // A single-dataflow design has nothing to gate.
         let gemm2 = kernels::gemm(4, 4, 4);
         let mut solo = dag_for(&gemm2, &[dataflows::gemm_ij(&gemm2, 2)]);
@@ -713,11 +733,17 @@ mod tests {
     #[test]
     fn full_pipeline_monotonically_improves() {
         for (w, dfs) in [
-            (kernels::gemm(16, 4, 4), vec![dataflows::par2(&kernels::gemm(16, 4, 4), "k", 4, "j", 4, "KJ").unwrap()]),
-            (kernels::gemm(8, 8, 8), vec![
-                dataflows::gemm_ij(&kernels::gemm(8, 8, 8), 2),
-                dataflows::gemm_kj(&kernels::gemm(8, 8, 8), 2),
-            ]),
+            (
+                kernels::gemm(16, 4, 4),
+                vec![dataflows::par2(&kernels::gemm(16, 4, 4), "k", 4, "j", 4, "KJ").unwrap()],
+            ),
+            (
+                kernels::gemm(8, 8, 8),
+                vec![
+                    dataflows::gemm_ij(&kernels::gemm(8, 8, 8), 2),
+                    dataflows::gemm_kj(&kernels::gemm(8, 8, 8), 2),
+                ],
+            ),
         ] {
             let mut dag = dag_for(&w, &dfs);
             let report = optimize(&mut dag, &OptimizeOptions::default());
@@ -757,7 +783,14 @@ mod tests {
     fn delay_matching_ignores_fifo_edges() {
         let mut dag = Dag::new(1);
         let a = dag.add_node(Prim::Const { value: 0 }, None, 8, "a");
-        let f = dag.add_node(Prim::Fifo { depth: vec![Some(5)] }, None, 8, "f");
+        let f = dag.add_node(
+            Prim::Fifo {
+                depth: vec![Some(5)],
+            },
+            None,
+            8,
+            "f",
+        );
         let b = dag.add_node(Prim::Add, None, 8, "b");
         dag.add_edge(a, f, 0, 8, vec![true], 5);
         dag.add_edge(f, b, 0, 8, vec![true], 0);

@@ -34,10 +34,7 @@ pub fn gemmini_hw() -> HwConfig {
 const SCHEDULING_OVERHEAD: f64 = 1.22;
 
 /// Simulates one layer on the Gemmini baseline.
-pub fn simulate_layer_gemmini(
-    layer: &lego_workloads::Layer,
-    tech: &TechModel,
-) -> LayerPerf {
+pub fn simulate_layer_gemmini(layer: &lego_workloads::Layer, tech: &TechModel) -> LayerPerf {
     let hw = gemmini_hw();
     // Host handles non-tensor work; strip it for the kernel-only count.
     let mut kernel_only = layer.clone();
@@ -50,11 +47,30 @@ pub fn simulate_layer_gemmini(
     // GEMMs, each paying the 16-deep fill/drain and mvin/mvout latency.
     use lego_workloads::LayerKind;
     let (extra_bytes, instances) = match layer.kind {
-        LayerKind::Conv { n, ic, oh, ow, kh, kw, .. } => {
+        LayerKind::Conv {
+            n,
+            ic,
+            oh,
+            ow,
+            kh,
+            kw,
+            ..
+        } => {
             let im2col = n * oh * ow * ic * kh * kw;
-            (2 * (im2col - layer.input_elems().min(im2col)), n * div_ceil(oh * ow, 256))
+            (
+                2 * (im2col - layer.input_elems().min(im2col)),
+                n * div_ceil(oh * ow, 256),
+            )
         }
-        LayerKind::DwConv { n, c, oh, ow, kh, kw, .. } => {
+        LayerKind::DwConv {
+            n,
+            c,
+            oh,
+            ow,
+            kh,
+            kw,
+            ..
+        } => {
             let im2col = n * c * oh * ow * kh * kw;
             (2 * im2col, n * c * div_ceil(oh * ow, 256))
         }
@@ -67,9 +83,8 @@ pub fn simulate_layer_gemmini(
     let im2col_cycles = (extra_bytes as f64 / bytes_per_cycle).ceil() as i64;
     let setup_cycles = instances * 48; // fill + drain + mvin per tile batch
 
-    perf.cycles = (perf.cycles as f64 * SCHEDULING_OVERHEAD).ceil() as i64
-        + im2col_cycles
-        + setup_cycles;
+    perf.cycles =
+        (perf.cycles as f64 * SCHEDULING_OVERHEAD).ceil() as i64 + im2col_cycles + setup_cycles;
     perf.dram_bytes += extra_bytes;
     perf.energy.dram_pj += extra_bytes as f64 * tech.dram_pj_per_byte;
     perf.energy.static_pj = hw.static_mw * perf.cycles as f64 / tech.freq_ghz;
@@ -139,6 +154,9 @@ mod tests {
         let l = simulate_model(&m, &HwConfig::lego_256(), &tech);
         assert!(g.gops < 80.0, "Gemmini GPT-2 {}", g.gops);
         assert!(l.gops < 80.0, "LEGO GPT-2 {}", l.gops);
-        assert!(l.gops < 3.5 * g.gops, "gap should be modest when DRAM-bound");
+        assert!(
+            l.gops < 3.5 * g.gops,
+            "gap should be modest when DRAM-bound"
+        );
     }
 }

@@ -15,8 +15,7 @@ pub fn shared_control_cost(
     dataflows: &[Dataflow],
     tech: &TechModel,
 ) -> DagCost {
-    let adg = build_adg(workload, dataflows, &FrontendConfig::default())
-        .expect("valid design");
+    let adg = build_adg(workload, dataflows, &FrontendConfig::default()).expect("valid design");
     let mut dag = lower(&adg, &BackendConfig::default());
     optimize(&mut dag, &OptimizeOptions::default());
     dag_cost(&dag, tech, 1.0)
@@ -31,8 +30,7 @@ pub fn per_fu_control_cost(
     dataflows: &[Dataflow],
     tech: &TechModel,
 ) -> DagCost {
-    let adg = build_adg(workload, dataflows, &FrontendConfig::default())
-        .expect("valid design");
+    let adg = build_adg(workload, dataflows, &FrontendConfig::default()).expect("valid design");
     let mut dag = lower(
         &adg,
         &BackendConfig {
@@ -60,8 +58,8 @@ pub fn dsagen_cost(
     let per_fu_area = 2.0 * 8.0 * 32.0 * tech.mux_area_um2_per_bit
         + 64.0 * tech.ff_area_um2
         + 4.0 * 32.0 * tech.ff_area_um2;
-    let per_fu_dyn = 2.0 * 8.0 * 32.0 * tech.add_energy_pj_per_bit * 0.2
-        + (64.0 + 128.0) * tech.ff_energy_pj;
+    let per_fu_dyn =
+        2.0 * 8.0 * 32.0 * tech.add_energy_pj_per_bit * 0.2 + (64.0 + 128.0) * tech.ff_energy_pj;
     cost.area_um2 += num_fus as f64 * per_fu_area;
     cost.dynamic_mw += num_fus as f64 * per_fu_dyn * tech.freq_ghz;
     cost.static_mw += num_fus as f64 * per_fu_area * tech.static_uw_per_um2 / 1000.0;
@@ -125,7 +123,10 @@ pub fn naive_fusion_adg(workload: &Workload, dataflows: &[Dataflow]) -> Adg {
                     per_dataflow: solos
                         .iter()
                         .map(|s| {
-                            s.tensor_plan(&plan.tensor).expect("same tensors").memory.per_dataflow[0]
+                            s.tensor_plan(&plan.tensor)
+                                .expect("same tensors")
+                                .memory
+                                .per_dataflow[0]
                                 .clone()
                         })
                         .collect(),
@@ -186,10 +187,7 @@ mod tests {
         let dsa = dsagen_cost(&gemm, &[df], 64, &t);
         let area_ratio = dsa.area_um2 / lego.area_um2;
         let power_ratio = dsa.total_mw() / lego.total_mw();
-        assert!(
-            (1.5..4.5).contains(&area_ratio),
-            "area ratio {area_ratio}"
-        );
+        assert!((1.5..4.5).contains(&area_ratio), "area ratio {area_ratio}");
         assert!(power_ratio > 1.3, "power ratio {power_ratio}");
     }
 

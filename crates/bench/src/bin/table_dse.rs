@@ -1,0 +1,57 @@
+//! Design-space exploration vs. the hand-picked baseline.
+//!
+//! For each model, the explorer's full portfolio (exhaustive grid, seeded
+//! random sampling, (μ+λ) evolutionary) searches the paper-bracketing
+//! space of array shape × buffer × bandwidth × dataflow set × tiling, and
+//! the best design by EDP is compared against the paper's hand-picked
+//! `lego_256` configuration. The run is deterministic: fixed seed, shared
+//! memoized cache, order-preserving parallel evaluation.
+
+use lego_bench::harness::{f, row, section};
+use lego_explorer::{default_strategies, explore, DesignSpace, Evaluator, ExploreOptions, Genome};
+use lego_model::TechModel;
+use lego_workloads::zoo;
+
+const SEED: u64 = 0xDE5E;
+
+fn main() {
+    let space = DesignSpace::paper();
+    let opts = ExploreOptions {
+        budget_per_strategy: space.size(),
+        ..Default::default()
+    };
+
+    section(&format!(
+        "DSE vs hand-picked lego_256 ({} configs; grid+random+ES, seed {SEED:#x})",
+        space.size()
+    ));
+    row(&[
+        "model".into(),
+        "base EDP".into(),
+        "best EDP".into(),
+        "EDP gain".into(),
+        "best config".into(),
+        "frontier".into(),
+        "cache hit%".into(),
+    ]);
+
+    for model in [zoo::mobilenet_v2(), zoo::resnet50(), zoo::bert_base()] {
+        let result = explore(&model, &space, &mut default_strategies(SEED), &opts);
+        let baseline =
+            Evaluator::new(&model, TechModel::default()).eval(&Genome::lego_256_baseline());
+        let best = result.best_by_edp().expect("non-empty frontier");
+        let hit_pct = 100.0 * result.cache_hits as f64
+            / (result.cache_hits + result.cache_misses).max(1) as f64;
+        row(&[
+            model.name.clone(),
+            format!("{:.3e}", baseline.objectives.edp()),
+            format!("{:.3e}", best.objectives.edp()),
+            f(baseline.objectives.edp() / best.objectives.edp(), 2),
+            best.genome.to_string(),
+            format!("{}", result.frontier.len()),
+            f(hit_pct, 1),
+        ]);
+    }
+    println!("\nEDP gain > 1.00 means the explorer beat the hand-picked baseline;");
+    println!("the baseline genome is inside the space, so gain >= 1.00 always.");
+}

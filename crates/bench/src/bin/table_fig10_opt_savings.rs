@@ -16,8 +16,8 @@ fn main() {
     let mut area_ratios = Vec::new();
     let mut energy_ratios = Vec::new();
     for d in kernel_designs(8) {
-        let adg = build_adg(&d.workload, &d.dataflows, &FrontendConfig::default())
-            .expect("valid design");
+        let adg =
+            build_adg(&d.workload, &d.dataflows, &FrontendConfig::default()).expect("valid design");
         let mut base = lower(&adg, &BackendConfig::default());
         optimize(&mut base, &OptimizeOptions::baseline());
         let mut opt = lower(&adg, &BackendConfig::default());

@@ -25,8 +25,8 @@ fn main() {
 
     let buf_bytes = 256 * 1024u64;
     let buf_area = sram.area_um2(buf_bytes, 32);
-    let buf_power = sram.leakage_uw(buf_bytes) / 1000.0
-        + sram.access_energy_pj(buf_bytes, 64) * tech.freq_ghz; // ~64 B/cycle
+    let buf_power =
+        sram.leakage_uw(buf_bytes) / 1000.0 + sram.access_energy_pj(buf_bytes, 64) * tech.freq_ghz; // ~64 B/cycle
 
     // L1 butterfly + distribution switches.
     let bf = lego_noc::Butterfly::with_endpoints(32);
@@ -77,11 +77,7 @@ fn main() {
     println!("paper reports per-model PPU overhead between 0.5% and 7.2%");
 }
 
-fn build_design(
-    w: &lego_ir::Workload,
-    dfs: &[lego_ir::Dataflow],
-    tech: &TechModel,
-) -> (f64, f64) {
+fn build_design(w: &lego_ir::Workload, dfs: &[lego_ir::Dataflow], tech: &TechModel) -> (f64, f64) {
     let adg = build_adg(w, dfs, &FrontendConfig::default()).expect("valid");
     let mut dag = lower(&adg, &BackendConfig::default());
     optimize(&mut dag, &OptimizeOptions::default());

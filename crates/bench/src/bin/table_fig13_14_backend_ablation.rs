@@ -25,8 +25,8 @@ fn main() {
     let mut totals_a = Vec::new();
     let mut totals_p = Vec::new();
     for d in kernel_designs(8) {
-        let adg = build_adg(&d.workload, &d.dataflows, &FrontendConfig::default())
-            .expect("valid design");
+        let adg =
+            build_adg(&d.workload, &d.dataflows, &FrontendConfig::default()).expect("valid design");
         let cfg = BackendConfig::default();
         let cost = |opts: &OptimizeOptions| {
             let mut dag = lower(&adg, &cfg);

@@ -38,7 +38,12 @@ fn main() {
     let buf = 108 * 1024u64; // Eyeriss's 108 KB scratchpad
     let area = (c.area_um2 + sram65.area_um2(buf, 27)) / 1e6;
     let power = c.total_mw() + sram65.leakage_uw(buf) / 1000.0 + 12.0;
-    row(&["Eyeriss (paper)".into(), "168".into(), "9.6".into(), "278".into()]);
+    row(&[
+        "Eyeriss (paper)".into(),
+        "168".into(),
+        "9.6".into(),
+        "278".into(),
+    ]);
     row(&["LEGO-KHOH".into(), "168".into(), f(area, 1), f(power, 0)]);
 
     // LEGO-ICOC: 16×16 on the NVDLA dataflow, 28 nm @ 1 GHz.
@@ -52,9 +57,15 @@ fn main() {
     let buf = 128 * 1024u64;
     let sram = SramModel::default();
     let area = (c.area_um2 + sram.area_um2(buf, 16)) / 1e6;
-    let power = c.total_mw() + sram.leakage_uw(buf) / 1000.0
+    let power = c.total_mw()
+        + sram.leakage_uw(buf) / 1000.0
         + sram.access_energy_pj(buf, 48) * t28.freq_ghz;
-    row(&["NVDLA (paper)".into(), "256".into(), "1.7".into(), "300".into()]);
+    row(&[
+        "NVDLA (paper)".into(),
+        "256".into(),
+        "1.7".into(),
+        "300".into(),
+    ]);
     row(&["LEGO-ICOC".into(), "256".into(), f(area, 1), f(power, 0)]);
 
     println!("paper reports: LEGO-KHOH 7.4 mm2 / 112 mW, LEGO-ICOC 1.5 mm2 / 209 mW");

@@ -33,7 +33,10 @@ fn main() {
     let cfg = FrontendConfig::default();
     let solo_icoc = cost(&build_adg(&conv, std::slice::from_ref(&icoc), &cfg).unwrap());
     let solo_ohow = cost(&build_adg(&conv, std::slice::from_ref(&ohow), &cfg).unwrap());
-    let merged = cost(&naive_fusion_adg(&conv, &[icoc.clone(), ohow.clone(), khoh.clone()]));
+    let merged = cost(&naive_fusion_adg(
+        &conv,
+        &[icoc.clone(), ohow.clone(), khoh.clone()],
+    ));
     let fused = cost(&build_adg(&conv, &[icoc, ohow, khoh], &cfg).unwrap());
 
     // Performance side: what each hardware achieves on MBV2 and ResNet50.
@@ -57,11 +60,19 @@ fn main() {
         solo_ohow.total_mw(),
     );
     let both_merged = perf_of(
-        vec![SpatialMapping::ConvIcOc, SpatialMapping::ConvOhOw, SpatialMapping::GemmMN],
+        vec![
+            SpatialMapping::ConvIcOc,
+            SpatialMapping::ConvOhOw,
+            SpatialMapping::GemmMN,
+        ],
         merged.total_mw(),
     );
     let both_fused = perf_of(
-        vec![SpatialMapping::ConvIcOc, SpatialMapping::ConvOhOw, SpatialMapping::GemmMN],
+        vec![
+            SpatialMapping::ConvIcOc,
+            SpatialMapping::ConvOhOw,
+            SpatialMapping::GemmMN,
+        ],
         fused.total_mw(),
     );
 

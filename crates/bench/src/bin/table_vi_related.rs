@@ -17,7 +17,12 @@ fn main() {
     let lego = shared_control_cost(&gemm, std::slice::from_ref(&df), &tech);
 
     section("Table VI: LEGO improvement over related work (GEMM-IJ, 8x8)");
-    row(&["vs".into(), "metric".into(), "factor".into(), "paper".into()]);
+    row(&[
+        "vs".into(),
+        "metric".into(),
+        "factor".into(),
+        "paper".into(),
+    ]);
 
     let dsa = dsagen_cost(&gemm, std::slice::from_ref(&df), 64, &tech);
     row(&[

@@ -19,7 +19,10 @@ fn main() {
     let conv = kernels::conv2d(1, 4, 4, 16, 16, 3, 3, 1);
     let adg = build_adg(
         &conv,
-        &[dataflows::conv_icoc(&conv, 4), dataflows::conv_ohow(&conv, 4)],
+        &[
+            dataflows::conv_icoc(&conv, 4),
+            dataflows::conv_ohow(&conv, 4),
+        ],
         &FrontendConfig::default(),
     )
     .expect("valid design");

@@ -33,10 +33,7 @@ pub fn kernel_designs(p: i64) -> Vec<KernelDesign> {
         .expect("valid GEMM-IK");
     let attn_qp = dataflows::par2(&attn, "q", p, "p", p, "Attn-QP").expect("valid Attn-QP");
     let attn_pd = dataflows::par2(&attn, "p", p, "d", p, "Attn-PD").expect("valid Attn-PD");
-    let mtt_mj = vec![
-        dataflows::mttkrp_ij(&mtt, p),
-        dataflows::mttkrp_kj(&mtt, p),
-    ];
+    let mtt_mj = vec![dataflows::mttkrp_ij(&mtt, p), dataflows::mttkrp_kj(&mtt, p)];
 
     vec![
         KernelDesign {
@@ -52,7 +49,10 @@ pub fn kernel_designs(p: i64) -> Vec<KernelDesign> {
         KernelDesign {
             name: "Conv2d-MNICOC",
             workload: conv.clone(),
-            dataflows: vec![dataflows::conv_icoc(&conv, p), dataflows::conv_ohow(&conv, p)],
+            dataflows: vec![
+                dataflows::conv_icoc(&conv, p),
+                dataflows::conv_ohow(&conv, p),
+            ],
         },
         KernelDesign {
             name: "Conv2d-OHOW",

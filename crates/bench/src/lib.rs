@@ -16,6 +16,7 @@
 //! | `table_vi_related` | Table VI (related-work factors) |
 //! | `table_vii_soda` | Table VII (SODA toolchain comparison) |
 //! | `table_viii_autosa` | Table VIII (AutoSA FF/LUT comparison) |
+//! | `table_dse` | Design-space exploration vs. the hand-picked `lego_256` |
 
 pub mod designs;
 pub mod harness;

@@ -19,10 +19,12 @@
 //! ```
 
 use lego_backend::{lower, optimize, BackendConfig, Dag, OptimizeOptions, OptimizeReport};
+use lego_explorer::{DesignSpace, ExplorationResult, ExploreOptions};
 use lego_frontend::{build_adg, Adg, FrontendConfig, FrontendError};
 use lego_ir::{tensor::TensorData, Dataflow, Workload};
 use lego_model::{dag_cost, DagCost, TechModel};
 use lego_rtl::{emit_verilog, simulate, SimOutput};
+use lego_workloads::Model;
 
 /// Builder for generating a spatial accelerator from a tensor workload.
 #[derive(Debug, Clone)]
@@ -72,6 +74,24 @@ impl Lego {
     pub fn optimize_options(mut self, opts: OptimizeOptions) -> Self {
         self.options = opts;
         self
+    }
+
+    /// Searches the joint hardware design space (array shape, buffer,
+    /// bandwidth, dataflow set, tiling) for `model` with the standard
+    /// `lego-explorer` portfolio — exhaustive grid, seeded random sampling,
+    /// and a (μ+λ) evolution strategy sharing one memoized cache.
+    ///
+    /// This is the configuration-level complement of [`Lego::generate`]:
+    /// explore first to pick a hardware configuration, then generate RTL
+    /// for the winner's dataflows. `seed` makes the run reproducible.
+    pub fn explore(
+        model: &Model,
+        space: &DesignSpace,
+        seed: u64,
+        opts: &ExploreOptions,
+    ) -> ExplorationResult {
+        let mut strategies = lego_explorer::default_strategies(seed);
+        lego_explorer::explore(model, space, &mut strategies, opts)
     }
 
     /// Runs the full pipeline: interconnect planning, memory synthesis,
@@ -155,6 +175,21 @@ mod tests {
             .unwrap();
         assert_eq!(design.adg.dataflows.len(), 2);
         assert!(design.report.final_stats.register_bits <= design.report.baseline.register_bits);
+    }
+
+    #[test]
+    fn explore_finds_a_design_for_lenet() {
+        let result = Lego::explore(
+            &lego_workloads::zoo::lenet(),
+            &DesignSpace::tiny(),
+            42,
+            &lego_explorer::ExploreOptions {
+                budget_per_strategy: 16,
+                ..Default::default()
+            },
+        );
+        assert!(result.best_by_edp().is_some());
+        assert!(result.cache_hits > 0);
     }
 
     #[test]

@@ -1,0 +1,158 @@
+//! The memoized evaluation cache shared by all search strategies.
+
+use lego_sim::LayerPerf;
+use lego_workloads::Layer;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+const SHARDS: usize = 16;
+
+/// Concurrent memo table from (hardware fingerprint, layer fingerprint) to
+/// the layer's best mapping result.
+///
+/// Strategies overlap heavily — the evolutionary search revisits elite
+/// genomes, random sampling collides with the grid, and repeated blocks
+/// within a model share layer shapes — so the cache is shared across every
+/// strategy of an exploration and across the worker threads inside one.
+/// (The hardware fingerprint is part of the key: every genome field feeds
+/// the simulation, so entries cannot be shared across configurations.) It
+/// is sharded by key to keep lock contention off the hot path, and it
+/// counts hits and misses so callers can verify the sharing actually
+/// happens.
+#[derive(Debug)]
+pub struct EvalCache {
+    shards: Vec<Mutex<HashMap<(u64, u64), LayerPerf>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl Default for EvalCache {
+    fn default() -> Self {
+        EvalCache {
+            shards: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+}
+
+impl EvalCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Looks up `(hw_key, layer_key)`, running `compute` on a miss.
+    ///
+    /// `compute` runs outside the shard lock, so a pure-but-slow evaluation
+    /// never blocks other workers; two threads racing on the same fresh key
+    /// may both compute, and the first insert wins (the evaluation is
+    /// deterministic, so both results are identical).
+    pub fn get_or_compute<F: FnOnce() -> LayerPerf>(
+        &self,
+        hw_key: u64,
+        layer_key: u64,
+        compute: F,
+    ) -> LayerPerf {
+        let key = (hw_key, layer_key);
+        let shard = &self.shards[(hw_key ^ layer_key) as usize % SHARDS];
+        if let Some(hit) = shard.lock().expect("cache shard poisoned").get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return hit.clone();
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let value = compute();
+        shard
+            .lock()
+            .expect("cache shard poisoned")
+            .entry(key)
+            .or_insert_with(|| value.clone());
+        value
+    }
+
+    /// Lookups answered from the table.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Lookups that had to evaluate.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Distinct entries stored.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("cache shard poisoned").len())
+            .sum()
+    }
+
+    /// Whether the cache has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Stable fingerprint of a layer's *shape* (kind + non-tensor work).
+///
+/// The name and repetition count are deliberately excluded: two layers with
+/// the same shape in different models (or under different names) evaluate
+/// identically on the same hardware, and should hit the same cache line.
+pub fn layer_key(layer: &Layer) -> u64 {
+    crate::space::stable_hash(&(&layer.kind, &layer.nonlinear))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lego_model::TechModel;
+    use lego_sim::{simulate_layer, HwConfig, SpatialMapping};
+    use lego_workloads::LayerKind;
+
+    fn perf() -> LayerPerf {
+        simulate_layer(
+            &Layer::new("l", LayerKind::Gemm { m: 8, n: 8, k: 8 }),
+            SpatialMapping::GemmMN,
+            &HwConfig::lego_256(),
+            &TechModel::default(),
+        )
+    }
+
+    #[test]
+    fn hit_and_miss_accounting() {
+        let cache = EvalCache::new();
+        let mut computed = 0;
+        for _ in 0..3 {
+            cache.get_or_compute(1, 2, || {
+                computed += 1;
+                perf()
+            });
+        }
+        assert_eq!(computed, 1);
+        assert_eq!(cache.misses(), 1);
+        assert_eq!(cache.hits(), 2);
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn keys_separate_entries() {
+        let cache = EvalCache::new();
+        cache.get_or_compute(1, 1, perf);
+        cache.get_or_compute(1, 2, perf);
+        cache.get_or_compute(2, 1, perf);
+        assert_eq!(cache.len(), 3);
+        assert_eq!(cache.misses(), 3);
+    }
+
+    #[test]
+    fn layer_key_ignores_name_and_count() {
+        let kind = LayerKind::Gemm { m: 4, n: 4, k: 4 };
+        let a = Layer::new("a", kind);
+        let b = Layer::new("b", kind).repeat(7);
+        assert_eq!(layer_key(&a), layer_key(&b));
+        let c = Layer::new("c", LayerKind::Gemm { m: 4, n: 4, k: 8 });
+        assert_ne!(layer_key(&a), layer_key(&c));
+    }
+}

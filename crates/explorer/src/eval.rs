@@ -1,0 +1,200 @@
+//! Candidate evaluation: genome → objectives, in parallel, through the
+//! shared cache.
+
+use crate::cache::{layer_key, EvalCache};
+use crate::pareto::Objectives;
+use crate::space::Genome;
+use lego_mapper::map_model_with;
+use lego_model::{macro_area, SramModel, TechModel};
+use lego_sim::{best_mapping_tiled, ModelPerf};
+use lego_workloads::Model;
+use std::sync::mpsc;
+use std::sync::Mutex;
+
+/// One fully evaluated candidate.
+#[derive(Debug, Clone)]
+pub struct DesignPoint {
+    /// The hardware configuration genome.
+    pub genome: Genome,
+    /// Latency / energy / area scores.
+    pub objectives: Objectives,
+    /// The underlying whole-model simulation result.
+    pub perf: ModelPerf,
+}
+
+/// Evaluates genomes against one target model.
+///
+/// Owns the [`EvalCache`] all strategies share, and a `std::thread` worker
+/// pool (fed over channels) for batch evaluation. Evaluation is pure, so
+/// batches return in input order and the whole exploration is deterministic
+/// regardless of thread interleaving.
+pub struct Evaluator<'m> {
+    model: &'m Model,
+    tech: TechModel,
+    sram: SramModel,
+    cache: EvalCache,
+    threads: usize,
+}
+
+impl<'m> Evaluator<'m> {
+    /// Evaluator for `model` with a fresh cache and an automatic thread
+    /// count.
+    pub fn new(model: &'m Model, tech: TechModel) -> Self {
+        let threads = std::thread::available_parallelism()
+            .map_or(1, |n| n.get())
+            .min(8);
+        Evaluator {
+            model,
+            tech,
+            sram: SramModel::default(),
+            cache: EvalCache::new(),
+            threads,
+        }
+    }
+
+    /// Overrides the worker-pool width (0 means one thread).
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// The target model.
+    pub fn model(&self) -> &Model {
+        self.model
+    }
+
+    /// The shared memo table.
+    pub fn cache(&self) -> &EvalCache {
+        &self.cache
+    }
+
+    /// Evaluates one genome, memoizing every per-layer simulation.
+    pub fn eval(&self, genome: &Genome) -> DesignPoint {
+        let hw = genome.to_hw_config();
+        let hw_key = genome.key();
+        let mapping = map_model_with(self.model, &self.tech, |layer| {
+            self.cache.get_or_compute(hw_key, layer_key(layer), || {
+                best_mapping_tiled(layer, &hw, &self.tech, genome.tile_cap)
+            })
+        });
+        let latency_cycles = mapping.perf.cycles as f64;
+        let time_s = latency_cycles / (self.tech.freq_ghz * 1e9);
+        let energy_pj = mapping.perf.watts * time_s * 1e12;
+        // Memory banked per array edge so wider arrays get more ports.
+        let banks = (hw.array.0 + hw.array.1).max(1) as u64;
+        let area = macro_area(
+            hw.num_fus(),
+            hw.buffer_kb,
+            banks,
+            hw.num_ppus,
+            &self.tech,
+            &self.sram,
+        );
+        DesignPoint {
+            genome: *genome,
+            objectives: Objectives {
+                latency_cycles,
+                energy_pj,
+                area_um2: area.total_um2(),
+            },
+            perf: mapping.perf,
+        }
+    }
+
+    /// Evaluates a batch on the worker pool; results come back in input
+    /// order.
+    pub fn eval_batch(&self, genomes: &[Genome]) -> Vec<DesignPoint> {
+        if genomes.is_empty() {
+            return Vec::new();
+        }
+        let workers = self.threads.min(genomes.len()).max(1);
+        if workers == 1 {
+            return genomes.iter().map(|g| self.eval(g)).collect();
+        }
+        let (task_tx, task_rx) = mpsc::channel::<(usize, Genome)>();
+        for (i, g) in genomes.iter().enumerate() {
+            task_tx.send((i, *g)).expect("queue open");
+        }
+        drop(task_tx);
+        let task_rx = Mutex::new(task_rx);
+        let (result_tx, result_rx) = mpsc::channel::<(usize, DesignPoint)>();
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                let result_tx = result_tx.clone();
+                let task_rx = &task_rx;
+                scope.spawn(move || loop {
+                    let task = task_rx.lock().expect("task queue poisoned").recv();
+                    match task {
+                        Ok((i, genome)) => {
+                            if result_tx.send((i, self.eval(&genome))).is_err() {
+                                break;
+                            }
+                        }
+                        Err(_) => break,
+                    }
+                });
+            }
+            drop(result_tx);
+            let mut out: Vec<Option<DesignPoint>> = vec![None; genomes.len()];
+            for (i, point) in result_rx.iter() {
+                out[i] = Some(point);
+            }
+            out.into_iter()
+                .map(|p| p.expect("every task produced a result"))
+                .collect()
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lego_sim::HwConfig;
+    use lego_workloads::zoo;
+
+    #[test]
+    fn baseline_matches_direct_simulation() {
+        let model = zoo::mobilenet_v2();
+        let tech = TechModel::default();
+        let ev = Evaluator::new(&model, tech);
+        let point = ev.eval(&Genome::lego_256_baseline());
+        let direct = lego_mapper::map_model(&model, &HwConfig::lego_256(), &tech);
+        assert_eq!(point.perf.cycles, direct.perf.cycles);
+        assert!((point.perf.gops - direct.perf.gops).abs() < 1e-9);
+        assert!(point.objectives.area_um2 > 0.0);
+        assert!(point.objectives.energy_pj > 0.0);
+    }
+
+    #[test]
+    fn eval_batch_is_deterministic_and_ordered() {
+        let model = zoo::lenet();
+        let mut rng = crate::rng::SplitMix64::new(5);
+        let space = crate::space::DesignSpace::tiny();
+        let genomes: Vec<Genome> = (0..12).map(|_| space.sample(&mut rng)).collect();
+        let ev_par = Evaluator::new(&model, TechModel::default()).with_threads(4);
+        let ev_seq = Evaluator::new(&model, TechModel::default()).with_threads(1);
+        let par = ev_par.eval_batch(&genomes);
+        let seq = ev_seq.eval_batch(&genomes);
+        assert_eq!(par.len(), genomes.len());
+        for ((p, s), g) in par.iter().zip(&seq).zip(&genomes) {
+            assert_eq!(p.genome, *g);
+            assert_eq!(p.perf.cycles, s.perf.cycles);
+            assert!((p.objectives.edp() - s.objectives.edp()).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn repeated_shapes_hit_the_cache() {
+        // ResNet50 repeats bottleneck shapes: a second eval of the same
+        // genome must be answered entirely from the cache.
+        let model = zoo::resnet50();
+        let ev = Evaluator::new(&model, TechModel::default());
+        let g = Genome::lego_256_baseline();
+        ev.eval(&g);
+        let misses_after_first = ev.cache().misses();
+        ev.eval(&g);
+        assert_eq!(ev.cache().misses(), misses_after_first);
+        assert!(ev.cache().hits() > 0);
+    }
+}

@@ -1,0 +1,207 @@
+//! # lego-explorer — hardware design-space exploration for LEGO
+//!
+//! The paper's mapping search (§VI-A) picks a per-layer dataflow for a
+//! *fixed* hardware configuration. This crate searches the hardware itself:
+//! the joint space of array shape × buffer capacity × DRAM bandwidth ×
+//! fused-dataflow set × tiling, for a target [`Model`] from
+//! `lego-workloads`.
+//!
+//! The moving parts:
+//!
+//! * [`DesignSpace`] / [`Genome`] — the axes and one candidate configuration
+//!   ([`Genome::to_hw_config`] materializes the simulator's `HwConfig`);
+//! * [`SearchStrategy`] — pluggable search: [`GridSearch`] (exhaustive),
+//!   [`RandomSearch`] (seeded sampling), and [`EvolutionarySearch`]
+//!   ((μ+λ) with mutation and crossover over config genomes);
+//! * [`EvalCache`] — a memoized, sharded map from (hardware fingerprint,
+//!   layer fingerprint) to layer performance, shared by every strategy and
+//!   worker thread so overlapping searches pay for each simulation once;
+//! * [`Evaluator`] — batch evaluation on a `std::thread` + channel worker
+//!   pool, deterministic regardless of interleaving;
+//! * [`ParetoFrontier`] — the surviving (latency, energy, area) trade-offs,
+//!   with EDP/EDAP scalarizations for ranking.
+//!
+//! ```
+//! use lego_explorer::{explore, DesignSpace, ExploreOptions, Genome};
+//!
+//! let model = lego_workloads::zoo::lenet();
+//! let result = explore(
+//!     &model,
+//!     &DesignSpace::tiny(),
+//!     &mut lego_explorer::default_strategies(7),
+//!     &ExploreOptions { budget_per_strategy: 16, ..Default::default() },
+//! );
+//! let best = result.frontier.best_by_edp().unwrap();
+//! assert!(best.objectives.edp() > 0.0);
+//! assert!(result.cache_hits > 0); // strategies shared evaluations
+//! ```
+
+pub mod cache;
+pub mod eval;
+pub mod pareto;
+pub mod rng;
+pub mod space;
+pub mod strategy;
+
+pub use cache::{layer_key, EvalCache};
+pub use eval::{DesignPoint, Evaluator};
+pub use pareto::{Objectives, ParetoFrontier};
+pub use rng::SplitMix64;
+pub use space::{DataflowSet, DesignSpace, Genome, ALL_MAPPINGS};
+pub use strategy::{EvolutionarySearch, GridSearch, RandomSearch, SearchReport, SearchStrategy};
+
+use lego_model::TechModel;
+use lego_workloads::Model;
+
+/// Exploration-wide knobs.
+#[derive(Debug, Clone)]
+pub struct ExploreOptions {
+    /// Evaluation budget handed to each strategy.
+    pub budget_per_strategy: usize,
+    /// Worker threads (0 = automatic).
+    pub threads: usize,
+    /// Technology model used for every evaluation.
+    pub tech: TechModel,
+}
+
+impl Default for ExploreOptions {
+    fn default() -> Self {
+        ExploreOptions {
+            budget_per_strategy: 512,
+            threads: 0,
+            tech: TechModel::default(),
+        }
+    }
+}
+
+/// Outcome of an exploration: the frontier, per-strategy reports, and the
+/// shared-cache statistics.
+#[derive(Debug, Clone)]
+pub struct ExplorationResult {
+    /// Mutually non-dominated design points over (latency, energy, area).
+    pub frontier: ParetoFrontier,
+    /// One report per strategy, in execution order.
+    pub reports: Vec<SearchReport>,
+    /// Layer evaluations answered from the shared cache.
+    pub cache_hits: u64,
+    /// Layer evaluations that ran the simulator.
+    pub cache_misses: u64,
+}
+
+impl ExplorationResult {
+    /// The globally best point by energy-delay product.
+    pub fn best_by_edp(&self) -> Option<&DesignPoint> {
+        self.frontier.best_by_edp()
+    }
+}
+
+/// The standard strategy portfolio: exhaustive grid, seeded random
+/// sampling, and a (μ+λ) evolution strategy, all sharing one cache.
+pub fn default_strategies(seed: u64) -> Vec<Box<dyn SearchStrategy>> {
+    vec![
+        Box::new(GridSearch),
+        Box::new(RandomSearch { seed }),
+        Box::new(EvolutionarySearch {
+            seed: seed ^ 0x5eed,
+            ..Default::default()
+        }),
+    ]
+}
+
+/// Runs every strategy over `space` against `model`, accumulating one
+/// shared [`ParetoFrontier`] through one shared [`EvalCache`].
+pub fn explore(
+    model: &Model,
+    space: &DesignSpace,
+    strategies: &mut [Box<dyn SearchStrategy>],
+    opts: &ExploreOptions,
+) -> ExplorationResult {
+    let mut evaluator = Evaluator::new(model, opts.tech);
+    if opts.threads > 0 {
+        evaluator = evaluator.with_threads(opts.threads);
+    }
+    let mut frontier = ParetoFrontier::new();
+    let reports: Vec<SearchReport> = strategies
+        .iter_mut()
+        .map(|s| s.run(space, &evaluator, &mut frontier, opts.budget_per_strategy))
+        .collect();
+    ExplorationResult {
+        frontier,
+        reports,
+        cache_hits: evaluator.cache().hits(),
+        cache_misses: evaluator.cache().misses(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lego_workloads::zoo;
+
+    #[test]
+    fn strategies_share_the_eval_cache() {
+        // Grid covers the whole tiny space; random sampling afterwards can
+        // only revisit configurations, so every one of its layer lookups —
+        // and therefore some lookups overall — must hit the shared cache.
+        let model = zoo::lenet();
+        let mut strategies: Vec<Box<dyn SearchStrategy>> =
+            vec![Box::new(GridSearch), Box::new(RandomSearch { seed: 3 })];
+        let result = explore(
+            &model,
+            &DesignSpace::tiny(),
+            &mut strategies,
+            &ExploreOptions {
+                budget_per_strategy: 32,
+                ..Default::default()
+            },
+        );
+        assert!(
+            result.cache_hits > 0,
+            "overlapping strategies must share work"
+        );
+        assert!(result.cache_misses > 0);
+        assert_eq!(result.reports.len(), 2);
+        assert!(result.frontier.is_mutually_non_dominated());
+    }
+
+    #[test]
+    fn exploration_is_deterministic_end_to_end() {
+        let model = zoo::lenet();
+        let run = || {
+            let result = explore(
+                &model,
+                &DesignSpace::tiny(),
+                &mut default_strategies(11),
+                &ExploreOptions {
+                    budget_per_strategy: 24,
+                    ..Default::default()
+                },
+            );
+            let best = result.best_by_edp().unwrap();
+            (best.genome, best.objectives.edp())
+        };
+        let (g1, e1) = run();
+        let (g2, e2) = run();
+        assert_eq!(g1, g2);
+        assert!((e1 - e2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn frontier_holds_genuine_tradeoffs() {
+        // With area in the objective vector, the small and large arrays
+        // cannot dominate each other on a compute-heavy model: the frontier
+        // must keep more than one point.
+        let model = zoo::resnet50();
+        let mut strategies: Vec<Box<dyn SearchStrategy>> = vec![Box::new(GridSearch)];
+        let result = explore(
+            &model,
+            &DesignSpace::tiny(),
+            &mut strategies,
+            &ExploreOptions::default(),
+        );
+        assert!(
+            result.frontier.len() > 1,
+            "expected latency/area trade-offs"
+        );
+    }
+}

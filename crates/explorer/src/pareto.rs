@@ -1,0 +1,219 @@
+//! Multi-objective bookkeeping: dominance, the Pareto frontier, and the
+//! EDP/EDAP scalarizations used for ranking.
+
+use crate::eval::DesignPoint;
+
+/// The three objectives every candidate is scored on. Lower is better for
+/// all of them.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Objectives {
+    /// End-to-end model latency in cycles.
+    pub latency_cycles: f64,
+    /// End-to-end model energy in pJ.
+    pub energy_pj: f64,
+    /// Accelerator area in µm².
+    pub area_um2: f64,
+}
+
+impl Objectives {
+    /// Pareto dominance: no worse on every objective, strictly better on at
+    /// least one.
+    pub fn dominates(&self, other: &Objectives) -> bool {
+        let no_worse = self.latency_cycles <= other.latency_cycles
+            && self.energy_pj <= other.energy_pj
+            && self.area_um2 <= other.area_um2;
+        let better = self.latency_cycles < other.latency_cycles
+            || self.energy_pj < other.energy_pj
+            || self.area_um2 < other.area_um2;
+        no_worse && better
+    }
+
+    /// Energy-delay product (cycles · pJ). The clock frequency is a
+    /// constant of the technology model across the whole space, so this is
+    /// a monotone transform of J·s and ranks identically.
+    pub fn edp(&self) -> f64 {
+        self.latency_cycles * self.energy_pj
+    }
+
+    /// Energy-delay-area product (cycles · pJ · µm²).
+    pub fn edap(&self) -> f64 {
+        self.edp() * self.area_um2
+    }
+}
+
+/// The set of mutually non-dominated design points found so far.
+///
+/// Insertion maintains the invariant that no member dominates another:
+/// a dominated candidate is rejected, and an accepted candidate evicts
+/// every member it dominates.
+#[derive(Debug, Clone, Default)]
+pub struct ParetoFrontier {
+    points: Vec<DesignPoint>,
+}
+
+impl ParetoFrontier {
+    /// An empty frontier.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Offers a candidate. Returns `true` if it joined the frontier
+    /// (evicting any members it dominates), `false` if an existing member
+    /// dominates it or an identical genome is already present.
+    pub fn insert(&mut self, candidate: DesignPoint) -> bool {
+        if self
+            .points
+            .iter()
+            .any(|p| p.genome == candidate.genome || p.objectives.dominates(&candidate.objectives))
+        {
+            return false;
+        }
+        self.points
+            .retain(|p| !candidate.objectives.dominates(&p.objectives));
+        self.points.push(candidate);
+        true
+    }
+
+    /// The frontier members, in insertion order.
+    pub fn points(&self) -> &[DesignPoint] {
+        &self.points
+    }
+
+    /// Number of members.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether the frontier is empty.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Member minimizing an arbitrary scalarization.
+    pub fn best_by<F: Fn(&Objectives) -> f64>(&self, score: F) -> Option<&DesignPoint> {
+        self.points.iter().min_by(|a, b| {
+            score(&a.objectives)
+                .partial_cmp(&score(&b.objectives))
+                .expect("finite scores")
+                .then_with(|| a.genome.key().cmp(&b.genome.key()))
+        })
+    }
+
+    /// Member minimizing energy-delay product.
+    pub fn best_by_edp(&self) -> Option<&DesignPoint> {
+        self.best_by(Objectives::edp)
+    }
+
+    /// Member minimizing energy-delay-area product.
+    pub fn best_by_edap(&self) -> Option<&DesignPoint> {
+        self.best_by(Objectives::edap)
+    }
+
+    /// Checks the defining invariant: no member dominates another.
+    pub fn is_mutually_non_dominated(&self) -> bool {
+        self.points.iter().enumerate().all(|(i, a)| {
+            self.points
+                .iter()
+                .enumerate()
+                .all(|(j, b)| i == j || !a.objectives.dominates(&b.objectives))
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::SplitMix64;
+    use crate::space::Genome;
+    use lego_sim::ModelPerf;
+
+    fn point(lat: f64, en: f64, area: f64) -> DesignPoint {
+        // Distinct genomes so duplicate-genome rejection doesn't interfere.
+        let mut genome = Genome::lego_256_baseline();
+        genome.rows = (lat as i64) * 1000 + (en as i64) * 10 + area as i64 + 1;
+        DesignPoint {
+            genome,
+            objectives: Objectives {
+                latency_cycles: lat,
+                energy_pj: en,
+                area_um2: area,
+            },
+            perf: ModelPerf {
+                cycles: lat as i64,
+                ops: 0,
+                gops: 0.0,
+                watts: 0.0,
+                gops_per_watt: 0.0,
+                utilization: 0.0,
+                ppu_fraction: 0.0,
+                instr_gbps: 0.0,
+            },
+        }
+    }
+
+    #[test]
+    fn dominance_is_strict_and_partial() {
+        let a = Objectives {
+            latency_cycles: 1.0,
+            energy_pj: 1.0,
+            area_um2: 1.0,
+        };
+        let b = Objectives {
+            latency_cycles: 2.0,
+            energy_pj: 2.0,
+            area_um2: 2.0,
+        };
+        let c = Objectives {
+            latency_cycles: 0.5,
+            energy_pj: 3.0,
+            area_um2: 1.0,
+        };
+        assert!(a.dominates(&b));
+        assert!(!b.dominates(&a));
+        // Equal objectives dominate in neither direction.
+        assert!(!a.dominates(&a.clone()));
+        // Trade-offs are incomparable.
+        assert!(!a.dominates(&c) && !c.dominates(&a));
+    }
+
+    #[test]
+    fn insertion_rejects_dominated_and_evicts_dominated() {
+        let mut f = ParetoFrontier::new();
+        assert!(f.insert(point(2.0, 2.0, 2.0)));
+        // Dominated candidate rejected.
+        assert!(!f.insert(point(3.0, 3.0, 3.0)));
+        assert_eq!(f.len(), 1);
+        // Incomparable candidate accepted.
+        assert!(f.insert(point(1.0, 5.0, 1.0)));
+        assert_eq!(f.len(), 2);
+        // A dominator evicts everything it beats.
+        assert!(f.insert(point(1.0, 1.0, 1.0)));
+        assert_eq!(f.len(), 1);
+        assert!((f.points()[0].objectives.latency_cycles - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn no_dominated_survivors_under_random_insertion() {
+        let mut rng = SplitMix64::new(77);
+        let mut f = ParetoFrontier::new();
+        for _ in 0..500 {
+            let p = point(
+                (1 + rng.below(10)) as f64,
+                (1 + rng.below(10)) as f64,
+                (1 + rng.below(10)) as f64,
+            );
+            f.insert(p);
+            assert!(f.is_mutually_non_dominated());
+        }
+        assert!(!f.is_empty());
+    }
+
+    #[test]
+    fn scalarizations_rank_as_expected() {
+        let mut f = ParetoFrontier::new();
+        f.insert(point(10.0, 1.0, 100.0)); // edp 10, edap 1000
+        f.insert(point(1.0, 8.0, 1.0)); // edp 8, edap 8
+        assert!((f.best_by_edp().unwrap().objectives.edp() - 8.0).abs() < 1e-12);
+        assert!((f.best_by_edap().unwrap().objectives.edap() - 8.0).abs() < 1e-12);
+    }
+}

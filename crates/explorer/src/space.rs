@@ -1,0 +1,421 @@
+//! The joint hardware design space: genomes and the axes they move on.
+
+use crate::rng::SplitMix64;
+use lego_sim::{HwConfig, SpatialMapping};
+use std::fmt;
+use std::hash::{Hash, Hasher};
+
+/// Every spatial dataflow the simulator knows, in canonical order.
+pub const ALL_MAPPINGS: [SpatialMapping; 5] = [
+    SpatialMapping::GemmMN,
+    SpatialMapping::GemmKN,
+    SpatialMapping::ConvIcOc,
+    SpatialMapping::ConvOhOw,
+    SpatialMapping::ConvKhOh,
+];
+
+/// A set of fused dataflows, packed as a bitmask over [`ALL_MAPPINGS`].
+///
+/// Fusing more dataflows lets the mapper rescue more layer shapes (the
+/// paper's Table V mechanism) but costs interconnect muxing; the explorer
+/// treats the fused set as one genome axis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct DataflowSet(u8);
+
+impl DataflowSet {
+    /// Builds a set from explicit mappings.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mappings` is empty.
+    pub fn new(mappings: &[SpatialMapping]) -> Self {
+        assert!(!mappings.is_empty(), "a design needs at least one dataflow");
+        let mut bits = 0u8;
+        for m in mappings {
+            let idx = ALL_MAPPINGS
+                .iter()
+                .position(|a| a == m)
+                .expect("known mapping");
+            bits |= 1 << idx;
+        }
+        DataflowSet(bits)
+    }
+
+    /// The mappings in canonical order.
+    pub fn to_vec(self) -> Vec<SpatialMapping> {
+        ALL_MAPPINGS
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| self.0 & (1 << i) != 0)
+            .map(|(_, &m)| m)
+            .collect()
+    }
+
+    /// Number of fused dataflows.
+    pub fn len(self) -> usize {
+        self.0.count_ones() as usize
+    }
+
+    /// Always false: sets are non-empty by construction.
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Membership test.
+    pub fn contains(self, m: SpatialMapping) -> bool {
+        let idx = ALL_MAPPINGS
+            .iter()
+            .position(|a| *a == m)
+            .expect("known mapping");
+        self.0 & (1 << idx) != 0
+    }
+}
+
+impl fmt::Display for DataflowSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let names: Vec<&str> = self.to_vec().iter().map(|m| m.name()).collect();
+        write!(f, "{}", names.join("+"))
+    }
+}
+
+/// One candidate hardware configuration — the unit the search mutates,
+/// crosses over, caches, and evaluates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Genome {
+    /// FU array rows.
+    pub rows: i64,
+    /// FU array columns.
+    pub cols: i64,
+    /// On-chip buffer capacity in KB.
+    pub buffer_kb: u64,
+    /// DRAM bandwidth in GB/s.
+    pub dram_gbps: u32,
+    /// Fused spatial dataflows.
+    pub dataflows: DataflowSet,
+    /// Optional L1 tile-edge cap (`None` = buffer-limited automatic tiling).
+    pub tile_cap: Option<i64>,
+}
+
+impl Genome {
+    /// The genome whose [`HwConfig`] is exactly the paper's hand-picked
+    /// `lego_256` baseline — the anchor the explorer must beat.
+    pub fn lego_256_baseline() -> Self {
+        Genome {
+            rows: 16,
+            cols: 16,
+            buffer_kb: 256,
+            dram_gbps: 16,
+            dataflows: DataflowSet::new(&[
+                SpatialMapping::GemmMN,
+                SpatialMapping::ConvIcOc,
+                SpatialMapping::ConvOhOw,
+            ]),
+            tile_cap: None,
+        }
+    }
+
+    /// Total functional units.
+    pub fn num_fus(&self) -> i64 {
+        self.rows * self.cols
+    }
+
+    /// Materializes the simulator's hardware configuration.
+    ///
+    /// PPU count and the static/dynamic power anchors scale from the
+    /// `lego_256` reference point (45 mW static / 240 mW dynamic at 256 FUs
+    /// and 256 KB), so the baseline genome reproduces
+    /// [`HwConfig::lego_256`] exactly and every other genome moves
+    /// consistently with its resources.
+    pub fn to_hw_config(&self) -> HwConfig {
+        let fus = self.num_fus() as f64;
+        let fu_scale = fus / 256.0;
+        let buf_scale = self.buffer_kb as f64 / 256.0;
+        HwConfig {
+            array: (self.rows, self.cols),
+            clusters: (1, 1),
+            buffer_kb: self.buffer_kb,
+            dram_gbps: f64::from(self.dram_gbps),
+            num_ppus: (self.num_fus() / 16).max(1),
+            dataflows: self.dataflows.to_vec(),
+            static_mw: 45.0 * (0.6 * fu_scale + 0.4 * buf_scale),
+            dynamic_mw: 240.0 * fu_scale,
+        }
+    }
+
+    /// Stable 64-bit fingerprint (FNV-1a over the fields), used as the
+    /// hardware half of [`EvalCache`](crate::EvalCache) keys.
+    pub fn key(&self) -> u64 {
+        let mut h = Fnv::new();
+        self.hash(&mut h);
+        h.finish()
+    }
+}
+
+impl fmt::Display for Genome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}x{}/{}KB/{}GBps/{}",
+            self.rows, self.cols, self.buffer_kb, self.dram_gbps, self.dataflows
+        )?;
+        if let Some(t) = self.tile_cap {
+            write!(f, "/t{t}")?;
+        }
+        Ok(())
+    }
+}
+
+/// FNV-1a as a `Hasher`, so `Genome::key` is stable across processes
+/// (unlike `DefaultHasher`, which is randomly keyed per process).
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Self {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+}
+
+impl Hasher for Fnv {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(0x1000_0000_01b3);
+        }
+    }
+}
+
+/// Stable fingerprint of any `Hash` value under FNV-1a.
+pub(crate) fn stable_hash<T: Hash>(value: &T) -> u64 {
+    let mut h = Fnv::new();
+    value.hash(&mut h);
+    h.finish()
+}
+
+/// The axes a search may explore: the candidate values per genome field.
+#[derive(Debug, Clone)]
+pub struct DesignSpace {
+    /// Candidate FU-array row counts.
+    pub rows: Vec<i64>,
+    /// Candidate FU-array column counts.
+    pub cols: Vec<i64>,
+    /// Candidate buffer capacities (KB).
+    pub buffer_kb: Vec<u64>,
+    /// Candidate DRAM bandwidths (GB/s).
+    pub dram_gbps: Vec<u32>,
+    /// Candidate fused-dataflow sets.
+    pub dataflow_sets: Vec<DataflowSet>,
+    /// Candidate tile-edge caps.
+    pub tile_caps: Vec<Option<i64>>,
+}
+
+impl DesignSpace {
+    /// The default space bracketing the paper's design points: arrays from
+    /// 8×8 to 32×32, buffers 128–512 KB, 8–32 GB/s, three dataflow
+    /// families, automatic or capped tiling — 486 configurations.
+    pub fn paper() -> Self {
+        use SpatialMapping::*;
+        DesignSpace {
+            rows: vec![8, 16, 32],
+            cols: vec![8, 16, 32],
+            buffer_kb: vec![128, 256, 512],
+            dram_gbps: vec![8, 16, 32],
+            dataflow_sets: vec![
+                DataflowSet::new(&[GemmMN, ConvIcOc]),
+                DataflowSet::new(&[GemmMN, ConvIcOc, ConvOhOw]),
+                DataflowSet::new(&[GemmMN, GemmKN, ConvIcOc, ConvOhOw, ConvKhOh]),
+            ],
+            tile_caps: vec![None, Some(64)],
+        }
+    }
+
+    /// A 16-point space for fast tests.
+    pub fn tiny() -> Self {
+        use SpatialMapping::*;
+        DesignSpace {
+            rows: vec![8, 16],
+            cols: vec![16],
+            buffer_kb: vec![128, 256],
+            dram_gbps: vec![16],
+            dataflow_sets: vec![
+                DataflowSet::new(&[GemmMN, ConvIcOc]),
+                DataflowSet::new(&[GemmMN, ConvIcOc, ConvOhOw]),
+            ],
+            tile_caps: vec![None, Some(32)],
+        }
+    }
+
+    /// Number of distinct genomes.
+    pub fn size(&self) -> usize {
+        self.rows.len()
+            * self.cols.len()
+            * self.buffer_kb.len()
+            * self.dram_gbps.len()
+            * self.dataflow_sets.len()
+            * self.tile_caps.len()
+    }
+
+    /// Every genome in the space, in a fixed lexicographic order.
+    pub fn enumerate(&self) -> Vec<Genome> {
+        let mut out = Vec::with_capacity(self.size());
+        for &rows in &self.rows {
+            for &cols in &self.cols {
+                for &buffer_kb in &self.buffer_kb {
+                    for &dram_gbps in &self.dram_gbps {
+                        for &dataflows in &self.dataflow_sets {
+                            for &tile_cap in &self.tile_caps {
+                                out.push(Genome {
+                                    rows,
+                                    cols,
+                                    buffer_kb,
+                                    dram_gbps,
+                                    dataflows,
+                                    tile_cap,
+                                });
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Uniform random genome.
+    pub fn sample(&self, rng: &mut SplitMix64) -> Genome {
+        Genome {
+            rows: *rng.pick(&self.rows),
+            cols: *rng.pick(&self.cols),
+            buffer_kb: *rng.pick(&self.buffer_kb),
+            dram_gbps: *rng.pick(&self.dram_gbps),
+            dataflows: *rng.pick(&self.dataflow_sets),
+            tile_cap: *rng.pick(&self.tile_caps),
+        }
+    }
+
+    /// Mutates one axis of `g` to a neighboring choice (or a random one for
+    /// the unordered axes), staying inside the space.
+    pub fn mutate(&self, g: &Genome, rng: &mut SplitMix64) -> Genome {
+        let mut out = *g;
+        match rng.below(6) {
+            0 => out.rows = step(&self.rows, g.rows, rng),
+            1 => out.cols = step(&self.cols, g.cols, rng),
+            2 => out.buffer_kb = step(&self.buffer_kb, g.buffer_kb, rng),
+            3 => out.dram_gbps = step(&self.dram_gbps, g.dram_gbps, rng),
+            4 => out.dataflows = *rng.pick(&self.dataflow_sets),
+            _ => out.tile_cap = *rng.pick(&self.tile_caps),
+        }
+        out
+    }
+
+    /// Uniform crossover: each axis from one parent or the other.
+    pub fn crossover(&self, a: &Genome, b: &Genome, rng: &mut SplitMix64) -> Genome {
+        Genome {
+            rows: if rng.chance(0.5) { a.rows } else { b.rows },
+            cols: if rng.chance(0.5) { a.cols } else { b.cols },
+            buffer_kb: if rng.chance(0.5) {
+                a.buffer_kb
+            } else {
+                b.buffer_kb
+            },
+            dram_gbps: if rng.chance(0.5) {
+                a.dram_gbps
+            } else {
+                b.dram_gbps
+            },
+            dataflows: if rng.chance(0.5) {
+                a.dataflows
+            } else {
+                b.dataflows
+            },
+            tile_cap: if rng.chance(0.5) {
+                a.tile_cap
+            } else {
+                b.tile_cap
+            },
+        }
+    }
+}
+
+/// Moves `current` one position up or down its axis (random direction,
+/// clamped); falls back to a random choice if `current` left the axis.
+fn step<T: Copy + PartialEq>(axis: &[T], current: T, rng: &mut SplitMix64) -> T {
+    match axis.iter().position(|v| *v == current) {
+        Some(i) => {
+            let j = if rng.chance(0.5) {
+                i.saturating_sub(1)
+            } else {
+                (i + 1).min(axis.len() - 1)
+            };
+            axis[j]
+        }
+        None => *rng.pick(axis),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_genome_is_exactly_lego_256() {
+        assert_eq!(
+            Genome::lego_256_baseline().to_hw_config(),
+            HwConfig::lego_256()
+        );
+    }
+
+    #[test]
+    fn enumerate_matches_size_and_is_unique() {
+        let s = DesignSpace::paper();
+        let all = s.enumerate();
+        assert_eq!(all.len(), s.size());
+        let keys: std::collections::HashSet<u64> = all.iter().map(Genome::key).collect();
+        assert_eq!(keys.len(), all.len(), "genome keys must be distinct");
+    }
+
+    #[test]
+    fn sample_mutate_crossover_stay_in_space() {
+        let s = DesignSpace::paper();
+        let inside = |g: &Genome| {
+            s.rows.contains(&g.rows)
+                && s.cols.contains(&g.cols)
+                && s.buffer_kb.contains(&g.buffer_kb)
+                && s.dram_gbps.contains(&g.dram_gbps)
+                && s.dataflow_sets.contains(&g.dataflows)
+                && s.tile_caps.contains(&g.tile_cap)
+        };
+        let mut rng = SplitMix64::new(1);
+        for _ in 0..200 {
+            let a = s.sample(&mut rng);
+            let b = s.sample(&mut rng);
+            assert!(inside(&a) && inside(&b));
+            assert!(inside(&s.mutate(&a, &mut rng)));
+            assert!(inside(&s.crossover(&a, &b, &mut rng)));
+        }
+    }
+
+    #[test]
+    fn dataflow_set_roundtrip_and_display() {
+        let set = DataflowSet::new(&[SpatialMapping::ConvOhOw, SpatialMapping::GemmMN]);
+        assert_eq!(
+            set.to_vec(),
+            vec![SpatialMapping::GemmMN, SpatialMapping::ConvOhOw]
+        );
+        assert_eq!(set.to_string(), "MN+OHOW");
+        assert_eq!(set.len(), 2);
+        assert!(set.contains(SpatialMapping::GemmMN));
+        assert!(!set.contains(SpatialMapping::GemmKN));
+    }
+
+    #[test]
+    fn genome_key_is_stable_and_field_sensitive() {
+        let g = Genome::lego_256_baseline();
+        assert_eq!(g.key(), g.key());
+        let mut h = g;
+        h.buffer_kb = 512;
+        assert_ne!(g.key(), h.key());
+    }
+}

@@ -46,7 +46,12 @@ impl FuEdge {
 
     /// Maximum FIFO depth over the dataflows that activate this edge.
     pub fn max_depth(&self) -> i64 {
-        self.depth_per_df.iter().flatten().copied().max().unwrap_or(0)
+        self.depth_per_df
+            .iter()
+            .flatten()
+            .copied()
+            .max()
+            .unwrap_or(0)
     }
 
     /// `true` if the edge carries data under dataflow `df`.
@@ -83,7 +88,9 @@ pub struct TensorPlan {
 impl TensorPlan {
     /// Data nodes active under dataflow `df`.
     pub fn data_nodes_in(&self, df: usize) -> impl Iterator<Item = &DataNode> {
-        self.data_nodes.iter().filter(move |d| d.active_in.contains(&df))
+        self.data_nodes
+            .iter()
+            .filter(move |d| d.active_in.contains(&df))
     }
 }
 

@@ -172,12 +172,7 @@ pub fn analyze_tensor(
 /// The solution set is a lattice `p + span(B)`; `p` is first reduced into
 /// the box by Babai-style rounding along the basis, then the lattice is
 /// enumerated in a small coefficient window around the reduced point.
-fn minimal_shift(
-    m: &IMat,
-    rhs: &[i64],
-    sizes: &[i64],
-    min_gap: i64,
-) -> Option<(Vec<i64>, i64)> {
+fn minimal_shift(m: &IMat, rhs: &[i64], sizes: &[i64], min_gap: i64) -> Option<(Vec<i64>, i64)> {
     let sol = solve(m, rhs)?;
     let mut p = sol.particular.clone();
     let basis = &sol.basis;
@@ -238,10 +233,7 @@ fn minimal_shift(
                 }
             }
         }
-        let in_box = cand
-            .iter()
-            .zip(sizes)
-            .all(|(x, r)| x.abs() <= r - 1);
+        let in_box = cand.iter().zip(sizes).all(|(x, r)| x.abs() <= r - 1);
         if in_box {
             let gap = scalar_gap(&cand, sizes);
             if gap >= min_gap {
@@ -296,11 +288,16 @@ mod tests {
         // Tensor X = [i, k]: invariant along s_j.
         let x = gemm.access("X").unwrap();
         let sols = analyze_tensor(&gemm, &df, x, 1);
-        let direct: Vec<_> = sols.iter().filter(|s| s.kind == ReuseKind::Direct).collect();
+        let direct: Vec<_> = sols
+            .iter()
+            .filter(|s| s.kind == ReuseKind::Direct)
+            .collect();
         // (0,1) kept with depth 1 (systolic); (0,-1) has Δt_bias = -1 and is
         // realized instead through the delay equation: advancing the j loop
         // by one (2 cycles here, k is innermost) minus the bias → depth 1.
-        assert!(direct.iter().any(|s| s.delta_s == vec![0, 1] && s.depth == 1));
+        assert!(direct
+            .iter()
+            .any(|s| s.delta_s == vec![0, 1] && s.depth == 1));
         assert!(!direct.iter().any(|s| s.delta_s == vec![0, -1]));
         let back = sols
             .iter()

@@ -54,7 +54,11 @@ impl MemoryPlan {
     /// over dataflows (each dataflow views the pool in its own geometry, as
     /// in paper Figure 6c where 4 banks serve both 4×1 and 2×2 views).
     pub fn fused_banks(&self) -> i64 {
-        self.per_dataflow.iter().map(BankShape::total).max().unwrap_or(1)
+        self.per_dataflow
+            .iter()
+            .map(BankShape::total)
+            .max()
+            .unwrap_or(1)
     }
 }
 
@@ -164,8 +168,14 @@ mod tests {
     fn fused_banks_take_maximum() {
         let plan = MemoryPlan {
             per_dataflow: vec![
-                BankShape { counts: vec![3, 1], gcds: vec![1, 1] },
-                BankShape { counts: vec![2, 2], gcds: vec![1, 1] },
+                BankShape {
+                    counts: vec![3, 1],
+                    gcds: vec![1, 1],
+                },
+                BankShape {
+                    counts: vec![2, 2],
+                    gcds: vec![1, 1],
+                },
             ],
         };
         // Figure 6(c): 3 banks vs 4 banks → fused pool of 4.
@@ -208,7 +218,10 @@ mod tests {
 
     #[test]
     fn bank_of_handles_negative_indexes() {
-        let shape = BankShape { counts: vec![4], gcds: vec![1] };
+        let shape = BankShape {
+            counts: vec![4],
+            gcds: vec![1],
+        };
         assert_eq!(shape.bank_of(&[-1]), vec![3]);
         assert_eq!(shape.bank_of(&[7]), vec![3]);
     }

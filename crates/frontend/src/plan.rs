@@ -165,21 +165,28 @@ fn plan_tensor(
         // otherwise take the best partial cover and re-queue the leftovers.
         let mut best: Option<(usize, Vec<(usize, usize, i64)>, Vec<bool>)> = None;
         for &root in &candidates {
-            let (chosen, visited) =
-                grow_chain(df, plan, &members, root, is_output, &merged, &built_root_len);
+            let (chosen, visited) = grow_chain(
+                df,
+                plan,
+                &members,
+                root,
+                is_output,
+                &merged,
+                &built_root_len,
+            );
             let count = visited.iter().filter(|&&v| v).count();
             if count == members.len() {
                 best = Some((root, chosen, visited));
                 break;
             }
-            if best.as_ref().is_none_or(|(_, _, bv)| {
-                count > bv.iter().filter(|&&v| v).count()
-            }) {
+            if best
+                .as_ref()
+                .is_none_or(|(_, _, bv)| count > bv.iter().filter(|&&v| v).count())
+            {
                 best = Some((root, chosen, visited));
             }
         }
-        let (root, chosen, visited) =
-            best.expect("chain always has at least one candidate root");
+        let (root, chosen, visited) = best.expect("chain always has at least one candidate root");
 
         for (from, to, depth) in chosen {
             insert_edge(edges, &access.tensor, from, to, k, depth, n_df);
@@ -204,7 +211,11 @@ fn plan_tensor(
                     active.push(k);
                 }
             }
-            ChainLink::Delay { from_fu, to_fu, depth } => {
+            ChainLink::Delay {
+                from_fu,
+                to_fu,
+                depth,
+            } => {
                 insert_edge(edges, &access.tensor, from_fu, to_fu, k, depth, n_df);
                 merged.insert((from_fu, to_fu));
             }
@@ -334,7 +345,11 @@ fn analyze_dataflow(
         // For input the arborescence edge enters the receiving chain; for
         // output it enters the *sending* chain of the physical flow.
         let chain = e.to;
-        links[chain] = ChainLink::Delay { from_fu, to_fu, depth };
+        links[chain] = ChainLink::Delay {
+            from_fu,
+            to_fu,
+            depth,
+        };
     }
 
     Ok(DfPlan {
@@ -375,11 +390,8 @@ fn grow_chain(
     built_root_len: &HashMap<usize, usize>,
 ) -> (Vec<(usize, usize, i64)>, Vec<bool>) {
     let coords = df.fu_coords();
-    let member_pos: HashMap<usize, usize> = members
-        .iter()
-        .enumerate()
-        .map(|(i, &fu)| (fu, i))
-        .collect();
+    let member_pos: HashMap<usize, usize> =
+        members.iter().enumerate().map(|(i, &fu)| (fu, i)).collect();
     let mut visited = vec![false; members.len()];
     let Some(&root_pos) = member_pos.get(&root) else {
         return (Vec::new(), visited);
@@ -404,7 +416,9 @@ fn grow_chain(
                     step(df, &coords[u], &sol.delta_s)
                 };
                 let Some(w) = target else { continue };
-                let Some(&wp) = member_pos.get(&w) else { continue };
+                let Some(&wp) = member_pos.get(&w) else {
+                    continue;
+                };
                 if visited[wp] {
                     continue;
                 }
@@ -534,7 +548,10 @@ mod tests {
 
         let y_plan = adg.tensor_plan("Y").unwrap();
         assert_eq!(y_plan.data_nodes.len(), 4, "output-parallel commit");
-        assert!(y_plan.stationary_in[0], "Y accumulates locally over ic/kh/kw");
+        assert!(
+            y_plan.stationary_in[0],
+            "Y accumulates locally over ic/kh/kw"
+        );
     }
 
     #[test]
@@ -565,8 +582,7 @@ mod tests {
                 if plan.role == TensorRole::Output {
                     continue;
                 }
-                let mut fed: HashSet<usize> =
-                    plan.data_nodes.iter().map(|d| d.fu).collect();
+                let mut fed: HashSet<usize> = plan.data_nodes.iter().map(|d| d.fu).collect();
                 let mut changed = true;
                 while changed {
                     changed = false;

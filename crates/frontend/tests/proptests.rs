@@ -9,8 +9,15 @@ use proptest::prelude::*;
 
 fn gemm_dataflow_strategy() -> impl Strategy<Value = (lego_ir::Workload, lego_ir::Dataflow)> {
     // Random GEMM shape with random divisor parallelization and control.
-    (1usize..3, 1usize..3, 1usize..3, 0usize..2, 0usize..2, proptest::bool::ANY).prop_map(
-        |(mi, ni, ki, pi, pj, systolic)| {
+    (
+        1usize..3,
+        1usize..3,
+        1usize..3,
+        0usize..2,
+        0usize..2,
+        proptest::bool::ANY,
+    )
+        .prop_map(|(mi, ni, ki, pi, pj, systolic)| {
             let dims = [4i64, 8];
             let (m, n, k) = (dims[mi % 2], dims[ni % 2], dims[ki % 2]);
             let g = kernels::gemm(m, n, k);
@@ -25,8 +32,7 @@ fn gemm_dataflow_strategy() -> impl Strategy<Value = (lego_ir::Workload, lego_ir
                 .build("rand")
                 .expect("divisor parallelization is valid");
             (g, df)
-        },
-    )
+        })
 }
 
 proptest! {

@@ -55,7 +55,10 @@ pub fn min_spanning_arborescence(g: &DiGraph, root: NodeId) -> Option<Arborescen
     let chosen = mst_rec(g.node_count(), &edges, root)?;
     let edge_ids: Vec<EdgeId> = chosen.iter().map(|&i| edges[i].parent_idx).collect();
     let cost = edge_ids.iter().map(|&id| g.edge(id).weight).sum();
-    Some(Arborescence { cost, edges: edge_ids })
+    Some(Arborescence {
+        cost,
+        edges: edge_ids,
+    })
 }
 
 /// Recursive Chu-Liu/Edmonds. Returns indices into `edges` forming a minimum
@@ -320,7 +323,10 @@ mod tests {
                     validate(&g, root, &arb);
                     assert_eq!(arb.cost, c, "trial {trial}: wrong cost");
                 }
-                (e, a) => panic!("trial {trial}: feasibility mismatch {e:?} vs {:?}", a.map(|x| x.cost)),
+                (e, a) => panic!(
+                    "trial {trial}: feasibility mismatch {e:?} vs {:?}",
+                    a.map(|x| x.cost)
+                ),
             }
         }
     }

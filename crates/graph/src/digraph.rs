@@ -79,7 +79,12 @@ impl DiGraph {
     pub fn add_edge(&mut self, from: NodeId, to: NodeId, weight: i64) -> EdgeId {
         assert!(from < self.n && to < self.n, "edge endpoint out of range");
         let id = self.edges.len();
-        self.edges.push(EdgeRef { id, from, to, weight });
+        self.edges.push(EdgeRef {
+            id,
+            from,
+            to,
+            weight,
+        });
         self.out[from].push(id);
         self.inc[to].push(id);
         id

@@ -38,8 +38,7 @@ pub fn toposort(g: &DiGraph) -> Option<Vec<NodeId>> {
     for e in g.edges() {
         indeg[e.to] += 1;
     }
-    let mut queue: std::collections::VecDeque<NodeId> =
-        (0..n).filter(|&v| indeg[v] == 0).collect();
+    let mut queue: std::collections::VecDeque<NodeId> = (0..n).filter(|&v| indeg[v] == 0).collect();
     let mut order = Vec::with_capacity(n);
     while let Some(v) = queue.pop_front() {
         order.push(v);
@@ -113,7 +112,12 @@ mod tests {
             p
         };
         for e in g.edges() {
-            assert!(pos[e.from] < pos[e.to], "edge {}->{} violated", e.from, e.to);
+            assert!(
+                pos[e.from] < pos[e.to],
+                "edge {}->{} violated",
+                e.from,
+                e.to
+            );
         }
     }
 

@@ -28,11 +28,7 @@ use crate::unionfind::UnionFind;
 /// assert_eq!(cost, 3);
 /// ```
 pub fn undirected_mst(g: &DiGraph) -> Vec<EdgeId> {
-    let mut ids: Vec<EdgeId> = g
-        .edges()
-        .filter(|e| e.from != e.to)
-        .map(|e| e.id)
-        .collect();
+    let mut ids: Vec<EdgeId> = g.edges().filter(|e| e.from != e.to).map(|e| e.id).collect();
     ids.sort_by_key(|&id| (g.edge(id).weight, id));
     let mut uf = UnionFind::new(g.node_count());
     let mut chosen = Vec::new();

@@ -39,9 +39,21 @@ pub fn gemm(m: i64, n: i64, k: i64) -> Workload {
         "GEMM",
         vec![("i", m), ("j", n), ("k", k)],
         vec![
-            access("Y", TensorRole::Output, AffineMap::linear(select(3, &[0, 1]))),
-            access("X", TensorRole::Input, AffineMap::linear(select(3, &[0, 2]))),
-            access("W", TensorRole::Input, AffineMap::linear(select(3, &[2, 1]))),
+            access(
+                "Y",
+                TensorRole::Output,
+                AffineMap::linear(select(3, &[0, 1])),
+            ),
+            access(
+                "X",
+                TensorRole::Input,
+                AffineMap::linear(select(3, &[0, 2])),
+            ),
+            access(
+                "W",
+                TensorRole::Input,
+                AffineMap::linear(select(3, &[2, 1])),
+            ),
         ],
         FuOp::MulAcc,
     )
@@ -53,7 +65,16 @@ pub fn gemm(m: i64, n: i64, k: i64) -> Workload {
 ///
 /// Iteration dims follow the paper's Figure 4 order:
 /// `[n, oc, ic, oh, ow, kh, kw]`.
-pub fn conv2d(n: i64, ic: i64, oc: i64, oh: i64, ow: i64, kh: i64, kw: i64, stride: i64) -> Workload {
+pub fn conv2d(
+    n: i64,
+    ic: i64,
+    oc: i64,
+    oh: i64,
+    ow: i64,
+    kh: i64,
+    kw: i64,
+    stride: i64,
+) -> Workload {
     assert!(stride >= 1, "stride must be >= 1");
     // dims: 0:n 1:oc 2:ic 3:oh 4:ow 5:kh 6:kw
     let y = select(7, &[0, 1, 3, 4]);
@@ -91,7 +112,15 @@ pub fn conv2d(n: i64, ic: i64, oc: i64, oh: i64, ow: i64, kh: i64, kw: i64, stri
 /// The single channel dimension is shared between input and output — the
 /// case where IC-OC-parallel dataflows collapse to 1/P utilization and the
 /// paper's dynamically switched OH-OW dataflow wins (§VI-B).
-pub fn depthwise_conv2d(n: i64, c: i64, oh: i64, ow: i64, kh: i64, kw: i64, stride: i64) -> Workload {
+pub fn depthwise_conv2d(
+    n: i64,
+    c: i64,
+    oh: i64,
+    ow: i64,
+    kh: i64,
+    kw: i64,
+    stride: i64,
+) -> Workload {
     assert!(stride >= 1, "stride must be >= 1");
     // dims: 0:n 1:c 2:oh 3:ow 4:kh 5:kw
     let y = select(6, &[0, 1, 2, 3]);
@@ -105,7 +134,14 @@ pub fn depthwise_conv2d(n: i64, c: i64, oh: i64, ow: i64, kh: i64, kw: i64, stri
     x[(3, 5)] = 1;
     Workload::new(
         "DWConv2D",
-        vec![("n", n), ("c", c), ("oh", oh), ("ow", ow), ("kh", kh), ("kw", kw)],
+        vec![
+            ("n", n),
+            ("c", c),
+            ("oh", oh),
+            ("ow", ow),
+            ("kh", kh),
+            ("kw", kw),
+        ],
         vec![
             access("Y", TensorRole::Output, AffineMap::linear(y)),
             access("X", TensorRole::Input, AffineMap::linear(x)),
@@ -124,10 +160,26 @@ pub fn mttkrp(i: i64, j: i64, k: i64, l: i64) -> Workload {
         "MTTKRP",
         vec![("i", i), ("j", j), ("k", k), ("l", l)],
         vec![
-            access("Y", TensorRole::Output, AffineMap::linear(select(4, &[0, 1]))),
-            access("A", TensorRole::Input, AffineMap::linear(select(4, &[0, 2, 3]))),
-            access("B", TensorRole::Input, AffineMap::linear(select(4, &[2, 1]))),
-            access("C", TensorRole::Input, AffineMap::linear(select(4, &[3, 1]))),
+            access(
+                "Y",
+                TensorRole::Output,
+                AffineMap::linear(select(4, &[0, 1])),
+            ),
+            access(
+                "A",
+                TensorRole::Input,
+                AffineMap::linear(select(4, &[0, 2, 3])),
+            ),
+            access(
+                "B",
+                TensorRole::Input,
+                AffineMap::linear(select(4, &[2, 1])),
+            ),
+            access(
+                "C",
+                TensorRole::Input,
+                AffineMap::linear(select(4, &[3, 1])),
+            ),
         ],
         FuOp::TripleMulAcc,
     )
@@ -141,9 +193,21 @@ pub fn attention_scores(seq_q: i64, seq_kv: i64, dk: i64) -> Workload {
         "Attention-QK",
         vec![("q", seq_q), ("p", seq_kv), ("d", dk)],
         vec![
-            access("S", TensorRole::Output, AffineMap::linear(select(3, &[0, 1]))),
-            access("Q", TensorRole::Input, AffineMap::linear(select(3, &[0, 2]))),
-            access("K", TensorRole::Input, AffineMap::linear(select(3, &[1, 2]))),
+            access(
+                "S",
+                TensorRole::Output,
+                AffineMap::linear(select(3, &[0, 1])),
+            ),
+            access(
+                "Q",
+                TensorRole::Input,
+                AffineMap::linear(select(3, &[0, 2])),
+            ),
+            access(
+                "K",
+                TensorRole::Input,
+                AffineMap::linear(select(3, &[1, 2])),
+            ),
         ],
         FuOp::MulAcc,
     )
@@ -157,9 +221,21 @@ pub fn attention_values(seq_q: i64, seq_kv: i64, dv: i64) -> Workload {
         "Attention-PV",
         vec![("q", seq_q), ("d", dv), ("p", seq_kv)],
         vec![
-            access("O", TensorRole::Output, AffineMap::linear(select(3, &[0, 1]))),
-            access("P", TensorRole::Input, AffineMap::linear(select(3, &[0, 2]))),
-            access("V", TensorRole::Input, AffineMap::linear(select(3, &[2, 1]))),
+            access(
+                "O",
+                TensorRole::Output,
+                AffineMap::linear(select(3, &[0, 1])),
+            ),
+            access(
+                "P",
+                TensorRole::Input,
+                AffineMap::linear(select(3, &[0, 2])),
+            ),
+            access(
+                "V",
+                TensorRole::Input,
+                AffineMap::linear(select(3, &[2, 1])),
+            ),
         ],
         FuOp::MulAcc,
     )
@@ -175,7 +251,14 @@ pub mod dataflows {
     use crate::workload::IrError;
 
     /// Generic two-axis parallelization with broadcast control.
-    pub fn par2(w: &Workload, d0: &str, p0: i64, d1: &str, p1: i64, name: &str) -> Result<Dataflow, IrError> {
+    pub fn par2(
+        w: &Workload,
+        d0: &str,
+        p0: i64,
+        d1: &str,
+        p1: i64,
+        name: &str,
+    ) -> Result<Dataflow, IrError> {
         DataflowBuilder::new(w).par(d0, p0).par(d1, p1).build(name)
     }
 
@@ -303,9 +386,21 @@ pub fn bitfusion_gemm(m: i64, n: i64, k: i64) -> Workload {
         "BitFusion-GEMM",
         vec![("i", m), ("j", n), ("k", k)],
         vec![
-            access("Y", TensorRole::Output, AffineMap::linear(select(3, &[0, 1]))),
-            access("A", TensorRole::Input, AffineMap::linear(select(3, &[0, 2]))),
-            access("B", TensorRole::Input, AffineMap::linear(select(3, &[2, 1]))),
+            access(
+                "Y",
+                TensorRole::Output,
+                AffineMap::linear(select(3, &[0, 1])),
+            ),
+            access(
+                "A",
+                TensorRole::Input,
+                AffineMap::linear(select(3, &[0, 2])),
+            ),
+            access(
+                "B",
+                TensorRole::Input,
+                AffineMap::linear(select(3, &[2, 1])),
+            ),
             access("S", TensorRole::Input, AffineMap::linear(select(3, &[2]))),
         ],
         FuOp::MulShiftAcc,
@@ -327,7 +422,14 @@ pub fn max_pool2d(n: i64, c: i64, oh: i64, ow: i64, kh: i64, kw: i64, stride: i6
     x[(3, 5)] = 1;
     Workload::new(
         "MaxPool2D",
-        vec![("n", n), ("c", c), ("oh", oh), ("ow", ow), ("kh", kh), ("kw", kw)],
+        vec![
+            ("n", n),
+            ("c", c),
+            ("oh", oh),
+            ("ow", ow),
+            ("kh", kh),
+            ("kw", kw),
+        ],
         vec![
             access("Y", TensorRole::Output, AffineMap::linear(y)),
             access("X", TensorRole::Input, AffineMap::linear(x)),

@@ -77,7 +77,11 @@ impl TensorData {
         assert_eq!(index.len(), self.shape.len(), "index rank mismatch");
         let mut off = 0usize;
         for (x, d) in index.iter().zip(&self.shape) {
-            assert!(*x >= 0 && x < d, "index {index:?} out of bounds {:?}", self.shape);
+            assert!(
+                *x >= 0 && x < d,
+                "index {index:?} out of bounds {:?}",
+                self.shape
+            );
             off = off * (*d as usize) + *x as usize;
         }
         off
@@ -196,8 +200,8 @@ mod tests {
                     for ic in 0..2 {
                         for kh in 0..2 {
                             for kw in 0..2 {
-                                expect += x.get(&[0, ic, oh + kh, ow + kw])
-                                    * w.get(&[oc, ic, kh, kw]);
+                                expect +=
+                                    x.get(&[0, ic, oh + kh, ow + kw]) * w.get(&[oc, ic, kh, kw]);
                             }
                         }
                     }

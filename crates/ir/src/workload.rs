@@ -51,17 +51,28 @@ impl std::fmt::Display for IrError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             IrError::OutputCount(n) => write!(f, "workload needs exactly one output, found {n}"),
-            IrError::MapArity { tensor, got, expected } => write!(
+            IrError::MapArity {
+                tensor,
+                got,
+                expected,
+            } => write!(
                 f,
                 "tensor `{tensor}` map takes {got} dims, iteration domain has {expected}"
             ),
             IrError::NonPositiveBound(d) => write!(f, "dimension `{d}` has non-positive bound"),
             IrError::DuplicateName(n) => write!(f, "duplicate name `{n}`"),
             IrError::OpArity { expected, got } => {
-                write!(f, "operator takes {expected} inputs, workload provides {got}")
+                write!(
+                    f,
+                    "operator takes {expected} inputs, workload provides {got}"
+                )
             }
             IrError::UnknownDim(d) => write!(f, "unknown iteration dimension `{d}`"),
-            IrError::FactorMismatch { dim, product, bound } => write!(
+            IrError::FactorMismatch {
+                dim,
+                product,
+                bound,
+            } => write!(
                 f,
                 "factors of `{dim}` multiply to {product}, bound is {bound}"
             ),
@@ -293,7 +304,13 @@ impl Workload {
         let mut max = vec![0i64; nd];
         for corner in 0..(1usize << rank) {
             let point: Vec<i64> = (0..rank)
-                .map(|d| if corner >> d & 1 == 1 { self.bounds[d] - 1 } else { 0 })
+                .map(|d| {
+                    if corner >> d & 1 == 1 {
+                        self.bounds[d] - 1
+                    } else {
+                        0
+                    }
+                })
                 .collect();
             let idx = access.map.apply(&point);
             for (m, v) in max.iter_mut().zip(&idx) {

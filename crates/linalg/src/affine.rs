@@ -31,7 +31,11 @@ impl AffineMap {
     ///
     /// Panics if `bias.len() != matrix.rows()`.
     pub fn new(matrix: IMat, bias: Vec<i64>) -> Self {
-        assert_eq!(bias.len(), matrix.rows(), "affine map: bias length mismatch");
+        assert_eq!(
+            bias.len(),
+            matrix.rows(),
+            "affine map: bias length mismatch"
+        );
         AffineMap { matrix, bias }
     }
 

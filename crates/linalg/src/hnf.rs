@@ -92,16 +92,17 @@ pub fn hermite_normal_form(a: &IMat) -> Hnf {
         }
     };
     // col[j] -= q * col[i]
-    let axpy_cols = |h: &mut Vec<Vec<i128>>, u: &mut Vec<Vec<i128>>, j: usize, q: i128, i: usize| {
-        for row in h.iter_mut() {
-            let v = row[i];
-            row[j] -= q * v;
-        }
-        for row in u.iter_mut() {
-            let v = row[i];
-            row[j] -= q * v;
-        }
-    };
+    let axpy_cols =
+        |h: &mut Vec<Vec<i128>>, u: &mut Vec<Vec<i128>>, j: usize, q: i128, i: usize| {
+            for row in h.iter_mut() {
+                let v = row[i];
+                row[j] -= q * v;
+            }
+            for row in u.iter_mut() {
+                let v = row[i];
+                row[j] -= q * v;
+            }
+        };
     let negate_col = |h: &mut Vec<Vec<i128>>, u: &mut Vec<Vec<i128>>, i: usize| {
         for row in h.iter_mut() {
             row[i] = -row[i];

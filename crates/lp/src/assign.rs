@@ -30,7 +30,10 @@ pub fn hungarian(cost: &[Vec<i64>]) -> (i64, Vec<usize>) {
     let n = cost.len();
     assert!(n > 0, "hungarian: empty cost matrix");
     let m = cost[0].len();
-    assert!(cost.iter().all(|r| r.len() == m), "hungarian: ragged matrix");
+    assert!(
+        cost.iter().all(|r| r.len() == m),
+        "hungarian: ragged matrix"
+    );
     assert!(n <= m, "hungarian: more rows than columns");
 
     const INF: i64 = i64::MAX / 4;
@@ -178,11 +181,7 @@ fn greedy_search(
         }
         let cost: Vec<Vec<i64>> = pins
             .iter()
-            .map(|&p| {
-                (0..q)
-                    .map(|j| i64::from(!used.contains(&(p, j))))
-                    .collect()
-            })
+            .map(|&p| (0..q).map(|j| i64::from(!used.contains(&(p, j)))).collect())
             .collect();
         let (_, asg) = hungarian(&cost);
         for (idx, &p) in pins.iter().enumerate() {
@@ -337,7 +336,10 @@ mod tests {
     }
 
     fn validate_remap(active: &[Vec<usize>], remap: &PinRemap) {
-        assert_eq!(remap.physical_pins, active.iter().map(Vec::len).max().unwrap_or(0));
+        assert_eq!(
+            remap.physical_pins,
+            active.iter().map(Vec::len).max().unwrap_or(0)
+        );
         let mut pairs = std::collections::HashSet::new();
         for (k, pins) in active.iter().enumerate() {
             let mapped: std::collections::HashMap<usize, usize> =
@@ -345,7 +347,9 @@ mod tests {
             assert_eq!(mapped.len(), pins.len(), "dataflow {k}: wrong count");
             let mut phys = std::collections::HashSet::new();
             for &p in pins {
-                let j = *mapped.get(&p).unwrap_or_else(|| panic!("pin {p} unmapped in {k}"));
+                let j = *mapped
+                    .get(&p)
+                    .unwrap_or_else(|| panic!("pin {p} unmapped in {k}"));
                 assert!(j < remap.physical_pins);
                 assert!(phys.insert(j), "dataflow {k}: physical pin reused");
                 pairs.insert((p, j));
@@ -398,7 +402,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(23);
         for _ in 0..100 {
             let k = rng.gen_range(1..=4);
-            let total_pins = rng.gen_range(1..=8);
+            let total_pins: usize = rng.gen_range(1..=8);
             let active: Vec<Vec<usize>> = (0..k)
                 .map(|_| {
                     let cnt = rng.gen_range(1..=total_pins.min(4));

@@ -186,8 +186,7 @@ fn is_dag(n: usize, edges: &[DelayEdge]) -> bool {
         indeg[e.to] += 1;
         out[e.from].push(e.to);
     }
-    let mut queue: std::collections::VecDeque<usize> =
-        (0..n).filter(|&v| indeg[v] == 0).collect();
+    let mut queue: std::collections::VecDeque<usize> = (0..n).filter(|&v| indeg[v] == 0).collect();
     let mut seen = 0;
     while let Some(v) = queue.pop_front() {
         seen += 1;
@@ -249,8 +248,18 @@ mod tests {
         // Two distinct sources joining at node 2: the controller can start
         // source 0 two cycles late, so no registers are needed.
         let edges = [
-            DelayEdge { from: 0, to: 2, width: 8, latency: 1 },
-            DelayEdge { from: 1, to: 2, width: 16, latency: 3 },
+            DelayEdge {
+                from: 0,
+                to: 2,
+                width: 8,
+                latency: 1,
+            },
+            DelayEdge {
+                from: 1,
+                to: 2,
+                width: 16,
+                latency: 3,
+            },
         ];
         let sol = solve_delay_matching(3, &edges).unwrap();
         assert_eq!(sol.register_cost, 0);
@@ -263,8 +272,18 @@ mod tests {
         // The same source reaching one sink over unequal paths: registers
         // must balance, and the LP pads the cheaper (8-bit) edge.
         let edges = [
-            DelayEdge { from: 0, to: 1, width: 8, latency: 1 },
-            DelayEdge { from: 0, to: 1, width: 16, latency: 3 },
+            DelayEdge {
+                from: 0,
+                to: 1,
+                width: 8,
+                latency: 1,
+            },
+            DelayEdge {
+                from: 0,
+                to: 1,
+                width: 16,
+                latency: 3,
+            },
         ];
         let sol = solve_delay_matching(2, &edges).unwrap();
         assert_eq!(sol.register_cost, 16);
@@ -275,10 +294,30 @@ mod tests {
     fn shared_source_prefers_light_edge_registers() {
         // Source 0 fans out to 1 (L=1) and 2 (L=3), both feed 3 (L=1, L=1).
         let edges = [
-            DelayEdge { from: 0, to: 1, width: 8, latency: 1 },
-            DelayEdge { from: 0, to: 2, width: 8, latency: 3 },
-            DelayEdge { from: 1, to: 3, width: 32, latency: 1 },
-            DelayEdge { from: 2, to: 3, width: 32, latency: 1 },
+            DelayEdge {
+                from: 0,
+                to: 1,
+                width: 8,
+                latency: 1,
+            },
+            DelayEdge {
+                from: 0,
+                to: 2,
+                width: 8,
+                latency: 3,
+            },
+            DelayEdge {
+                from: 1,
+                to: 3,
+                width: 32,
+                latency: 1,
+            },
+            DelayEdge {
+                from: 2,
+                to: 3,
+                width: 32,
+                latency: 1,
+            },
         ];
         let sol = solve_delay_matching(4, &edges).unwrap();
         // Equalize by padding the 8-bit 0→1 edge, not a 32-bit edge.
@@ -289,8 +328,18 @@ mod tests {
     #[test]
     fn already_matched_costs_nothing() {
         let edges = [
-            DelayEdge { from: 0, to: 1, width: 8, latency: 2 },
-            DelayEdge { from: 1, to: 2, width: 8, latency: 1 },
+            DelayEdge {
+                from: 0,
+                to: 1,
+                width: 8,
+                latency: 2,
+            },
+            DelayEdge {
+                from: 1,
+                to: 2,
+                width: 8,
+                latency: 1,
+            },
         ];
         let sol = solve_delay_matching(3, &edges).unwrap();
         assert_eq!(sol.register_cost, 0);
@@ -300,23 +349,54 @@ mod tests {
     #[test]
     fn cycle_rejected() {
         let edges = [
-            DelayEdge { from: 0, to: 1, width: 1, latency: 1 },
-            DelayEdge { from: 1, to: 0, width: 1, latency: 1 },
+            DelayEdge {
+                from: 0,
+                to: 1,
+                width: 1,
+                latency: 1,
+            },
+            DelayEdge {
+                from: 1,
+                to: 0,
+                width: 1,
+                latency: 1,
+            },
         ];
         assert_eq!(solve_delay_matching(2, &edges), Err(DelayError::Cyclic));
     }
 
     #[test]
     fn bad_inputs_rejected() {
-        let e = DelayEdge { from: 0, to: 5, width: 1, latency: 0 };
-        assert_eq!(solve_delay_matching(2, &[e]), Err(DelayError::NodeOutOfRange));
-        let e = DelayEdge { from: 0, to: 1, width: -1, latency: 0 };
-        assert_eq!(solve_delay_matching(2, &[e]), Err(DelayError::NegativeWidth));
+        let e = DelayEdge {
+            from: 0,
+            to: 5,
+            width: 1,
+            latency: 0,
+        };
+        assert_eq!(
+            solve_delay_matching(2, &[e]),
+            Err(DelayError::NodeOutOfRange)
+        );
+        let e = DelayEdge {
+            from: 0,
+            to: 1,
+            width: -1,
+            latency: 0,
+        };
+        assert_eq!(
+            solve_delay_matching(2, &[e]),
+            Err(DelayError::NegativeWidth)
+        );
     }
 
     #[test]
     fn isolated_nodes_untouched() {
-        let edges = [DelayEdge { from: 1, to: 3, width: 4, latency: 2 }];
+        let edges = [DelayEdge {
+            from: 1,
+            to: 3,
+            width: 4,
+            latency: 2,
+        }];
         let sol = solve_delay_matching(5, &edges).unwrap();
         assert_eq!(sol.node_delay[0], 0);
         assert_eq!(sol.node_delay[2], 0);
@@ -346,7 +426,10 @@ mod tests {
             let sol = solve_delay_matching(n, &edges).unwrap();
             for (e, &el) in edges.iter().zip(&sol.extra_latency) {
                 assert!(el >= 0);
-                assert_eq!(sol.node_delay[e.to] - sol.node_delay[e.from], e.latency + el);
+                assert_eq!(
+                    sol.node_delay[e.to] - sol.node_delay[e.from],
+                    e.latency + el
+                );
             }
             let oracle = simplex_oracle(n, &edges);
             assert!(

@@ -60,11 +60,24 @@ impl MinCostFlow {
     ///
     /// Panics if an endpoint is out of range or `cap < 0`.
     pub fn add_arc(&mut self, from: usize, to: usize, cap: i64, cost: i64) -> usize {
-        assert!(from < self.graph.len() && to < self.graph.len(), "arc endpoint out of range");
+        assert!(
+            from < self.graph.len() && to < self.graph.len(),
+            "arc endpoint out of range"
+        );
         assert!(cap >= 0, "negative capacity");
         let fwd = self.arcs.len();
-        self.arcs.push(Arc { to, cap, cost, rev: fwd + 1 });
-        self.arcs.push(Arc { to: from, cap: 0, cost: -cost, rev: fwd });
+        self.arcs.push(Arc {
+            to,
+            cap,
+            cost,
+            rev: fwd + 1,
+        });
+        self.arcs.push(Arc {
+            to: from,
+            cap: 0,
+            cost: -cost,
+            rev: fwd,
+        });
         self.graph[from].push(fwd);
         self.graph[to].push(fwd + 1);
         self.caps.push(cap);

@@ -308,9 +308,21 @@ mod tests {
             objective: vec![3.0, 5.0],
             minimize: false,
             constraints: vec![
-                Constraint { coeffs: vec![1.0, 0.0], rel: Relation::Le, rhs: 4.0 },
-                Constraint { coeffs: vec![0.0, 2.0], rel: Relation::Le, rhs: 12.0 },
-                Constraint { coeffs: vec![3.0, 2.0], rel: Relation::Le, rhs: 18.0 },
+                Constraint {
+                    coeffs: vec![1.0, 0.0],
+                    rel: Relation::Le,
+                    rhs: 4.0,
+                },
+                Constraint {
+                    coeffs: vec![0.0, 2.0],
+                    rel: Relation::Le,
+                    rhs: 12.0,
+                },
+                Constraint {
+                    coeffs: vec![3.0, 2.0],
+                    rel: Relation::Le,
+                    rhs: 18.0,
+                },
             ],
         };
         let (x, obj) = optimal(&p);
@@ -325,8 +337,16 @@ mod tests {
             objective: vec![2.0, 3.0],
             minimize: true,
             constraints: vec![
-                Constraint { coeffs: vec![1.0, 1.0], rel: Relation::Ge, rhs: 4.0 },
-                Constraint { coeffs: vec![1.0, 0.0], rel: Relation::Ge, rhs: 1.0 },
+                Constraint {
+                    coeffs: vec![1.0, 1.0],
+                    rel: Relation::Ge,
+                    rhs: 4.0,
+                },
+                Constraint {
+                    coeffs: vec![1.0, 0.0],
+                    rel: Relation::Ge,
+                    rhs: 1.0,
+                },
             ],
         };
         let (x, obj) = optimal(&p);
@@ -340,8 +360,16 @@ mod tests {
             objective: vec![1.0, 1.0],
             minimize: true,
             constraints: vec![
-                Constraint { coeffs: vec![1.0, 2.0], rel: Relation::Eq, rhs: 6.0 },
-                Constraint { coeffs: vec![1.0, 0.0], rel: Relation::Le, rhs: 2.0 },
+                Constraint {
+                    coeffs: vec![1.0, 2.0],
+                    rel: Relation::Eq,
+                    rhs: 6.0,
+                },
+                Constraint {
+                    coeffs: vec![1.0, 0.0],
+                    rel: Relation::Le,
+                    rhs: 2.0,
+                },
             ],
         };
         let (x, obj) = optimal(&p);
@@ -355,8 +383,16 @@ mod tests {
             objective: vec![1.0],
             minimize: true,
             constraints: vec![
-                Constraint { coeffs: vec![1.0], rel: Relation::Ge, rhs: 5.0 },
-                Constraint { coeffs: vec![1.0], rel: Relation::Le, rhs: 2.0 },
+                Constraint {
+                    coeffs: vec![1.0],
+                    rel: Relation::Ge,
+                    rhs: 5.0,
+                },
+                Constraint {
+                    coeffs: vec![1.0],
+                    rel: Relation::Le,
+                    rhs: 2.0,
+                },
             ],
         };
         assert_eq!(solve_lp(&p), LpResult::Infeasible);
@@ -417,6 +453,9 @@ mod tests {
             ],
         };
         let (_, obj) = optimal(&p);
-        assert!((obj - 0.05).abs() < 1e-6, "Beale's example optimum is 1/20, got {obj}");
+        assert!(
+            (obj - 0.05).abs() < 1e-6,
+            "Beale's example optimum is 1/20, got {obj}"
+        );
     }
 }

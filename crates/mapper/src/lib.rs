@@ -47,19 +47,30 @@ pub struct Mapping {
 /// assert_eq!(mapping.layers.len(), model.layers.len());
 /// ```
 pub fn map_model(model: &Model, hw: &HwConfig, tech: &TechModel) -> Mapping {
+    map_model_with(model, tech, |l| best_mapping(l, hw, tech))
+}
+
+/// Maps every layer through a caller-supplied evaluator and aggregates.
+///
+/// This is the injection point for alternative per-layer evaluations — the
+/// design-space explorer routes layers through its memoized `EvalCache`
+/// here, so for a given hardware configuration each distinct layer shape is
+/// simulated once, no matter how many strategies or repeated blocks revisit
+/// it.
+pub fn map_model_with<F>(model: &Model, tech: &TechModel, mut eval: F) -> Mapping
+where
+    F: FnMut(&Layer) -> LayerPerf,
+{
     let layers: Vec<MappedLayer> = model
         .layers
         .iter()
         .map(|l| MappedLayer {
             name: l.name.clone(),
             count: l.count,
-            perf: best_mapping(l, hw, tech),
+            perf: eval(l),
         })
         .collect();
-    let pairs: Vec<(i64, LayerPerf)> = layers
-        .iter()
-        .map(|m| (m.count, m.perf.clone()))
-        .collect();
+    let pairs: Vec<(i64, LayerPerf)> = layers.iter().map(|m| (m.count, m.perf.clone())).collect();
     let perf = aggregate(model, &pairs, tech);
     Mapping { layers, perf }
 }
@@ -93,7 +104,8 @@ mod tests {
         // Depthwise layers pick OHOW, pointwise convs pick ICOC or MN.
         assert!(hist.iter().any(|(n, c)| *n == "OHOW" && *c > 0), "{hist:?}");
         assert!(
-            hist.iter().any(|(n, c)| (*n == "ICOC" || *n == "MN") && *c > 0),
+            hist.iter()
+                .any(|(n, c)| (*n == "ICOC" || *n == "MN") && *c > 0),
             "{hist:?}"
         );
     }

@@ -12,7 +12,7 @@
 pub mod cost;
 pub mod sram;
 
-pub use cost::{dag_cost, DagCost, FpgaCost};
+pub use cost::{dag_cost, macro_area, DagCost, FpgaCost, MacroArea};
 pub use sram::SramModel;
 
 /// Technology constants (TSMC 28 nm @ 1 GHz unless noted).

@@ -130,8 +130,7 @@ mod tests {
             na * m.routers() as usize + nb
         };
         let n_chan = (m.routers() * m.routers()) as usize;
-        let mut deps: std::collections::HashSet<(usize, usize)> =
-            std::collections::HashSet::new();
+        let mut deps: std::collections::HashSet<(usize, usize)> = std::collections::HashSet::new();
         for sx in 0..3 {
             for sy in 0..3 {
                 for dx in 0..3 {

@@ -83,9 +83,7 @@ pub fn simulate(adg: &Adg, df: usize, inputs: &[&TensorData]) -> SimOutput {
 
     let mut nets: Vec<TensorNet> = Vec::new();
     for (access, data) in input_accesses.iter().zip(inputs) {
-        let plan = adg
-            .tensor_plan(&access.tensor)
-            .expect("tensor plan exists");
+        let plan = adg.tensor_plan(&access.tensor).expect("tensor plan exists");
         let mut is_port = vec![false; n_fus];
         for dn in plan.data_nodes_in(df) {
             is_port[dn.fu] = true;
@@ -278,10 +276,7 @@ mod tests {
         let conv = kernels::conv2d(1, 2, 2, 4, 4, 3, 3, 1);
         let stats = run_and_check(&conv, &[dataflows::conv_ohow(&conv, 2)], 0);
         // Steady-state reuse must dominate boundary fallbacks.
-        assert!(
-            stats.edge_deliveries > stats.fallback_reads,
-            "{stats:?}"
-        );
+        assert!(stats.edge_deliveries > stats.fallback_reads, "{stats:?}");
     }
 
     #[test]

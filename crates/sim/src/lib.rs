@@ -11,8 +11,8 @@
 pub mod perf;
 
 pub use perf::{
-    aggregate, best_mapping, simulate_layer, EnergyBreakdown, LayerPerf, ModelPerf,
-    SpatialMapping,
+    aggregate, best_mapping, best_mapping_tiled, simulate_layer, simulate_layer_tiled,
+    tiled_dram_traffic, EnergyBreakdown, LayerPerf, ModelPerf, SpatialMapping,
 };
 
 use lego_noc::Mesh;

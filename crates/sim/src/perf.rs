@@ -117,9 +117,32 @@ fn eff(dim: i64, p: i64) -> f64 {
 fn gemm_view(kind: &LayerKind) -> (i64, i64, i64) {
     match *kind {
         LayerKind::Gemm { m, n, k } => (m, n, k),
-        LayerKind::Conv { n, ic, oc, oh, ow, kh, kw, .. } => (n * oh * ow, oc, ic * kh * kw),
-        LayerKind::DwConv { n, c, oh, ow, kh, kw, .. } => (n * oh * ow * c, 1, kh * kw),
-        LayerKind::Attention { heads, seq_q, seq_kv, dk, dv } => {
+        LayerKind::Conv {
+            n,
+            ic,
+            oc,
+            oh,
+            ow,
+            kh,
+            kw,
+            ..
+        } => (n * oh * ow, oc, ic * kh * kw),
+        LayerKind::DwConv {
+            n,
+            c,
+            oh,
+            ow,
+            kh,
+            kw,
+            ..
+        } => (n * oh * ow * c, 1, kh * kw),
+        LayerKind::Attention {
+            heads,
+            seq_q,
+            seq_kv,
+            dk,
+            dv,
+        } => {
             // Two chained GEMMs; expose the score GEMM's shape, the PV GEMM
             // has the same aggregate cost.
             (heads * seq_q, seq_kv, dk + dv)
@@ -160,7 +183,11 @@ fn spatial_utilization(kind: &LayerKind, mapping: SpatialMapping, p0: i64, p1: i
 ///
 /// Square-ish L1 tiles: weights are re-read once per M-tile sweep, inputs
 /// once per N-tile sweep, outputs written once (partials stay on chip).
-fn dram_traffic(m: i64, n: i64, k: i64, buffer_bytes: i64) -> i64 {
+/// `tile_cap = None` keeps the automatic buffer-limited tile choice;
+/// `Some(t)` additionally clamps the tile edge to `t`, which trades on-chip
+/// reuse for smaller working sets — the tiling axis of the design-space
+/// exploration in `lego-explorer`.
+pub fn tiled_dram_traffic(m: i64, n: i64, k: i64, buffer_bytes: i64, tile_cap: Option<i64>) -> i64 {
     let weights = n * k;
     let inputs = m * k;
     let outputs = m * n;
@@ -170,6 +197,9 @@ fn dram_traffic(m: i64, n: i64, k: i64, buffer_bytes: i64) -> i64 {
     let mut t = 1i64;
     while (t + 1) * k * 2 + (t + 1) * (t + 1) <= budget && t < m.max(n) {
         t += 1;
+    }
+    if let Some(cap) = tile_cap {
+        t = t.min(cap.max(1));
     }
     let tm = t.min(m).max(1);
     let tn = t.min(n).max(1);
@@ -188,6 +218,18 @@ pub fn simulate_layer(
     hw: &HwConfig,
     tech: &TechModel,
 ) -> LayerPerf {
+    simulate_layer_tiled(layer, mapping, hw, tech, None)
+}
+
+/// [`simulate_layer`] with an explicit L1 tile-edge cap (see
+/// [`tiled_dram_traffic`]). `None` keeps the automatic tiling.
+pub fn simulate_layer_tiled(
+    layer: &Layer,
+    mapping: SpatialMapping,
+    hw: &HwConfig,
+    tech: &TechModel,
+    tile_cap: Option<i64>,
+) -> LayerPerf {
     let (p0, p1) = hw.array;
     let clusters = i64::from(hw.clusters.0) * i64::from(hw.clusters.1);
     let macs = layer.macs();
@@ -199,9 +241,12 @@ pub fn simulate_layer(
 
     // DRAM traffic (int8 operands, int8 writeback after quantization).
     let (m, n, k) = gemm_view(&layer.kind);
-    let mut bytes = dram_traffic(m, n, k, hw.buffer_kb as i64 * 1024);
+    let mut bytes = tiled_dram_traffic(m, n, k, hw.buffer_kb as i64 * 1024, tile_cap);
     // Convs re-read less input than the im2col view thanks to halo overlap.
-    if matches!(layer.kind, LayerKind::Conv { .. } | LayerKind::DwConv { .. }) {
+    if matches!(
+        layer.kind,
+        LayerKind::Conv { .. } | LayerKind::DwConv { .. }
+    ) {
         let dense_in = layer.input_elems();
         let im2col_in = m * k;
         bytes -= im2col_in - dense_in.min(im2col_in);
@@ -222,7 +267,7 @@ pub fn simulate_layer(
     // L1 accesses: operand reads shrink by the mapping's spatial reuse; the
     // stationary operand also amortizes over the innermost temporal loop.
     let (reuse_in, reuse_w) = match mapping {
-        SpatialMapping::GemmMN => (p1, p0),       // input row reused across N, weight across M
+        SpatialMapping::GemmMN => (p1, p0), // input row reused across N, weight across M
         SpatialMapping::GemmKN => (p1, 1),
         SpatialMapping::ConvIcOc => (p1, 1),
         SpatialMapping::ConvOhOw => (1, p0 * p1), // weights broadcast over the plane
@@ -235,7 +280,8 @@ pub fn simulate_layer(
 
     // Energy roll-up.
     let sram = SramModel::default();
-    let mac_pj = macs as f64 * (64.0 * tech.mult_energy_pj_per_bit2 + 32.0 * tech.add_energy_pj_per_bit);
+    let mac_pj =
+        macs as f64 * (64.0 * tech.mult_energy_pj_per_bit2 + 32.0 * tech.add_energy_pj_per_bit);
     let sram_pj = sram.access_energy_pj(hw.buffer_kb * 1024, 1) * l1_accesses as f64;
     let dram_pj = bytes as f64 * tech.dram_pj_per_byte;
     let mesh = hw.l2_mesh();
@@ -245,7 +291,8 @@ pub fn simulate_layer(
         bytes as f64 * 0.25 * tech.noc_pj_per_byte_hop // L1 distribution only
     };
     let time_ns = cycles as f64 / tech.freq_ghz;
-    let static_pj = hw.static_mw * time_ns; // mW × ns = pJ
+    // mW × ns = pJ.
+    let static_pj = hw.static_mw * time_ns;
     // Dynamic power scales with utilization of the busy resource.
     let busy = compute_cycles as f64 / cycles.max(1) as f64;
     let array_pj = hw.dynamic_mw * time_ns * busy * util * 0.35; // clock/net share
@@ -273,9 +320,20 @@ pub fn simulate_layer(
 /// Picks the best supported mapping for a layer (fewest cycles, then least
 /// energy) — the paper's mapping-search tool at layer granularity.
 pub fn best_mapping(layer: &Layer, hw: &HwConfig, tech: &TechModel) -> LayerPerf {
+    best_mapping_tiled(layer, hw, tech, None)
+}
+
+/// [`best_mapping`] with an explicit L1 tile-edge cap (see
+/// [`tiled_dram_traffic`]). `None` keeps the automatic tiling.
+pub fn best_mapping_tiled(
+    layer: &Layer,
+    hw: &HwConfig,
+    tech: &TechModel,
+    tile_cap: Option<i64>,
+) -> LayerPerf {
     hw.dataflows
         .iter()
-        .map(|&m| simulate_layer(layer, m, hw, tech))
+        .map(|&m| simulate_layer_tiled(layer, m, hw, tech, tile_cap))
         .min_by(|a, b| {
             (a.cycles, a.energy.total_pj())
                 .partial_cmp(&(b.cycles, b.energy.total_pj()))
@@ -300,7 +358,11 @@ pub fn aggregate(model: &Model, perfs: &[(i64, LayerPerf)], tech: &TechModel) ->
         .iter()
         .map(|(c, p)| (c * p.macs) as f64 * p.utilization)
         .sum::<f64>()
-        / perfs.iter().map(|(c, p)| (c * p.macs) as f64).sum::<f64>().max(1.0);
+        / perfs
+            .iter()
+            .map(|(c, p)| (c * p.macs) as f64)
+            .sum::<f64>()
+            .max(1.0);
     // Instruction stream: ~32 B of configuration per tile of work; tiles
     // approximated by layer count × sweeps (≥ 2000 cycles per instruction
     // per the paper's §VI-B system-overhead analysis).
@@ -341,13 +403,31 @@ mod tests {
     #[test]
     fn utilization_model_basics() {
         // Perfect fit.
-        let k = LayerKind::Gemm { m: 64, n: 64, k: 64 };
+        let k = LayerKind::Gemm {
+            m: 64,
+            n: 64,
+            k: 64,
+        };
         assert!((spatial_utilization(&k, SpatialMapping::GemmMN, 16, 16) - 1.0).abs() < 1e-9);
         // Remainder wave: 20 rows on 16 lanes → 20/32.
-        let k = LayerKind::Gemm { m: 20, n: 64, k: 64 };
-        assert!((spatial_utilization(&k, SpatialMapping::GemmMN, 16, 16) - 20.0 / 32.0).abs() < 1e-9);
+        let k = LayerKind::Gemm {
+            m: 20,
+            n: 64,
+            k: 64,
+        };
+        assert!(
+            (spatial_utilization(&k, SpatialMapping::GemmMN, 16, 16) - 20.0 / 32.0).abs() < 1e-9
+        );
         // Depthwise on ICOC collapses to one lane of 16.
-        let dw = LayerKind::DwConv { n: 1, c: 64, oh: 28, ow: 28, kh: 3, kw: 3, stride: 1 };
+        let dw = LayerKind::DwConv {
+            n: 1,
+            c: 64,
+            oh: 28,
+            ow: 28,
+            kh: 3,
+            kw: 3,
+            stride: 1,
+        };
         assert!(spatial_utilization(&dw, SpatialMapping::ConvIcOc, 16, 16) <= 1.0 / 16.0 + 1e-9);
         // ...but OHOW keeps it busy.
         assert!(spatial_utilization(&dw, SpatialMapping::ConvOhOw, 16, 16) > 0.7);
@@ -358,7 +438,11 @@ mod tests {
         let hw = HwConfig::lego_256();
         let l = lego_workloads::Layer::new(
             "ffn",
-            LayerKind::Gemm { m: 1, n: 3072, k: 768 },
+            LayerKind::Gemm {
+                m: 1,
+                n: 3072,
+                k: 768,
+            },
         );
         let p = best_mapping(&l, &hw, &tech());
         // Weights dominate traffic; utilization collapses.
@@ -373,7 +457,15 @@ mod tests {
         hw_icoc.dataflows = vec![SpatialMapping::GemmMN, SpatialMapping::ConvIcOc];
         let dw = lego_workloads::Layer::new(
             "dw",
-            LayerKind::DwConv { n: 1, c: 144, oh: 56, ow: 56, kh: 3, kw: 3, stride: 1 },
+            LayerKind::DwConv {
+                n: 1,
+                c: 144,
+                oh: 56,
+                ow: 56,
+                kh: 3,
+                kw: 3,
+                stride: 1,
+            },
         );
         let fused = best_mapping(&dw, &hw_fused, &tech());
         let icoc = best_mapping(&dw, &hw_icoc, &tech());
@@ -420,6 +512,29 @@ mod tests {
             "instr {} GB/s",
             perf.instr_gbps
         );
+    }
+
+    #[test]
+    fn tile_cap_only_adds_traffic() {
+        let b = 256 * 1024;
+        let auto = tiled_dram_traffic(512, 512, 512, b, None);
+        for cap in [4, 8, 16, 64, 1 << 20] {
+            let capped = tiled_dram_traffic(512, 512, 512, b, Some(cap));
+            assert!(capped >= auto, "cap {cap}: {capped} < {auto}");
+        }
+        // A generous cap is a no-op, so `simulate_layer` is the None case.
+        let hw = HwConfig::lego_256();
+        let l = lego_workloads::Layer::new(
+            "g",
+            LayerKind::Gemm {
+                m: 256,
+                n: 256,
+                k: 256,
+            },
+        );
+        let a = simulate_layer(&l, SpatialMapping::GemmMN, &hw, &tech());
+        let b = simulate_layer_tiled(&l, SpatialMapping::GemmMN, &hw, &tech(), Some(1 << 20));
+        assert_eq!(a, b);
     }
 
     #[test]

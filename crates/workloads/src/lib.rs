@@ -12,7 +12,7 @@ pub mod zoo;
 pub use zoo::*;
 
 /// A tensor layer: the unit of mapping and simulation.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum LayerKind {
     /// Dense matrix multiply `M×K · K×N`.
     Gemm {
@@ -75,7 +75,7 @@ pub enum LayerKind {
 }
 
 /// Non-tensor operations executed on the post-processing units.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Nonlinear {
     /// ReLU / ReLU6 / SiLU-style pointwise activation.
     Activation,
@@ -86,7 +86,7 @@ pub enum Nonlinear {
 }
 
 /// One layer instance (possibly repeated) within a model.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Layer {
     /// Human-readable name.
     pub name: String,
@@ -127,11 +127,32 @@ impl Layer {
     pub fn macs(&self) -> i64 {
         match self.kind {
             LayerKind::Gemm { m, n, k } => m * n * k,
-            LayerKind::Conv { n, ic, oc, oh, ow, kh, kw, .. } => n * ic * oc * oh * ow * kh * kw,
-            LayerKind::DwConv { n, c, oh, ow, kh, kw, .. } => n * c * oh * ow * kh * kw,
-            LayerKind::Attention { heads, seq_q, seq_kv, dk, dv } => {
-                heads * seq_q * seq_kv * (dk + dv)
-            }
+            LayerKind::Conv {
+                n,
+                ic,
+                oc,
+                oh,
+                ow,
+                kh,
+                kw,
+                ..
+            } => n * ic * oc * oh * ow * kh * kw,
+            LayerKind::DwConv {
+                n,
+                c,
+                oh,
+                ow,
+                kh,
+                kw,
+                ..
+            } => n * c * oh * ow * kh * kw,
+            LayerKind::Attention {
+                heads,
+                seq_q,
+                seq_kv,
+                dk,
+                dv,
+            } => heads * seq_q * seq_kv * (dk + dv),
         }
     }
 
@@ -154,15 +175,32 @@ impl Layer {
     pub fn input_elems(&self) -> i64 {
         match self.kind {
             LayerKind::Gemm { m, k, .. } => m * k,
-            LayerKind::Conv { n, ic, oh, ow, kh, kw, stride, .. } => {
-                n * ic * (stride * (oh - 1) + kh) * (stride * (ow - 1) + kw)
-            }
-            LayerKind::DwConv { n, c, oh, ow, kh, kw, stride } => {
-                n * c * (stride * (oh - 1) + kh) * (stride * (ow - 1) + kw)
-            }
-            LayerKind::Attention { heads, seq_q, seq_kv, dk, dv } => {
-                heads * (seq_q * dk + seq_kv * (dk + dv))
-            }
+            LayerKind::Conv {
+                n,
+                ic,
+                oh,
+                ow,
+                kh,
+                kw,
+                stride,
+                ..
+            } => n * ic * (stride * (oh - 1) + kh) * (stride * (ow - 1) + kw),
+            LayerKind::DwConv {
+                n,
+                c,
+                oh,
+                ow,
+                kh,
+                kw,
+                stride,
+            } => n * c * (stride * (oh - 1) + kh) * (stride * (ow - 1) + kw),
+            LayerKind::Attention {
+                heads,
+                seq_q,
+                seq_kv,
+                dk,
+                dv,
+            } => heads * (seq_q * dk + seq_kv * (dk + dv)),
         }
     }
 
@@ -172,7 +210,9 @@ impl Layer {
             LayerKind::Gemm { m, n, .. } => m * n,
             LayerKind::Conv { n, oc, oh, ow, .. } => n * oc * oh * ow,
             LayerKind::DwConv { n, c, oh, ow, .. } => n * c * oh * ow,
-            LayerKind::Attention { heads, seq_q, dv, .. } => heads * seq_q * dv,
+            LayerKind::Attention {
+                heads, seq_q, dv, ..
+            } => heads * seq_q * dv,
         }
     }
 
@@ -186,15 +226,28 @@ impl Layer {
         use lego_ir::kernels;
         match self.kind {
             LayerKind::Gemm { m, n, k } => kernels::gemm(m, n, k),
-            LayerKind::Conv { n, ic, oc, oh, ow, kh, kw, stride } => {
-                kernels::conv2d(n, ic, oc, oh, ow, kh, kw, stride)
-            }
-            LayerKind::DwConv { n, c, oh, ow, kh, kw, stride } => {
-                kernels::depthwise_conv2d(n, c, oh, ow, kh, kw, stride)
-            }
-            LayerKind::Attention { seq_q, seq_kv, dk, .. } => {
-                kernels::attention_scores(seq_q, seq_kv, dk)
-            }
+            LayerKind::Conv {
+                n,
+                ic,
+                oc,
+                oh,
+                ow,
+                kh,
+                kw,
+                stride,
+            } => kernels::conv2d(n, ic, oc, oh, ow, kh, kw, stride),
+            LayerKind::DwConv {
+                n,
+                c,
+                oh,
+                ow,
+                kh,
+                kw,
+                stride,
+            } => kernels::depthwise_conv2d(n, c, oh, ow, kh, kw, stride),
+            LayerKind::Attention {
+                seq_q, seq_kv, dk, ..
+            } => kernels::attention_scores(seq_q, seq_kv, dk),
         }
     }
 }
@@ -246,7 +299,16 @@ mod tests {
     fn conv_input_accounts_stride_and_halo() {
         let l = Layer::new(
             "c",
-            LayerKind::Conv { n: 1, ic: 3, oc: 8, oh: 10, ow: 10, kh: 3, kw: 3, stride: 2 },
+            LayerKind::Conv {
+                n: 1,
+                ic: 3,
+                oc: 8,
+                oh: 10,
+                ow: 10,
+                kh: 3,
+                kw: 3,
+                stride: 2,
+            },
         );
         // ih = 2*9 + 3 = 21.
         assert_eq!(l.input_elems(), 3 * 21 * 21);
@@ -256,7 +318,13 @@ mod tests {
     fn attention_macs_cover_both_matmuls() {
         let l = Layer::new(
             "a",
-            LayerKind::Attention { heads: 12, seq_q: 16, seq_kv: 16, dk: 64, dv: 64 },
+            LayerKind::Attention {
+                heads: 12,
+                seq_q: 16,
+                seq_kv: 16,
+                dk: 64,
+                dv: 64,
+            },
         );
         assert_eq!(l.macs(), 12 * 16 * 16 * 128);
     }
@@ -274,7 +342,16 @@ mod tests {
     fn to_workload_shapes_match() {
         let l = Layer::new(
             "c",
-            LayerKind::Conv { n: 1, ic: 4, oc: 8, oh: 6, ow: 6, kh: 3, kw: 3, stride: 1 },
+            LayerKind::Conv {
+                n: 1,
+                ic: 4,
+                oc: 8,
+                oh: 6,
+                ow: 6,
+                kh: 3,
+                kw: 3,
+                stride: 1,
+            },
         );
         let w = l.to_workload();
         assert_eq!(w.domain_size(), l.macs());

@@ -10,7 +10,16 @@ use crate::{Layer, LayerKind, Model, Nonlinear};
 fn conv(name: &str, ic: i64, oc: i64, oh: i64, kh: i64, stride: i64) -> Layer {
     let l = Layer::new(
         name,
-        LayerKind::Conv { n: 1, ic, oc, oh, ow: oh, kh, kw: kh, stride },
+        LayerKind::Conv {
+            n: 1,
+            ic,
+            oc,
+            oh,
+            ow: oh,
+            kh,
+            kw: kh,
+            stride,
+        },
     );
     let outs = l.output_elems();
     l.with_nonlinear(Nonlinear::Activation, outs)
@@ -20,7 +29,15 @@ fn conv(name: &str, ic: i64, oc: i64, oh: i64, kh: i64, stride: i64) -> Layer {
 fn dwconv(name: &str, c: i64, oh: i64, kh: i64, stride: i64) -> Layer {
     let l = Layer::new(
         name,
-        LayerKind::DwConv { n: 1, c, oh, ow: oh, kh, kw: kh, stride },
+        LayerKind::DwConv {
+            n: 1,
+            c,
+            oh,
+            ow: oh,
+            kh,
+            kw: kh,
+            stride,
+        },
     );
     let outs = l.output_elems();
     l.with_nonlinear(Nonlinear::Activation, outs)
@@ -80,10 +97,19 @@ pub fn mobilenet_v2() -> Model {
     for (bi, (t, c, n, s, insize)) in blocks.into_iter().enumerate() {
         for rep in 0..n {
             let stride = if rep == 0 { s } else { 1 };
-            let out = if rep == 0 { insize / s } else { insize / s };
+            let out = insize / s;
             let hidden = cin * t;
             if t != 1 {
-                layers.push(conv(&format!("b{bi}.{rep}.expand"), cin, hidden, out * stride / stride, 1, 1));
+                // The 1×1 expand runs at the block's *input* resolution
+                // (out·stride); only the depthwise conv downsamples.
+                layers.push(conv(
+                    &format!("b{bi}.{rep}.expand"),
+                    cin,
+                    hidden,
+                    out * stride,
+                    1,
+                    1,
+                ));
             }
             layers.push(dwconv(&format!("b{bi}.{rep}.dw"), hidden, out, 3, stride));
             layers.push(conv(&format!("b{bi}.{rep}.project"), hidden, c, out, 1, 1));
@@ -92,7 +118,10 @@ pub fn mobilenet_v2() -> Model {
     }
     layers.push(conv("head", 320, 1280, 7, 1, 1));
     layers.push(fc("fc", 1000, 1280));
-    Model { name: "MobileNetV2".into(), layers }
+    Model {
+        name: "MobileNetV2".into(),
+        layers,
+    }
 }
 
 /// ResNet50 at 224×224.
@@ -118,7 +147,10 @@ pub fn resnet50() -> Model {
         }
     }
     layers.push(fc("fc", 1000, 2048));
-    Model { name: "ResNet50".into(), layers }
+    Model {
+        name: "ResNet50".into(),
+        layers,
+    }
 }
 
 /// EfficientNetV2-S at 384×384 (fused-MBConv early, MBConv late).
@@ -130,12 +162,26 @@ pub fn efficientnet_v2() -> Model {
     }
     for i in 0..4 {
         let s = if i == 0 { 2 } else { 1 };
-        layers.push(conv(&format!("f2.{i}.a"), if i == 0 { 24 } else { 48 }, 192, 96, 3, s));
+        layers.push(conv(
+            &format!("f2.{i}.a"),
+            if i == 0 { 24 } else { 48 },
+            192,
+            96,
+            3,
+            s,
+        ));
         layers.push(conv(&format!("f2.{i}.b"), 192, 48, 96, 1, 1));
     }
     for i in 0..4 {
         let s = if i == 0 { 2 } else { 1 };
-        layers.push(conv(&format!("f3.{i}.a"), if i == 0 { 48 } else { 64 }, 256, 48, 3, s));
+        layers.push(conv(
+            &format!("f3.{i}.a"),
+            if i == 0 { 48 } else { 64 },
+            256,
+            48,
+            3,
+            s,
+        ));
         layers.push(conv(&format!("f3.{i}.b"), 256, 64, 48, 1, 1));
     }
     // MBConv stages with depthwise.
@@ -149,32 +195,79 @@ pub fn efficientnet_v2() -> Model {
         for i in 0..n {
             let s = if i == 0 { s0 } else { 1 };
             let hidden = cin * 4;
-            layers.push(conv(&format!("mb{si}.{i}.expand"), cin, hidden, size * s, 1, 1));
+            layers.push(conv(
+                &format!("mb{si}.{i}.expand"),
+                cin,
+                hidden,
+                size * s,
+                1,
+                1,
+            ));
             layers.push(dwconv(&format!("mb{si}.{i}.dw"), hidden, size, 3, s));
-            layers.push(conv(&format!("mb{si}.{i}.project"), hidden, cout, size, 1, 1));
+            layers.push(conv(
+                &format!("mb{si}.{i}.project"),
+                hidden,
+                cout,
+                size,
+                1,
+                1,
+            ));
             cin = cout;
         }
     }
     layers.push(conv("head", 256, 1280, 12, 1, 1));
     layers.push(fc("fc", 1000, 1280));
-    Model { name: "EfficientNetV2".into(), layers }
+    Model {
+        name: "EfficientNetV2".into(),
+        layers,
+    }
 }
 
 fn transformer_block(name: &str, seq: i64, d: i64, heads: i64, ffn: i64, kv: i64) -> Vec<Layer> {
     let dk = d / heads;
     vec![
-        Layer::new(format!("{name}.qkv"), LayerKind::Gemm { m: seq, n: 3 * d, k: d })
-            .with_nonlinear(Nonlinear::Normalization, seq * d),
+        Layer::new(
+            format!("{name}.qkv"),
+            LayerKind::Gemm {
+                m: seq,
+                n: 3 * d,
+                k: d,
+            },
+        )
+        .with_nonlinear(Nonlinear::Normalization, seq * d),
         Layer::new(
             format!("{name}.attn"),
-            LayerKind::Attention { heads, seq_q: seq, seq_kv: kv, dk, dv: dk },
+            LayerKind::Attention {
+                heads,
+                seq_q: seq,
+                seq_kv: kv,
+                dk,
+                dv: dk,
+            },
         )
         .with_nonlinear(Nonlinear::Softmax, heads * seq * kv),
-        Layer::new(format!("{name}.proj"), LayerKind::Gemm { m: seq, n: d, k: d }),
-        Layer::new(format!("{name}.ffn1"), LayerKind::Gemm { m: seq, n: ffn, k: d })
-            .with_nonlinear(Nonlinear::Activation, seq * ffn)
-            .with_nonlinear(Nonlinear::Normalization, seq * d),
-        Layer::new(format!("{name}.ffn2"), LayerKind::Gemm { m: seq, n: d, k: ffn }),
+        Layer::new(
+            format!("{name}.proj"),
+            LayerKind::Gemm { m: seq, n: d, k: d },
+        ),
+        Layer::new(
+            format!("{name}.ffn1"),
+            LayerKind::Gemm {
+                m: seq,
+                n: ffn,
+                k: d,
+            },
+        )
+        .with_nonlinear(Nonlinear::Activation, seq * ffn)
+        .with_nonlinear(Nonlinear::Normalization, seq * d),
+        Layer::new(
+            format!("{name}.ffn2"),
+            LayerKind::Gemm {
+                m: seq,
+                n: d,
+                k: ffn,
+            },
+        ),
     ]
 }
 
@@ -184,7 +277,10 @@ pub fn bert_base() -> Model {
     for b in 0..12 {
         layers.extend(transformer_block(&format!("l{b}"), 16, 768, 12, 3072, 16));
     }
-    Model { name: "BERT".into(), layers }
+    Model {
+        name: "BERT".into(),
+        layers,
+    }
 }
 
 /// GPT-2 decoding one token with a 1000-token prompt in the KV cache.
@@ -194,7 +290,10 @@ pub fn gpt2_decode() -> Model {
         layers.extend(transformer_block(&format!("l{b}"), 1, 768, 12, 3072, 1001));
     }
     layers.push(fc("lm_head", 50257, 768));
-    Model { name: "GPT2".into(), layers }
+    Model {
+        name: "GPT2".into(),
+        layers,
+    }
 }
 
 /// CoAtNet-0 at 224×224: convolution stages followed by attention stages.
@@ -209,7 +308,14 @@ pub fn coatnet() -> Model {
         for i in 0..n {
             let s = if i == 0 { 2 } else { 1 };
             let hidden = cin * 4;
-            layers.push(conv(&format!("c{si}.{i}.expand"), cin, hidden, size * s, 1, 1));
+            layers.push(conv(
+                &format!("c{si}.{i}.expand"),
+                cin,
+                hidden,
+                size * s,
+                1,
+                1,
+            ));
             layers.push(dwconv(&format!("c{si}.{i}.dw"), hidden, size, 3, s));
             layers.push(conv(&format!("c{si}.{i}.project"), hidden, c, size, 1, 1));
             cin = c;
@@ -218,15 +324,25 @@ pub fn coatnet() -> Model {
     // Transformer stages (relative attention ≈ standard attention cost).
     for (si, (d, n, size)) in [(384i64, 5i64, 14i64), (768, 2, 7)].into_iter().enumerate() {
         let seq = size * size;
-        layers.push(conv(&format!("t{si}.proj_in"), cin, d, size, 1, if si == 0 { 2 } else { 2 }));
+        layers.push(conv(&format!("t{si}.proj_in"), cin, d, size, 1, 2));
         for i in 0..n {
-            layers.extend(transformer_block(&format!("t{si}.{i}"), seq, d, d / 32, d * 4, seq));
+            layers.extend(transformer_block(
+                &format!("t{si}.{i}"),
+                seq,
+                d,
+                d / 32,
+                d * 4,
+                seq,
+            ));
             let _ = i;
         }
         cin = d;
     }
     layers.push(fc("fc", 1000, 768));
-    Model { name: "CoAtNet".into(), layers }
+    Model {
+        name: "CoAtNet".into(),
+        layers,
+    }
 }
 
 /// DDPM denoising UNet (CIFAR-scale 32×32, channel multiplier 128).
@@ -234,7 +350,10 @@ pub fn ddpm() -> Model {
     let c = 128i64;
     let mut layers = Vec::new();
     layers.push(conv("in", 3, c, 32, 3, 1));
-    for (si, (mult, size)) in [(1i64, 32i64), (2, 16), (2, 8), (2, 4)].into_iter().enumerate() {
+    for (si, (mult, size)) in [(1i64, 32i64), (2, 16), (2, 8), (2, 4)]
+        .into_iter()
+        .enumerate()
+    {
         let ch = c * mult;
         layers.push(conv(&format!("down{si}.a"), ch, ch, size, 3, 1).repeat(2));
         layers.push(conv(&format!("down{si}.b"), ch, ch, size, 3, 1).repeat(2));
@@ -243,18 +362,30 @@ pub fn ddpm() -> Model {
             layers.push(
                 Layer::new(
                     format!("down{si}.attn"),
-                    LayerKind::Attention { heads: 8, seq_q: seq, seq_kv: seq, dk: ch / 8, dv: ch / 8 },
+                    LayerKind::Attention {
+                        heads: 8,
+                        seq_q: seq,
+                        seq_kv: seq,
+                        dk: ch / 8,
+                        dv: ch / 8,
+                    },
                 )
                 .with_nonlinear(Nonlinear::Softmax, 8 * seq * seq),
             );
         }
     }
-    for (si, (mult, size)) in [(2i64, 4i64), (2, 8), (2, 16), (1, 32)].into_iter().enumerate() {
+    for (si, (mult, size)) in [(2i64, 4i64), (2, 8), (2, 16), (1, 32)]
+        .into_iter()
+        .enumerate()
+    {
         let ch = c * mult;
         layers.push(conv(&format!("up{si}.a"), ch * 2, ch, size, 3, 1).repeat(3));
     }
     layers.push(conv("out", c, 3, 32, 3, 1));
-    Model { name: "DDPM".into(), layers }
+    Model {
+        name: "DDPM".into(),
+        layers,
+    }
 }
 
 /// Stable Diffusion UNet, one denoising step on a 64×64 latent.
@@ -262,7 +393,8 @@ pub fn stable_diffusion() -> Model {
     let c = 320i64;
     let mut layers = Vec::new();
     layers.push(conv("in", 4, c, 64, 3, 1));
-    let stages: [(i64, i64, bool); 4] = [(1, 64, true), (2, 32, true), (4, 16, true), (4, 8, false)];
+    let stages: [(i64, i64, bool); 4] =
+        [(1, 64, true), (2, 32, true), (4, 16, true), (4, 8, false)];
     for (si, (mult, size, attn)) in stages.into_iter().enumerate() {
         let ch = c * mult;
         layers.push(conv(&format!("down{si}.res"), ch, ch, size, 3, 1).repeat(2));
@@ -272,14 +404,27 @@ pub fn stable_diffusion() -> Model {
             layers.push(
                 Layer::new(
                     format!("down{si}.attn"),
-                    LayerKind::Attention { heads, seq_q: seq, seq_kv: seq, dk: ch / heads, dv: ch / heads },
+                    LayerKind::Attention {
+                        heads,
+                        seq_q: seq,
+                        seq_kv: seq,
+                        dk: ch / heads,
+                        dv: ch / heads,
+                    },
                 )
                 .with_nonlinear(Nonlinear::Softmax, heads * seq * seq),
             );
-            layers.push(Layer::new(
-                format!("down{si}.xattn_proj"),
-                LayerKind::Gemm { m: seq, n: ch, k: ch },
-            ).repeat(2));
+            layers.push(
+                Layer::new(
+                    format!("down{si}.xattn_proj"),
+                    LayerKind::Gemm {
+                        m: seq,
+                        n: ch,
+                        k: ch,
+                    },
+                )
+                .repeat(2),
+            );
         }
     }
     for (si, (mult, size, _)) in stages.into_iter().rev().enumerate() {
@@ -287,7 +432,10 @@ pub fn stable_diffusion() -> Model {
         layers.push(conv(&format!("up{si}.res"), ch * 2, ch, size, 3, 1).repeat(3));
     }
     layers.push(conv("out", c, 4, 64, 3, 1));
-    Model { name: "StableDiffusion".into(), layers }
+    Model {
+        name: "StableDiffusion".into(),
+        layers,
+    }
 }
 
 /// LLaMA-7B decoding one token (32 layers, d=4096, KV cache of 1000).
@@ -300,25 +448,69 @@ pub fn llama7b_decode(batch: i64) -> Model {
     for b in 0..32 {
         let dk = d / heads;
         layers.push(
-            Layer::new(format!("l{b}.qkv"), LayerKind::Gemm { m: batch, n: 3 * d, k: d })
-                .with_nonlinear(Nonlinear::Normalization, batch * d),
+            Layer::new(
+                format!("l{b}.qkv"),
+                LayerKind::Gemm {
+                    m: batch,
+                    n: 3 * d,
+                    k: d,
+                },
+            )
+            .with_nonlinear(Nonlinear::Normalization, batch * d),
         );
         layers.push(
             Layer::new(
                 format!("l{b}.attn"),
-                LayerKind::Attention { heads: heads * batch, seq_q: 1, seq_kv: kv, dk, dv: dk },
+                LayerKind::Attention {
+                    heads: heads * batch,
+                    seq_q: 1,
+                    seq_kv: kv,
+                    dk,
+                    dv: dk,
+                },
             )
             .with_nonlinear(Nonlinear::Softmax, batch * heads * kv),
         );
-        layers.push(Layer::new(format!("l{b}.proj"), LayerKind::Gemm { m: batch, n: d, k: d }));
+        layers.push(Layer::new(
+            format!("l{b}.proj"),
+            LayerKind::Gemm {
+                m: batch,
+                n: d,
+                k: d,
+            },
+        ));
         layers.push(
-            Layer::new(format!("l{b}.gate"), LayerKind::Gemm { m: batch, n: ffn, k: d })
-                .with_nonlinear(Nonlinear::Activation, batch * ffn),
+            Layer::new(
+                format!("l{b}.gate"),
+                LayerKind::Gemm {
+                    m: batch,
+                    n: ffn,
+                    k: d,
+                },
+            )
+            .with_nonlinear(Nonlinear::Activation, batch * ffn),
         );
-        layers.push(Layer::new(format!("l{b}.up"), LayerKind::Gemm { m: batch, n: ffn, k: d }));
-        layers.push(Layer::new(format!("l{b}.down"), LayerKind::Gemm { m: batch, n: d, k: ffn }));
+        layers.push(Layer::new(
+            format!("l{b}.up"),
+            LayerKind::Gemm {
+                m: batch,
+                n: ffn,
+                k: d,
+            },
+        ));
+        layers.push(Layer::new(
+            format!("l{b}.down"),
+            LayerKind::Gemm {
+                m: batch,
+                n: d,
+                k: ffn,
+            },
+        ));
     }
-    Model { name: format!("LLaMA-7B bs={batch}"), layers }
+    Model {
+        name: format!("LLaMA-7B bs={batch}"),
+        layers,
+    }
 }
 
 /// The seven models of Figure 11, in the paper's order.
@@ -371,7 +563,10 @@ mod tests {
     #[test]
     fn mobilenet_contains_depthwise() {
         let m = mobilenet_v2();
-        assert!(m.layers.iter().any(|l| matches!(l.kind, LayerKind::DwConv { .. })));
+        assert!(m
+            .layers
+            .iter()
+            .any(|l| matches!(l.kind, LayerKind::DwConv { .. })));
         // Depthwise MACs are a small share of totals but dominate runtime on
         // channel-parallel hardware.
         let dw: i64 = m

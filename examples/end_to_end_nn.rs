@@ -23,7 +23,10 @@ fn main() {
         mapping.perf.gops_per_watt,
         100.0 * mapping.perf.utilization
     );
-    println!("per-layer dataflow choices: {:?}", dataflow_histogram(&mapping));
+    println!(
+        "per-layer dataflow choices: {:?}",
+        dataflow_histogram(&mapping)
+    );
 
     // Show a few interesting layers: depthwise picks OHOW, pointwise ICOC.
     for l in mapping.layers.iter().filter(|l| l.name.contains("b3.0")) {

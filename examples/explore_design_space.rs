@@ -1,0 +1,71 @@
+//! Design-space exploration: search hardware configurations for a model,
+//! print the Pareto frontier over (latency, energy, area), and compare the
+//! best EDP design against the paper's hand-picked 256-FU baseline.
+//!
+//! Run with: `cargo run --release --example explore_design_space`
+
+use lego::explorer::{default_strategies, explore, DesignSpace, Evaluator, ExploreOptions, Genome};
+use lego::model::TechModel;
+
+fn main() {
+    let model = lego::workloads::zoo::mobilenet_v2();
+    let space = DesignSpace::paper();
+    let opts = ExploreOptions {
+        budget_per_strategy: space.size(),
+        ..Default::default()
+    };
+
+    println!(
+        "exploring {} configurations for {} (grid + random + evolutionary)\n",
+        space.size(),
+        model.name
+    );
+    let result = explore(&model, &space, &mut default_strategies(42), &opts);
+
+    println!("Pareto frontier ({} points):", result.frontier.len());
+    println!(
+        "{:>28} {:>12} {:>12} {:>10}",
+        "config", "cycles", "energy (µJ)", "area (mm²)"
+    );
+    let mut points: Vec<_> = result.frontier.points().to_vec();
+    points.sort_by(|a, b| {
+        a.objectives
+            .latency_cycles
+            .partial_cmp(&b.objectives.latency_cycles)
+            .expect("finite latency")
+    });
+    for p in &points {
+        println!(
+            "{:>28} {:>12.0} {:>12.2} {:>10.2}",
+            p.genome.to_string(),
+            p.objectives.latency_cycles,
+            p.objectives.energy_pj / 1e6,
+            p.objectives.area_um2 / 1e6,
+        );
+    }
+
+    for report in &result.reports {
+        let best = report.best.as_ref().expect("strategy evaluated something");
+        println!(
+            "\n{:>28}: {} evals, best EDP {:.3e} ({})",
+            report.strategy,
+            report.evaluated,
+            best.objectives.edp(),
+            best.genome
+        );
+    }
+
+    let baseline = Evaluator::new(&model, TechModel::default()).eval(&Genome::lego_256_baseline());
+    let best = result.best_by_edp().expect("non-empty frontier");
+    println!(
+        "\nhand-picked lego_256 EDP {:.3e}; explored best {:.3e} ({}) — {:.2}x",
+        baseline.objectives.edp(),
+        best.objectives.edp(),
+        best.genome,
+        baseline.objectives.edp() / best.objectives.edp(),
+    );
+    println!(
+        "cache: {} hits / {} misses across strategies",
+        result.cache_hits, result.cache_misses
+    );
+}

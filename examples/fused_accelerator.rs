@@ -50,7 +50,8 @@ fn main() {
         optimize(&mut dag, &OptimizeOptions::default());
         dag_cost(&dag, &tech, 1.0)
     };
-    let fused_cost = cost_of(&build_adg(&conv, &design.adg.dataflows, &FrontendConfig::default()).unwrap());
+    let fused_cost =
+        cost_of(&build_adg(&conv, &design.adg.dataflows, &FrontendConfig::default()).unwrap());
     let naive_cost = cost_of(&naive);
     println!(
         "fused: {:.0} um^2 / {:.2} mW   naive merge: {:.0} um^2 / {:.2} mW",

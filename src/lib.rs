@@ -15,6 +15,10 @@
 //! * [`noc`] — butterfly and wormhole-mesh NoC models;
 //! * [`sim`] — the performance/energy simulator;
 //! * [`mapper`] — per-layer dataflow search;
+//! * [`explorer`] — parallel hardware design-space exploration: grid /
+//!   random / (μ+λ) evolutionary search over array shape × buffer ×
+//!   bandwidth × dataflow set × tiling, sharing a memoized evaluation
+//!   cache and accumulating a (latency, energy, area) Pareto frontier;
 //! * [`workloads`] — the ten-model NN zoo of the paper's evaluation;
 //! * [`baselines`] — Gemmini / AutoSA / TensorLib / SODA / DSAGen models;
 //! * [`core`] — the [`Lego`](core::Lego) builder tying it all together.
@@ -41,10 +45,34 @@
 //!     reference_execute(&gemm, &[&x, &w]),
 //! );
 //! ```
+//!
+//! # Exploring the hardware design space
+//!
+//! Where the quickstart generates one hand-picked design, the explorer
+//! searches configurations — and every strategy shares one memoized
+//! evaluation cache, so overlapping searches pay for each layer
+//! simulation once:
+//!
+//! ```
+//! use lego::explorer::{DesignSpace, ExploreOptions};
+//! use lego::core::Lego;
+//!
+//! let model = lego::workloads::zoo::lenet();
+//! let result = Lego::explore(
+//!     &model,
+//!     &DesignSpace::tiny(),
+//!     42,
+//!     &ExploreOptions { budget_per_strategy: 16, ..Default::default() },
+//! );
+//! let best = result.best_by_edp().unwrap();
+//! println!("best config: {} (EDP {:.3e})", best.genome, best.objectives.edp());
+//! assert!(result.frontier.len() >= 1);
+//! ```
 
 pub use lego_backend as backend;
 pub use lego_baselines as baselines;
 pub use lego_core as core;
+pub use lego_explorer as explorer;
 pub use lego_frontend as frontend;
 pub use lego_graph as graph;
 pub use lego_ir as ir;

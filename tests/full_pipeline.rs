@@ -51,7 +51,10 @@ fn gemm_all_dataflows_2x2_and_4x4() {
 #[test]
 fn gemm_fused_mj() {
     let g = kernels::gemm(8, 8, 8);
-    verify(&g, vec![dataflows::gemm_ij(&g, 2), dataflows::gemm_kj(&g, 2)]);
+    verify(
+        &g,
+        vec![dataflows::gemm_ij(&g, 2), dataflows::gemm_kj(&g, 2)],
+    );
 }
 
 #[test]
@@ -65,7 +68,10 @@ fn conv_all_dataflows() {
 #[test]
 fn conv_fused_mnicoc() {
     let c = kernels::conv2d(1, 4, 4, 4, 4, 3, 3, 1);
-    verify(&c, vec![dataflows::conv_icoc(&c, 2), dataflows::conv_ohow(&c, 2)]);
+    verify(
+        &c,
+        vec![dataflows::conv_icoc(&c, 2), dataflows::conv_ohow(&c, 2)],
+    );
 }
 
 #[test]
@@ -86,7 +92,10 @@ fn mttkrp_dataflows() {
     let m = kernels::mttkrp(4, 4, 4, 4);
     verify(&m, vec![dataflows::mttkrp_ij(&m, 2)]);
     verify(&m, vec![dataflows::mttkrp_kj(&m, 2)]);
-    verify(&m, vec![dataflows::mttkrp_ij(&m, 2), dataflows::mttkrp_kj(&m, 2)]);
+    verify(
+        &m,
+        vec![dataflows::mttkrp_ij(&m, 2), dataflows::mttkrp_kj(&m, 2)],
+    );
 }
 
 #[test]

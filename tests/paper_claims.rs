@@ -2,9 +2,7 @@
 //! and rough magnitude*, not the authors' absolute testbed numbers
 //! (see EXPERIMENTS.md for the full side-by-side).
 
-use lego::baselines::{
-    per_fu_control_cost, shared_control_cost, simulate_model_gemmini,
-};
+use lego::baselines::{per_fu_control_cost, shared_control_cost, simulate_model_gemmini};
 use lego::ir::kernels::{self, dataflows};
 use lego::model::TechModel;
 use lego::sim::{perf::simulate_model, HwConfig};
@@ -60,7 +58,11 @@ fn generative_models_match_table2_shape() {
     let sd = simulate_model(&zoo::stable_diffusion(), &hw, &tech);
     assert!(sd.utilization > 0.5, "SD util {:.2}", sd.utilization);
     let l1 = simulate_model(&zoo::llama7b_decode(1), &hw, &tech);
-    assert!(l1.utilization < 0.10, "LLaMA bs=1 util {:.3}", l1.utilization);
+    assert!(
+        l1.utilization < 0.10,
+        "LLaMA bs=1 util {:.3}",
+        l1.utilization
+    );
     let l32 = simulate_model(&zoo::llama7b_decode(32), &hw, &tech);
     assert!(
         l32.gops > 5.0 * l1.gops,
@@ -115,6 +117,11 @@ fn instruction_overhead_is_negligible() {
     let hw = HwConfig::lego_256();
     for m in [zoo::resnet50(), zoo::bert_base()] {
         let p = simulate_model(&m, &hw, &tech);
-        assert!(p.instr_gbps < 0.01 * hw.dram_gbps, "{}: {}", m.name, p.instr_gbps);
+        assert!(
+            p.instr_gbps < 0.01 * hw.dram_gbps,
+            "{}: {}",
+            m.name,
+            p.instr_gbps
+        );
     }
 }

@@ -1,0 +1,207 @@
+//! Minimal, dependency-free stand-in for the `criterion` crate.
+//!
+//! Provides the API surface the workspace's benches use — benchmark groups,
+//! `bench_function` / `bench_with_input`, `Bencher::iter`, `BenchmarkId`,
+//! and the `criterion_group!` / `criterion_main!` macros — measuring simple
+//! wall-clock medians instead of criterion's statistical machinery. Passing
+//! `--test` (as `cargo test --benches` does) runs each closure once.
+
+use std::fmt::Display;
+use std::time::Instant;
+
+/// Label for one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter` identifier.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// Identifier carrying only a parameter value.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Runs and times one benchmark body.
+pub struct Bencher {
+    iters: u64,
+    /// Median time per iteration, filled by [`Bencher::iter`].
+    elapsed_ns: f64,
+}
+
+impl Bencher {
+    /// Times `routine`, keeping the fastest-of-N per-iteration estimate.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let mut best = f64::INFINITY;
+        for _ in 0..self.iters {
+            let start = Instant::now();
+            let out = routine();
+            let dt = start.elapsed().as_nanos() as f64;
+            std::hint::black_box(&out);
+            if dt < best {
+                best = dt;
+            }
+        }
+        self.elapsed_ns = best;
+    }
+}
+
+/// A named set of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    samples: u64,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many timed repetitions each benchmark runs.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = n.max(1) as u64;
+        self
+    }
+
+    /// Benches a closure under `id`.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchId>,
+        mut f: F,
+    ) -> &mut Self {
+        let id = id.into();
+        let mut b = Bencher {
+            iters: effective_iters(self.samples),
+            elapsed_ns: 0.0,
+        };
+        f(&mut b);
+        report(&self.name, &id.0, b.elapsed_ns);
+        self
+    }
+
+    /// Benches a closure parameterized by `input`.
+    pub fn bench_with_input<I, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let mut b = Bencher {
+            iters: effective_iters(self.samples),
+            elapsed_ns: 0.0,
+        };
+        f(&mut b, input);
+        report(&self.name, &id.id, b.elapsed_ns);
+        self
+    }
+
+    /// Ends the group (printing nothing extra in this stub).
+    pub fn finish(self) {}
+}
+
+/// Either a string or a [`BenchmarkId`] names a benchmark.
+pub struct BenchId(String);
+
+impl From<&str> for BenchId {
+    fn from(s: &str) -> Self {
+        BenchId(s.to_string())
+    }
+}
+
+impl From<String> for BenchId {
+    fn from(s: String) -> Self {
+        BenchId(s)
+    }
+}
+
+impl From<BenchmarkId> for BenchId {
+    fn from(id: BenchmarkId) -> Self {
+        BenchId(id.id)
+    }
+}
+
+fn effective_iters(samples: u64) -> u64 {
+    // `cargo test --benches` passes --test: run each body once as a smoke.
+    if std::env::args().any(|a| a == "--test") {
+        1
+    } else {
+        samples
+    }
+}
+
+fn report(group: &str, id: &str, ns: f64) {
+    if ns >= 1e6 {
+        println!("{group}/{id:<28} {:>10.3} ms", ns / 1e6);
+    } else {
+        println!("{group}/{id:<28} {:>10.3} µs", ns / 1e3);
+    }
+}
+
+/// Entry point handed to benchmark functions.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Opens a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            samples: 10,
+            _parent: self,
+        }
+    }
+
+    /// Benches a standalone closure.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher {
+            iters: effective_iters(10),
+            elapsed_ns: 0.0,
+        };
+        f(&mut b);
+        report("bench", id, b.elapsed_ns);
+        self
+    }
+}
+
+/// Bundles benchmark functions into one runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declares `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_times() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("g");
+        g.sample_size(3);
+        let mut ran = 0;
+        g.bench_function("f", |b| b.iter(|| ran += 1));
+        g.finish();
+        assert!(ran >= 1);
+    }
+}
