@@ -563,7 +563,7 @@ mod tests {
         let gemm = kernels::gemm(8, 8, 8);
         let ij = dataflows::gemm_ij(&gemm, 2);
         let kj = dataflows::gemm_kj(&gemm, 2);
-        let solo = dag_for(&gemm, &[ij.clone()], &BackendConfig::default());
+        let solo = dag_for(&gemm, std::slice::from_ref(&ij), &BackendConfig::default());
         let fused = dag_for(&gemm, &[ij, kj], &BackendConfig::default());
         assert!(
             fused.count_nodes(|p| matches!(p, Prim::Mux { .. }))

@@ -137,7 +137,7 @@ pub fn infer_bitwidths(dag: &mut Dag) {
                 Prim::Add | Prim::Max => (max_in + 1).clamp(1, CLAMP),
                 Prim::Shift => (max_in + 4).clamp(1, CLAMP),
                 Prim::Reducer { inputs } => {
-                    let grow = (usize::BITS - inputs.max(&1).leading_zeros()) as u32;
+                    let grow = usize::BITS - inputs.max(&1).leading_zeros();
                     (max_in + grow).clamp(1, CLAMP)
                 }
                 Prim::Mux { .. } | Prim::Fifo { .. } => {

@@ -52,15 +52,16 @@ fn main() {
         if n_clusters > 1 {
             // Wormhole L2: routers + links, < 10% of the array cost.
             let mesh = lego_noc::Mesh::new(clusters.0, clusters.1, 16, 1);
-            let router_area = 128.0 * 16.0 * tech.mux_area_um2_per_bit + 512.0 * tech.ff_area_um2;
-            area += mesh.routers() as f64 * router_area / 1e6;
+            area += lego_model::l2_router_area_um2(mesh.routers(), &tech) / 1e6;
             power += mesh.routers() as f64 * 16.0 * tech.noc_pj_per_byte_hop * tech.freq_ghz;
         }
 
         let hw = HwConfig {
             array: (p, p),
             clusters,
-            buffer_kb: buf / 1024,
+            // `buf` is the chip-total pool; HwConfig takes the per-cluster
+            // share (each cluster tiles against its own buffer).
+            buffer_kb: buf / 1024 / n_clusters as u64,
             dram_gbps: 16.0 * n_clusters as f64,
             num_ppus: 16,
             dataflows: vec![SpatialMapping::GemmMN, SpatialMapping::ConvIcOc],

@@ -76,10 +76,15 @@ impl Lego {
         self
     }
 
-    /// Searches the joint hardware design space (array shape, buffer,
-    /// bandwidth, dataflow set, tiling) for `model` with the standard
-    /// `lego-explorer` portfolio — exhaustive grid, seeded random sampling,
-    /// and a (μ+λ) evolution strategy sharing one memoized cache.
+    /// Searches the joint hardware design space (array shape, L2 cluster
+    /// grid, buffer, bandwidth, dataflow set, tiling) for `model` with the
+    /// standard `lego-explorer` portfolio — exhaustive grid, seeded random
+    /// sampling, and a (μ+λ) evolution strategy sharing one memoized cache.
+    ///
+    /// Every candidate is priced through one `lego_model::CostContext`
+    /// (multi-cluster designs pay modeled L2-mesh latency and router
+    /// area), and `opts.constraints` applies hard area/power feasibility
+    /// budgets before a design may reach the frontier.
     ///
     /// This is the configuration-level complement of [`Lego::generate`]:
     /// explore first to pick a hardware configuration, then generate RTL

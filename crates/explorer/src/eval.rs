@@ -2,11 +2,11 @@
 //! shared cache.
 
 use crate::cache::{layer_key, EvalCache};
-use crate::pareto::Objectives;
+use crate::pareto::{Constraints, Objectives};
 use crate::space::Genome;
 use lego_mapper::map_model_with;
-use lego_model::{macro_area, SramModel, TechModel};
-use lego_sim::{best_mapping_tiled, ModelPerf};
+use lego_model::{CostContext, SramModel, TechModel};
+use lego_sim::{best_mapping_ctx, ModelPerf};
 use lego_workloads::Model;
 use std::sync::mpsc;
 use std::sync::Mutex;
@@ -20,6 +20,11 @@ pub struct DesignPoint {
     pub objectives: Objectives,
     /// The underlying whole-model simulation result.
     pub perf: ModelPerf,
+    /// Peak power draw (static + full-activity dynamic) in mW — the
+    /// quantity power budgets constrain.
+    pub peak_power_mw: f64,
+    /// Whether the design fits the evaluator's [`Constraints`].
+    pub feasible: bool,
 }
 
 /// Evaluates genomes against one target model.
@@ -34,6 +39,7 @@ pub struct Evaluator<'m> {
     sram: SramModel,
     cache: EvalCache,
     threads: usize,
+    constraints: Constraints,
 }
 
 impl<'m> Evaluator<'m> {
@@ -49,6 +55,7 @@ impl<'m> Evaluator<'m> {
             sram: SramModel::default(),
             cache: EvalCache::new(),
             threads,
+            constraints: Constraints::none(),
         }
     }
 
@@ -57,6 +64,18 @@ impl<'m> Evaluator<'m> {
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.threads = threads.max(1);
         self
+    }
+
+    /// Applies hard feasibility budgets to every evaluation.
+    #[must_use]
+    pub fn with_constraints(mut self, constraints: Constraints) -> Self {
+        self.constraints = constraints;
+        self
+    }
+
+    /// The active feasibility budgets.
+    pub fn constraints(&self) -> &Constraints {
+        &self.constraints
     }
 
     /// The target model.
@@ -70,35 +89,37 @@ impl<'m> Evaluator<'m> {
     }
 
     /// Evaluates one genome, memoizing every per-layer simulation.
+    ///
+    /// The genome's [`CostContext`] is built once and threaded through
+    /// every per-layer simulation, the area roll-up (which includes L2
+    /// router area for multi-cluster designs), and the peak-power figure
+    /// the feasibility budgets check.
     pub fn eval(&self, genome: &Genome) -> DesignPoint {
-        let hw = genome.to_hw_config();
+        let ctx = CostContext::new(genome.to_hw_config(), self.tech).with_sram(self.sram);
         let hw_key = genome.key();
         let mapping = map_model_with(self.model, &self.tech, |layer| {
             self.cache.get_or_compute(hw_key, layer_key(layer), || {
-                best_mapping_tiled(layer, &hw, &self.tech, genome.tile_cap)
+                best_mapping_ctx(layer, &ctx, genome.tile_cap)
             })
         });
         let latency_cycles = mapping.perf.cycles as f64;
         let time_s = latency_cycles / (self.tech.freq_ghz * 1e9);
         let energy_pj = mapping.perf.watts * time_s * 1e12;
         // Memory banked per array edge so wider arrays get more ports.
-        let banks = (hw.array.0 + hw.array.1).max(1) as u64;
-        let area = macro_area(
-            hw.num_fus(),
-            hw.buffer_kb,
-            banks,
-            hw.num_ppus,
-            &self.tech,
-            &self.sram,
-        );
+        let banks = (ctx.hw.array.0 + ctx.hw.array.1).max(1) as u64;
+        let area = ctx.area(banks);
+        let peak_power_mw = ctx.peak_power_mw();
+        let objectives = Objectives {
+            latency_cycles,
+            energy_pj,
+            area_um2: area.total_um2(),
+        };
         DesignPoint {
             genome: *genome,
-            objectives: Objectives {
-                latency_cycles,
-                energy_pj,
-                area_um2: area.total_um2(),
-            },
+            feasible: self.constraints.admits(objectives.area_um2, peak_power_mw),
+            objectives,
             perf: mapping.perf,
+            peak_power_mw,
         }
     }
 

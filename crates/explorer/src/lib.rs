@@ -45,7 +45,7 @@ pub mod strategy;
 
 pub use cache::{layer_key, EvalCache};
 pub use eval::{DesignPoint, Evaluator};
-pub use pareto::{Objectives, ParetoFrontier};
+pub use pareto::{Constraints, Objectives, ParetoFrontier};
 pub use rng::SplitMix64;
 pub use space::{DataflowSet, DesignSpace, Genome, ALL_MAPPINGS};
 pub use strategy::{EvolutionarySearch, GridSearch, RandomSearch, SearchReport, SearchStrategy};
@@ -62,6 +62,8 @@ pub struct ExploreOptions {
     pub threads: usize,
     /// Technology model used for every evaluation.
     pub tech: TechModel,
+    /// Hard area/power feasibility budgets (default: unconstrained).
+    pub constraints: Constraints,
 }
 
 impl Default for ExploreOptions {
@@ -70,6 +72,7 @@ impl Default for ExploreOptions {
             budget_per_strategy: 512,
             threads: 0,
             tech: TechModel::default(),
+            constraints: Constraints::none(),
         }
     }
 }
@@ -116,7 +119,7 @@ pub fn explore(
     strategies: &mut [Box<dyn SearchStrategy>],
     opts: &ExploreOptions,
 ) -> ExplorationResult {
-    let mut evaluator = Evaluator::new(model, opts.tech);
+    let mut evaluator = Evaluator::new(model, opts.tech).with_constraints(opts.constraints);
     if opts.threads > 0 {
         evaluator = evaluator.with_threads(opts.threads);
     }
@@ -184,6 +187,69 @@ mod tests {
         let (g2, e2) = run();
         assert_eq!(g1, g2);
         assert!((e1 - e2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn constraints_are_hard_feasibility_filters() {
+        let model = zoo::lenet();
+        let space = DesignSpace::tiny();
+        // A tight area budget: big multi-cluster designs must be excluded
+        // from the frontier even when they dominate on latency.
+        let constrained = explore(
+            &model,
+            &space,
+            &mut [Box::new(GridSearch) as Box<dyn SearchStrategy>],
+            &ExploreOptions {
+                constraints: Constraints::none().with_max_area_mm2(2.5),
+                ..Default::default()
+            },
+        );
+        assert!(
+            !constrained.frontier.is_empty(),
+            "budget admits small designs"
+        );
+        for p in constrained.frontier.points() {
+            assert!(p.feasible);
+            assert!(p.objectives.area_um2 <= 2.5e6, "{:?}", p.genome);
+        }
+        // The unconstrained frontier keeps designs the budget rejects.
+        let free = explore(
+            &model,
+            &space,
+            &mut [Box::new(GridSearch) as Box<dyn SearchStrategy>],
+            &ExploreOptions::default(),
+        );
+        assert!(free
+            .frontier
+            .points()
+            .iter()
+            .any(|p| p.objectives.area_um2 > 2.5e6));
+        // Constrained best can never beat the unconstrained best.
+        let cb = constrained.best_by_edp().unwrap().objectives.edp();
+        let fb = free.best_by_edp().unwrap().objectives.edp();
+        assert!(fb <= cb + 1e-9);
+    }
+
+    #[test]
+    fn cluster_axis_is_searched() {
+        // The tiny space carries (2,2) cluster genomes; the grid must
+        // evaluate them and the frontier must record feasibility for all.
+        let model = zoo::resnet50();
+        let result = explore(
+            &model,
+            &DesignSpace::tiny(),
+            &mut [Box::new(GridSearch) as Box<dyn SearchStrategy>],
+            &ExploreOptions::default(),
+        );
+        assert_eq!(result.reports[0].evaluated, DesignSpace::tiny().size());
+        // Multi-cluster designs genuinely traded off: at least one reached
+        // the unconstrained frontier on a compute-heavy model (they buy
+        // latency with area/NoC overhead).
+        assert!(result
+            .frontier
+            .points()
+            .iter()
+            .any(|p| p.genome.clusters != (1, 1)));
     }
 
     #[test]

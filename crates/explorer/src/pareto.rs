@@ -1,7 +1,56 @@
-//! Multi-objective bookkeeping: dominance, the Pareto frontier, and the
-//! EDP/EDAP scalarizations used for ranking.
+//! Multi-objective bookkeeping: dominance, the Pareto frontier, hard
+//! feasibility constraints, and the EDP/EDAP scalarizations used for
+//! ranking.
 
 use crate::eval::DesignPoint;
+
+/// Hard feasibility budgets applied to every candidate before it may join
+/// the frontier or be reported as a best design.
+///
+/// Unlike the frontier's objectives (which trade off), a violated budget
+/// disqualifies outright — SparseMap-style constrained search. Infeasible
+/// candidates are still evaluated and cached (the evolutionary strategy
+/// keeps them in its population with infinite fitness so search can walk
+/// through them), they just cannot win.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct Constraints {
+    /// Maximum accelerator area in µm² (`None` = unconstrained).
+    pub max_area_um2: Option<f64>,
+    /// Maximum peak power in mW (`None` = unconstrained).
+    pub max_power_mw: Option<f64>,
+}
+
+impl Constraints {
+    /// No budgets: every design is feasible.
+    pub fn none() -> Self {
+        Constraints::default()
+    }
+
+    /// An area budget in mm² (the natural unit for chip budgets).
+    #[must_use]
+    pub fn with_max_area_mm2(mut self, mm2: f64) -> Self {
+        self.max_area_um2 = Some(mm2 * 1e6);
+        self
+    }
+
+    /// A peak-power budget in mW.
+    #[must_use]
+    pub fn with_max_power_mw(mut self, mw: f64) -> Self {
+        self.max_power_mw = Some(mw);
+        self
+    }
+
+    /// Whether a design with this area and peak power fits every budget.
+    pub fn admits(&self, area_um2: f64, power_mw: f64) -> bool {
+        self.max_area_um2.is_none_or(|cap| area_um2 <= cap)
+            && self.max_power_mw.is_none_or(|cap| power_mw <= cap)
+    }
+
+    /// Whether any budget is set.
+    pub fn is_constrained(&self) -> bool {
+        self.max_area_um2.is_some() || self.max_power_mw.is_some()
+    }
+}
 
 /// The three objectives every candidate is scored on. Lower is better for
 /// all of them.
@@ -133,6 +182,8 @@ mod tests {
         genome.rows = (lat as i64) * 1000 + (en as i64) * 10 + area as i64 + 1;
         DesignPoint {
             genome,
+            feasible: true,
+            peak_power_mw: 0.0,
             objectives: Objectives {
                 latency_cycles: lat,
                 energy_pj: en,
@@ -206,6 +257,20 @@ mod tests {
             assert!(f.is_mutually_non_dominated());
         }
         assert!(!f.is_empty());
+    }
+
+    #[test]
+    fn constraints_admit_and_reject() {
+        let none = Constraints::none();
+        assert!(!none.is_constrained());
+        assert!(none.admits(f64::MAX, f64::MAX));
+        let c = Constraints::none()
+            .with_max_area_mm2(2.0)
+            .with_max_power_mw(300.0);
+        assert!(c.is_constrained());
+        assert!(c.admits(1.9e6, 299.0));
+        assert!(!c.admits(2.1e6, 299.0), "area budget must bind");
+        assert!(!c.admits(1.9e6, 301.0), "power budget must bind");
     }
 
     #[test]

@@ -86,6 +86,10 @@ pub struct Genome {
     pub rows: i64,
     /// FU array columns.
     pub cols: i64,
+    /// L2 cluster grid (1×1 = single array). Multi-cluster designs pay
+    /// modeled wormhole-mesh latency and router area through the cost
+    /// stack, so this axis is a real latency/energy/area trade-off.
+    pub clusters: (u32, u32),
     /// On-chip buffer capacity in KB.
     pub buffer_kb: u64,
     /// DRAM bandwidth in GB/s.
@@ -103,6 +107,7 @@ impl Genome {
         Genome {
             rows: 16,
             cols: 16,
+            clusters: (1, 1),
             buffer_kb: 256,
             dram_gbps: 16,
             dataflows: DataflowSet::new(&[
@@ -114,9 +119,14 @@ impl Genome {
         }
     }
 
-    /// Total functional units.
+    /// Number of L2 clusters.
+    pub fn num_clusters(&self) -> i64 {
+        i64::from(self.clusters.0) * i64::from(self.clusters.1)
+    }
+
+    /// Total functional units across all clusters.
     pub fn num_fus(&self) -> i64 {
-        self.rows * self.cols
+        self.rows * self.cols * self.num_clusters()
     }
 
     /// Materializes the simulator's hardware configuration.
@@ -129,10 +139,11 @@ impl Genome {
     pub fn to_hw_config(&self) -> HwConfig {
         let fus = self.num_fus() as f64;
         let fu_scale = fus / 256.0;
-        let buf_scale = self.buffer_kb as f64 / 256.0;
+        // `buffer_kb` is per cluster; the power anchor tracks total SRAM.
+        let buf_scale = (self.buffer_kb * self.num_clusters() as u64) as f64 / 256.0;
         HwConfig {
             array: (self.rows, self.cols),
-            clusters: (1, 1),
+            clusters: self.clusters,
             buffer_kb: self.buffer_kb,
             dram_gbps: f64::from(self.dram_gbps),
             num_ppus: (self.num_fus() / 16).max(1),
@@ -158,6 +169,9 @@ impl fmt::Display for Genome {
             "{}x{}/{}KB/{}GBps/{}",
             self.rows, self.cols, self.buffer_kb, self.dram_gbps, self.dataflows
         )?;
+        if self.clusters != (1, 1) {
+            write!(f, "/c{}x{}", self.clusters.0, self.clusters.1)?;
+        }
         if let Some(t) = self.tile_cap {
             write!(f, "/t{t}")?;
         }
@@ -201,6 +215,8 @@ pub struct DesignSpace {
     pub rows: Vec<i64>,
     /// Candidate FU-array column counts.
     pub cols: Vec<i64>,
+    /// Candidate L2 cluster grids.
+    pub clusters: Vec<(u32, u32)>,
     /// Candidate buffer capacities (KB).
     pub buffer_kb: Vec<u64>,
     /// Candidate DRAM bandwidths (GB/s).
@@ -213,13 +229,15 @@ pub struct DesignSpace {
 
 impl DesignSpace {
     /// The default space bracketing the paper's design points: arrays from
-    /// 8×8 to 32×32, buffers 128–512 KB, 8–32 GB/s, three dataflow
-    /// families, automatic or capped tiling — 486 configurations.
+    /// 8×8 to 32×32, single array up to a 2×2 L2 cluster mesh, buffers
+    /// 128–512 KB per cluster, 8–32 GB/s, three dataflow families,
+    /// automatic or capped tiling — 1458 configurations.
     pub fn paper() -> Self {
         use SpatialMapping::*;
         DesignSpace {
             rows: vec![8, 16, 32],
             cols: vec![8, 16, 32],
+            clusters: vec![(1, 1), (2, 1), (2, 2)],
             buffer_kb: vec![128, 256, 512],
             dram_gbps: vec![8, 16, 32],
             dataflow_sets: vec![
@@ -231,12 +249,13 @@ impl DesignSpace {
         }
     }
 
-    /// A 16-point space for fast tests.
+    /// A 32-point space for fast tests.
     pub fn tiny() -> Self {
         use SpatialMapping::*;
         DesignSpace {
             rows: vec![8, 16],
             cols: vec![16],
+            clusters: vec![(1, 1), (2, 2)],
             buffer_kb: vec![128, 256],
             dram_gbps: vec![16],
             dataflow_sets: vec![
@@ -251,6 +270,7 @@ impl DesignSpace {
     pub fn size(&self) -> usize {
         self.rows.len()
             * self.cols.len()
+            * self.clusters.len()
             * self.buffer_kb.len()
             * self.dram_gbps.len()
             * self.dataflow_sets.len()
@@ -262,18 +282,21 @@ impl DesignSpace {
         let mut out = Vec::with_capacity(self.size());
         for &rows in &self.rows {
             for &cols in &self.cols {
-                for &buffer_kb in &self.buffer_kb {
-                    for &dram_gbps in &self.dram_gbps {
-                        for &dataflows in &self.dataflow_sets {
-                            for &tile_cap in &self.tile_caps {
-                                out.push(Genome {
-                                    rows,
-                                    cols,
-                                    buffer_kb,
-                                    dram_gbps,
-                                    dataflows,
-                                    tile_cap,
-                                });
+                for &clusters in &self.clusters {
+                    for &buffer_kb in &self.buffer_kb {
+                        for &dram_gbps in &self.dram_gbps {
+                            for &dataflows in &self.dataflow_sets {
+                                for &tile_cap in &self.tile_caps {
+                                    out.push(Genome {
+                                        rows,
+                                        cols,
+                                        clusters,
+                                        buffer_kb,
+                                        dram_gbps,
+                                        dataflows,
+                                        tile_cap,
+                                    });
+                                }
                             }
                         }
                     }
@@ -288,6 +311,7 @@ impl DesignSpace {
         Genome {
             rows: *rng.pick(&self.rows),
             cols: *rng.pick(&self.cols),
+            clusters: *rng.pick(&self.clusters),
             buffer_kb: *rng.pick(&self.buffer_kb),
             dram_gbps: *rng.pick(&self.dram_gbps),
             dataflows: *rng.pick(&self.dataflow_sets),
@@ -299,12 +323,13 @@ impl DesignSpace {
     /// the unordered axes), staying inside the space.
     pub fn mutate(&self, g: &Genome, rng: &mut SplitMix64) -> Genome {
         let mut out = *g;
-        match rng.below(6) {
+        match rng.below(7) {
             0 => out.rows = step(&self.rows, g.rows, rng),
             1 => out.cols = step(&self.cols, g.cols, rng),
-            2 => out.buffer_kb = step(&self.buffer_kb, g.buffer_kb, rng),
-            3 => out.dram_gbps = step(&self.dram_gbps, g.dram_gbps, rng),
-            4 => out.dataflows = *rng.pick(&self.dataflow_sets),
+            2 => out.clusters = step(&self.clusters, g.clusters, rng),
+            3 => out.buffer_kb = step(&self.buffer_kb, g.buffer_kb, rng),
+            4 => out.dram_gbps = step(&self.dram_gbps, g.dram_gbps, rng),
+            5 => out.dataflows = *rng.pick(&self.dataflow_sets),
             _ => out.tile_cap = *rng.pick(&self.tile_caps),
         }
         out
@@ -315,6 +340,11 @@ impl DesignSpace {
         Genome {
             rows: if rng.chance(0.5) { a.rows } else { b.rows },
             cols: if rng.chance(0.5) { a.cols } else { b.cols },
+            clusters: if rng.chance(0.5) {
+                a.clusters
+            } else {
+                b.clusters
+            },
             buffer_kb: if rng.chance(0.5) {
                 a.buffer_kb
             } else {
@@ -382,6 +412,7 @@ mod tests {
         let inside = |g: &Genome| {
             s.rows.contains(&g.rows)
                 && s.cols.contains(&g.cols)
+                && s.clusters.contains(&g.clusters)
                 && s.buffer_kb.contains(&g.buffer_kb)
                 && s.dram_gbps.contains(&g.dram_gbps)
                 && s.dataflow_sets.contains(&g.dataflows)
@@ -395,6 +426,22 @@ mod tests {
             assert!(inside(&s.mutate(&a, &mut rng)));
             assert!(inside(&s.crossover(&a, &b, &mut rng)));
         }
+    }
+
+    #[test]
+    fn cluster_genomes_materialize_the_l2_mesh() {
+        let mut g = Genome::lego_256_baseline();
+        g.clusters = (2, 2);
+        assert_eq!(g.num_fus(), 1024);
+        let hw = g.to_hw_config();
+        assert_eq!(hw.clusters, (2, 2));
+        assert_eq!(hw.num_fus(), 1024);
+        assert_eq!(hw.l2_mesh().routers(), 4);
+        // Power anchors scale with the full cluster count.
+        let base = Genome::lego_256_baseline().to_hw_config();
+        assert!(hw.dynamic_mw > 3.9 * base.dynamic_mw);
+        assert!(g.to_string().ends_with("/c2x2"), "{g}");
+        assert_eq!(hw.validate(), Ok(()));
     }
 
     #[test]

@@ -37,6 +37,10 @@ pub trait SearchStrategy {
 }
 
 /// Evaluates a batch, folds it into the frontier, and tracks the best EDP.
+///
+/// Infeasible candidates (violating the evaluator's hard area/power
+/// budgets) are returned for the caller's bookkeeping but never join the
+/// frontier or the reported best.
 fn score_batch(
     evaluator: &Evaluator<'_>,
     frontier: &mut ParetoFrontier,
@@ -45,10 +49,13 @@ fn score_batch(
 ) -> Vec<DesignPoint> {
     let points = evaluator.eval_batch(genomes);
     for p in &points {
+        if !p.feasible {
+            continue;
+        }
         frontier.insert(p.clone());
         let better = best
             .as_ref()
-            .map_or(true, |b| p.objectives.edp() < b.objectives.edp());
+            .is_none_or(|b| p.objectives.edp() < b.objectives.edp());
         if better {
             *best = Some(p.clone());
         }
@@ -149,7 +156,14 @@ impl Default for EvolutionarySearch {
 impl EvolutionarySearch {
     fn fitness(p: &DesignPoint) -> (f64, u64) {
         // Deterministic total order: EDP, then the genome fingerprint.
-        (p.objectives.edp(), p.genome.key())
+        // Infeasible designs sort behind every feasible one (but stay in
+        // the population, so search can cross the infeasible region).
+        let edp = if p.feasible {
+            p.objectives.edp()
+        } else {
+            f64::INFINITY
+        };
+        (edp, p.genome.key())
     }
 }
 
@@ -238,7 +252,7 @@ mod tests {
 
     #[test]
     fn grid_covers_the_whole_tiny_space() {
-        let (report, frontier) = run(&mut GridSearch, usize::MAX.min(1 << 20));
+        let (report, frontier) = run(&mut GridSearch, 1 << 20);
         assert_eq!(report.evaluated, DesignSpace::tiny().size());
         assert!(report.best.is_some());
         assert!(frontier.is_mutually_non_dominated());

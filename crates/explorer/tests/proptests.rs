@@ -12,11 +12,12 @@ use proptest::prelude::*;
 
 /// A random non-trivial sub-space of the paper space: each axis keeps a
 /// prefix of its choices.
-fn subspace(r: usize, c: usize, b: usize, w: usize, d: usize, t: usize) -> DesignSpace {
+fn subspace(r: usize, c: usize, cl: usize, b: usize, w: usize, d: usize, t: usize) -> DesignSpace {
     let full = DesignSpace::paper();
     DesignSpace {
         rows: full.rows[..r].to_vec(),
         cols: full.cols[..c].to_vec(),
+        clusters: full.clusters[..cl].to_vec(),
         buffer_kb: full.buffer_kb[..b].to_vec(),
         dram_gbps: full.dram_gbps[..w].to_vec(),
         dataflow_sets: full.dataflow_sets[..d].to_vec(),
@@ -31,6 +32,7 @@ proptest! {
     fn exhaustive_never_loses_to_random_sampling(
         r in 1usize..=2,
         c in 1usize..=2,
+        cl in 1usize..=2,
         b in 1usize..=2,
         w in 1usize..=2,
         d in 1usize..=2,
@@ -38,7 +40,7 @@ proptest! {
         seed in 0u64..1_000_000,
         budget in 1usize..48,
     ) {
-        let space = subspace(r, c, b, w, d, t);
+        let space = subspace(r, c, cl, b, w, d, t);
         let model = zoo::lenet();
         let evaluator = Evaluator::new(&model, TechModel::default());
 

@@ -233,7 +233,7 @@ fn minimal_shift(m: &IMat, rhs: &[i64], sizes: &[i64], min_gap: i64) -> Option<(
                 }
             }
         }
-        let in_box = cand.iter().zip(sizes).all(|(x, r)| x.abs() <= r - 1);
+        let in_box = cand.iter().zip(sizes).all(|(x, &r)| x.abs() < r);
         if in_box {
             let gap = scalar_gap(&cand, sizes);
             if gap >= min_gap {
@@ -453,7 +453,7 @@ mod tests {
         let sols = analyze_tensor(&gemm, &df, x, 1);
         for s in &sols {
             for (dt, r) in s.delta_t.iter().zip(&df.temporal_sizes) {
-                assert!(dt.abs() <= r - 1, "out-of-box Δt in {s:?}");
+                assert!(dt.abs() < *r, "out-of-box Δt in {s:?}");
             }
         }
     }

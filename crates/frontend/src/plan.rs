@@ -163,6 +163,7 @@ fn plan_tensor(
 
         // Grow the chain from the best candidate that spans it fully;
         // otherwise take the best partial cover and re-queue the leftovers.
+        #[allow(clippy::type_complexity)]
         let mut best: Option<(usize, Vec<(usize, usize, i64)>, Vec<bool>)> = None;
         for &root in &candidates {
             let (chosen, visited) = grow_chain(
@@ -401,6 +402,7 @@ fn grow_chain(
 
     loop {
         // Candidate moves: (key, physical_from, physical_to, depth, w_pos).
+        #[allow(clippy::type_complexity)]
         let mut best: Option<((usize, i64, i64, usize), usize, usize, i64, usize)> = None;
         for (i, &u) in members.iter().enumerate() {
             if !visited[i] {
@@ -687,7 +689,7 @@ mod tests {
         use crate::memory::conflict_free;
         let conv = kernels::conv2d(1, 2, 2, 4, 4, 3, 3, 1);
         let df = dataflows::conv_ohow(&conv, 2);
-        let adg = build_adg(&conv, &[df.clone()], &cfg()).unwrap();
+        let adg = build_adg(&conv, std::slice::from_ref(&df), &cfg()).unwrap();
         for plan in &adg.tensors {
             let access = conv.access(&plan.tensor).unwrap();
             let coords: Vec<Vec<i64>> = plan

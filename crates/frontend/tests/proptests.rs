@@ -52,7 +52,7 @@ proptest! {
                 // in-bounds temporal shift.
                 prop_assert!(s.depth >= 0);
                 for (dt, r) in s.delta_t.iter().zip(&df.temporal_sizes) {
-                    prop_assert!(dt.abs() <= r - 1);
+                    prop_assert!(dt.abs() < *r);
                 }
             }
         }
@@ -99,7 +99,7 @@ proptest! {
 
     #[test]
     fn memory_plans_have_no_bank_conflicts((w, df) in gemm_dataflow_strategy()) {
-        let adg = build_adg(&w, &[df.clone()], &FrontendConfig::default()).unwrap();
+        let adg = build_adg(&w, std::slice::from_ref(&df), &FrontendConfig::default()).unwrap();
         for plan in &adg.tensors {
             let access = w.access(&plan.tensor).unwrap();
             let coords: Vec<Vec<i64>> = plan
@@ -119,7 +119,7 @@ proptest! {
     fn fifo_depth_bound_by_tile_volume((w, df) in gemm_dataflow_strategy()) {
         // A reuse FIFO can never need to hold more than one full temporal
         // tile of data.
-        let adg = build_adg(&w, &[df.clone()], &FrontendConfig::default()).unwrap();
+        let adg = build_adg(&w, std::slice::from_ref(&df), &FrontendConfig::default()).unwrap();
         let total = df.total_steps();
         for e in &adg.edges {
             prop_assert!(e.max_depth() <= total, "{e:?} deeper than a tile");

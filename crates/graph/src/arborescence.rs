@@ -244,9 +244,9 @@ mod tests {
             parent[e.to] = e.from;
         }
         assert_eq!(indeg[root], 0);
-        for v in 0..n {
+        for (v, &deg) in indeg.iter().enumerate() {
             if v != root {
-                assert_eq!(indeg[v], 1, "node {v} in-degree");
+                assert_eq!(deg, 1, "node {v} in-degree");
             }
         }
         // Everything reaches the root.

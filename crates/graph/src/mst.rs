@@ -108,10 +108,8 @@ mod tests {
                         continue;
                     }
                     for (a, b) in [(e.from, e.to), (e.to, e.from)] {
-                        if in_tree[a] && !in_tree[b] {
-                            if best.is_none_or(|(w, _)| e.weight < w) {
-                                best = Some((e.weight, b));
-                            }
+                        if in_tree[a] && !in_tree[b] && best.is_none_or(|(w, _)| e.weight < w) {
+                            best = Some((e.weight, b));
                         }
                     }
                 }

@@ -233,16 +233,16 @@ impl<'w> DataflowBuilder<'w> {
             declared[d] *= size;
         }
         let mut factors = Vec::new();
-        for d in 0..rank {
+        for (d, &product) in declared.iter().enumerate() {
             let bound = self.workload.bounds[d];
-            if declared[d] == 0 || bound % declared[d] != 0 {
+            if product == 0 || bound % product != 0 {
                 return Err(IrError::FactorMismatch {
                     dim: self.workload.dims[d].clone(),
-                    product: declared[d],
+                    product,
                     bound,
                 });
             }
-            let rem = bound / declared[d];
+            let rem = bound / product;
             if rem > 1 {
                 factors.push((d, rem, Place::Temporal));
             }

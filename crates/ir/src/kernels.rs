@@ -65,6 +65,7 @@ pub fn gemm(m: i64, n: i64, k: i64) -> Workload {
 ///
 /// Iteration dims follow the paper's Figure 4 order:
 /// `[n, oc, ic, oh, ow, kh, kw]`.
+#[allow(clippy::too_many_arguments)] // a conv shape simply has eight extents
 pub fn conv2d(
     n: i64,
     ic: i64,
@@ -319,65 +320,6 @@ pub mod dataflows {
     }
 }
 
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn all_kernels_validate() {
-        gemm(4, 4, 4);
-        conv2d(1, 2, 2, 3, 3, 3, 3, 1);
-        depthwise_conv2d(1, 4, 3, 3, 3, 3, 1);
-        mttkrp(4, 4, 2, 2);
-        attention_scores(8, 8, 4);
-        attention_values(8, 8, 4);
-    }
-
-    #[test]
-    fn named_dataflows_are_bijective() {
-        let g = gemm(8, 8, 8);
-        assert!(dataflows::gemm_ij(&g, 2).verify_bijective(&g));
-        assert!(dataflows::gemm_ik(&g, 2).verify_bijective(&g));
-        assert!(dataflows::gemm_kj(&g, 2).verify_bijective(&g));
-        let c = conv2d(1, 4, 4, 4, 4, 3, 3, 1);
-        assert!(dataflows::conv_icoc(&c, 2).verify_bijective(&c));
-        assert!(dataflows::conv_ohow(&c, 2).verify_bijective(&c));
-        let m = mttkrp(4, 4, 4, 4);
-        assert!(dataflows::mttkrp_ij(&m, 2).verify_bijective(&m));
-        assert!(dataflows::mttkrp_kj(&m, 2).verify_bijective(&m));
-    }
-
-    #[test]
-    fn gemm_matches_paper_figure3_mappings() {
-        let g = gemm(4, 4, 4);
-        // ⃗y = [[1,0,0],[0,1,0]]·⃗i, ⃗x = [[1,0,0],[0,0,1]]·⃗i, ⃗w = [[0,0,1],[0,1,0]]·⃗i
-        let y = g.access("Y").unwrap().map.matrix().clone();
-        assert_eq!(y, IMat::from_rows(&[vec![1, 0, 0], vec![0, 1, 0]]));
-        let x = g.access("X").unwrap().map.matrix().clone();
-        assert_eq!(x, IMat::from_rows(&[vec![1, 0, 0], vec![0, 0, 1]]));
-        let w = g.access("W").unwrap().map.matrix().clone();
-        assert_eq!(w, IMat::from_rows(&[vec![0, 0, 1], vec![0, 1, 0]]));
-    }
-
-    #[test]
-    fn depthwise_shares_channel_dim() {
-        let d = depthwise_conv2d(1, 8, 4, 4, 3, 3, 1);
-        let y = d.access("Y").unwrap();
-        let w = d.access("W").unwrap();
-        // Channel (dim 1) appears in both Y and W maps.
-        assert_eq!(y.map.matrix()[(1, 1)], 1);
-        assert_eq!(w.map.matrix()[(0, 1)], 1);
-    }
-
-    #[test]
-    fn mttkrp_has_three_inputs() {
-        let m = mttkrp(2, 2, 2, 2);
-        assert_eq!(m.inputs().count(), 3);
-        assert_eq!(m.op, FuOp::TripleMulAcc);
-        assert_eq!(m.total_ops(), 3 * 16);
-    }
-}
-
 /// Mixed-precision GEMM in the BitFusion style (paper §II's user-defined
 /// FU example): `Y[i,j] += (A[i,k] · B[k,j]) << S[k]`, where the per-column
 /// shift composes low-precision products into higher-precision results.
@@ -437,4 +379,63 @@ pub fn max_pool2d(n: i64, c: i64, oh: i64, ow: i64, kh: i64, kw: i64, stride: i6
         FuOp::MaxAcc,
     )
     .expect("max pool construction is well-formed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_kernels_validate() {
+        gemm(4, 4, 4);
+        conv2d(1, 2, 2, 3, 3, 3, 3, 1);
+        depthwise_conv2d(1, 4, 3, 3, 3, 3, 1);
+        mttkrp(4, 4, 2, 2);
+        attention_scores(8, 8, 4);
+        attention_values(8, 8, 4);
+    }
+
+    #[test]
+    fn named_dataflows_are_bijective() {
+        let g = gemm(8, 8, 8);
+        assert!(dataflows::gemm_ij(&g, 2).verify_bijective(&g));
+        assert!(dataflows::gemm_ik(&g, 2).verify_bijective(&g));
+        assert!(dataflows::gemm_kj(&g, 2).verify_bijective(&g));
+        let c = conv2d(1, 4, 4, 4, 4, 3, 3, 1);
+        assert!(dataflows::conv_icoc(&c, 2).verify_bijective(&c));
+        assert!(dataflows::conv_ohow(&c, 2).verify_bijective(&c));
+        let m = mttkrp(4, 4, 4, 4);
+        assert!(dataflows::mttkrp_ij(&m, 2).verify_bijective(&m));
+        assert!(dataflows::mttkrp_kj(&m, 2).verify_bijective(&m));
+    }
+
+    #[test]
+    fn gemm_matches_paper_figure3_mappings() {
+        let g = gemm(4, 4, 4);
+        // ⃗y = [[1,0,0],[0,1,0]]·⃗i, ⃗x = [[1,0,0],[0,0,1]]·⃗i, ⃗w = [[0,0,1],[0,1,0]]·⃗i
+        let y = g.access("Y").unwrap().map.matrix().clone();
+        assert_eq!(y, IMat::from_rows(&[vec![1, 0, 0], vec![0, 1, 0]]));
+        let x = g.access("X").unwrap().map.matrix().clone();
+        assert_eq!(x, IMat::from_rows(&[vec![1, 0, 0], vec![0, 0, 1]]));
+        let w = g.access("W").unwrap().map.matrix().clone();
+        assert_eq!(w, IMat::from_rows(&[vec![0, 0, 1], vec![0, 1, 0]]));
+    }
+
+    #[test]
+    fn depthwise_shares_channel_dim() {
+        let d = depthwise_conv2d(1, 8, 4, 4, 3, 3, 1);
+        let y = d.access("Y").unwrap();
+        let w = d.access("W").unwrap();
+        // Channel (dim 1) appears in both Y and W maps.
+        assert_eq!(y.map.matrix()[(1, 1)], 1);
+        assert_eq!(w.map.matrix()[(0, 1)], 1);
+    }
+
+    #[test]
+    fn mttkrp_has_three_inputs() {
+        let m = mttkrp(2, 2, 2, 2);
+        assert_eq!(m.inputs().count(), 3);
+        assert_eq!(m.op, FuOp::TripleMulAcc);
+        assert_eq!(m.total_ops(), 3 * 16);
+    }
 }

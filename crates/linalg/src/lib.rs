@@ -143,7 +143,9 @@ mod tests {
     fn linearize_matches_paper_equation3() {
         // t = ((t0*R1 + t1)*R2 + t2)
         let sizes = [2, 3, 4];
-        assert_eq!(linearize(&[1, 2, 3], &sizes), (1 * 3 + 2) * 4 + 3);
+        #[allow(clippy::identity_op)] // spell out the row-major formula
+        let expect = (1 * 3 + 2) * 4 + 3;
+        assert_eq!(linearize(&[1, 2, 3], &sizes), expect);
         assert_eq!(linearize(&[0, 0, 0], &sizes), 0);
     }
 

@@ -195,9 +195,9 @@ impl MinCostFlow {
                 }
             }
         }
-        for v in 0..n {
+        for (pot, &d) in self.potentials.iter_mut().zip(&dist).take(n) {
             // Unreachable nodes get potential 0; they are never on a path.
-            self.potentials[v] = if dist[v] >= INF { 0 } else { dist[v] };
+            *pot = if d >= INF { 0 } else { d };
         }
         // Clamp so reduced costs stay provably non-negative for arcs leaving
         // reachable nodes into unreachable ones (cap > 0 can't occur there:

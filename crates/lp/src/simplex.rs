@@ -191,8 +191,8 @@ pub fn solve_lp(p: &LpProblem) -> LpResult {
     // Phase 2: optimize the real objective (internally: minimize).
     let sign = if p.minimize { 1.0 } else { -1.0 };
     let mut cost = vec![0.0f64; total + 1];
-    for j in 0..n {
-        cost[j] = sign * p.objective[j];
+    for (c, &obj) in cost.iter_mut().zip(&p.objective).take(n) {
+        *c = sign * obj;
     }
     for &a in &artificials {
         cost[a] = 1e12; // keep artificials pinned at zero
@@ -262,11 +262,12 @@ fn pivot(tab: &mut [Vec<f64>], basis: &mut [usize], row: usize, col: usize, tota
     for v in tab[row].iter_mut() {
         *v /= piv;
     }
-    for i in 0..tab.len() {
-        if i != row && tab[i][col].abs() > EPS {
-            let f = tab[i][col];
-            for j in 0..=total {
-                tab[i][j] -= f * tab[row][j];
+    let pivot_row = tab[row].clone();
+    for (i, r) in tab.iter_mut().enumerate() {
+        if i != row && r[col].abs() > EPS {
+            let f = r[col];
+            for (v, &pv) in r.iter_mut().zip(&pivot_row).take(total + 1) {
+                *v -= f * pv;
             }
         }
     }

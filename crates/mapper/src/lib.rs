@@ -7,8 +7,8 @@
 //! mapping with a per-layer report, plus a tiling refinement that shrinks
 //! DRAM traffic when a layer's working set nearly fits on chip.
 
-use lego_model::TechModel;
-use lego_sim::{aggregate, best_mapping, HwConfig, LayerPerf, ModelPerf};
+use lego_model::{CostContext, TechModel};
+use lego_sim::{aggregate, best_mapping, best_mapping_ctx, HwConfig, LayerPerf, ModelPerf};
 use lego_workloads::{Layer, Model};
 
 /// One mapped layer: the layer, its repetition count, and its performance.
@@ -47,7 +47,18 @@ pub struct Mapping {
 /// assert_eq!(mapping.layers.len(), model.layers.len());
 /// ```
 pub fn map_model(model: &Model, hw: &HwConfig, tech: &TechModel) -> Mapping {
-    map_model_with(model, tech, |l| best_mapping(l, hw, tech))
+    map_model_ctx(model, &CostContext::new(hw.clone(), *tech), None)
+}
+
+/// Maps every layer against a prebuilt [`CostContext`] with an optional L1
+/// tile-edge cap.
+///
+/// The context is built **once** per configuration (its NoC models and
+/// SRAM fit are part of the price of the hardware, not of any one layer),
+/// which is what the design-space explorer and the benchmark harnesses
+/// thread through their evaluation loops.
+pub fn map_model_ctx(model: &Model, ctx: &CostContext, tile_cap: Option<i64>) -> Mapping {
+    map_model_with(model, &ctx.tech, |l| best_mapping_ctx(l, ctx, tile_cap))
 }
 
 /// Maps every layer through a caller-supplied evaluator and aggregates.
@@ -123,6 +134,17 @@ mod tests {
             a.perf.cycles < b.perf.cycles,
             "fused dataflows must win on MobileNetV2"
         );
+    }
+
+    #[test]
+    fn ctx_mapping_matches_wrapper() {
+        let hw = HwConfig::lego_256();
+        let t = TechModel::default();
+        let m = zoo::mobilenet_v2();
+        let a = map_model(&m, &hw, &t);
+        let b = map_model_ctx(&m, &CostContext::new(hw.clone(), t), None);
+        assert_eq!(a.perf.cycles, b.perf.cycles);
+        assert_eq!(a.layers.len(), b.layers.len());
     }
 
     #[test]

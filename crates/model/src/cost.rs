@@ -229,6 +229,15 @@ pub fn macro_area(
     }
 }
 
+/// Area of the L2 wormhole-mesh routers in µm² (`routers` ≥ 1 per
+/// cluster): a 5-port, 16-byte crossbar of muxes plus flit buffering.
+/// Matches the Table IV scaling harness, which shows the L2 NoC staying
+/// under 10 % of total area.
+pub fn l2_router_area_um2(routers: u64, tech: &TechModel) -> f64 {
+    let per_router = 128.0 * 16.0 * tech.mux_area_um2_per_bit + 512.0 * tech.ff_area_um2;
+    routers as f64 * per_router
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,4 +1,4 @@
-//! Area / power / energy models (paper §VI-A).
+//! Area / power / energy models and the unified cost stack (paper §VI-A).
 //!
 //! The paper synthesizes generated RTL with Synopsys DC on TSMC 28 nm and
 //! models SRAM with CACTI. This crate substitutes analytic per-primitive
@@ -8,11 +8,35 @@
 //! counting structural resources — registers removed by the LP, adders
 //! removed by pin reuse, shared control logic — so counting the same
 //! primitives with fixed per-primitive costs reproduces the ratios.
+//!
+//! # The cost stack
+//!
+//! Beyond the per-primitive tables, this crate owns the **cost-model
+//! layer** the rest of the workspace evaluates designs through
+//! ([`costmodel`]): a [`CostContext`] bundling `{ hw, tech, sram, noc }`
+//! is built once per [`HwConfig`] and priced through three component
+//! traits —
+//!
+//! * [`ComputeCost`] (FU-array cycles, datapath energy),
+//! * [`MemoryCost`] (DRAM stream cycles, SRAM/DRAM access energy, leakage),
+//! * [`NocCost`] (L1 butterfly fill, L2 wormhole-mesh transfer latency as
+//!   [`lego_noc::Transfer`]s, transport energy).
+//!
+//! `lego-sim` consumes the context for per-layer simulation (multi-cluster
+//! designs pay modeled L2-mesh latency, not just energy), `lego-mapper`
+//! threads it through whole-model mapping, and `lego-explorer` searches
+//! the cluster axis against it under area/power feasibility constraints.
 
 pub mod cost;
+pub mod costmodel;
+pub mod hw;
 pub mod sram;
 
-pub use cost::{dag_cost, macro_area, DagCost, FpgaCost, MacroArea};
+pub use cost::{dag_cost, l2_router_area_um2, macro_area, DagCost, FpgaCost, MacroArea};
+pub use costmodel::{
+    ComputeCost, CostContext, CostModel, L2Traffic, MemoryCost, NocCost, NocModel,
+};
+pub use hw::{HwConfig, HwConfigError, SpatialMapping};
 pub use sram::SramModel;
 
 /// Technology constants (TSMC 28 nm @ 1 GHz unless noted).

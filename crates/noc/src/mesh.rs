@@ -73,11 +73,47 @@ impl Mesh {
     /// streams at one flit per cycle.
     pub fn transfer(&self, src: (u32, u32), dst: (u32, u32), bytes: u64) -> Transfer {
         let hops = (self.route(src, dst).path.len() - 1) as u64;
+        self.stream(hops, bytes)
+    }
+
+    /// A wormhole stream over a fixed hop count: head latency plus flit
+    /// serialization at one flit per cycle.
+    fn stream(&self, hops: u64, bytes: u64) -> Transfer {
         let flits = bytes.div_ceil(u64::from(self.link_bytes).max(1)).max(1);
         Transfer {
             cycles: hops * u64::from(self.hop_cycles) + flits - 1,
             hops,
         }
+    }
+
+    /// Longest X-Y route in the mesh (corner to corner).
+    pub fn max_hops(&self) -> u64 {
+        u64::from(self.cols - 1) + u64::from(self.rows - 1)
+    }
+
+    /// Multicast of one payload from the injection port to every router.
+    ///
+    /// The payload is serialized once at the port; links replicate flits in
+    /// a multicast tree, so delivery completes when the tail reaches the
+    /// farthest router: `max_hops` of head latency plus one flit per cycle.
+    pub fn broadcast(&self, bytes: u64) -> Transfer {
+        self.stream(self.max_hops(), bytes)
+    }
+
+    /// Scatter of disjoint per-router payloads totalling `bytes` from the
+    /// injection port.
+    ///
+    /// Every flit crosses the shared injection link, so serialization covers
+    /// the whole payload; the last packet still pays the worst-case head
+    /// latency. A gather of the same total traffic is symmetric.
+    pub fn scatter(&self, bytes: u64) -> Transfer {
+        self.stream(self.max_hops(), bytes)
+    }
+
+    /// Exchange of `bytes` between adjacent clusters (halo traffic): a
+    /// single-hop stream per boundary, overlapped across all boundaries.
+    pub fn neighbor_exchange(&self, bytes: u64) -> Transfer {
+        self.stream(1, bytes)
     }
 
     /// Average hop count under uniform random traffic (≈ (cols+rows)/3),
@@ -181,5 +217,20 @@ mod tests {
     fn mean_hops_reasonable() {
         let m = Mesh::new(4, 5, 16, 1);
         assert!((m.mean_hops() - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn collectives_pay_the_worst_case_head() {
+        let m = Mesh::new(4, 4, 16, 2);
+        assert_eq!(m.max_hops(), 6);
+        // Broadcast and scatter both serialize at the injection port and
+        // finish when the tail reaches the far corner.
+        assert_eq!(m.broadcast(64).cycles, 6 * 2 + 4 - 1);
+        assert_eq!(m.scatter(128).cycles, 6 * 2 + 8 - 1);
+        // Halo exchange is a one-hop stream.
+        assert_eq!(m.neighbor_exchange(32).cycles, 2 + 2 - 1);
+        // A 1×1 "mesh" has no links to cross beyond serialization.
+        let single = Mesh::new(1, 1, 16, 1);
+        assert_eq!(single.broadcast(64).hops, 0);
     }
 }

@@ -1,0 +1,68 @@
+//! Property tests for the NoC latency models: mesh wormhole transfers are
+//! monotone in hop count and payload size, and butterfly latency follows
+//! the log2(ports) stage count.
+
+use lego_noc::{Butterfly, Mesh};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn mesh_cycles_monotone_in_hop_count(
+        cols in 1u32..=8,
+        rows in 1u32..=8,
+        hop_cycles in 1u32..=4,
+        bytes in 1u64..4096,
+        ax in 0u32..8, ay in 0u32..8,
+        bx in 0u32..8, by in 0u32..8,
+    ) {
+        let m = Mesh::new(cols, rows, 16, hop_cycles);
+        let a = (ax % cols, ay % rows);
+        let b = (bx % cols, by % rows);
+        let src = (0u32, 0u32);
+        let ta = m.transfer(src, a, bytes);
+        let tb = m.transfer(src, b, bytes);
+        if ta.hops <= tb.hops {
+            prop_assert!(ta.cycles <= tb.cycles, "{ta:?} vs {tb:?}");
+        } else {
+            prop_assert!(tb.cycles <= ta.cycles, "{tb:?} vs {ta:?}");
+        }
+    }
+
+    #[test]
+    fn mesh_cycles_monotone_in_payload(
+        cols in 1u32..=8,
+        rows in 1u32..=8,
+        link in 1u32..=32,
+        dx in 0u32..8, dy in 0u32..8,
+        small in 1u64..2048,
+        extra in 0u64..2048,
+    ) {
+        let m = Mesh::new(cols, rows, link, 1);
+        let dst = (dx % cols, dy % rows);
+        let a = m.transfer((0, 0), dst, small);
+        let b = m.transfer((0, 0), dst, small + extra);
+        prop_assert!(a.cycles <= b.cycles, "{a:?} vs {b:?}");
+        prop_assert_eq!(a.hops, b.hops);
+        // The collectives inherit both monotonicities.
+        prop_assert!(m.broadcast(small).cycles <= m.broadcast(small + extra).cycles);
+        prop_assert!(m.scatter(small).cycles <= m.scatter(small + extra).cycles);
+    }
+
+    #[test]
+    fn butterfly_latency_is_log2_stages(
+        log_ports in 1u32..=12,
+        bytes in 1u64..4096,
+        link in 1u64..=64,
+    ) {
+        // Power-of-two endpoint counts: stages must be exactly log2(ports)
+        // and the pipeline latency one cycle per stage plus serialization.
+        let ports = 1u64 << log_ports;
+        let b = Butterfly::with_endpoints(ports);
+        prop_assert_eq!(b.stages(), log_ports);
+        prop_assert_eq!(b.endpoints(), ports);
+        let t = b.transfer(bytes, link);
+        let ser = bytes.div_ceil(link);
+        prop_assert_eq!(t.cycles, u64::from(log_ports) + ser - 1);
+        prop_assert_eq!(t.hops, u64::from(log_ports));
+    }
+}

@@ -5,84 +5,29 @@
 //! it both for evaluation and to drive the mapping search. This crate is
 //! that model: analytic cycle counts from spatial utilization and DRAM
 //! traffic (double-buffered, so compute and memory overlap), an energy
-//! roll-up from access counts through [`lego_model::TechModel`], and a
-//! post-processing-unit model for the non-tensor operators (Figure 12b).
+//! roll-up from access counts, and a post-processing-unit model for the
+//! non-tensor operators (Figure 12b).
+//!
+//! All costs are priced through the unified cost stack in `lego-model`:
+//! a [`lego_model::CostContext`] is built once per [`HwConfig`] and
+//! consumed by [`simulate_layer_ctx`] / [`best_mapping_ctx`]. Multi-cluster
+//! configurations charge modeled L2 wormhole-mesh *latency* (serialized
+//! head cycles plus a stream that competes with the compute/memory body),
+//! not just transport energy, so the cluster axis is an honest
+//! latency/energy/area trade-off.
+//!
+//! `HwConfig` and `SpatialMapping` live in `lego-model` (the configuration
+//! is what the cost stack prices) and are re-exported here for
+//! compatibility.
 
 pub mod perf;
 
+pub use lego_model::{CostContext, HwConfig, HwConfigError, SpatialMapping};
 pub use perf::{
-    aggregate, best_mapping, best_mapping_tiled, simulate_layer, simulate_layer_tiled,
-    tiled_dram_traffic, EnergyBreakdown, LayerPerf, ModelPerf, SpatialMapping,
+    aggregate, best_mapping, best_mapping_ctx, best_mapping_tiled, simulate_layer,
+    simulate_layer_ctx, simulate_layer_tiled, tiled_dram_traffic, EnergyBreakdown, LayerPerf,
+    ModelPerf,
 };
-
-use lego_noc::Mesh;
-
-/// Hardware configuration under evaluation.
-#[derive(Debug, Clone, PartialEq)]
-pub struct HwConfig {
-    /// FU array extent per cluster (P0 × P1).
-    pub array: (i64, i64),
-    /// L2 mesh of clusters (1×1 = single array).
-    pub clusters: (u32, u32),
-    /// On-chip buffer capacity in KB (shared pool).
-    pub buffer_kb: u64,
-    /// DRAM bandwidth in GB/s.
-    pub dram_gbps: f64,
-    /// Number of post-processing units (LUT + reduction each).
-    pub num_ppus: i64,
-    /// Spatial dataflows this design supports (fused configurations).
-    pub dataflows: Vec<SpatialMapping>,
-    /// Static (leakage + clock) power of the chip in mW.
-    pub static_mw: f64,
-    /// Peak dynamic power of the FU array + NoC at full activity, in mW.
-    pub dynamic_mw: f64,
-}
-
-impl HwConfig {
-    /// The paper's Gemmini-comparable LEGO configuration: 256 MACs,
-    /// 256 KB buffer, 16 GB/s DRAM (§VI-A), fused MN/ICOC/OHOW dataflows.
-    pub fn lego_256() -> Self {
-        HwConfig {
-            array: (16, 16),
-            clusters: (1, 1),
-            buffer_kb: 256,
-            dram_gbps: 16.0,
-            num_ppus: 16,
-            dataflows: vec![
-                SpatialMapping::GemmMN,
-                SpatialMapping::ConvIcOc,
-                SpatialMapping::ConvOhOw,
-            ],
-            static_mw: 45.0,
-            dynamic_mw: 240.0,
-        }
-    }
-
-    /// The Table II generative-AI configuration: 1024 FUs, 576 KB,
-    /// 32 PPUs, 32 GB/s, single ICOC-style dataflow.
-    pub fn lego_icoc_1k() -> Self {
-        HwConfig {
-            array: (32, 32),
-            clusters: (1, 1),
-            buffer_kb: 576,
-            dram_gbps: 32.0,
-            num_ppus: 32,
-            dataflows: vec![SpatialMapping::GemmMN, SpatialMapping::ConvIcOc],
-            static_mw: 95.0,
-            dynamic_mw: 506.0,
-        }
-    }
-
-    /// Total number of functional units.
-    pub fn num_fus(&self) -> i64 {
-        self.array.0 * self.array.1 * i64::from(self.clusters.0) * i64::from(self.clusters.1)
-    }
-
-    /// The L2 mesh model (one router per cluster).
-    pub fn l2_mesh(&self) -> Mesh {
-        Mesh::new(self.clusters.0.max(1), self.clusters.1.max(1), 16, 1)
-    }
-}
 
 #[cfg(test)]
 mod tests {

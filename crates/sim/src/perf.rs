@@ -1,36 +1,15 @@
 //! Layer-level performance/energy evaluation.
+//!
+//! Every cost a layer pays — FU cycles, DRAM streams, SRAM/DRAM/NoC energy,
+//! L2 mesh latency — is charged through the [`CostContext`] built from the
+//! [`HwConfig`] under evaluation, so the simulation and the design-space
+//! search price hardware through one stack.
 
 use crate::HwConfig;
-use lego_model::{SramModel, TechModel};
+use lego_model::{ComputeCost, CostContext, L2Traffic, MemoryCost, NocCost, TechModel};
 use lego_workloads::{Layer, LayerKind, Model};
 
-/// A spatial dataflow the hardware can be configured into.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum SpatialMapping {
-    /// GEMM output tile (M on rows, N on columns); convs run as im2col.
-    GemmMN,
-    /// GEMM K on rows, N on columns (reduction-parallel).
-    GemmKN,
-    /// Conv input channels × output channels (NVDLA-style).
-    ConvIcOc,
-    /// Conv output plane (ShiDianNao-style) — the depthwise rescuer.
-    ConvOhOw,
-    /// Conv kernel rows × output rows (Eyeriss-style).
-    ConvKhOh,
-}
-
-impl SpatialMapping {
-    /// Short display name.
-    pub fn name(self) -> &'static str {
-        match self {
-            SpatialMapping::GemmMN => "MN",
-            SpatialMapping::GemmKN => "KN",
-            SpatialMapping::ConvIcOc => "ICOC",
-            SpatialMapping::ConvOhOw => "OHOW",
-            SpatialMapping::ConvKhOh => "KHOH",
-        }
-    }
-}
+pub use lego_model::SpatialMapping;
 
 /// Energy breakdown of one layer execution (picojoules).
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
@@ -71,6 +50,10 @@ pub struct LayerPerf {
     pub l1_accesses: i64,
     /// Cycles spent in post-processing (already included in `cycles`).
     pub ppu_cycles: i64,
+    /// Modeled L2-mesh transfer cycles for multi-cluster designs (head
+    /// serialized into `cycles`, stream overlapped against the body);
+    /// zero for a single cluster.
+    pub noc_cycles: i64,
     /// Energy breakdown.
     pub energy: EnergyBreakdown,
     /// The mapping that was used.
@@ -181,8 +164,12 @@ fn spatial_utilization(kind: &LayerKind, mapping: SpatialMapping, p0: i64, p1: i
 
 /// DRAM traffic of a tiled `m×n×k` contraction with a byte budget.
 ///
-/// Square-ish L1 tiles: weights are re-read once per M-tile sweep, inputs
-/// once per N-tile sweep, outputs written once (partials stay on chip).
+/// Square-ish L1 tiles with full-`k` panels: each output tile loads a
+/// `t×k` input panel and a `k×t` weight panel, outputs are written once
+/// (partials stay on chip). The loop order keeps one side stationary —
+/// iterating N-tiles innermost re-reads the weight panels once per M-tile
+/// sweep while streaming each input panel once, and vice versa — so the
+/// traffic is the cheaper of the two orders.
 /// `tile_cap = None` keeps the automatic buffer-limited tile choice;
 /// `Some(t)` additionally clamps the tile edge to `t`, which trades on-chip
 /// reuse for smaller working sets — the tiling axis of the design-space
@@ -205,10 +192,40 @@ pub fn tiled_dram_traffic(m: i64, n: i64, k: i64, buffer_bytes: i64, tile_cap: O
     let tn = t.min(n).max(1);
     let m_sweeps = div_ceil(m, tm);
     let n_sweeps = div_ceil(n, tn);
-    // Streaming the stationary side once; the moving side repeats.
-    weights * m_sweeps.min(n_sweeps).max(1).min(m_sweeps)
-        + inputs * if weights >= inputs { 1 } else { n_sweeps }
-        + outputs
+    // N-innermost: weights re-read once per M-tile, inputs streamed once.
+    let n_inner = weights * m_sweeps + inputs;
+    // M-innermost: inputs re-read once per N-tile, weights streamed once.
+    let m_inner = weights + inputs * n_sweeps;
+    n_inner.min(m_inner) + outputs
+}
+
+/// Halo bytes exchanged between adjacent clusters when `n_clusters` split
+/// a convolution's output rows: every boundary shares `kh - 1` input rows.
+fn cluster_halo_bytes(kind: &LayerKind, n_clusters: i64) -> i64 {
+    if n_clusters <= 1 {
+        return 0;
+    }
+    match *kind {
+        LayerKind::Conv {
+            n,
+            ic,
+            ow,
+            kh,
+            kw,
+            stride,
+            ..
+        } => (n_clusters - 1) * n * ic * (stride * (ow - 1) + kw) * (kh - 1),
+        LayerKind::DwConv {
+            n,
+            c,
+            ow,
+            kh,
+            kw,
+            stride,
+            ..
+        } => (n_clusters - 1) * n * c * (stride * (ow - 1) + kw) * (kh - 1),
+        _ => 0,
+    }
 }
 
 /// Simulates one layer instance under a fixed mapping.
@@ -223,6 +240,10 @@ pub fn simulate_layer(
 
 /// [`simulate_layer`] with an explicit L1 tile-edge cap (see
 /// [`tiled_dram_traffic`]). `None` keeps the automatic tiling.
+///
+/// Builds a throwaway [`CostContext`]; callers evaluating many layers on
+/// one configuration should build the context once and use
+/// [`simulate_layer_ctx`].
 pub fn simulate_layer_tiled(
     layer: &Layer,
     mapping: SpatialMapping,
@@ -230,14 +251,30 @@ pub fn simulate_layer_tiled(
     tech: &TechModel,
     tile_cap: Option<i64>,
 ) -> LayerPerf {
+    simulate_layer_ctx(
+        layer,
+        mapping,
+        &CostContext::new(hw.clone(), *tech),
+        tile_cap,
+    )
+}
+
+/// Simulates one layer instance under a fixed mapping, charging every cost
+/// through the configuration's [`CostContext`].
+pub fn simulate_layer_ctx(
+    layer: &Layer,
+    mapping: SpatialMapping,
+    ctx: &CostContext,
+    tile_cap: Option<i64>,
+) -> LayerPerf {
+    let hw = &ctx.hw;
     let (p0, p1) = hw.array;
-    let clusters = i64::from(hw.clusters.0) * i64::from(hw.clusters.1);
+    let n_clusters = hw.num_clusters();
     let macs = layer.macs();
     let util = spatial_utilization(&layer.kind, mapping, p0, p1).max(1e-4);
 
     // Compute cycles: clusters split the M dimension of the layer.
-    let peak_per_cycle = (p0 * p1 * clusters) as f64;
-    let compute_cycles = (macs as f64 / (peak_per_cycle * util)).ceil() as i64;
+    let compute_cycles = ctx.compute_cycles(macs, util);
 
     // DRAM traffic (int8 operands, int8 writeback after quantization).
     let (m, n, k) = gemm_view(&layer.kind);
@@ -251,17 +288,35 @@ pub fn simulate_layer_tiled(
         let im2col_in = m * k;
         bytes -= im2col_in - dense_in.min(im2col_in);
     }
-    let bytes_per_cycle = hw.dram_gbps / tech.freq_ghz; // GB/s ÷ Gcycle/s
-    let mem_cycles = (bytes as f64 / bytes_per_cycle).ceil() as i64;
+    let mem_cycles = ctx.dram_cycles(bytes);
+
+    // L2 mesh feedback: everything that crosses DRAM also crosses the mesh
+    // to reach the clusters. Weights are multicast (clusters split M, so
+    // every cluster consumes the full weight stream); inputs and outputs
+    // are scattered/gathered; convs additionally exchange halo rows between
+    // neighbors. The wormhole stream competes with the compute/memory body,
+    // and the X-Y head latency to the farthest cluster is serialized.
+    let halo_bytes = cluster_halo_bytes(&layer.kind, n_clusters);
+    let broadcast_bytes = (n * k).min(bytes);
+    let l2_traffic = L2Traffic {
+        scatter_bytes: (bytes - broadcast_bytes).max(0),
+        broadcast_bytes,
+        halo_bytes,
+    };
+    let l2 = ctx.l2_latency(&l2_traffic);
+    let l2_head = ctx.l2_head_cycles();
+    let noc_cycles = l2.cycles as i64;
+    let noc_stream = (noc_cycles - l2_head).max(0);
 
     // PPU: vectorized LUT + reduction, 4 elements per PPU per cycle,
     // pipelined behind the array so it overlaps with compute/memory; only
     // the non-overlapped tail adds latency (paper Figure 12b).
     let ppu_total = div_ceil(layer.nonlinear_elems().max(0), 4 * hw.num_ppus.max(1));
-    let body = compute_cycles.max(mem_cycles);
+    let body = compute_cycles.max(mem_cycles).max(noc_stream);
     let ppu_cycles = (ppu_total - body * 4 / 5).max(ppu_total / 16);
 
-    let fill = p0 + p1 + 8; // pipeline fill/drain
+    // Pipeline fill/drain: array skew, L1 butterfly stages, L2 mesh head.
+    let fill = p0 + p1 + 8 + ctx.l1_fill_cycles() + l2_head;
     let cycles = body + ppu_cycles + fill;
 
     // L1 accesses: operand reads shrink by the mapping's spatial reuse; the
@@ -278,24 +333,14 @@ pub fn simulate_layer_tiled(
     let out_writes = layer.output_elems();
     let l1_accesses = in_reads + w_reads + out_writes;
 
-    // Energy roll-up.
-    let sram = SramModel::default();
-    let mac_pj =
-        macs as f64 * (64.0 * tech.mult_energy_pj_per_bit2 + 32.0 * tech.add_energy_pj_per_bit);
-    let sram_pj = sram.access_energy_pj(hw.buffer_kb * 1024, 1) * l1_accesses as f64;
-    let dram_pj = bytes as f64 * tech.dram_pj_per_byte;
-    let mesh = hw.l2_mesh();
-    let noc_pj = if clusters > 1 {
-        bytes as f64 * mesh.mean_hops() * tech.noc_pj_per_byte_hop
-    } else {
-        bytes as f64 * 0.25 * tech.noc_pj_per_byte_hop // L1 distribution only
-    };
-    let time_ns = cycles as f64 / tech.freq_ghz;
-    // mW × ns = pJ.
-    let static_pj = hw.static_mw * time_ns;
-    // Dynamic power scales with utilization of the busy resource.
+    // Energy roll-up through the cost stack.
+    let time_ns = cycles as f64 / ctx.tech.freq_ghz;
     let busy = compute_cycles as f64 / cycles.max(1) as f64;
-    let array_pj = hw.dynamic_mw * time_ns * busy * util * 0.35; // clock/net share
+    let mac_pj = ctx.mac_energy_pj(macs) + ctx.array_energy_pj(time_ns, busy, util);
+    let sram_pj = ctx.sram_energy_pj(l1_accesses);
+    let dram_pj = ctx.dram_energy_pj(bytes);
+    let noc_pj = ctx.transport_energy_pj(bytes, halo_bytes);
+    let static_pj = ctx.static_energy_pj(time_ns);
     let ppu_pj = ppu_total as f64 * hw.num_ppus as f64 * 0.9;
 
     LayerPerf {
@@ -305,8 +350,9 @@ pub fn simulate_layer_tiled(
         dram_bytes: bytes,
         l1_accesses,
         ppu_cycles,
+        noc_cycles,
         energy: EnergyBreakdown {
-            mac_pj: mac_pj + array_pj,
+            mac_pj,
             sram_pj,
             dram_pj,
             noc_pj,
@@ -331,15 +377,25 @@ pub fn best_mapping_tiled(
     tech: &TechModel,
     tile_cap: Option<i64>,
 ) -> LayerPerf {
-    hw.dataflows
+    best_mapping_ctx(layer, &CostContext::new(hw.clone(), *tech), tile_cap)
+}
+
+/// [`best_mapping`] against a prebuilt [`CostContext`].
+///
+/// A configuration with an empty dataflow set cannot map anything
+/// ([`HwConfig::validate`] rejects it); rather than panic, the layer falls
+/// back to the universal im2col `GemmMN` mapping.
+pub fn best_mapping_ctx(layer: &Layer, ctx: &CostContext, tile_cap: Option<i64>) -> LayerPerf {
+    ctx.hw
+        .dataflows
         .iter()
-        .map(|&m| simulate_layer_tiled(layer, m, hw, tech, tile_cap))
+        .map(|&m| simulate_layer_ctx(layer, m, ctx, tile_cap))
         .min_by(|a, b| {
             (a.cycles, a.energy.total_pj())
                 .partial_cmp(&(b.cycles, b.energy.total_pj()))
                 .expect("finite costs")
         })
-        .expect("hardware supports at least one dataflow")
+        .unwrap_or_else(|| simulate_layer_ctx(layer, SpatialMapping::GemmMN, ctx, tile_cap))
 }
 
 /// Aggregates per-layer results into whole-model numbers.
@@ -383,10 +439,11 @@ pub fn aggregate(model: &Model, perfs: &[(i64, LayerPerf)], tech: &TechModel) ->
 
 /// Maps every layer with [`best_mapping`] and aggregates.
 pub fn simulate_model(model: &Model, hw: &HwConfig, tech: &TechModel) -> ModelPerf {
+    let ctx = CostContext::new(hw.clone(), *tech);
     let perfs: Vec<(i64, LayerPerf)> = model
         .layers
         .iter()
-        .map(|l| (l.count, best_mapping(l, hw, tech)))
+        .map(|l| (l.count, best_mapping_ctx(l, &ctx, None)))
         .collect();
     aggregate(model, &perfs, tech)
 }
@@ -479,6 +536,24 @@ mod tests {
     }
 
     #[test]
+    fn empty_dataflow_set_falls_back_instead_of_panicking() {
+        let mut hw = HwConfig::lego_256();
+        hw.dataflows.clear();
+        assert!(hw.validate().is_err());
+        let l = lego_workloads::Layer::new(
+            "g",
+            LayerKind::Gemm {
+                m: 64,
+                n: 64,
+                k: 64,
+            },
+        );
+        let p = best_mapping(&l, &hw, &tech());
+        assert_eq!(p.mapping, SpatialMapping::GemmMN);
+        assert!(p.cycles > 0);
+    }
+
+    #[test]
     fn model_aggregate_is_consistent() {
         let hw = HwConfig::lego_256();
         let m = zoo::resnet50();
@@ -515,6 +590,34 @@ mod tests {
     }
 
     #[test]
+    fn tiled_traffic_matches_hand_count() {
+        // 6×4·4×2 GEMM, tiles capped at 2: tm = tn = 2, so 3 M-sweeps and
+        // 2 N-sweeps over full-k panels. Weights (n·k = 8) streamed once
+        // with inputs (m·k = 12) re-read per N-sweep: 8 + 12·2 = 32 beats
+        // re-reading weights per M-sweep (8·3 + 12 = 36). Outputs (24)
+        // written once. Hand count: 32 + 24 = 56.
+        assert_eq!(tiled_dram_traffic(6, 4, 2, 128, Some(2)), 56);
+        // The mirrored shape swaps the operand roles and loop order, so by
+        // symmetry the traffic is identical: weights (12) re-read per
+        // M-sweep (×2) with inputs (8) streamed once, plus 24 outputs.
+        assert_eq!(tiled_dram_traffic(4, 6, 2, 128, Some(2)), 12 * 2 + 8 + 24);
+    }
+
+    #[test]
+    fn tiled_traffic_never_rereads_both_operands() {
+        // The cheaper loop order keeps one operand stationary: traffic is
+        // bounded by one full pass of one operand plus sweeps of the other,
+        // never sweeps of both.
+        for (m, n, k, cap) in [(64, 8, 16, 4), (8, 64, 16, 4), (128, 128, 32, 8)] {
+            let t = tiled_dram_traffic(m, n, k, 1024, Some(cap));
+            let tm = cap.min(m);
+            let tn = cap.min(n);
+            let both = n * k * div_ceil(m, tm) + m * k * div_ceil(n, tn) + m * n;
+            assert!(t < both, "({m},{n},{k}): {t} should beat {both}");
+        }
+    }
+
+    #[test]
     fn tile_cap_only_adds_traffic() {
         let b = 256 * 1024;
         let auto = tiled_dram_traffic(512, 512, 512, b, None);
@@ -535,6 +638,104 @@ mod tests {
         let a = simulate_layer(&l, SpatialMapping::GemmMN, &hw, &tech());
         let b = simulate_layer_tiled(&l, SpatialMapping::GemmMN, &hw, &tech(), Some(1 << 20));
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn clusters_charge_nonzero_noc_latency() {
+        // Same 1024 total FUs: one 32×32 array vs four 16×16 clusters, with
+        // DRAM fast enough (64 B/cycle) that the clustered design's 16 B
+        // mesh injection port becomes the bottleneck. The clustered design
+        // must pay modeled L2 latency, not just energy.
+        let mut flat = HwConfig::lego_256();
+        flat.array = (32, 32);
+        flat.dram_gbps = 64.0;
+        let mut tiled = HwConfig::lego_256();
+        tiled.array = (16, 16);
+        tiled.clusters = (2, 2);
+        tiled.dram_gbps = 64.0;
+        let l = lego_workloads::Layer::new(
+            "g",
+            LayerKind::Gemm {
+                m: 512,
+                n: 512,
+                k: 64,
+            },
+        );
+        let pf = simulate_layer(&l, SpatialMapping::GemmMN, &flat, &tech());
+        let pt = simulate_layer(&l, SpatialMapping::GemmMN, &tiled, &tech());
+        assert_eq!(pf.noc_cycles, 0);
+        assert!(pt.noc_cycles > 0, "{pt:?}");
+        assert!(
+            pt.cycles > pf.cycles,
+            "clustered {} vs flat {}",
+            pt.cycles,
+            pf.cycles
+        );
+        assert!(pt.energy.noc_pj > pf.energy.noc_pj);
+    }
+
+    #[test]
+    fn cycles_monotone_in_mesh_hop_distance() {
+        // Fixed workload, fixed cluster count: stretching the mesh diagonal
+        // (more X-Y hops to the farthest cluster) never speeds a layer up.
+        let l = lego_workloads::Layer::new(
+            "g",
+            LayerKind::Gemm {
+                m: 1024,
+                n: 256,
+                k: 256,
+            },
+        );
+        let cycles_of = |clusters: (u32, u32)| {
+            let mut hw = HwConfig::lego_256();
+            hw.clusters = clusters;
+            (
+                hw.l2_mesh().max_hops(),
+                simulate_layer(&l, SpatialMapping::GemmMN, &hw, &tech()).cycles,
+            )
+        };
+        // 8 clusters arranged from compact to strip: hop distance 4 → 7.
+        let mut shapes: Vec<(u64, i64)> =
+            vec![cycles_of((2, 4)), cycles_of((4, 2)), cycles_of((1, 8))];
+        shapes.sort_by_key(|&(hops, _)| hops);
+        for w in shapes.windows(2) {
+            assert!(
+                w[0].1 <= w[1].1,
+                "cycles must be non-decreasing in hop distance: {shapes:?}"
+            );
+        }
+        // The longer diagonal costs strictly more: its serialized X-Y head
+        // is longer while every overlapped stream is identical.
+        assert!(shapes.first().unwrap().1 < shapes.last().unwrap().1);
+    }
+
+    #[test]
+    fn conv_clusters_pay_halo_exchange() {
+        let conv = LayerKind::Conv {
+            n: 1,
+            ic: 64,
+            oc: 64,
+            oh: 56,
+            ow: 56,
+            kh: 3,
+            kw: 3,
+            stride: 1,
+        };
+        assert_eq!(cluster_halo_bytes(&conv, 1), 0);
+        let h4 = cluster_halo_bytes(&conv, 4);
+        assert_eq!(h4, 3 * 64 * 58 * 2);
+        // GEMMs have no halo.
+        assert_eq!(
+            cluster_halo_bytes(
+                &LayerKind::Gemm {
+                    m: 64,
+                    n: 64,
+                    k: 64
+                },
+                4
+            ),
+            0
+        );
     }
 
     #[test]

@@ -1,31 +1,52 @@
-//! Design-space exploration: search hardware configurations for a model,
-//! print the Pareto frontier over (latency, energy, area), and compare the
-//! best EDP design against the paper's hand-picked 256-FU baseline.
+//! Design-space exploration: search hardware configurations — including
+//! the L2 cluster axis — for a model under a hard area/power budget, print
+//! the feasible Pareto frontier over (latency, energy, area), and compare
+//! the best EDP design against the paper's hand-picked 256-FU baseline.
+//!
+//! Multi-cluster candidates are priced through the unified cost stack in
+//! `lego::model` (`CostContext`), so they pay modeled wormhole-mesh
+//! latency and router area — the cluster column below is a real trade-off,
+//! not free parallelism.
 //!
 //! Run with: `cargo run --release --example explore_design_space`
 
-use lego::explorer::{default_strategies, explore, DesignSpace, Evaluator, ExploreOptions, Genome};
+use lego::explorer::{
+    default_strategies, explore, Constraints, DesignSpace, Evaluator, ExploreOptions, Genome,
+};
 use lego::model::TechModel;
 
 fn main() {
     let model = lego::workloads::zoo::mobilenet_v2();
     let space = DesignSpace::paper();
+    // Hard feasibility budget: designs over 10 mm² or 3 W are evaluated
+    // but can never reach the frontier or be reported as best.
+    let constraints = Constraints::none()
+        .with_max_area_mm2(10.0)
+        .with_max_power_mw(3000.0);
     let opts = ExploreOptions {
         budget_per_strategy: space.size(),
+        constraints,
         ..Default::default()
     };
 
     println!(
-        "exploring {} configurations for {} (grid + random + evolutionary)\n",
+        "exploring {} configurations for {} (grid + random + evolutionary)",
         space.size(),
         model.name
     );
+    println!(
+        "hard budget: 10 mm2 / 3 W; cluster axis: {:?}\n",
+        space.clusters
+    );
     let result = explore(&model, &space, &mut default_strategies(42), &opts);
 
-    println!("Pareto frontier ({} points):", result.frontier.len());
     println!(
-        "{:>28} {:>12} {:>12} {:>10}",
-        "config", "cycles", "energy (µJ)", "area (mm²)"
+        "feasible Pareto frontier ({} points):",
+        result.frontier.len()
+    );
+    println!(
+        "{:>34} {:>12} {:>12} {:>10} {:>9}",
+        "config", "cycles", "energy (µJ)", "area (mm²)", "peak (W)"
     );
     let mut points: Vec<_> = result.frontier.points().to_vec();
     points.sort_by(|a, b| {
@@ -36,13 +57,19 @@ fn main() {
     });
     for p in &points {
         println!(
-            "{:>28} {:>12.0} {:>12.2} {:>10.2}",
+            "{:>34} {:>12.0} {:>12.2} {:>10.2} {:>9.2}",
             p.genome.to_string(),
             p.objectives.latency_cycles,
             p.objectives.energy_pj / 1e6,
             p.objectives.area_um2 / 1e6,
+            p.peak_power_mw / 1e3,
         );
     }
+    let clustered = points
+        .iter()
+        .filter(|p| p.genome.clusters != (1, 1))
+        .count();
+    println!("multi-cluster designs on the frontier: {clustered}");
 
     for report in &result.reports {
         let best = report.best.as_ref().expect("strategy evaluated something");

@@ -11,13 +11,19 @@
 //! * [`frontend`] — interconnect planning, fusion, memory banking (§IV);
 //! * [`backend`] — the primitive DAG and its optimization passes (§V);
 //! * [`rtl`] — Verilog emission and edge-accurate functional simulation;
-//! * [`model`] — 28 nm area/power/energy tables and a CACTI-style SRAM fit;
-//! * [`noc`] — butterfly and wormhole-mesh NoC models;
-//! * [`sim`] — the performance/energy simulator;
+//! * [`model`] — 28 nm area/power/energy tables, a CACTI-style SRAM fit,
+//!   and the unified cost stack: one `CostContext { hw, tech, sram, noc }`
+//!   per configuration, priced through `ComputeCost` / `MemoryCost` /
+//!   `NocCost` component traits;
+//! * [`noc`] — butterfly and wormhole-mesh NoC models with
+//!   `Transfer`-returning latency queries (broadcast, scatter, halo);
+//! * [`sim`] — the performance/energy simulator (multi-cluster designs pay
+//!   modeled L2-mesh latency, not just energy);
 //! * [`mapper`] — per-layer dataflow search;
 //! * [`explorer`] — parallel hardware design-space exploration: grid /
-//!   random / (μ+λ) evolutionary search over array shape × buffer ×
-//!   bandwidth × dataflow set × tiling, sharing a memoized evaluation
+//!   random / (μ+λ) evolutionary search over array shape × L2 cluster
+//!   grid × buffer × bandwidth × dataflow set × tiling, under hard
+//!   area/power feasibility budgets, sharing a memoized evaluation
 //!   cache and accumulating a (latency, energy, area) Pareto frontier;
 //! * [`workloads`] — the ten-model NN zoo of the paper's evaluation;
 //! * [`baselines`] — Gemmini / AutoSA / TensorLib / SODA / DSAGen models;

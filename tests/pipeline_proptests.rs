@@ -57,7 +57,7 @@ proptest! {
         let c = kernels::conv2d(1, ic, oc, 4, 4, 3, 3, 1);
         let df = match par_choice {
             0 => DataflowBuilder::new(&c).par("oh", 2).par("ow", 2).build("ohow"),
-            1 if ic % 1 == 0 => DataflowBuilder::new(&c)
+            1 => DataflowBuilder::new(&c)
                 .par("oh", 4)
                 .par("ow", 2)
                 .build("oh4ow2"),

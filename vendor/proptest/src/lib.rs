@@ -200,6 +200,8 @@ impl_tuple_strategy!(A, B, C, D, E);
 impl_tuple_strategy!(A, B, C, D, E, F);
 impl_tuple_strategy!(A, B, C, D, E, F, G);
 impl_tuple_strategy!(A, B, C, D, E, F, G, H);
+impl_tuple_strategy!(A, B, C, D, E, F, G, H, I);
+impl_tuple_strategy!(A, B, C, D, E, F, G, H, I, J);
 
 pub mod bool {
     //! Boolean strategies.
