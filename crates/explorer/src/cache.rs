@@ -95,13 +95,16 @@ impl EvalCache {
     }
 }
 
-/// Stable fingerprint of a layer's *shape* (kind + non-tensor work).
+/// Stable fingerprint of a layer's *shape* (kind + non-tensor work +
+/// density annotations).
 ///
 /// The name and repetition count are deliberately excluded: two layers with
 /// the same shape in different models (or under different names) evaluate
 /// identically on the same hardware, and should hit the same cache line.
+/// The sparsity annotation is *included* — a pruned layer and its dense
+/// twin cost differently on sparse hardware, so they must not collide.
 pub fn layer_key(layer: &Layer) -> u64 {
-    crate::space::stable_hash(&(&layer.kind, &layer.nonlinear))
+    crate::space::stable_hash(&(&layer.kind, &layer.nonlinear, &layer.sparsity))
 }
 
 #[cfg(test)]
@@ -154,5 +157,15 @@ mod tests {
         assert_eq!(layer_key(&a), layer_key(&b));
         let c = Layer::new("c", LayerKind::Gemm { m: 4, n: 4, k: 8 });
         assert_ne!(layer_key(&a), layer_key(&c));
+    }
+
+    #[test]
+    fn layer_key_separates_sparsity_annotations() {
+        use lego_workloads::{DensityModel, LayerSparsity};
+        let kind = LayerKind::Gemm { m: 4, n: 4, k: 4 };
+        let dense = Layer::new("a", kind);
+        let pruned = Layer::new("a", kind)
+            .with_sparsity(LayerSparsity::weights(DensityModel::two_to_four()));
+        assert_ne!(layer_key(&dense), layer_key(&pruned));
     }
 }

@@ -2,10 +2,10 @@
 //! shared cache.
 
 use crate::cache::{layer_key, EvalCache};
-use crate::pareto::{Constraints, Objectives};
+use crate::pareto::{Constraints, Objective, Objectives};
 use crate::space::Genome;
 use lego_mapper::map_model_with;
-use lego_model::{CostContext, SramModel, TechModel};
+use lego_model::{CostContext, SparseHw, SramModel, TechModel};
 use lego_sim::{best_mapping_ctx, ModelPerf};
 use lego_workloads::Model;
 use std::sync::mpsc;
@@ -40,6 +40,7 @@ pub struct Evaluator<'m> {
     cache: EvalCache,
     threads: usize,
     constraints: Constraints,
+    objective: Objective,
 }
 
 impl<'m> Evaluator<'m> {
@@ -56,6 +57,7 @@ impl<'m> Evaluator<'m> {
             cache: EvalCache::new(),
             threads,
             constraints: Constraints::none(),
+            objective: Objective::EDP,
         }
     }
 
@@ -78,6 +80,23 @@ impl<'m> Evaluator<'m> {
         &self.constraints
     }
 
+    /// Sets the scalarization strategies minimize (default: plain EDP).
+    #[must_use]
+    pub fn with_objective(mut self, objective: Objective) -> Self {
+        self.objective = objective;
+        self
+    }
+
+    /// The active scalarization.
+    pub fn objective(&self) -> &Objective {
+        &self.objective
+    }
+
+    /// Scores a point under the active scalarization (lower is better).
+    pub fn score(&self, point: &DesignPoint) -> f64 {
+        self.objective.score(point)
+    }
+
     /// The target model.
     pub fn model(&self) -> &Model {
         self.model
@@ -95,7 +114,9 @@ impl<'m> Evaluator<'m> {
     /// router area for multi-cluster designs), and the peak-power figure
     /// the feasibility budgets check.
     pub fn eval(&self, genome: &Genome) -> DesignPoint {
-        let ctx = CostContext::new(genome.to_hw_config(), self.tech).with_sram(self.sram);
+        let ctx = CostContext::new(genome.to_hw_config(), self.tech)
+            .with_sram(self.sram)
+            .with_sparse(SparseHw::with_accel(genome.sparse));
         let hw_key = genome.key();
         let mapping = map_model_with(self.model, &self.tech, |layer| {
             self.cache.get_or_compute(hw_key, layer_key(layer), || {

@@ -45,7 +45,8 @@ pub mod strategy;
 
 pub use cache::{layer_key, EvalCache};
 pub use eval::{DesignPoint, Evaluator};
-pub use pareto::{Constraints, Objectives, ParetoFrontier};
+pub use lego_model::SparseAccel;
+pub use pareto::{BaseObjective, Constraints, Objective, Objectives, ParetoFrontier};
 pub use rng::SplitMix64;
 pub use space::{DataflowSet, DesignSpace, Genome, ALL_MAPPINGS};
 pub use strategy::{EvolutionarySearch, GridSearch, RandomSearch, SearchReport, SearchStrategy};
@@ -64,6 +65,17 @@ pub struct ExploreOptions {
     pub tech: TechModel,
     /// Hard area/power feasibility budgets (default: unconstrained).
     pub constraints: Constraints,
+    /// The scalarization strategies minimize (default: plain EDP). Soft
+    /// budgets go here as [`Objective::Penalized`]; they compose with the
+    /// hard `constraints` filter.
+    pub objective: Objective,
+    /// Genomes seeding the search — typically
+    /// [`ParetoFrontier::genomes`] from a previous run. They are evaluated
+    /// into the frontier up front and offered to every strategy via
+    /// [`SearchStrategy::warm_start`] (the evolutionary search starts its
+    /// population from them). Empty = cold start, bit-identical to the
+    /// pre-warm-start behavior.
+    pub warm_start: Vec<Genome>,
 }
 
 impl Default for ExploreOptions {
@@ -73,6 +85,8 @@ impl Default for ExploreOptions {
             threads: 0,
             tech: TechModel::default(),
             constraints: Constraints::none(),
+            objective: Objective::EDP,
+            warm_start: Vec::new(),
         }
     }
 }
@@ -119,11 +133,25 @@ pub fn explore(
     strategies: &mut [Box<dyn SearchStrategy>],
     opts: &ExploreOptions,
 ) -> ExplorationResult {
-    let mut evaluator = Evaluator::new(model, opts.tech).with_constraints(opts.constraints);
+    let mut evaluator = Evaluator::new(model, opts.tech)
+        .with_constraints(opts.constraints)
+        .with_objective(opts.objective);
     if opts.threads > 0 {
         evaluator = evaluator.with_threads(opts.threads);
     }
     let mut frontier = ParetoFrontier::new();
+    // Warm start: fold the seed genomes (usually a previous frontier) into
+    // this run's frontier immediately, and hand them to every strategy.
+    if !opts.warm_start.is_empty() {
+        for p in evaluator.eval_batch(&opts.warm_start) {
+            if p.feasible {
+                frontier.insert(p);
+            }
+        }
+        for s in strategies.iter_mut() {
+            s.warm_start(&opts.warm_start);
+        }
+    }
     let reports: Vec<SearchReport> = strategies
         .iter_mut()
         .map(|s| s.run(space, &evaluator, &mut frontier, opts.budget_per_strategy))
@@ -250,6 +278,138 @@ mod tests {
             .points()
             .iter()
             .any(|p| p.genome.clusters != (1, 1)));
+    }
+
+    #[test]
+    fn sparse_axis_pays_off_only_on_sparse_models() {
+        // Tiny space × the sparse axis, on a pruned model: grid search must
+        // put a skipping design on the frontier (it dominates on EDP), and
+        // the combined-space best must beat the dense-only best.
+        let sparse_space = DesignSpace {
+            sparse_accels: SparseAccel::ALL.to_vec(),
+            ..DesignSpace::tiny()
+        };
+        let pruned = zoo::prune_weights(
+            zoo::lenet(),
+            lego_workloads::DensityModel::two_to_four(),
+            "@2:4",
+        );
+        let run = |model: &lego_workloads::Model, space: &DesignSpace| {
+            explore(
+                model,
+                space,
+                &mut [Box::new(GridSearch) as Box<dyn SearchStrategy>],
+                &ExploreOptions::default(),
+            )
+        };
+        let sparse_result = run(&pruned, &sparse_space);
+        assert!(sparse_result
+            .frontier
+            .points()
+            .iter()
+            .any(|p| p.genome.sparse == SparseAccel::Skipping));
+        let dense_space_result = run(&pruned, &DesignSpace::tiny());
+        assert!(
+            sparse_result.best_by_edp().unwrap().objectives.edp()
+                < dense_space_result.best_by_edp().unwrap().objectives.edp(),
+            "skipping hardware must win on a 2:4 model"
+        );
+        // On the *dense* model the sparse frontends are pure area overhead:
+        // the best design must not carry one.
+        let dense_model_result = run(&zoo::lenet(), &sparse_space);
+        assert_eq!(
+            dense_model_result.best_by_edp().unwrap().genome.sparse,
+            SparseAccel::None
+        );
+    }
+
+    #[test]
+    fn warm_start_seeds_the_search_and_never_hurts() {
+        let model = zoo::lenet();
+        let space = DesignSpace::tiny();
+        // A first exploration produces a frontier…
+        let first = explore(
+            &model,
+            &space,
+            &mut default_strategies(7),
+            &ExploreOptions {
+                budget_per_strategy: 24,
+                ..Default::default()
+            },
+        );
+        let seed_genomes = first.frontier.genomes();
+        assert!(!seed_genomes.is_empty());
+        // …which warm-starts an ES-only follow-up run with a tiny budget.
+        let es_only = || {
+            vec![Box::new(EvolutionarySearch {
+                seed: 99,
+                mu: 4,
+                lambda: 4,
+                ..Default::default()
+            }) as Box<dyn SearchStrategy>]
+        };
+        let warm_opts = ExploreOptions {
+            budget_per_strategy: 8,
+            warm_start: seed_genomes.clone(),
+            ..Default::default()
+        };
+        let warm = explore(&model, &space, &mut es_only(), &warm_opts);
+        let cold = explore(
+            &model,
+            &space,
+            &mut es_only(),
+            &ExploreOptions {
+                budget_per_strategy: 8,
+                ..Default::default()
+            },
+        );
+        // The warm run starts from the previous frontier, so its best can
+        // never be worse than what that frontier already achieved…
+        let prev_best = first.best_by_edp().unwrap().objectives.edp();
+        let warm_best = warm.best_by_edp().unwrap().objectives.edp();
+        assert!(warm_best <= prev_best + 1e-9);
+        // …and in particular not worse than the cold tiny-budget run.
+        assert!(warm_best <= cold.best_by_edp().unwrap().objectives.edp() + 1e-9);
+        // Warm starting is deterministic, too.
+        let warm2 = explore(&model, &space, &mut es_only(), &warm_opts);
+        assert_eq!(
+            warm.best_by_edp().unwrap().genome,
+            warm2.best_by_edp().unwrap().genome
+        );
+    }
+
+    #[test]
+    fn penalized_objective_steers_without_disqualifying() {
+        let model = zoo::resnet50();
+        let space = DesignSpace::tiny();
+        let run = |objective: Objective| {
+            explore(
+                &model,
+                &space,
+                &mut [Box::new(GridSearch) as Box<dyn SearchStrategy>],
+                &ExploreOptions {
+                    objective,
+                    ..Default::default()
+                },
+            )
+        };
+        let plain = run(Objective::EDP);
+        // Soft 2.5 mm² budget: the EDP-best big design gets penalized, so
+        // the reported best shrinks — but unlike the hard constraint, the
+        // big design is still on the frontier.
+        let soft = run(Objective::penalized_edp(Some(2.5), None, 8.0));
+        let plain_best = plain.reports[0].best.as_ref().unwrap();
+        let soft_best = soft.reports[0].best.as_ref().unwrap();
+        assert!(plain_best.objectives.area_um2 > 2.5e6, "EDP-best is big");
+        assert!(
+            soft_best.objectives.area_um2 < plain_best.objectives.area_um2,
+            "soft budget must steer toward smaller designs"
+        );
+        assert!(soft
+            .frontier
+            .points()
+            .iter()
+            .any(|p| p.objectives.area_um2 > 2.5e6));
     }
 
     #[test]

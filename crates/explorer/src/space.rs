@@ -1,7 +1,7 @@
 //! The joint hardware design space: genomes and the axes they move on.
 
 use crate::rng::SplitMix64;
-use lego_sim::{HwConfig, SpatialMapping};
+use lego_sim::{HwConfig, SparseAccel, SpatialMapping};
 use std::fmt;
 use std::hash::{Hash, Hasher};
 
@@ -98,6 +98,11 @@ pub struct Genome {
     pub dataflows: DataflowSet,
     /// Optional L1 tile-edge cap (`None` = buffer-limited automatic tiling).
     pub tile_cap: Option<i64>,
+    /// Sparse acceleration feature on the PE datapath. Gating/skipping
+    /// frontends cost area on every FU but pay back on sparse layers, so
+    /// this axis is an honest area-vs-EDP trade-off (and a pure area loss
+    /// on dense models — the search must discover that, not assume it).
+    pub sparse: SparseAccel,
 }
 
 impl Genome {
@@ -116,6 +121,7 @@ impl Genome {
                 SpatialMapping::ConvOhOw,
             ]),
             tile_cap: None,
+            sparse: SparseAccel::None,
         }
     }
 
@@ -154,10 +160,28 @@ impl Genome {
     }
 
     /// Stable 64-bit fingerprint (FNV-1a over the fields), used as the
-    /// hardware half of [`EvalCache`](crate::EvalCache) keys.
+    /// hardware half of [`EvalCache`](crate::EvalCache) keys and as the
+    /// deterministic tie-break in scalar rankings.
+    ///
+    /// Dense-datapath genomes hash exactly the fields they had before the
+    /// sparse axis existed, so their fingerprints — and every tie-break
+    /// and table that depends on them — are stable across the sparse
+    /// extension. A non-`None` sparse feature extends the hashed tuple.
     pub fn key(&self) -> u64 {
         let mut h = Fnv::new();
-        self.hash(&mut h);
+        (
+            self.rows,
+            self.cols,
+            self.clusters,
+            self.buffer_kb,
+            self.dram_gbps,
+            self.dataflows,
+            self.tile_cap,
+        )
+            .hash(&mut h);
+        if self.sparse != SparseAccel::None {
+            self.sparse.hash(&mut h);
+        }
         h.finish()
     }
 }
@@ -174,6 +198,9 @@ impl fmt::Display for Genome {
         }
         if let Some(t) = self.tile_cap {
             write!(f, "/t{t}")?;
+        }
+        if self.sparse != SparseAccel::None {
+            write!(f, "/{}", self.sparse.name())?;
         }
         Ok(())
     }
@@ -225,6 +252,10 @@ pub struct DesignSpace {
     pub dataflow_sets: Vec<DataflowSet>,
     /// Candidate tile-edge caps.
     pub tile_caps: Vec<Option<i64>>,
+    /// Candidate sparse acceleration features. Single-choice axes consume
+    /// no randomness during sampling/mutation/crossover, so dense spaces
+    /// (`[SparseAccel::None]`) replay exactly the pre-sparsity RNG streams.
+    pub sparse_accels: Vec<SparseAccel>,
 }
 
 impl DesignSpace {
@@ -246,6 +277,17 @@ impl DesignSpace {
                 DataflowSet::new(&[GemmMN, GemmKN, ConvIcOc, ConvOhOw, ConvKhOh]),
             ],
             tile_caps: vec![None, Some(64)],
+            sparse_accels: vec![SparseAccel::None],
+        }
+    }
+
+    /// The paper space crossed with the sparse-datapath axis (dense,
+    /// gating, skipping) — 4374 configurations. The right space for
+    /// pruned/masked models, where the frontend area can pay for itself.
+    pub fn sparse() -> Self {
+        DesignSpace {
+            sparse_accels: SparseAccel::ALL.to_vec(),
+            ..Self::paper()
         }
     }
 
@@ -263,6 +305,7 @@ impl DesignSpace {
                 DataflowSet::new(&[GemmMN, ConvIcOc, ConvOhOw]),
             ],
             tile_caps: vec![None, Some(32)],
+            sparse_accels: vec![SparseAccel::None],
         }
     }
 
@@ -275,6 +318,17 @@ impl DesignSpace {
             * self.dram_gbps.len()
             * self.dataflow_sets.len()
             * self.tile_caps.len()
+            * self.sparse_accels.len().max(1)
+    }
+
+    /// The sparse axis, defaulting to a dense-only datapath when the
+    /// choice list was left empty.
+    fn sparse_axis(&self) -> &[SparseAccel] {
+        if self.sparse_accels.is_empty() {
+            &[SparseAccel::None]
+        } else {
+            &self.sparse_accels
+        }
     }
 
     /// Every genome in the space, in a fixed lexicographic order.
@@ -287,15 +341,18 @@ impl DesignSpace {
                         for &dram_gbps in &self.dram_gbps {
                             for &dataflows in &self.dataflow_sets {
                                 for &tile_cap in &self.tile_caps {
-                                    out.push(Genome {
-                                        rows,
-                                        cols,
-                                        clusters,
-                                        buffer_kb,
-                                        dram_gbps,
-                                        dataflows,
-                                        tile_cap,
-                                    });
+                                    for &sparse in self.sparse_axis() {
+                                        out.push(Genome {
+                                            rows,
+                                            cols,
+                                            clusters,
+                                            buffer_kb,
+                                            dram_gbps,
+                                            dataflows,
+                                            tile_cap,
+                                            sparse,
+                                        });
+                                    }
                                 }
                             }
                         }
@@ -307,6 +364,10 @@ impl DesignSpace {
     }
 
     /// Uniform random genome.
+    ///
+    /// A single-choice sparse axis draws no randomness, so explorations of
+    /// dense spaces replay the exact RNG streams (and hence results) they
+    /// produced before the sparse axis existed.
     pub fn sample(&self, rng: &mut SplitMix64) -> Genome {
         Genome {
             rows: *rng.pick(&self.rows),
@@ -316,21 +377,33 @@ impl DesignSpace {
             dram_gbps: *rng.pick(&self.dram_gbps),
             dataflows: *rng.pick(&self.dataflow_sets),
             tile_cap: *rng.pick(&self.tile_caps),
+            sparse: {
+                let axis = self.sparse_axis();
+                if axis.len() > 1 {
+                    *rng.pick(axis)
+                } else {
+                    axis[0]
+                }
+            },
         }
     }
 
     /// Mutates one axis of `g` to a neighboring choice (or a random one for
-    /// the unordered axes), staying inside the space.
+    /// the unordered axes), staying inside the space. The sparse axis only
+    /// participates when it has more than one choice (see
+    /// [`DesignSpace::sample`] on RNG-stream stability).
     pub fn mutate(&self, g: &Genome, rng: &mut SplitMix64) -> Genome {
         let mut out = *g;
-        match rng.below(7) {
+        let axes = if self.sparse_axis().len() > 1 { 8 } else { 7 };
+        match rng.below(axes) {
             0 => out.rows = step(&self.rows, g.rows, rng),
             1 => out.cols = step(&self.cols, g.cols, rng),
             2 => out.clusters = step(&self.clusters, g.clusters, rng),
             3 => out.buffer_kb = step(&self.buffer_kb, g.buffer_kb, rng),
             4 => out.dram_gbps = step(&self.dram_gbps, g.dram_gbps, rng),
             5 => out.dataflows = *rng.pick(&self.dataflow_sets),
-            _ => out.tile_cap = *rng.pick(&self.tile_caps),
+            6 => out.tile_cap = *rng.pick(&self.tile_caps),
+            _ => out.sparse = *rng.pick(self.sparse_axis()),
         }
         out
     }
@@ -364,6 +437,17 @@ impl DesignSpace {
                 a.tile_cap
             } else {
                 b.tile_cap
+            },
+            sparse: if self.sparse_axis().len() > 1 {
+                if rng.chance(0.5) {
+                    a.sparse
+                } else {
+                    b.sparse
+                }
+            } else {
+                // Single-choice axis: both parents carry the same feature;
+                // copy it without consuming randomness.
+                a.sparse
             },
         }
     }
@@ -458,11 +542,73 @@ mod tests {
     }
 
     #[test]
+    fn sparse_space_crosses_the_accel_axis() {
+        let dense = DesignSpace::paper();
+        let sparse = DesignSpace::sparse();
+        assert_eq!(sparse.size(), 3 * dense.size());
+        let all = sparse.enumerate();
+        assert_eq!(all.len(), sparse.size());
+        for accel in SparseAccel::ALL {
+            assert!(all.iter().any(|g| g.sparse == accel), "{accel:?} missing");
+        }
+        // Dense spaces only ever produce dense-datapath genomes.
+        assert!(dense
+            .enumerate()
+            .iter()
+            .all(|g| g.sparse == SparseAccel::None));
+        // Display tags only non-dense datapaths.
+        let mut g = Genome::lego_256_baseline();
+        assert!(!g.to_string().contains("skip"));
+        g.sparse = SparseAccel::Skipping;
+        assert!(g.to_string().ends_with("/skip"), "{g}");
+    }
+
+    #[test]
+    fn single_choice_sparse_axis_consumes_no_randomness() {
+        // The same seed must produce the same genome stream whether the
+        // dense space was built before or after the sparse axis existed;
+        // equivalently, sampling must not consume RNG draws for a
+        // single-choice axis. We check by comparing against a manual
+        // redraw that never touches the axis.
+        let s = DesignSpace::paper();
+        let mut a = SplitMix64::new(42);
+        let mut b = SplitMix64::new(42);
+        for _ in 0..100 {
+            let g = s.sample(&mut a);
+            let manual = Genome {
+                rows: *b.pick(&s.rows),
+                cols: *b.pick(&s.cols),
+                clusters: *b.pick(&s.clusters),
+                buffer_kb: *b.pick(&s.buffer_kb),
+                dram_gbps: *b.pick(&s.dram_gbps),
+                dataflows: *b.pick(&s.dataflow_sets),
+                tile_cap: *b.pick(&s.tile_caps),
+                sparse: SparseAccel::None,
+            };
+            assert_eq!(g, manual);
+        }
+        // Mutation on a dense space keeps the historical 7-axis draw and
+        // never flips the sparse field; on a sparse space it can.
+        let mut rng = SplitMix64::new(9);
+        let g = Genome::lego_256_baseline();
+        assert!((0..50).all(|_| s.mutate(&g, &mut rng).sparse == SparseAccel::None));
+        let sp = DesignSpace::sparse();
+        assert!((0..200).any(|_| sp.mutate(&g, &mut rng).sparse != SparseAccel::None));
+    }
+
+    #[test]
     fn genome_key_is_stable_and_field_sensitive() {
         let g = Genome::lego_256_baseline();
         assert_eq!(g.key(), g.key());
         let mut h = g;
         h.buffer_kb = 512;
         assert_ne!(g.key(), h.key());
+        // The sparse feature is part of the fingerprint…
+        let mut s = g;
+        s.sparse = SparseAccel::Skipping;
+        assert_ne!(g.key(), s.key());
+        let mut s2 = g;
+        s2.sparse = SparseAccel::Gating;
+        assert_ne!(s.key(), s2.key());
     }
 }

@@ -12,19 +12,26 @@ pub struct SearchReport {
     pub strategy: String,
     /// Candidates evaluated (cache hits included).
     pub evaluated: usize,
-    /// The strategy's own best candidate by EDP.
+    /// The strategy's own best candidate under the evaluator's
+    /// [`Objective`](crate::Objective) (plain EDP by default).
     pub best: Option<DesignPoint>,
 }
 
 /// A search procedure spending an evaluation budget on the space.
 ///
 /// Strategies receive the shared [`Evaluator`] (and through it the shared
-/// [`EvalCache`](crate::EvalCache)), push every candidate they score into
+/// [`EvalCache`](crate::EvalCache) and the active
+/// [`Objective`](crate::Objective)), push every candidate they score into
 /// the common [`ParetoFrontier`], and report their scalar best. All
 /// randomness must come from strategy-owned seeds so runs replay exactly.
 pub trait SearchStrategy {
     /// Display name (used in reports and tables).
     fn name(&self) -> String;
+
+    /// Offers genomes (typically a previous run's Pareto frontier) to seed
+    /// the search. The default implementation ignores them; population
+    /// strategies may start from them instead of uniform samples.
+    fn warm_start(&mut self, _genomes: &[Genome]) {}
 
     /// Spends up to `budget` evaluations.
     fn run(
@@ -36,7 +43,8 @@ pub trait SearchStrategy {
     ) -> SearchReport;
 }
 
-/// Evaluates a batch, folds it into the frontier, and tracks the best EDP.
+/// Evaluates a batch, folds it into the frontier, and tracks the best
+/// score under the evaluator's objective.
 ///
 /// Infeasible candidates (violating the evaluator's hard area/power
 /// budgets) are returned for the caller's bookkeeping but never join the
@@ -55,7 +63,7 @@ fn score_batch(
         frontier.insert(p.clone());
         let better = best
             .as_ref()
-            .is_none_or(|b| p.objectives.edp() < b.objectives.edp());
+            .is_none_or(|b| evaluator.score(p) < evaluator.score(b));
         if better {
             *best = Some(p.clone());
         }
@@ -125,12 +133,18 @@ impl SearchStrategy for RandomSearch {
 
 /// (μ+λ) evolutionary strategy over config genomes.
 ///
-/// Keeps the μ best-by-EDP parents, breeds λ children per generation by
+/// Keeps the μ best-scoring parents, breeds λ children per generation by
 /// uniform crossover of two tournament-selected parents followed by a
 /// per-axis mutation, and selects the next parents from parents ∪ children.
 /// SparseMap drives accelerator configuration with the same family of
-/// evolution strategies; EDP is the scalar fitness here.
-#[derive(Debug, Clone, Copy)]
+/// evolution strategies; the evaluator's scalarization (plain EDP by
+/// default, optionally penalty-constrained) is the fitness here.
+///
+/// A [`SearchStrategy::warm_start`] population — e.g. a previous run's
+/// Pareto frontier — replaces the uniform initial samples, so a follow-up
+/// search (new model, tightened budget) starts from proven designs
+/// instead of from scratch.
+#[derive(Debug, Clone)]
 pub struct EvolutionarySearch {
     /// RNG seed.
     pub seed: u64,
@@ -140,6 +154,10 @@ pub struct EvolutionarySearch {
     pub lambda: usize,
     /// Probability that a child is additionally mutated.
     pub mutation_rate: f64,
+    /// Warm-start genomes evaluated as the initial population (topped up
+    /// with uniform samples below μ). Usually set through
+    /// [`SearchStrategy::warm_start`].
+    pub warm: Vec<Genome>,
 }
 
 impl Default for EvolutionarySearch {
@@ -149,30 +167,37 @@ impl Default for EvolutionarySearch {
             mu: 8,
             lambda: 16,
             mutation_rate: 0.6,
+            warm: Vec::new(),
         }
     }
 }
 
 impl EvolutionarySearch {
-    fn fitness(p: &DesignPoint) -> (f64, u64) {
-        // Deterministic total order: EDP, then the genome fingerprint.
-        // Infeasible designs sort behind every feasible one (but stay in
-        // the population, so search can cross the infeasible region).
-        let edp = if p.feasible {
-            p.objectives.edp()
+    fn fitness(evaluator: &Evaluator<'_>, p: &DesignPoint) -> (f64, u64) {
+        // Deterministic total order: objective score, then the genome
+        // fingerprint. Infeasible designs sort behind every feasible one
+        // (but stay in the population, so search can cross the infeasible
+        // region).
+        let score = if p.feasible {
+            evaluator.score(p)
         } else {
             f64::INFINITY
         };
-        (edp, p.genome.key())
+        (score, p.genome.key())
     }
 }
 
 impl SearchStrategy for EvolutionarySearch {
     fn name(&self) -> String {
+        let warm = if self.warm.is_empty() { "" } else { ",warm" };
         format!(
-            "evolutionary(μ={},λ={},seed={})",
+            "evolutionary(μ={},λ={},seed={}{warm})",
             self.mu, self.lambda, self.seed
         )
+    }
+
+    fn warm_start(&mut self, genomes: &[Genome]) {
+        self.warm = genomes.to_vec();
     }
 
     fn run(
@@ -187,9 +212,17 @@ impl SearchStrategy for EvolutionarySearch {
         let mut rng = SplitMix64::new(self.seed);
         let mut best = None;
 
-        let init: Vec<Genome> = (0..mu.min(budget.max(1)))
-            .map(|_| space.sample(&mut rng))
-            .collect();
+        // Initial population: warm-start genomes first (a previous
+        // frontier, re-evaluated here — usually cache hits), topped up to
+        // μ with uniform samples; a warm set larger than μ is truncated so
+        // the budget goes to evolution, not to re-scoring known points.
+        // An empty warm set draws exactly the samples it always did, so
+        // cold runs replay bit-for-bit.
+        let init_size = mu.min(budget.max(1));
+        let mut init: Vec<Genome> = self.warm.iter().copied().take(init_size).collect();
+        while init.len() < init_size {
+            init.push(space.sample(&mut rng));
+        }
         let mut evaluated = init.len();
         let mut population = score_batch(evaluator, frontier, &init, &mut best);
 
@@ -201,7 +234,7 @@ impl SearchStrategy for EvolutionarySearch {
                     let pick = |rng: &mut SplitMix64, pop: &[DesignPoint]| -> Genome {
                         let a = &pop[rng.below(pop.len())];
                         let b = &pop[rng.below(pop.len())];
-                        if Self::fitness(a) <= Self::fitness(b) {
+                        if Self::fitness(evaluator, a) <= Self::fitness(evaluator, b) {
                             a.genome
                         } else {
                             b.genome
@@ -221,8 +254,8 @@ impl SearchStrategy for EvolutionarySearch {
             // (μ+λ) selection: keep the best μ of parents ∪ children.
             population.extend(scored);
             population.sort_by(|a, b| {
-                Self::fitness(a)
-                    .partial_cmp(&Self::fitness(b))
+                Self::fitness(evaluator, a)
+                    .partial_cmp(&Self::fitness(evaluator, b))
                     .expect("finite fitness")
             });
             population.truncate(mu);
@@ -286,6 +319,7 @@ mod tests {
             mu: 4,
             lambda: 6,
             mutation_rate: 0.7,
+            ..Default::default()
         };
         let (a, _) = run(&mut es, 30);
         assert_eq!(a.evaluated, 30);
@@ -294,6 +328,7 @@ mod tests {
             mu: 4,
             lambda: 6,
             mutation_rate: 0.7,
+            ..Default::default()
         };
         let (b, _) = run(&mut es2, 30);
         assert_eq!(

@@ -22,6 +22,7 @@ fn subspace(r: usize, c: usize, cl: usize, b: usize, w: usize, d: usize, t: usiz
         dram_gbps: full.dram_gbps[..w].to_vec(),
         dataflow_sets: full.dataflow_sets[..d].to_vec(),
         tile_caps: full.tile_caps[..t].to_vec(),
+        sparse_accels: full.sparse_accels.clone(),
     }
 }
 

@@ -8,12 +8,14 @@
 use crate::dataflow::{Dataflow, DataflowBuilder};
 use crate::workload::{FuOp, TensorAccess, TensorRole, Workload};
 use lego_linalg::{AffineMap, IMat};
+use lego_sparse::DensityModel;
 
 fn access(tensor: &str, role: TensorRole, map: AffineMap) -> TensorAccess {
     TensorAccess {
         tensor: tensor.to_string(),
         role,
         map,
+        density: DensityModel::Dense,
     }
 }
 

@@ -1,6 +1,7 @@
 //! Workload representation: the hardware-agnostic data mappings.
 
 use lego_linalg::AffineMap;
+use lego_sparse::DensityModel;
 
 /// Errors raised while building or validating IR objects.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -145,6 +146,11 @@ pub struct TensorAccess {
     pub role: TensorRole,
     /// Affine map from the iteration domain to this tensor's index space.
     pub map: AffineMap,
+    /// Statistical value density of this tensor (dense unless annotated).
+    /// Hardware generation and the cost stack may exploit it; the
+    /// functional reference executor ignores it — density describes the
+    /// data, not the computation.
+    pub density: DensityModel,
 }
 
 /// A tensor workload: iteration domain, data mappings, and loop body.
@@ -268,6 +274,22 @@ impl Workload {
     /// Looks up an access by tensor name.
     pub fn access(&self, tensor: &str) -> Option<&TensorAccess> {
         self.accesses.iter().find(|a| a.tensor == tensor)
+    }
+
+    /// Annotates the named tensor with a statistical value density. A name
+    /// that matches no access is ignored (annotations are advisory).
+    #[must_use]
+    pub fn with_tensor_density(mut self, tensor: &str, density: DensityModel) -> Self {
+        if let Some(a) = self.accesses.iter_mut().find(|a| a.tensor == tensor) {
+            a.density = density;
+        }
+        self
+    }
+
+    /// The annotated density of the named tensor (dense for unknown names).
+    pub fn tensor_density(&self, tensor: &str) -> DensityModel {
+        self.access(tensor)
+            .map_or(DensityModel::Dense, |a| a.density)
     }
 
     /// Total number of points in the iteration domain.
@@ -409,6 +431,7 @@ mod tests {
                 tensor: "X".into(),
                 role: TensorRole::Input,
                 map: AffineMap::identity(1),
+                density: DensityModel::Dense,
             }],
             FuOp::MaxAcc,
         )
@@ -424,11 +447,13 @@ mod tests {
                     tensor: "Y".into(),
                     role: TensorRole::Output,
                     map: AffineMap::identity(2),
+                    density: DensityModel::Dense,
                 },
                 TensorAccess {
                     tensor: "X".into(),
                     role: TensorRole::Input,
                     map: AffineMap::identity(1),
+                    density: DensityModel::Dense,
                 },
             ],
             FuOp::MaxAcc,
@@ -445,11 +470,13 @@ mod tests {
                     tensor: "Y".into(),
                     role: TensorRole::Output,
                     map: AffineMap::identity(1),
+                    density: DensityModel::Dense,
                 },
                 TensorAccess {
                     tensor: "X".into(),
                     role: TensorRole::Input,
                     map: AffineMap::identity(1),
+                    density: DensityModel::Dense,
                 },
             ],
             FuOp::MaxAcc,

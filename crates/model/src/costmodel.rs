@@ -24,6 +24,7 @@ use crate::cost::{l2_router_area_um2, macro_area, MacroArea};
 use crate::hw::HwConfig;
 use crate::{SramModel, TechModel};
 use lego_noc::{Butterfly, Mesh, Transfer};
+use lego_sparse::{LayerSparsity, SparseEffects, SparseHw};
 
 /// Prices the FU array: cycle counts and datapath energy.
 pub trait ComputeCost {
@@ -135,11 +136,16 @@ pub struct CostContext {
     pub sram: SramModel,
     /// Instantiated NoC models.
     pub noc: NocModel,
+    /// The sparse half of the configuration: which acceleration feature
+    /// (gating/skipping) the PE datapath carries, if any. Dense by
+    /// default; priced in area whenever present, and in per-layer costs
+    /// whenever a layer actually carries zeros.
+    pub sparse: SparseHw,
 }
 
 impl CostContext {
     /// Builds the context for `hw` under `tech`, with the default SRAM
-    /// model and the NoCs the configuration implies.
+    /// model, a dense datapath, and the NoCs the configuration implies.
     pub fn new(hw: HwConfig, tech: TechModel) -> Self {
         let noc = NocModel::for_hw(&hw);
         CostContext {
@@ -147,6 +153,7 @@ impl CostContext {
             tech,
             sram: SramModel::default(),
             noc,
+            sparse: SparseHw::dense(),
         }
     }
 
@@ -155,6 +162,21 @@ impl CostContext {
     pub fn with_sram(mut self, sram: SramModel) -> Self {
         self.sram = sram;
         self
+    }
+
+    /// Replaces the sparse datapath configuration.
+    #[must_use]
+    pub fn with_sparse(mut self, sparse: SparseHw) -> Self {
+        self.sparse = sparse;
+        self
+    }
+
+    /// The sparse-execution effects of running a layer annotated with
+    /// `sparsity` on this configuration, or `None` when the execution is
+    /// provably dense (no acceleration feature, or a fully dense layer) —
+    /// in which case callers must take their exact dense arithmetic path.
+    pub fn sparse_effects(&self, sparsity: &LayerSparsity) -> Option<SparseEffects> {
+        self.sparse.effects(sparsity)
     }
 
     /// Analytic area of the whole configuration: FU arrays, the total
@@ -173,6 +195,13 @@ impl CostContext {
         );
         if n > 1 {
             area.noc_um2 += l2_router_area_um2(self.noc.mesh.routers(), &self.tech);
+        }
+        // Sparse frontend (zero-detect latch or intersection unit) sits on
+        // every FU datapath — paid even when the data turns out dense,
+        // which is exactly what makes sparse support a real area trade-off.
+        if self.sparse.is_enabled() {
+            area.array_um2 +=
+                self.sparse.accel.frontend_area_um2_per_fu() * self.hw.num_fus() as f64;
         }
         area
     }
@@ -342,6 +371,28 @@ mod tests {
         assert!(quad.noc_um2 > 4.0 * single.noc_um2);
         let routers = l2_router_area_um2(4, &TechModel::default());
         assert!((quad.noc_um2 - 4.0 * single.noc_um2 - routers).abs() < 1e-6);
+    }
+
+    #[test]
+    fn sparse_frontend_is_area_not_a_dense_cost() {
+        use lego_sparse::SparseAccel;
+        let dense = ctx((1, 1));
+        let mut gate = dense.clone();
+        gate.sparse = SparseHw::with_accel(SparseAccel::Gating);
+        let mut skip = dense.clone();
+        skip.sparse = SparseHw::with_accel(SparseAccel::Skipping);
+        // Frontend area stacks: none < gating < skipping.
+        let a = |c: &CostContext| c.area(32).total_um2();
+        assert!(a(&dense) < a(&gate));
+        assert!(a(&gate) < a(&skip));
+        // A dense layer yields no effects on any datapath: the exact dense
+        // arithmetic path is taken.
+        assert!(dense.sparse_effects(&LayerSparsity::dense()).is_none());
+        assert!(skip.sparse_effects(&LayerSparsity::dense()).is_none());
+        // A sparse layer yields effects only on sparse hardware.
+        let sp = LayerSparsity::weights(lego_sparse::DensityModel::two_to_four());
+        assert!(dense.sparse_effects(&sp).is_none());
+        assert!(skip.sparse_effects(&sp).is_some());
     }
 
     #[test]

@@ -37,6 +37,9 @@ pub use costmodel::{
     ComputeCost, CostContext, CostModel, L2Traffic, MemoryCost, NocCost, NocModel,
 };
 pub use hw::{HwConfig, HwConfigError, SpatialMapping};
+pub use lego_sparse::{
+    CompressedFormat, DensityModel, LayerSparsity, SparseAccel, SparseEffects, SparseHw,
+};
 pub use sram::SramModel;
 
 /// Technology constants (TSMC 28 nm @ 1 GHz unless noted).

@@ -22,11 +22,14 @@
 
 pub mod perf;
 
-pub use lego_model::{CostContext, HwConfig, HwConfigError, SpatialMapping};
+pub use lego_model::{
+    CostContext, DensityModel, HwConfig, HwConfigError, LayerSparsity, SparseAccel, SparseHw,
+    SpatialMapping,
+};
 pub use perf::{
     aggregate, best_mapping, best_mapping_ctx, best_mapping_tiled, simulate_layer,
-    simulate_layer_ctx, simulate_layer_tiled, tiled_dram_traffic, EnergyBreakdown, LayerPerf,
-    ModelPerf,
+    simulate_layer_ctx, simulate_layer_tiled, tiled_dram_traffic, tiled_dram_traffic_sparse,
+    EnergyBreakdown, LayerPerf, ModelPerf,
 };
 
 #[cfg(test)]

@@ -6,7 +6,9 @@
 //! search price hardware through one stack.
 
 use crate::HwConfig;
-use lego_model::{ComputeCost, CostContext, L2Traffic, MemoryCost, NocCost, TechModel};
+use lego_model::{
+    ComputeCost, CostContext, L2Traffic, MemoryCost, NocCost, SparseEffects, TechModel,
+};
 use lego_workloads::{Layer, LayerKind, Model};
 
 pub use lego_model::SpatialMapping;
@@ -26,12 +28,20 @@ pub struct EnergyBreakdown {
     pub static_pj: f64,
     /// Post-processing unit energy.
     pub ppu_pj: f64,
+    /// Sparse frontend + format-decode energy (zero on the dense path).
+    pub sparse_pj: f64,
 }
 
 impl EnergyBreakdown {
     /// Total energy in pJ.
     pub fn total_pj(&self) -> f64 {
-        self.mac_pj + self.sram_pj + self.dram_pj + self.noc_pj + self.static_pj + self.ppu_pj
+        self.mac_pj
+            + self.sram_pj
+            + self.dram_pj
+            + self.noc_pj
+            + self.static_pj
+            + self.ppu_pj
+            + self.sparse_pj
     }
 }
 
@@ -199,6 +209,54 @@ pub fn tiled_dram_traffic(m: i64, n: i64, k: i64, buffer_bytes: i64, tile_cap: O
     n_inner.min(m_inner) + outputs
 }
 
+/// [`tiled_dram_traffic`] with per-operand byte scales for compressed
+/// operands (`w_scale` weights, `i_scale` inputs, `o_scale` outputs, each
+/// in `(0, 1]`).
+///
+/// Compression shrinks the streams *and* the working set, so the same
+/// buffer holds larger tiles and the re-read sweeps get cheaper — the
+/// compound win Sparseloop attributes to compressed on-chip residency.
+/// Unit scales delegate to [`tiled_dram_traffic`] itself, so the
+/// dense-equivalence guarantee (density 1.0, and gating's dense-traffic
+/// contract) is structural, not a property of two twin implementations
+/// staying in sync.
+#[allow(clippy::too_many_arguments)] // a contraction shape plus one scale per operand
+pub fn tiled_dram_traffic_sparse(
+    m: i64,
+    n: i64,
+    k: i64,
+    buffer_bytes: i64,
+    tile_cap: Option<i64>,
+    w_scale: f64,
+    i_scale: f64,
+    o_scale: f64,
+) -> i64 {
+    if w_scale == 1.0 && i_scale == 1.0 && o_scale == 1.0 {
+        return tiled_dram_traffic(m, n, k, buffer_bytes, tile_cap);
+    }
+    let weights = (n * k) as f64 * w_scale;
+    let inputs = (m * k) as f64 * i_scale;
+    let outputs = (m * n) as f64 * o_scale;
+    let budget = (buffer_bytes / 2).max(64) as f64;
+    let mut t = 1i64;
+    while ((t + 1) * k) as f64 * (w_scale + i_scale) + ((t + 1) * (t + 1)) as f64 * o_scale
+        <= budget
+        && t < m.max(n)
+    {
+        t += 1;
+    }
+    if let Some(cap) = tile_cap {
+        t = t.min(cap.max(1));
+    }
+    let tm = t.min(m).max(1);
+    let tn = t.min(n).max(1);
+    let m_sweeps = div_ceil(m, tm);
+    let n_sweeps = div_ceil(n, tn);
+    let n_inner = weights * m_sweeps as f64 + inputs;
+    let m_inner = weights + inputs * n_sweeps as f64;
+    (n_inner.min(m_inner) + outputs).ceil() as i64
+}
+
 /// Halo bytes exchanged between adjacent clusters when `n_clusters` split
 /// a convolution's output rows: every boundary shares `kh - 1` input rows.
 fn cluster_halo_bytes(kind: &LayerKind, n_clusters: i64) -> i64 {
@@ -261,6 +319,16 @@ pub fn simulate_layer_tiled(
 
 /// Simulates one layer instance under a fixed mapping, charging every cost
 /// through the configuration's [`CostContext`].
+///
+/// When the context's datapath has a sparse acceleration feature *and* the
+/// layer carries density annotations, the dense cost components are scaled
+/// by the [`SparseEffects`] of that pairing: expected-nonzero MAC counts
+/// (skipping), gated datapath energy (gating), compressed DRAM/SRAM
+/// traffic, plus frontend/decode overhead energy. When
+/// [`CostContext::sparse_effects`] returns `None` — dense hardware or a
+/// fully dense layer — every expression below reduces to the exact dense
+/// arithmetic, so dense results are byte-identical with sparsity modeling
+/// compiled in.
 pub fn simulate_layer_ctx(
     layer: &Layer,
     mapping: SpatialMapping,
@@ -272,13 +340,32 @@ pub fn simulate_layer_ctx(
     let n_clusters = hw.num_clusters();
     let macs = layer.macs();
     let util = spatial_utilization(&layer.kind, mapping, p0, p1).max(1e-4);
+    let sparse: Option<SparseEffects> = ctx.sparse_effects(&layer.sparsity);
 
-    // Compute cycles: clusters split the M dimension of the layer.
-    let compute_cycles = ctx.compute_cycles(macs, util);
+    // Compute cycles: clusters split the M dimension of the layer. A
+    // skipping datapath issues only the (imbalance-padded) nonzero MACs.
+    let compute_cycles = match &sparse {
+        None => ctx.compute_cycles(macs, util),
+        Some(e) => ctx.compute_cycles(((macs as f64 * e.compute_scale).ceil() as i64).max(1), util),
+    };
 
-    // DRAM traffic (int8 operands, int8 writeback after quantization).
+    // DRAM traffic (int8 operands, int8 writeback after quantization);
+    // sparse operands stream in their compressed formats.
     let (m, n, k) = gemm_view(&layer.kind);
-    let mut bytes = tiled_dram_traffic(m, n, k, hw.buffer_kb as i64 * 1024, tile_cap);
+    let buffer_bytes = hw.buffer_kb as i64 * 1024;
+    let mut bytes = match &sparse {
+        None => tiled_dram_traffic(m, n, k, buffer_bytes, tile_cap),
+        Some(e) => tiled_dram_traffic_sparse(
+            m,
+            n,
+            k,
+            buffer_bytes,
+            tile_cap,
+            e.weight_bytes_scale,
+            e.input_bytes_scale,
+            e.output_bytes_scale,
+        ),
+    };
     // Convs re-read less input than the im2col view thanks to halo overlap.
     if matches!(
         layer.kind,
@@ -286,7 +373,12 @@ pub fn simulate_layer_ctx(
     ) {
         let dense_in = layer.input_elems();
         let im2col_in = m * k;
-        bytes -= im2col_in - dense_in.min(im2col_in);
+        let correction = im2col_in - dense_in.min(im2col_in);
+        bytes -= match &sparse {
+            None => correction,
+            // The over-counted input bytes were compressed too.
+            Some(e) => (correction as f64 * e.input_bytes_scale).ceil() as i64,
+        };
     }
     let mem_cycles = ctx.dram_cycles(bytes);
 
@@ -297,7 +389,10 @@ pub fn simulate_layer_ctx(
     // neighbors. The wormhole stream competes with the compute/memory body,
     // and the X-Y head latency to the farthest cluster is serialized.
     let halo_bytes = cluster_halo_bytes(&layer.kind, n_clusters);
-    let broadcast_bytes = (n * k).min(bytes);
+    let broadcast_bytes = match &sparse {
+        None => (n * k).min(bytes),
+        Some(e) => (((n * k) as f64 * e.weight_bytes_scale).ceil() as i64).min(bytes),
+    };
     let l2_traffic = L2Traffic {
         scatter_bytes: (bytes - broadcast_bytes).max(0),
         broadcast_bytes,
@@ -331,17 +426,34 @@ pub fn simulate_layer_ctx(
     let in_reads = macs / reuse_in.max(1);
     let w_reads = macs / reuse_w.max(1);
     let out_writes = layer.output_elems();
-    let l1_accesses = in_reads + w_reads + out_writes;
+    let l1_accesses = match &sparse {
+        None => in_reads + w_reads + out_writes,
+        // A skipping frontend never fetches operands of skipped MACs, and
+        // masked outputs are never written (gating keeps all scales at 1).
+        Some(e) => {
+            ((in_reads + w_reads) as f64 * e.operand_read_scale).ceil() as i64
+                + (out_writes as f64 * e.output_bytes_scale).ceil() as i64
+        }
+    };
 
     // Energy roll-up through the cost stack.
     let time_ns = cycles as f64 / ctx.tech.freq_ghz;
     let busy = compute_cycles as f64 / cycles.max(1) as f64;
-    let mac_pj = ctx.mac_energy_pj(macs) + ctx.array_energy_pj(time_ns, busy, util);
+    let mac_pj = match &sparse {
+        None => ctx.mac_energy_pj(macs) + ctx.array_energy_pj(time_ns, busy, util),
+        // Only effectual MACs toggle the datapath (gating and skipping).
+        Some(e) => {
+            ctx.mac_energy_pj(macs) * e.mac_energy_scale + ctx.array_energy_pj(time_ns, busy, util)
+        }
+    };
     let sram_pj = ctx.sram_energy_pj(l1_accesses);
     let dram_pj = ctx.dram_energy_pj(bytes);
     let noc_pj = ctx.transport_energy_pj(bytes, halo_bytes);
     let static_pj = ctx.static_energy_pj(time_ns);
     let ppu_pj = ppu_total as f64 * hw.num_ppus as f64 * 0.9;
+    // What sparsity costs: the frontend examines MAC positions and the
+    // decoders walk the compressed operand streams.
+    let sparse_pj = sparse.map_or(0.0, |e| e.overhead_pj(macs, n * k, m * k));
 
     LayerPerf {
         cycles,
@@ -358,6 +470,7 @@ pub fn simulate_layer_ctx(
             noc_pj,
             static_pj,
             ppu_pj,
+            sparse_pj,
         },
         mapping,
     }
@@ -736,6 +849,163 @@ mod tests {
             ),
             0
         );
+    }
+
+    #[test]
+    fn sparse_traffic_with_unit_scales_matches_dense_exactly() {
+        for (m, n, k, buf, cap) in [
+            (6i64, 4i64, 2i64, 128i64, Some(2)),
+            (512, 512, 512, 256 * 1024, None),
+            (1, 3072, 768, 256 * 1024, Some(64)),
+            (50257, 768, 1, 512 * 1024, None),
+        ] {
+            assert_eq!(
+                tiled_dram_traffic_sparse(m, n, k, buf, cap, 1.0, 1.0, 1.0),
+                tiled_dram_traffic(m, n, k, buf, cap),
+                "({m},{n},{k})"
+            );
+        }
+    }
+
+    #[test]
+    fn compressed_weights_cut_traffic_and_grow_tiles() {
+        let (m, n, k, buf) = (512i64, 512i64, 512i64, 64 * 1024i64);
+        let dense = tiled_dram_traffic(m, n, k, buf, None);
+        // 2:4 weights in bitmask: 0.625× footprint.
+        let sparse = tiled_dram_traffic_sparse(m, n, k, buf, None, 0.625, 1.0, 1.0);
+        assert!(sparse < dense, "{sparse} !< {dense}");
+    }
+
+    #[test]
+    fn density_one_is_byte_identical_on_sparse_hardware() {
+        // A dense layer on skipping/gating hardware must produce the exact
+        // dense LayerPerf (the frontend only costs area).
+        let mut ctx = CostContext::new(HwConfig::lego_256(), tech());
+        let l = lego_workloads::Layer::new(
+            "g",
+            LayerKind::Gemm {
+                m: 256,
+                n: 256,
+                k: 256,
+            },
+        );
+        let dense = simulate_layer_ctx(&l, SpatialMapping::GemmMN, &ctx, None);
+        for accel in [
+            lego_model::SparseAccel::Gating,
+            lego_model::SparseAccel::Skipping,
+        ] {
+            ctx.sparse = lego_model::SparseHw::with_accel(accel);
+            assert_eq!(
+                simulate_layer_ctx(&l, SpatialMapping::GemmMN, &ctx, None),
+                dense,
+                "{accel:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn sparse_layer_on_dense_hardware_is_byte_identical_too() {
+        let ctx = CostContext::new(HwConfig::lego_256(), tech());
+        let dense_layer = lego_workloads::Layer::new(
+            "g",
+            LayerKind::Gemm {
+                m: 256,
+                n: 256,
+                k: 256,
+            },
+        );
+        let sparse_layer =
+            dense_layer
+                .clone()
+                .with_sparsity(lego_workloads::LayerSparsity::weights(
+                    lego_workloads::DensityModel::two_to_four(),
+                ));
+        assert_eq!(
+            simulate_layer_ctx(&dense_layer, SpatialMapping::GemmMN, &ctx, None),
+            simulate_layer_ctx(&sparse_layer, SpatialMapping::GemmMN, &ctx, None),
+            "dense hardware cannot exploit annotations"
+        );
+    }
+
+    #[test]
+    fn gating_saves_energy_but_not_cycles() {
+        let mut ctx = CostContext::new(HwConfig::lego_256(), tech());
+        let l = lego_workloads::Layer::new(
+            "g",
+            LayerKind::Gemm {
+                m: 512,
+                n: 512,
+                k: 512,
+            },
+        )
+        .with_sparsity(lego_workloads::LayerSparsity::weights(
+            lego_workloads::DensityModel::two_to_four(),
+        ));
+        let dense = simulate_layer_ctx(&l, SpatialMapping::GemmMN, &ctx, None);
+        ctx.sparse = lego_model::SparseHw::with_accel(lego_model::SparseAccel::Gating);
+        let gated = simulate_layer_ctx(&l, SpatialMapping::GemmMN, &ctx, None);
+        assert_eq!(gated.cycles, dense.cycles, "gating never changes timing");
+        assert_eq!(gated.dram_bytes, dense.dram_bytes);
+        assert!(gated.energy.mac_pj < dense.energy.mac_pj);
+        assert!(gated.energy.sparse_pj > 0.0);
+        assert!(gated.energy.total_pj() < dense.energy.total_pj());
+    }
+
+    #[test]
+    fn skipping_beats_dense_edp_on_2to4_gemm() {
+        let mut ctx = CostContext::new(HwConfig::lego_256(), tech());
+        let l = lego_workloads::Layer::new(
+            "g",
+            LayerKind::Gemm {
+                m: 512,
+                n: 512,
+                k: 512,
+            },
+        )
+        .with_sparsity(lego_workloads::LayerSparsity::weights(
+            lego_workloads::DensityModel::two_to_four(),
+        ));
+        let dense = simulate_layer_ctx(&l, SpatialMapping::GemmMN, &ctx, None);
+        ctx.sparse = lego_model::SparseHw::with_accel(lego_model::SparseAccel::Skipping);
+        let skipped = simulate_layer_ctx(&l, SpatialMapping::GemmMN, &ctx, None);
+        assert!(skipped.cycles < dense.cycles, "skipping cuts cycles");
+        assert!(skipped.dram_bytes < dense.dram_bytes, "compressed weights");
+        let edp = |p: &LayerPerf| p.cycles as f64 * p.energy.total_pj();
+        assert!(
+            edp(&skipped) < 0.6 * edp(&dense),
+            "2:4 skipping should roughly halve EDP: {} vs {}",
+            edp(&skipped),
+            edp(&dense)
+        );
+    }
+
+    #[test]
+    fn sparse_costs_are_monotone_in_density() {
+        // Lower density ⇒ no more cycles, bytes, or energy on skipping HW.
+        let mut ctx = CostContext::new(HwConfig::lego_256(), tech());
+        ctx.sparse = lego_model::SparseHw::with_accel(lego_model::SparseAccel::Skipping);
+        let perf_at = |permille: u16| {
+            let l = lego_workloads::Layer::new(
+                "g",
+                LayerKind::Gemm {
+                    m: 384,
+                    n: 384,
+                    k: 384,
+                },
+            )
+            .with_sparsity(lego_workloads::LayerSparsity::weights(
+                lego_workloads::DensityModel::Uniform { permille },
+            ));
+            simulate_layer_ctx(&l, SpatialMapping::GemmMN, &ctx, None)
+        };
+        let mut last = perf_at(50);
+        for permille in [100, 250, 500, 750, 999] {
+            let cur = perf_at(permille);
+            assert!(last.cycles <= cur.cycles, "{permille}");
+            assert!(last.dram_bytes <= cur.dram_bytes, "{permille}");
+            assert!(last.energy.mac_pj <= cur.energy.mac_pj + 1e-9, "{permille}");
+            last = cur;
+        }
     }
 
     #[test]

@@ -1,0 +1,191 @@
+//! Compressed tensor formats: storage overhead and decode energy.
+//!
+//! Following Sparseloop's representation-format abstraction, a format is
+//! priced by two numbers: how many bytes it takes to store `nnz` nonzeros
+//! out of `elems` int8 elements (payload + metadata), and how much energy
+//! the decoder spends per compressed byte it streams. The *choice* of
+//! format is a compiler/hardware decision — [`CompressedFormat::best_for`]
+//! picks the smallest representation among the formats a sparse frontend
+//! supports, and `Dense` is always available, so compression can only
+//! shrink traffic, never inflate it.
+
+/// A storage format for one tensor operand.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum CompressedFormat {
+    /// Uncompressed: one byte per element, no metadata, no decode cost.
+    #[default]
+    Dense,
+    /// Nonzero payload plus a one-bit-per-element occupancy mask. Flat
+    /// metadata makes it the moderate-density workhorse (and the natural
+    /// mate of N:M structured sparsity, whose mask is group-local).
+    Bitmask,
+    /// Run-length encoding: one byte of zero-run length per stored nonzero.
+    /// Metadata scales with `nnz`, so it wins at low density, but the
+    /// sequential decode cannot be indexed into, so a skipping frontend's
+    /// intersection unit cannot consume it — it suits DRAM-boundary
+    /// decompressors.
+    Rle,
+    /// Compressed sparse rows: 16-bit column indices per nonzero plus a row
+    /// pointer every 1024 elements. The heaviest metadata, but the only
+    /// format here that supports the random access a skipping frontend's
+    /// intersection unit needs at very low density.
+    Csr,
+}
+
+/// Ceiling division on non-negative i64.
+fn div_ceil(a: i64, b: i64) -> i64 {
+    (a + b - 1) / b
+}
+
+impl CompressedFormat {
+    /// Every format, in canonical order (`Dense` first, so storage ties
+    /// resolve toward the simplest representation).
+    pub const ALL: [CompressedFormat; 4] = [
+        CompressedFormat::Dense,
+        CompressedFormat::Bitmask,
+        CompressedFormat::Rle,
+        CompressedFormat::Csr,
+    ];
+
+    /// Short display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            CompressedFormat::Dense => "dense",
+            CompressedFormat::Bitmask => "bitmask",
+            CompressedFormat::Rle => "rle",
+            CompressedFormat::Csr => "csr",
+        }
+    }
+
+    /// Bytes of metadata needed to locate `nnz` nonzeros among `elems`
+    /// int8 elements.
+    pub fn metadata_bytes(self, elems: i64, nnz: i64) -> i64 {
+        let (elems, nnz) = (elems.max(0), nnz.max(0));
+        if elems == 0 {
+            return 0;
+        }
+        match self {
+            CompressedFormat::Dense => 0,
+            CompressedFormat::Bitmask => div_ceil(elems, 8),
+            CompressedFormat::Rle => nnz,
+            CompressedFormat::Csr => 2 * nnz + 4 * div_ceil(elems, 1024),
+        }
+    }
+
+    /// Total storage (payload + metadata) for `nnz` nonzeros among `elems`
+    /// int8 elements. `Dense` ignores `nnz` and stores every element.
+    pub fn storage_bytes(self, elems: i64, nnz: i64) -> i64 {
+        let (elems, nnz) = (elems.max(0), nnz.min(elems).max(0));
+        match self {
+            CompressedFormat::Dense => elems,
+            _ => nnz + self.metadata_bytes(elems, nnz),
+        }
+    }
+
+    /// Decoder energy per compressed byte streamed, in pJ. Calibrated as a
+    /// small fraction of the SRAM access energy the decode rides on: a
+    /// bitmask popcount-scan is cheapest, RLE adds a running-sum, CSR adds
+    /// an index compare per nonzero.
+    pub fn decode_pj_per_byte(self) -> f64 {
+        match self {
+            CompressedFormat::Dense => 0.0,
+            CompressedFormat::Bitmask => 0.03,
+            CompressedFormat::Rle => 0.05,
+            CompressedFormat::Csr => 0.08,
+        }
+    }
+
+    /// The smallest-storage format among `candidates` for a tensor of
+    /// `elems` elements with `nnz` nonzeros; earlier candidates win ties.
+    /// Falls back to `Dense` on an empty candidate list.
+    pub fn best_for(elems: i64, nnz: i64, candidates: &[CompressedFormat]) -> CompressedFormat {
+        candidates
+            .iter()
+            .copied()
+            .min_by_key(|f| f.storage_bytes(elems, nnz))
+            .unwrap_or(CompressedFormat::Dense)
+    }
+
+    /// Compressed-to-dense footprint ratio in `(0, 1]` for a density
+    /// fraction, evaluated on a canonical 4096-element block (large enough
+    /// that the amortized terms settle). Only meaningful for formats
+    /// selected through [`CompressedFormat::best_for`], which caps the
+    /// ratio at 1 via the `Dense` fallback.
+    pub fn compression_ratio(self, density: f64) -> f64 {
+        const BLOCK: i64 = 4096;
+        let nnz = (BLOCK as f64 * density.clamp(0.0, 1.0)).ceil() as i64;
+        self.storage_bytes(BLOCK, nnz) as f64 / BLOCK as f64
+    }
+}
+
+impl std::fmt::Display for CompressedFormat {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use CompressedFormat::*;
+
+    #[test]
+    fn storage_models_match_hand_counts() {
+        // 4096 elements at 50 % density (2:4): bitmask = 2048 payload +
+        // 512 mask bytes; RLE = 2048 + 2048 run bytes; CSR = 2048 payload +
+        // 4096 index + 16 row-pointer bytes.
+        assert_eq!(Dense.storage_bytes(4096, 2048), 4096);
+        assert_eq!(Bitmask.storage_bytes(4096, 2048), 2048 + 512);
+        assert_eq!(Rle.storage_bytes(4096, 2048), 2048 + 2048);
+        assert_eq!(Csr.storage_bytes(4096, 2048), 2048 + 2 * 2048 + 16);
+    }
+
+    #[test]
+    fn each_format_has_a_winning_regime() {
+        // Moderate density: bitmask's flat mask wins.
+        assert_eq!(CompressedFormat::best_for(4096, 2048, &ALL_SET), Bitmask);
+        // Low density: RLE's per-nnz metadata wins.
+        assert_eq!(CompressedFormat::best_for(4096, 64, &ALL_SET), Rle);
+        // Dense data: compression cannot help.
+        assert_eq!(CompressedFormat::best_for(4096, 4096, &ALL_SET), Dense);
+        // Without RLE (a skipping frontend), CSR takes the low-density slot.
+        let skipping = [Dense, Bitmask, Csr];
+        assert_eq!(CompressedFormat::best_for(4096, 16, &skipping), Csr);
+    }
+
+    const ALL_SET: [CompressedFormat; 4] = CompressedFormat::ALL;
+
+    #[test]
+    fn best_for_never_exceeds_dense() {
+        for elems in [64i64, 1000, 4096, 1 << 20] {
+            for nnz in [0i64, 1, elems / 10, elems / 2, elems] {
+                let best = CompressedFormat::best_for(elems, nnz, &ALL_SET);
+                assert!(
+                    best.storage_bytes(elems, nnz) <= elems,
+                    "{best:?} inflates {elems}/{nnz}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn compression_ratio_is_monotone_in_density() {
+        for fmt in ALL_SET {
+            let mut last = 0.0;
+            for permille in 0..=1000 {
+                let r = fmt.compression_ratio(permille as f64 / 1000.0);
+                assert!(r >= last - 1e-12, "{fmt:?} not monotone at {permille}");
+                assert!(r > 0.0 || permille == 0);
+                last = r;
+            }
+        }
+    }
+
+    #[test]
+    fn edge_cases_do_not_underflow() {
+        assert_eq!(Bitmask.storage_bytes(0, 0), 0);
+        assert_eq!(Csr.storage_bytes(10, -5), Csr.storage_bytes(10, 0));
+        assert_eq!(Rle.storage_bytes(10, 100), Rle.storage_bytes(10, 10));
+        assert_eq!(CompressedFormat::best_for(128, 64, &[]), Dense);
+    }
+}

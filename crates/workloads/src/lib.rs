@@ -9,6 +9,7 @@
 
 pub mod zoo;
 
+pub use lego_sparse::{DensityModel, LayerSparsity};
 pub use zoo::*;
 
 /// A tensor layer: the unit of mapping and simulation.
@@ -96,6 +97,10 @@ pub struct Layer {
     pub count: i64,
     /// Non-tensor work: (kind, element count) per single instance.
     pub nonlinear: Vec<(Nonlinear, i64)>,
+    /// Per-tensor density annotations (dense by default). Only hardware
+    /// with a sparse acceleration feature can exploit them; dense hardware
+    /// executes the layer as if every tensor were dense.
+    pub sparsity: LayerSparsity,
 }
 
 impl Layer {
@@ -106,6 +111,7 @@ impl Layer {
             kind,
             count: 1,
             nonlinear: Vec::new(),
+            sparsity: LayerSparsity::dense(),
         }
     }
 
@@ -121,6 +127,22 @@ impl Layer {
     pub fn with_nonlinear(mut self, kind: Nonlinear, elems: i64) -> Self {
         self.nonlinear.push((kind, elems));
         self
+    }
+
+    /// Sets the per-tensor density annotations.
+    #[must_use]
+    pub fn with_sparsity(mut self, sparsity: LayerSparsity) -> Self {
+        self.sparsity = sparsity;
+        self
+    }
+
+    /// Expected nonzero MACs of one instance (the MACs a perfect skipping
+    /// datapath would execute). Equals [`Layer::macs`] for dense layers.
+    pub fn effectual_macs(&self) -> i64 {
+        if self.sparsity.is_dense() {
+            return self.macs();
+        }
+        (self.macs() as f64 * self.sparsity.mac_density()).ceil() as i64
     }
 
     /// Multiply-accumulate count of a single instance.
@@ -221,8 +243,24 @@ impl Layer {
         self.nonlinear.iter().map(|&(_, e)| e).sum()
     }
 
-    /// Builds the equivalent `lego-ir` workload (for hardware generation).
+    /// Builds the equivalent `lego-ir` workload (for hardware generation),
+    /// propagating this layer's density annotations onto the IR tensors
+    /// (`W` weights, `X` inputs, `Y`/`S` outputs).
     pub fn to_workload(&self) -> lego_ir::Workload {
+        let w = self.kind_workload();
+        if self.sparsity.is_dense() {
+            return w;
+        }
+        w.with_tensor_density("W", self.sparsity.weights)
+            .with_tensor_density("X", self.sparsity.inputs)
+            .with_tensor_density("Q", self.sparsity.inputs)
+            .with_tensor_density("K", self.sparsity.inputs)
+            .with_tensor_density("Y", self.sparsity.outputs)
+            .with_tensor_density("S", self.sparsity.outputs)
+    }
+
+    /// The density-free IR workload of this layer's shape.
+    fn kind_workload(&self) -> lego_ir::Workload {
         use lego_ir::kernels;
         match self.kind {
             LayerKind::Gemm { m, n, k } => kernels::gemm(m, n, k),

@@ -5,7 +5,7 @@
 //! Shapes are the standard published configurations; grouped convolutions
 //! are folded into their dense-equivalent MAC counts.
 
-use crate::{Layer, LayerKind, Model, Nonlinear};
+use crate::{DensityModel, Layer, LayerKind, LayerSparsity, Model, Nonlinear};
 
 fn conv(name: &str, ic: i64, oc: i64, oh: i64, kh: i64, stride: i64) -> Layer {
     let l = Layer::new(
@@ -513,6 +513,63 @@ pub fn llama7b_decode(batch: i64) -> Model {
     }
 }
 
+/// Annotates every weight-carrying layer (GEMM, Conv, DwConv) of `model`
+/// with the given weight density, renaming the model `"{name} {tag}"`.
+/// Attention layers carry no weights and are left untouched.
+pub fn prune_weights(mut model: Model, density: DensityModel, tag: &str) -> Model {
+    for layer in &mut model.layers {
+        if layer.weight_elems() > 0 {
+            layer.sparsity.weights = density;
+        }
+    }
+    model.name = format!("{} {tag}", model.name);
+    model
+}
+
+/// ResNet50 with 2:4 structured weight sparsity on every convolution and
+/// the classifier — the sparse-tensor-core pruning recipe, which loses
+/// almost no accuracy and is exactly schedulable by skipping hardware.
+pub fn resnet50_2to4() -> Model {
+    prune_weights(resnet50(), DensityModel::two_to_four(), "@2:4")
+}
+
+/// BERT-base with 90 % unstructured weight sparsity (10 % density) on
+/// every GEMM — the magnitude-pruning operating point; skipping hardware
+/// pays a load-imbalance factor on the irregular nonzero pattern.
+pub fn bert_base_pruned90() -> Model {
+    prune_weights(bert_base(), DensityModel::uniform(0.10), "@90%sparse")
+}
+
+/// GPT-2 *prefill* over a 256-token prompt with causal masking: the
+/// upper triangle of every attention score matrix is masked away, so
+/// only `(seq+1)/2·seq` ≈ 50.2 % of score positions are ever computed or
+/// written. The mask lands on the attention layers' *output* density;
+/// the dense GEMMs around them are untouched.
+pub fn gpt2_prefill_causal() -> Model {
+    let seq = 256i64;
+    // Lower triangle of a seq×seq score matrix, exact in permille.
+    let causal = DensityModel::uniform((seq + 1) as f64 / (2 * seq) as f64);
+    let mut layers = Vec::new();
+    for b in 0..12 {
+        layers.extend(transformer_block(&format!("l{b}"), seq, 768, 12, 3072, seq));
+    }
+    for layer in &mut layers {
+        if matches!(layer.kind, LayerKind::Attention { .. }) {
+            layer.sparsity = LayerSparsity::dense().with_outputs(causal);
+        }
+    }
+    Model {
+        name: "GPT2-prefill-causal".into(),
+        layers,
+    }
+}
+
+/// The three sparse-scenario models: structured pruning, unstructured
+/// pruning, and masked attention.
+pub fn sparse_models() -> Vec<Model> {
+    vec![resnet50_2to4(), bert_base_pruned90(), gpt2_prefill_causal()]
+}
+
 /// The seven models of Figure 11, in the paper's order.
 pub fn figure11_models() -> Vec<Model> {
     vec![
@@ -589,6 +646,72 @@ mod tests {
                 m.name
             );
         }
+    }
+
+    #[test]
+    fn pruned_variants_annotate_without_changing_shapes() {
+        let dense = resnet50();
+        let sparse = resnet50_2to4();
+        assert_eq!(dense.total_macs(), sparse.total_macs());
+        assert_eq!(dense.layers.len(), sparse.layers.len());
+        assert!(sparse.name.contains("2:4"));
+        for (d, s) in dense.layers.iter().zip(&sparse.layers) {
+            assert_eq!(d.kind, s.kind);
+            if s.weight_elems() > 0 {
+                assert_eq!(s.sparsity.weights, DensityModel::two_to_four());
+                assert_eq!(s.effectual_macs(), (s.macs() + 1) / 2);
+            } else {
+                assert!(s.sparsity.is_dense());
+            }
+        }
+        let bert = bert_base_pruned90();
+        for l in bert.layers.iter().filter(|l| l.weight_elems() > 0) {
+            assert!((l.sparsity.weights.density() - 0.1).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn causal_prefill_masks_only_attention_outputs() {
+        let m = gpt2_prefill_causal();
+        let attn: Vec<_> = m
+            .layers
+            .iter()
+            .filter(|l| matches!(l.kind, LayerKind::Attention { .. }))
+            .collect();
+        assert_eq!(attn.len(), 12);
+        for l in &attn {
+            let d = l.sparsity.outputs.density();
+            assert!((d - 257.0 / 512.0).abs() < 1e-3, "causal mask ≈ 50.2 %");
+            assert!(l.sparsity.weights.is_dense() && l.sparsity.inputs.is_dense());
+            assert!(l.effectual_macs() < l.macs());
+        }
+        // The surrounding GEMMs stay dense.
+        assert!(m
+            .layers
+            .iter()
+            .filter(|l| matches!(l.kind, LayerKind::Gemm { .. }))
+            .all(|l| l.sparsity.is_dense()));
+    }
+
+    #[test]
+    fn sparsity_flows_into_ir_tensor_annotations() {
+        let l = Layer::new(
+            "c",
+            LayerKind::Conv {
+                n: 1,
+                ic: 4,
+                oc: 8,
+                oh: 6,
+                ow: 6,
+                kh: 3,
+                kw: 3,
+                stride: 1,
+            },
+        )
+        .with_sparsity(LayerSparsity::weights(DensityModel::two_to_four()));
+        let w = l.to_workload();
+        assert_eq!(w.tensor_density("W"), DensityModel::two_to_four());
+        assert_eq!(w.tensor_density("X"), DensityModel::Dense);
     }
 
     #[test]

@@ -25,7 +25,13 @@
 //!   grid × buffer × bandwidth × dataflow set × tiling, under hard
 //!   area/power feasibility budgets, sharing a memoized evaluation
 //!   cache and accumulating a (latency, energy, area) Pareto frontier;
-//! * [`workloads`] — the ten-model NN zoo of the paper's evaluation;
+//! * [`sparse`] — Sparseloop-style sparsity modeling: density models
+//!   (uniform, N:M structured, masked attention), compressed formats
+//!   (bitmask / RLE / CSR) with storage and decode costs, and the
+//!   gating/skipping acceleration features the cost stack prices;
+//! * [`workloads`] — the ten-model NN zoo of the paper's evaluation,
+//!   plus pruned/masked sparse variants (ResNet50 @ 2:4, BERT @ 90 %
+//!   weight sparsity, causal-mask GPT-2 prefill);
 //! * [`baselines`] — Gemmini / AutoSA / TensorLib / SODA / DSAGen models;
 //! * [`core`] — the [`Lego`](core::Lego) builder tying it all together.
 //!
@@ -89,4 +95,5 @@ pub use lego_model as model;
 pub use lego_noc as noc;
 pub use lego_rtl as rtl;
 pub use lego_sim as sim;
+pub use lego_sparse as sparse;
 pub use lego_workloads as workloads;
