@@ -1,0 +1,304 @@
+//! Sharded design-space exploration driver — the worker/coordinator pair
+//! of the distributed DSE workflow, in one binary.
+//!
+//! ```text
+//! dse_shard run --shard I/N --out SNAP [--model M] [--space S] [--seed X] [--budget B]
+//!     Explore shard I of N and checkpoint the frontier + eval cache.
+//!
+//! dse_shard merge SNAP... [--out SNAP] [--report]
+//!     Union-merge shard snapshots (frontier merge + cache absorb).
+//!
+//! dse_shard verify [--shards N] [--model M] [--space S]
+//!     Run N grid shards and the single-process grid in-process and
+//!     assert the merged frontier is dominance-equal (exit 1 if not) —
+//!     the CI determinism gate. (Grid search is seed-free, so verify
+//!     takes no --seed.)
+//! ```
+//!
+//! Everything is deterministic: fixed seeds, canonical snapshot encoding,
+//! order-preserving parallel evaluation. Running the same command twice
+//! produces byte-identical snapshots and output.
+
+use lego_bench::harness::{row, section};
+use lego_explorer::{
+    default_strategies, explore, explore_shard, DesignSpace, ExploreOptions, GridSearch,
+    ParetoFrontier, SearchStrategy, Snapshot,
+};
+use lego_workloads::{zoo, Model};
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+const DEFAULT_SEED: u64 = 0xDE5E;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("run") => cmd_run(&args[1..]),
+        Some("merge") => cmd_merge(&args[1..]),
+        Some("verify") => cmd_verify(&args[1..]),
+        _ => Err(USAGE.to_string()),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("{msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "usage:
+  dse_shard run --shard I/N --out SNAP [--model M] [--space paper|sparse|tiny] [--seed X] [--budget B]
+  dse_shard merge SNAP... [--out SNAP] [--report]
+  dse_shard verify [--shards N] [--model M] [--space paper|sparse|tiny]";
+
+fn model_by_name(name: &str) -> Result<Model, String> {
+    Ok(match name {
+        "lenet" => zoo::lenet(),
+        "mobilenet_v2" => zoo::mobilenet_v2(),
+        "resnet50" => zoo::resnet50(),
+        "bert_base" => zoo::bert_base(),
+        "resnet50_2to4" => zoo::resnet50_2to4(),
+        "bert_base_pruned90" => zoo::bert_base_pruned90(),
+        _ => return Err(format!("unknown model {name:?}")),
+    })
+}
+
+fn space_by_name(name: &str) -> Result<DesignSpace, String> {
+    Ok(match name {
+        "paper" => DesignSpace::paper(),
+        "sparse" => DesignSpace::sparse(),
+        "tiny" => DesignSpace::tiny(),
+        _ => return Err(format!("unknown space {name:?}")),
+    })
+}
+
+/// Pulls `--flag value` out of an argument list; the leftovers stay.
+fn take_flag(args: &mut Vec<String>, flag: &str) -> Result<Option<String>, String> {
+    match args.iter().position(|a| a == flag) {
+        None => Ok(None),
+        Some(i) if i + 1 < args.len() => {
+            let value = args.remove(i + 1);
+            args.remove(i);
+            Ok(Some(value))
+        }
+        Some(_) => Err(format!("{flag} needs a value\n{USAGE}")),
+    }
+}
+
+/// Pulls a bare `--flag` out of an argument list.
+fn take_switch(args: &mut Vec<String>, flag: &str) -> bool {
+    match args.iter().position(|a| a == flag) {
+        Some(i) => {
+            args.remove(i);
+            true
+        }
+        None => false,
+    }
+}
+
+fn parse_seed(text: Option<String>) -> Result<u64, String> {
+    match text {
+        None => Ok(DEFAULT_SEED),
+        Some(s) => {
+            let digits = s.trim_start_matches("0x");
+            let radix = if digits.len() < s.len() { 16 } else { 10 };
+            u64::from_str_radix(digits, radix).map_err(|_| format!("bad seed {s:?}"))
+        }
+    }
+}
+
+fn cmd_run(args: &[String]) -> Result<(), String> {
+    let mut args = args.to_vec();
+    let shard_spec =
+        take_flag(&mut args, "--shard")?.ok_or(format!("--shard I/N required\n{USAGE}"))?;
+    let out = take_flag(&mut args, "--out")?.ok_or(format!("--out SNAP required\n{USAGE}"))?;
+    let model = model_by_name(&take_flag(&mut args, "--model")?.unwrap_or("mobilenet_v2".into()))?;
+    let space = space_by_name(&take_flag(&mut args, "--space")?.unwrap_or("paper".into()))?;
+    let seed = parse_seed(take_flag(&mut args, "--seed")?)?;
+    let budget = take_flag(&mut args, "--budget")?
+        .map(|b| b.parse::<usize>().map_err(|_| format!("bad budget {b:?}")))
+        .transpose()?;
+    if !args.is_empty() {
+        return Err(format!("unexpected arguments {args:?}\n{USAGE}"));
+    }
+
+    let (index, count) = shard_spec
+        .split_once('/')
+        .and_then(|(i, n)| Some((i.parse::<u32>().ok()?, n.parse::<u32>().ok()?)))
+        .filter(|&(i, n)| n > 0 && i < n)
+        .ok_or(format!("--shard wants I/N with I < N, got {shard_spec:?}"))?;
+
+    let shard = space.shard(index, count);
+    let opts = ExploreOptions {
+        budget_per_strategy: budget.unwrap_or_else(|| shard.size().max(1)),
+        ..Default::default()
+    };
+    section(&format!(
+        "dse_shard run: {} shard {index}/{count} ({} of {} genomes; seed {seed:#x})",
+        model.name,
+        shard.size(),
+        space.size(),
+    ));
+    let run = explore_shard(&model, &shard, &mut default_strategies(seed), &opts);
+    let snapshot = run.snapshot(&model.name, seed);
+    snapshot
+        .write_to(Path::new(&out))
+        .map_err(|e| format!("writing {out}: {e}"))?;
+    println!(
+        "frontier {} points, cache {} entries ({} hits / {} misses) -> {out}",
+        run.frontier.len(),
+        run.cache.len(),
+        run.cache_hits,
+        run.cache_misses,
+    );
+    if let Some(best) = run.frontier.best_by_edp() {
+        println!(
+            "shard-best EDP {:.3e} ({})",
+            best.objectives.edp(),
+            best.genome
+        );
+    }
+    Ok(())
+}
+
+fn cmd_merge(args: &[String]) -> Result<(), String> {
+    let mut args = args.to_vec();
+    let out = take_flag(&mut args, "--out")?;
+    let report = take_switch(&mut args, "--report");
+    if args.is_empty() {
+        return Err(format!("merge needs at least one snapshot\n{USAGE}"));
+    }
+    let paths: Vec<PathBuf> = args.iter().map(PathBuf::from).collect();
+    let mut snapshots = Vec::new();
+    for p in &paths {
+        snapshots
+            .push(Snapshot::read_from(p).map_err(|e| format!("reading {}: {e}", p.display()))?);
+    }
+
+    if report {
+        section("dse_shard merge");
+        row(&[
+            "snapshot".into(),
+            "shard".into(),
+            "frontier".into(),
+            "cache".into(),
+            "model".into(),
+        ]);
+        for (p, s) in paths.iter().zip(&snapshots) {
+            row(&[
+                p.file_name()
+                    .map_or_else(String::new, |n| n.to_string_lossy().into_owned()),
+                format!("{}/{}", s.shard_index, s.shard_count),
+                format!("{}", s.frontier.len()),
+                format!("{}", s.cache.len()),
+                s.model.clone(),
+            ]);
+        }
+    }
+
+    let mut merged = snapshots.remove(0);
+    let (mut joined, mut absorbed) = (0, 0);
+    for s in &snapshots {
+        if s.model != merged.model {
+            return Err(format!(
+                "snapshot models disagree: {:?} vs {:?}",
+                merged.model, s.model
+            ));
+        }
+        let (j, a) = merged.absorb(s);
+        joined += j;
+        absorbed += a;
+    }
+    // The merged snapshot stands for the whole space, not one slice.
+    merged.shard_index = 0;
+    merged.shard_count = 1;
+
+    println!(
+        "merged {} snapshots: frontier {} points (+{joined}), cache {} entries (+{absorbed})",
+        paths.len(),
+        merged.frontier.len(),
+        merged.cache.len(),
+    );
+    if let Some(best) = merged.frontier.best_by_edp() {
+        println!(
+            "merged-best EDP {:.3e} ({})",
+            best.objectives.edp(),
+            best.genome
+        );
+    }
+    if let Some(out) = out {
+        merged
+            .write_to(Path::new(&out))
+            .map_err(|e| format!("writing {out}: {e}"))?;
+        println!("wrote merged snapshot -> {out}");
+    }
+    Ok(())
+}
+
+fn cmd_verify(args: &[String]) -> Result<(), String> {
+    let mut args = args.to_vec();
+    let shards: u32 = take_flag(&mut args, "--shards")?.map_or(Ok(4), |n| {
+        n.parse().map_err(|_| format!("bad shard count {n:?}"))
+    })?;
+    let model = model_by_name(&take_flag(&mut args, "--model")?.unwrap_or("mobilenet_v2".into()))?;
+    let space = space_by_name(&take_flag(&mut args, "--space")?.unwrap_or("paper".into()))?;
+    if !args.is_empty() {
+        return Err(format!("unexpected arguments {args:?}\n{USAGE}"));
+    }
+    // No --seed here: both sides are pure grid search, which is
+    // deterministic and seed-free by construction.
+    let grid_only = || vec![Box::new(GridSearch) as Box<dyn SearchStrategy>];
+    // Grid search truncates at the budget, so the budget must cover the
+    // whole space on both sides of the comparison.
+    let exhaustive = ExploreOptions {
+        budget_per_strategy: space.size(),
+        ..Default::default()
+    };
+
+    section(&format!(
+        "dse_shard verify: {} on {} genomes, {shards} grid shards vs single process",
+        model.name,
+        space.size(),
+    ));
+    let single = explore(&model, &space, &mut grid_only(), &exhaustive);
+    let mut merged = ParetoFrontier::new();
+    let mut covered = 0;
+    for i in 0..shards {
+        let shard = space.shard(i, shards);
+        let run = explore_shard(&model, &shard, &mut grid_only(), &exhaustive);
+        covered += run.reports[0].evaluated;
+        merged.merge(&run.frontier);
+        println!(
+            "  shard {i}/{shards}: {} genomes, frontier {}",
+            run.reports[0].evaluated,
+            run.frontier.len()
+        );
+    }
+    if covered != space.size() {
+        return Err(format!(
+            "VERIFY FAILED: shards covered {covered} of {} genomes",
+            space.size()
+        ));
+    }
+    if !merged.dominance_equal(&single.frontier) {
+        return Err(format!(
+            "VERIFY FAILED: merged frontier ({} points) is not dominance-equal \
+             to the single-process frontier ({} points)",
+            merged.len(),
+            single.frontier.len()
+        ));
+    }
+    println!(
+        "OK: union of {shards} shard frontiers is dominance-equal to the \
+         single-process frontier ({} points, best EDP {:.3e})",
+        single.frontier.len(),
+        single
+            .frontier
+            .best_by_edp()
+            .expect("non-empty")
+            .objectives
+            .edp(),
+    );
+    Ok(())
+}

@@ -19,7 +19,7 @@
 //! ```
 
 use lego_backend::{lower, optimize, BackendConfig, Dag, OptimizeOptions, OptimizeReport};
-use lego_explorer::{DesignSpace, ExplorationResult, ExploreOptions};
+use lego_explorer::{DesignSpace, ExplorationResult, ExploreOptions, ShardedExplorationResult};
 use lego_frontend::{build_adg, Adg, FrontendConfig, FrontendError};
 use lego_ir::{tensor::TensorData, Dataflow, Workload};
 use lego_model::{dag_cost, DagCost, TechModel};
@@ -97,6 +97,28 @@ impl Lego {
     ) -> ExplorationResult {
         let mut strategies = lego_explorer::default_strategies(seed);
         lego_explorer::explore(model, space, &mut strategies, opts)
+    }
+
+    /// Like [`Lego::explore`], but splits the space into `shards` disjoint
+    /// slices (`DesignSpace::shard`), explores each with its own
+    /// seed-split strategy portfolio on the worker thread pool, and merges
+    /// the per-shard Pareto frontiers and evaluation caches — the
+    /// in-process form of the distributed shard → checkpoint → merge
+    /// workflow (each shard's result can be serialized with
+    /// `ShardRunResult::snapshot` for the cross-process form). For a grid
+    /// partition the merged frontier is dominance-equal to what
+    /// [`Lego::explore`] finds in one process, provided
+    /// `opts.budget_per_strategy` covers the whole space — the budget
+    /// applies per shard, so a budget between `size/shards` and `size`
+    /// leaves the shards exhaustive while the single process truncates.
+    pub fn explore_sharded(
+        model: &Model,
+        space: &DesignSpace,
+        shards: u32,
+        seed: u64,
+        opts: &ExploreOptions,
+    ) -> ShardedExplorationResult {
+        lego_explorer::explore_sharded(model, space, shards, seed, opts)
     }
 
     /// Runs the full pipeline: interconnect planning, memory synthesis,
@@ -195,6 +217,24 @@ mod tests {
         );
         assert!(result.best_by_edp().is_some());
         assert!(result.cache_hits > 0);
+    }
+
+    #[test]
+    fn explore_sharded_agrees_with_single_process_grid() {
+        let model = lego_workloads::zoo::lenet();
+        let space = DesignSpace::tiny();
+        // Budget covers the whole space, so the grid strategy inside each
+        // portfolio is exhaustive over its shard and the union frontier
+        // must be dominance-equal to the single-process one.
+        let opts = lego_explorer::ExploreOptions::default();
+        let single = Lego::explore(&model, &space, 42, &opts);
+        let sharded = Lego::explore_sharded(&model, &space, 4, 42, &opts);
+        assert!(sharded.frontier.dominance_equal(&single.frontier));
+        assert_eq!(
+            sharded.best_by_edp().unwrap().genome,
+            single.best_by_edp().unwrap().genome
+        );
+        assert_eq!(sharded.shards.len(), 4);
     }
 
     #[test]

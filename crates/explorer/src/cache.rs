@@ -81,6 +81,56 @@ impl EvalCache {
         self.misses.load(Ordering::Relaxed)
     }
 
+    /// Reads an entry without computing (and without touching the hit/miss
+    /// statistics) — the lookup merge tooling and tests use.
+    pub fn peek(&self, hw_key: u64, layer_key: u64) -> Option<LayerPerf> {
+        self.shards[(hw_key ^ layer_key) as usize % SHARDS]
+            .lock()
+            .expect("cache shard poisoned")
+            .get(&(hw_key, layer_key))
+            .cloned()
+    }
+
+    /// Every `((hw_key, layer_key), perf)` entry, sorted by key — the
+    /// canonical order a [`Snapshot`](crate::Snapshot) serializes, so two
+    /// caches with the same contents encode byte-identically regardless of
+    /// insertion history.
+    pub fn entries(&self) -> Vec<((u64, u64), LayerPerf)> {
+        let mut out: Vec<((u64, u64), LayerPerf)> = self
+            .shards
+            .iter()
+            .flat_map(|s| {
+                s.lock()
+                    .expect("cache shard poisoned")
+                    .iter()
+                    .map(|(k, v)| (*k, v.clone()))
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        out.sort_by_key(|(k, _)| *k);
+        out
+    }
+
+    /// Set-unions foreign entries (a peer shard's snapshot) into this
+    /// cache. The keys are stable FNV fingerprints, so union is the whole
+    /// merge story — and an existing entry is **never** overwritten: on a
+    /// key collision the resident value wins (both sides computed the same
+    /// deterministic simulation, so they agree; the invariant is pinned by
+    /// proptests). Returns the number of entries actually added.
+    pub fn absorb<I: IntoIterator<Item = ((u64, u64), LayerPerf)>>(&self, entries: I) -> usize {
+        let mut added = 0;
+        for ((hw_key, layer_key), perf) in entries {
+            let shard = &self.shards[(hw_key ^ layer_key) as usize % SHARDS];
+            let mut map = shard.lock().expect("cache shard poisoned");
+            if let std::collections::hash_map::Entry::Vacant(slot) = map.entry((hw_key, layer_key))
+            {
+                slot.insert(perf);
+                added += 1;
+            }
+        }
+        added
+    }
+
     /// Distinct entries stored.
     pub fn len(&self) -> usize {
         self.shards
@@ -147,6 +197,50 @@ mod tests {
         cache.get_or_compute(2, 1, perf);
         assert_eq!(cache.len(), 3);
         assert_eq!(cache.misses(), 3);
+    }
+
+    #[test]
+    fn absorb_unions_without_overwriting() {
+        let a = EvalCache::new();
+        let resident = perf();
+        a.get_or_compute(1, 1, || resident.clone());
+        // A foreign snapshot carrying a colliding key plus a new one.
+        let mut foreign = perf();
+        foreign.cycles += 999;
+        let added = a.absorb(vec![((1, 1), foreign.clone()), ((2, 2), foreign.clone())]);
+        assert_eq!(added, 1, "only the new key joins");
+        assert_eq!(a.len(), 2);
+        // The resident value survived the collision…
+        assert_eq!(a.peek(1, 1), Some(resident));
+        // …and the absorbed entry is served as a hit, not recomputed.
+        let miss_before = a.misses();
+        let got = a.get_or_compute(2, 2, || unreachable!("absorbed entry must hit"));
+        assert_eq!(got, foreign);
+        assert_eq!(a.misses(), miss_before);
+        // peek never disturbs the statistics.
+        let (h, m) = (a.hits(), a.misses());
+        let _ = a.peek(2, 2);
+        assert_eq!((a.hits(), a.misses()), (h, m));
+    }
+
+    #[test]
+    fn entries_are_canonically_ordered() {
+        let a = EvalCache::new();
+        let b = EvalCache::new();
+        // Same contents, different insertion orders.
+        for (hw, layer) in [(3u64, 1u64), (1, 2), (2, 9)] {
+            a.get_or_compute(hw, layer, perf);
+        }
+        for (hw, layer) in [(1u64, 2u64), (2, 9), (3, 1)] {
+            b.get_or_compute(hw, layer, perf);
+        }
+        assert_eq!(a.entries(), b.entries());
+        let keys: Vec<(u64, u64)> = a.entries().iter().map(|(k, _)| *k).collect();
+        assert_eq!(keys, vec![(1, 2), (2, 9), (3, 1)]);
+        // Round trip through absorb reproduces the contents.
+        let c = EvalCache::new();
+        assert_eq!(c.absorb(a.entries()), 3);
+        assert_eq!(c.entries(), a.entries());
     }
 
     #[test]

@@ -35,11 +35,47 @@
 //! assert!(best.objectives.edp() > 0.0);
 //! assert!(result.cache_hits > 0); // strategies shared evaluations
 //! ```
+//!
+//! # Sharded exploration
+//!
+//! Production-size sweeps split the space across processes or hosts.
+//! [`DesignSpace::shard`] deterministically partitions the genome
+//! enumeration (and splits each strategy's RNG stream), a worker explores
+//! its shard with [`explore_shard`] and checkpoints the resulting
+//! frontier + evaluation cache as a [`Snapshot`] file, and a coordinator
+//! merges snapshots with [`ParetoFrontier::merge`] / [`EvalCache::absorb`]
+//! (or [`Snapshot::absorb`]). For a disjoint grid partition, the merged
+//! frontier is dominance-equal to the single-process frontier — pinned by
+//! tests and by the `dse_shard` CI job. The same workflow runs in-process
+//! through [`explore_sharded`]:
+//!
+//! ```
+//! use lego_explorer::{explore_sharded, DesignSpace, ExploreOptions};
+//!
+//! let model = lego_workloads::zoo::lenet();
+//! let result = explore_sharded(
+//!     &model,
+//!     &DesignSpace::tiny(),
+//!     4, // shards
+//!     7, // seed
+//!     &ExploreOptions { budget_per_strategy: 8, ..Default::default() },
+//! );
+//! assert_eq!(result.shards.len(), 4);
+//! assert!(result.frontier.is_mutually_non_dominated());
+//! // Shard 2's checkpoint, exactly as a worker process would write it:
+//! let snap = result.shards[2].snapshot(&model.name, 7);
+//! let bytes = snap.encode();
+//! assert_eq!(
+//!     lego_explorer::Snapshot::decode(&bytes).unwrap().encode(),
+//!     bytes,
+//! );
+//! ```
 
 pub mod cache;
 pub mod eval;
 pub mod pareto;
 pub mod rng;
+pub mod snapshot;
 pub mod space;
 pub mod strategy;
 
@@ -48,10 +84,12 @@ pub use eval::{DesignPoint, Evaluator};
 pub use lego_model::SparseAccel;
 pub use pareto::{BaseObjective, Constraints, Objective, Objectives, ParetoFrontier};
 pub use rng::SplitMix64;
-pub use space::{DataflowSet, DesignSpace, Genome, ALL_MAPPINGS};
+pub use snapshot::{Snapshot, SnapshotError};
+pub use space::{DataflowSet, DesignSpace, Genome, SpaceShard, ALL_MAPPINGS};
 pub use strategy::{EvolutionarySearch, GridSearch, RandomSearch, SearchReport, SearchStrategy};
 
 use lego_model::TechModel;
+use lego_sim::LayerPerf;
 use lego_workloads::Model;
 
 /// Exploration-wide knobs.
@@ -133,6 +171,61 @@ pub fn explore(
     strategies: &mut [Box<dyn SearchStrategy>],
     opts: &ExploreOptions,
 ) -> ExplorationResult {
+    let run = explore_shard(model, &space.full(), strategies, opts);
+    ExplorationResult {
+        frontier: run.frontier,
+        reports: run.reports,
+        cache_hits: run.cache_hits,
+        cache_misses: run.cache_misses,
+    }
+}
+
+/// One shard's exploration outcome: everything [`ExplorationResult`]
+/// carries, plus the shard coordinates and the drained evaluation-cache
+/// entries a worker checkpoints ([`ShardRunResult::snapshot`]).
+#[derive(Debug, Clone)]
+pub struct ShardRunResult {
+    /// This shard's index in `0..shard_count`.
+    pub shard_index: u32,
+    /// Total shards in the partition.
+    pub shard_count: u32,
+    /// The shard's feasible Pareto frontier.
+    pub frontier: ParetoFrontier,
+    /// One report per strategy, in execution order.
+    pub reports: Vec<SearchReport>,
+    /// Layer evaluations answered from the shard's cache.
+    pub cache_hits: u64,
+    /// Layer evaluations that ran the simulator.
+    pub cache_misses: u64,
+    /// The shard's memoized evaluations in canonical (sorted-key) order.
+    pub cache: Vec<((u64, u64), LayerPerf)>,
+}
+
+impl ShardRunResult {
+    /// Packages the shard's results as a serializable [`Snapshot`].
+    pub fn snapshot(&self, model: &str, seed: u64) -> Snapshot {
+        Snapshot {
+            shard_index: self.shard_index,
+            shard_count: self.shard_count,
+            seed,
+            model: model.to_string(),
+            frontier: self.frontier.clone(),
+            cache: self.cache.clone(),
+        }
+    }
+}
+
+/// Runs every strategy over one [`SpaceShard`] — the unit of work a
+/// distributed sweep hands to each process. The full shard
+/// ([`DesignSpace::full`]) reproduces [`explore`] exactly; any other
+/// shard enumerates its strided slice of the space and splits the
+/// stochastic strategies' RNG streams deterministically.
+pub fn explore_shard(
+    model: &Model,
+    shard: &SpaceShard<'_>,
+    strategies: &mut [Box<dyn SearchStrategy>],
+    opts: &ExploreOptions,
+) -> ShardRunResult {
     let mut evaluator = Evaluator::new(model, opts.tech)
         .with_constraints(opts.constraints)
         .with_objective(opts.objective);
@@ -154,13 +247,102 @@ pub fn explore(
     }
     let reports: Vec<SearchReport> = strategies
         .iter_mut()
-        .map(|s| s.run(space, &evaluator, &mut frontier, opts.budget_per_strategy))
+        .map(|s| s.run(shard, &evaluator, &mut frontier, opts.budget_per_strategy))
         .collect();
-    ExplorationResult {
+    ShardRunResult {
+        shard_index: shard.index(),
+        shard_count: shard.count(),
         frontier,
         reports,
         cache_hits: evaluator.cache().hits(),
         cache_misses: evaluator.cache().misses(),
+        cache: evaluator.cache().entries(),
+    }
+}
+
+/// Outcome of an in-process sharded exploration: the merged frontier and
+/// cache, plus each shard's individual result.
+#[derive(Debug)]
+pub struct ShardedExplorationResult {
+    /// The merged (union) Pareto frontier over all shards. For a grid
+    /// partition whose budget covers every shard, this is dominance-equal
+    /// to an *exhaustive* single-process frontier — note the per-shard
+    /// budget caveat on [`explore_sharded`].
+    pub frontier: ParetoFrontier,
+    /// The merged evaluation cache — the set union of every shard's
+    /// entries under their stable fingerprint keys.
+    pub cache: EvalCache,
+    /// Per-shard results, in shard order (shard `i` at index `i`).
+    pub shards: Vec<ShardRunResult>,
+    /// Cache hits summed over all shards.
+    pub cache_hits: u64,
+    /// Cache misses summed over all shards. `cache_misses - cache.len()`
+    /// is the duplicated simulation work a shared cache would have saved —
+    /// the price of shard isolation.
+    pub cache_misses: u64,
+}
+
+impl ShardedExplorationResult {
+    /// The globally best point by energy-delay product.
+    pub fn best_by_edp(&self) -> Option<&DesignPoint> {
+        self.frontier.best_by_edp()
+    }
+
+    /// Simulations shards re-ran that a peer had already computed
+    /// (cross-shard duplicate work the snapshot/merge workflow exposes).
+    pub fn duplicate_evals(&self) -> u64 {
+        self.cache_misses.saturating_sub(self.cache.len() as u64)
+    }
+}
+
+/// Explores `space` split into `shards` disjoint slices — each with its
+/// own [`default_strategies`] portfolio seeded from `seed` and split per
+/// shard — then merges the per-shard frontiers and caches, exactly as a
+/// coordinator merging worker snapshot files would. Every shard's
+/// evaluation batch still runs on the worker thread pool, so this is the
+/// in-process rehearsal of the distributed workflow (and the reference
+/// the `dse_shard` binary's `verify` mode checks against).
+///
+/// `opts.budget_per_strategy` applies **per shard**: `n` shards spend up
+/// to `n ×` the budget of one [`explore`] call. In particular, comparing
+/// the merged grid frontier against a single-process run is only
+/// apples-to-apples when the budget covers the grid on both sides (each
+/// shard holds ~`size/n` genomes vs the full `size` in one process —
+/// with a budget in between, the shards are exhaustive while the single
+/// process truncates).
+pub fn explore_sharded(
+    model: &Model,
+    space: &DesignSpace,
+    shards: u32,
+    seed: u64,
+    opts: &ExploreOptions,
+) -> ShardedExplorationResult {
+    let shards = shards.max(1);
+    let mut outcomes = Vec::with_capacity(shards as usize);
+    for i in 0..shards {
+        let shard = space.shard(i, shards);
+        outcomes.push(explore_shard(
+            model,
+            &shard,
+            &mut default_strategies(seed),
+            opts,
+        ));
+    }
+    let mut frontier = ParetoFrontier::new();
+    let cache = EvalCache::new();
+    let (mut hits, mut misses) = (0, 0);
+    for run in &outcomes {
+        frontier.merge(&run.frontier);
+        cache.absorb(run.cache.iter().cloned());
+        hits += run.cache_hits;
+        misses += run.cache_misses;
+    }
+    ShardedExplorationResult {
+        frontier,
+        cache,
+        shards: outcomes,
+        cache_hits: hits,
+        cache_misses: misses,
     }
 }
 
@@ -410,6 +592,71 @@ mod tests {
             .points()
             .iter()
             .any(|p| p.objectives.area_um2 > 2.5e6));
+    }
+
+    #[test]
+    fn four_shard_union_is_dominance_equal_on_mobilenet_v2() {
+        // The acceptance invariant of the sharded workflow: a 4-shard grid
+        // search, merged, describes exactly the trade-off surface the
+        // single-process grid finds on MobileNetV2.
+        let model = zoo::mobilenet_v2();
+        let space = DesignSpace::tiny();
+        let grid_only = || vec![Box::new(GridSearch) as Box<dyn SearchStrategy>];
+        let single = explore(&model, &space, &mut grid_only(), &ExploreOptions::default());
+        let mut merged = ParetoFrontier::new();
+        let mut covered = 0;
+        for i in 0..4 {
+            let run = explore_shard(
+                &model,
+                &space.shard(i, 4),
+                &mut grid_only(),
+                &ExploreOptions::default(),
+            );
+            covered += run.reports[0].evaluated;
+            merged.merge(&run.frontier);
+        }
+        assert_eq!(covered, space.size(), "4 shards cover the space exactly");
+        assert!(merged.dominance_equal(&single.frontier));
+        assert_eq!(merged.genome_keys(), single.frontier.genome_keys());
+        assert_eq!(
+            merged.best_by_edp().unwrap().genome,
+            single.best_by_edp().unwrap().genome
+        );
+    }
+
+    #[test]
+    fn explore_sharded_merges_frontiers_and_caches() {
+        let model = zoo::lenet();
+        let space = DesignSpace::tiny();
+        let opts = ExploreOptions {
+            budget_per_strategy: 12,
+            ..Default::default()
+        };
+        let sharded = explore_sharded(&model, &space, 3, 7, &opts);
+        assert_eq!(sharded.shards.len(), 3);
+        assert!(sharded.frontier.is_mutually_non_dominated());
+        // The merged cache is the union of the shard caches, so it can
+        // only shrink relative to the summed misses (duplicate work).
+        assert!(sharded.cache.len() as u64 <= sharded.cache_misses);
+        for run in &sharded.shards {
+            assert_eq!(run.shard_count, 3);
+            // Every shard frontier point survives into the union or is
+            // dominated by a point that did.
+            for p in run.frontier.points() {
+                assert!(
+                    sharded
+                        .frontier
+                        .points()
+                        .iter()
+                        .any(|q| q.objectives == p.objectives
+                            || q.objectives.dominates(&p.objectives))
+                );
+            }
+        }
+        // Deterministic end to end: a second run reproduces the frontier.
+        let again = explore_sharded(&model, &space, 3, 7, &opts);
+        assert_eq!(again.frontier.genome_keys(), sharded.frontier.genome_keys());
+        assert_eq!(again.cache.entries(), sharded.cache.entries());
     }
 
     #[test]

@@ -275,6 +275,45 @@ impl ParetoFrontier {
         self.points.iter().map(|p| p.genome).collect()
     }
 
+    /// Folds another frontier into this one, point by point. This is how
+    /// shard results combine: because [`ParetoFrontier::insert`] keeps
+    /// exactly the non-dominated subset of everything ever offered —
+    /// independent of offer order — merging the per-shard frontiers of a
+    /// disjoint grid partition reproduces the single-process frontier
+    /// ([`ParetoFrontier::dominance_equal`] pins this). Merge is
+    /// commutative, associative, and idempotent up to dominance equality.
+    ///
+    /// Returns the number of points that joined.
+    pub fn merge(&mut self, other: &ParetoFrontier) -> usize {
+        other
+            .points
+            .iter()
+            .filter(|p| self.insert((*p).clone()))
+            .count()
+    }
+
+    /// Whether two frontiers describe the same trade-off surface: every
+    /// point of each is matched by a point of the other with identical
+    /// objectives. Genome-level ties (distinct designs with exactly equal
+    /// objectives) may differ between runs that evaluated different
+    /// subsets, so this — not `Vec` equality — is the equivalence the
+    /// shard-merge invariant promises.
+    pub fn dominance_equal(&self, other: &ParetoFrontier) -> bool {
+        let covered = |a: &[DesignPoint], b: &[DesignPoint]| {
+            a.iter()
+                .all(|p| b.iter().any(|q| q.objectives == p.objectives))
+        };
+        covered(&self.points, &other.points) && covered(&other.points, &self.points)
+    }
+
+    /// The members' genome fingerprints, sorted — a canonical identity for
+    /// set-level comparisons in tests and merge reports.
+    pub fn genome_keys(&self) -> Vec<u64> {
+        let mut keys: Vec<u64> = self.points.iter().map(|p| p.genome.key()).collect();
+        keys.sort_unstable();
+        keys
+    }
+
     /// Checks the defining invariant: no member dominates another.
     pub fn is_mutually_non_dominated(&self) -> bool {
         self.points.iter().enumerate().all(|(i, a)| {
@@ -427,6 +466,62 @@ mod tests {
         assert!((best.objectives.edp() - 16.0).abs() < 1e-12, "small wins");
         // genomes() exposes the members for warm starts.
         assert_eq!(f.genomes().len(), 2);
+    }
+
+    #[test]
+    fn merge_reproduces_order_independent_union() {
+        // Build two frontiers from interleaved halves of one point stream;
+        // merging them (either way) must equal inserting the whole stream.
+        let mut rng = SplitMix64::new(13);
+        let stream: Vec<DesignPoint> = (0..60)
+            .map(|_| {
+                point(
+                    (1 + rng.below(8)) as f64,
+                    (1 + rng.below(8)) as f64,
+                    (1 + rng.below(8)) as f64,
+                )
+            })
+            .collect();
+        let mut whole = ParetoFrontier::new();
+        let mut even = ParetoFrontier::new();
+        let mut odd = ParetoFrontier::new();
+        for (i, p) in stream.iter().enumerate() {
+            whole.insert(p.clone());
+            if i % 2 == 0 {
+                even.insert(p.clone());
+            } else {
+                odd.insert(p.clone());
+            }
+        }
+        let mut ab = even.clone();
+        ab.merge(&odd);
+        let mut ba = odd.clone();
+        ba.merge(&even);
+        assert!(ab.dominance_equal(&whole));
+        assert!(ba.dominance_equal(&whole));
+        assert!(ab.dominance_equal(&ba));
+        assert!(ab.is_mutually_non_dominated());
+        // Idempotence: merging a frontier into itself adds nothing.
+        let before = ab.genome_keys();
+        assert_eq!(ab.clone().merge(&ab), 0);
+        assert_eq!(ab.genome_keys(), before);
+    }
+
+    #[test]
+    fn dominance_equal_distinguishes_real_differences() {
+        let mut a = ParetoFrontier::new();
+        a.insert(point(1.0, 5.0, 1.0));
+        let mut b = a.clone();
+        assert!(a.dominance_equal(&b));
+        b.insert(point(5.0, 1.0, 1.0));
+        assert!(!a.dominance_equal(&b), "b has an unmatched trade-off");
+        // Equal objectives under different genomes still count as matched.
+        let mut c = ParetoFrontier::new();
+        let mut twin = point(1.0, 5.0, 1.0);
+        twin.genome.cols = 999;
+        c.insert(twin);
+        assert!(a.dominance_equal(&c));
+        assert_ne!(a.genome_keys(), c.genome_keys());
     }
 
     #[test]

@@ -1,0 +1,622 @@
+//! Serializable shard snapshots: a dependency-free binary codec for
+//! [`ParetoFrontier`] + [`EvalCache`] contents, so a shard worker can
+//! checkpoint its results to a file and a coordinator can merge them.
+//!
+//! The format is deliberately boring: a fixed magic + version header,
+//! little-endian fixed-width integers, `f64` as IEEE-754 bits, one tag
+//! byte per enum/`Option`, and length-prefixed counts. Cache entries are
+//! written in sorted key order ([`EvalCache::entries`]) and frontier
+//! points sorted by genome fingerprint, so encoding is a pure function of
+//! the snapshot's contents (merge order never shows in the bytes) and
+//! `encode → decode → encode` is byte-identical. Decoding
+//! validates everything it reads and returns a [`SnapshotError`] — never
+//! panics — on truncated or corrupt input.
+
+use crate::cache::EvalCache;
+use crate::eval::DesignPoint;
+use crate::pareto::{Objectives, ParetoFrontier};
+use crate::space::{DataflowSet, Genome, ALL_MAPPINGS};
+use lego_sim::{EnergyBreakdown, LayerPerf, ModelPerf, SparseAccel};
+use std::fmt;
+
+/// File magic: identifies a LEGO DSE snapshot.
+const MAGIC: &[u8; 8] = b"LEGOSNAP";
+/// Current codec version.
+const VERSION: u8 = 1;
+
+/// One shard's checkpointed search state: where it ran (shard coordinates,
+/// seed, model), what it found (the feasible [`ParetoFrontier`]), and what
+/// it computed (the [`EvalCache`] entries, keyed by stable FNV
+/// fingerprints so cross-process merging is a set union).
+#[derive(Debug, Clone)]
+pub struct Snapshot {
+    /// Shard index in `0..shard_count`.
+    pub shard_index: u32,
+    /// Total shards in the partition (1 = unsharded).
+    pub shard_count: u32,
+    /// Base RNG seed of the run that produced this snapshot.
+    pub seed: u64,
+    /// Name of the model that was explored.
+    pub model: String,
+    /// The shard's feasible Pareto frontier.
+    pub frontier: ParetoFrontier,
+    /// The shard's memoized `((hw_key, layer_key), perf)` evaluations, in
+    /// sorted key order.
+    pub cache: Vec<((u64, u64), LayerPerf)>,
+}
+
+impl Snapshot {
+    /// Merges another shard's snapshot into this one: the frontier folds
+    /// in point-wise ([`ParetoFrontier::merge`]) and the caches set-union
+    /// on their fingerprint keys with the resident entry winning
+    /// collisions (the [`EvalCache::absorb`] rule). Returns
+    /// `(frontier_points_added, cache_entries_added)`.
+    pub fn absorb(&mut self, other: &Snapshot) -> (usize, usize) {
+        let joined = self.frontier.merge(&other.frontier);
+        let resident = EvalCache::new();
+        resident.absorb(self.cache.iter().cloned());
+        let added = resident.absorb(other.cache.iter().cloned());
+        self.cache = resident.entries();
+        (joined, added)
+    }
+
+    /// Encodes the snapshot to its canonical byte representation.
+    ///
+    /// Frontier points are written sorted by genome fingerprint (they are
+    /// unique within a frontier) and cache entries in sorted key order, so
+    /// the bytes are a pure function of the snapshot's *contents*: merging
+    /// the same shard set in any order encodes identically.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut e = Enc::default();
+        e.bytes(MAGIC);
+        e.u8(VERSION);
+        e.u32(self.shard_index);
+        e.u32(self.shard_count);
+        e.u64(self.seed);
+        e.str(&self.model);
+        let mut points: Vec<&DesignPoint> = self.frontier.points().iter().collect();
+        points.sort_by_key(|p| p.genome.key());
+        e.u32(points.len() as u32);
+        for p in points {
+            encode_point(&mut e, p);
+        }
+        e.u32(self.cache.len() as u32);
+        for ((hw, layer), perf) in &self.cache {
+            e.u64(*hw);
+            e.u64(*layer);
+            encode_layer_perf(&mut e, perf);
+        }
+        e.buf
+    }
+
+    /// Decodes a snapshot, validating magic, version, every enum tag, and
+    /// that the input ends exactly where the data does.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SnapshotError`] describing the first problem found;
+    /// truncated or corrupt input never panics.
+    pub fn decode(bytes: &[u8]) -> Result<Snapshot, SnapshotError> {
+        let mut d = Dec { buf: bytes, pos: 0 };
+        if d.bytes(MAGIC.len())? != MAGIC {
+            return Err(SnapshotError::BadMagic);
+        }
+        let version = d.u8()?;
+        if version != VERSION {
+            return Err(SnapshotError::UnsupportedVersion(version));
+        }
+        let shard_index = d.u32()?;
+        let shard_count = d.u32()?;
+        let seed = d.u64()?;
+        let model = d.str()?;
+        let mut frontier = ParetoFrontier::new();
+        let n_points = d.u32()?;
+        for _ in 0..n_points {
+            frontier.insert(decode_point(&mut d)?);
+        }
+        let n_entries = d.u32()?;
+        let mut cache = Vec::new();
+        for _ in 0..n_entries {
+            let hw = d.u64()?;
+            let layer = d.u64()?;
+            cache.push(((hw, layer), decode_layer_perf(&mut d)?));
+        }
+        d.done()?;
+        Ok(Snapshot {
+            shard_index,
+            shard_count,
+            seed,
+            model,
+            frontier,
+            cache,
+        })
+    }
+
+    /// Writes the encoded snapshot to a file.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying I/O failure.
+    pub fn write_to(&self, path: &std::path::Path) -> Result<(), SnapshotError> {
+        std::fs::write(path, self.encode()).map_err(SnapshotError::Io)
+    }
+
+    /// Reads and decodes a snapshot from a file.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SnapshotError::Io`] if the file cannot be read, or the
+    /// codec error if its contents are invalid.
+    pub fn read_from(path: &std::path::Path) -> Result<Snapshot, SnapshotError> {
+        Snapshot::decode(&std::fs::read(path).map_err(SnapshotError::Io)?)
+    }
+}
+
+/// Why a snapshot failed to decode (or to reach disk).
+#[derive(Debug)]
+pub enum SnapshotError {
+    /// Input ended before the field starting at byte `at` was complete.
+    Truncated {
+        /// Offset of the incomplete field.
+        at: usize,
+        /// Bytes the field still needed.
+        needed: usize,
+    },
+    /// The file does not start with the snapshot magic.
+    BadMagic,
+    /// The codec version byte is not one this build understands.
+    UnsupportedVersion(u8),
+    /// An enum/option tag byte held an undefined value.
+    InvalidTag {
+        /// Which field was being decoded.
+        what: &'static str,
+        /// The offending byte.
+        tag: u8,
+    },
+    /// A length-prefixed string was not valid UTF-8.
+    InvalidUtf8,
+    /// Well-formed data followed by garbage.
+    TrailingBytes(usize),
+    /// Reading or writing the snapshot file failed.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SnapshotError::Truncated { at, needed } => {
+                write!(
+                    f,
+                    "snapshot truncated: needed {needed} more bytes at offset {at}"
+                )
+            }
+            SnapshotError::BadMagic => write!(f, "not a LEGO DSE snapshot (bad magic)"),
+            SnapshotError::UnsupportedVersion(v) => {
+                write!(
+                    f,
+                    "unsupported snapshot version {v} (this build reads {VERSION})"
+                )
+            }
+            SnapshotError::InvalidTag { what, tag } => {
+                write!(f, "invalid {what} tag {tag:#04x}")
+            }
+            SnapshotError::InvalidUtf8 => write!(f, "snapshot string is not valid UTF-8"),
+            SnapshotError::TrailingBytes(n) => {
+                write!(f, "{n} trailing bytes after the snapshot payload")
+            }
+            SnapshotError::Io(e) => write!(f, "snapshot I/O failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+/// Little-endian byte writer.
+#[derive(Default)]
+struct Enc {
+    buf: Vec<u8>,
+}
+
+impl Enc {
+    fn bytes(&mut self, b: &[u8]) {
+        self.buf.extend_from_slice(b);
+    }
+    fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+    fn u32(&mut self, v: u32) {
+        self.bytes(&v.to_le_bytes());
+    }
+    fn u64(&mut self, v: u64) {
+        self.bytes(&v.to_le_bytes());
+    }
+    fn i64(&mut self, v: i64) {
+        self.bytes(&v.to_le_bytes());
+    }
+    fn f64(&mut self, v: f64) {
+        self.u64(v.to_bits());
+    }
+    fn str(&mut self, s: &str) {
+        self.u32(s.len() as u32);
+        self.bytes(s.as_bytes());
+    }
+}
+
+/// Bounds-checked little-endian reader over a byte slice.
+struct Dec<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Dec<'a> {
+    fn bytes(&mut self, n: usize) -> Result<&'a [u8], SnapshotError> {
+        let at = self.pos;
+        let end = at.checked_add(n).filter(|&e| e <= self.buf.len());
+        match end {
+            Some(end) => {
+                self.pos = end;
+                Ok(&self.buf[at..end])
+            }
+            None => Err(SnapshotError::Truncated {
+                at,
+                needed: n - (self.buf.len() - at),
+            }),
+        }
+    }
+    fn u8(&mut self) -> Result<u8, SnapshotError> {
+        Ok(self.bytes(1)?[0])
+    }
+    fn u32(&mut self) -> Result<u32, SnapshotError> {
+        Ok(u32::from_le_bytes(
+            self.bytes(4)?.try_into().expect("4 bytes"),
+        ))
+    }
+    fn u64(&mut self) -> Result<u64, SnapshotError> {
+        Ok(u64::from_le_bytes(
+            self.bytes(8)?.try_into().expect("8 bytes"),
+        ))
+    }
+    fn i64(&mut self) -> Result<i64, SnapshotError> {
+        Ok(i64::from_le_bytes(
+            self.bytes(8)?.try_into().expect("8 bytes"),
+        ))
+    }
+    fn f64(&mut self) -> Result<f64, SnapshotError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+    fn str(&mut self) -> Result<String, SnapshotError> {
+        let len = self.u32()? as usize;
+        let bytes = self.bytes(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| SnapshotError::InvalidUtf8)
+    }
+    fn done(&self) -> Result<(), SnapshotError> {
+        match self.buf.len() - self.pos {
+            0 => Ok(()),
+            n => Err(SnapshotError::TrailingBytes(n)),
+        }
+    }
+}
+
+fn encode_genome(e: &mut Enc, g: &Genome) {
+    e.i64(g.rows);
+    e.i64(g.cols);
+    e.u32(g.clusters.0);
+    e.u32(g.clusters.1);
+    e.u64(g.buffer_kb);
+    e.u32(g.dram_gbps);
+    e.u8(g.dataflows.bits());
+    match g.tile_cap {
+        None => e.u8(0),
+        Some(t) => {
+            e.u8(1);
+            e.i64(t);
+        }
+    }
+    let sparse = SparseAccel::ALL
+        .iter()
+        .position(|a| *a == g.sparse)
+        .expect("known sparse feature");
+    e.u8(sparse as u8);
+}
+
+fn decode_genome(d: &mut Dec<'_>) -> Result<Genome, SnapshotError> {
+    let rows = d.i64()?;
+    let cols = d.i64()?;
+    let clusters = (d.u32()?, d.u32()?);
+    let buffer_kb = d.u64()?;
+    let dram_gbps = d.u32()?;
+    let bits = d.u8()?;
+    let dataflows = DataflowSet::from_bits(bits).ok_or(SnapshotError::InvalidTag {
+        what: "dataflow set",
+        tag: bits,
+    })?;
+    let tile_cap = match d.u8()? {
+        0 => None,
+        1 => Some(d.i64()?),
+        tag => {
+            return Err(SnapshotError::InvalidTag {
+                what: "tile cap option",
+                tag,
+            })
+        }
+    };
+    let tag = d.u8()?;
+    let sparse = *SparseAccel::ALL
+        .get(tag as usize)
+        .ok_or(SnapshotError::InvalidTag {
+            what: "sparse feature",
+            tag,
+        })?;
+    Ok(Genome {
+        rows,
+        cols,
+        clusters,
+        buffer_kb,
+        dram_gbps,
+        dataflows,
+        tile_cap,
+        sparse,
+    })
+}
+
+fn encode_point(e: &mut Enc, p: &DesignPoint) {
+    encode_genome(e, &p.genome);
+    e.f64(p.objectives.latency_cycles);
+    e.f64(p.objectives.energy_pj);
+    e.f64(p.objectives.area_um2);
+    e.f64(p.peak_power_mw);
+    e.u8(u8::from(p.feasible));
+    e.i64(p.perf.cycles);
+    e.i64(p.perf.ops);
+    e.f64(p.perf.gops);
+    e.f64(p.perf.watts);
+    e.f64(p.perf.gops_per_watt);
+    e.f64(p.perf.utilization);
+    e.f64(p.perf.ppu_fraction);
+    e.f64(p.perf.instr_gbps);
+}
+
+fn decode_point(d: &mut Dec<'_>) -> Result<DesignPoint, SnapshotError> {
+    let genome = decode_genome(d)?;
+    let objectives = Objectives {
+        latency_cycles: d.f64()?,
+        energy_pj: d.f64()?,
+        area_um2: d.f64()?,
+    };
+    let peak_power_mw = d.f64()?;
+    let feasible = match d.u8()? {
+        0 => false,
+        1 => true,
+        tag => {
+            return Err(SnapshotError::InvalidTag {
+                what: "feasible flag",
+                tag,
+            })
+        }
+    };
+    let perf = ModelPerf {
+        cycles: d.i64()?,
+        ops: d.i64()?,
+        gops: d.f64()?,
+        watts: d.f64()?,
+        gops_per_watt: d.f64()?,
+        utilization: d.f64()?,
+        ppu_fraction: d.f64()?,
+        instr_gbps: d.f64()?,
+    };
+    Ok(DesignPoint {
+        genome,
+        objectives,
+        perf,
+        peak_power_mw,
+        feasible,
+    })
+}
+
+fn encode_layer_perf(e: &mut Enc, p: &LayerPerf) {
+    e.i64(p.cycles);
+    e.f64(p.utilization);
+    e.i64(p.macs);
+    e.i64(p.dram_bytes);
+    e.i64(p.l1_accesses);
+    e.i64(p.ppu_cycles);
+    e.i64(p.noc_cycles);
+    e.f64(p.energy.mac_pj);
+    e.f64(p.energy.sram_pj);
+    e.f64(p.energy.dram_pj);
+    e.f64(p.energy.noc_pj);
+    e.f64(p.energy.static_pj);
+    e.f64(p.energy.ppu_pj);
+    e.f64(p.energy.sparse_pj);
+    let mapping = ALL_MAPPINGS
+        .iter()
+        .position(|m| *m == p.mapping)
+        .expect("known mapping");
+    e.u8(mapping as u8);
+}
+
+fn decode_layer_perf(d: &mut Dec<'_>) -> Result<LayerPerf, SnapshotError> {
+    let cycles = d.i64()?;
+    let utilization = d.f64()?;
+    let macs = d.i64()?;
+    let dram_bytes = d.i64()?;
+    let l1_accesses = d.i64()?;
+    let ppu_cycles = d.i64()?;
+    let noc_cycles = d.i64()?;
+    let energy = EnergyBreakdown {
+        mac_pj: d.f64()?,
+        sram_pj: d.f64()?,
+        dram_pj: d.f64()?,
+        noc_pj: d.f64()?,
+        static_pj: d.f64()?,
+        ppu_pj: d.f64()?,
+        sparse_pj: d.f64()?,
+    };
+    let tag = d.u8()?;
+    let mapping = *ALL_MAPPINGS
+        .get(tag as usize)
+        .ok_or(SnapshotError::InvalidTag {
+            what: "spatial mapping",
+            tag,
+        })?;
+    Ok(LayerPerf {
+        cycles,
+        utilization,
+        macs,
+        dram_bytes,
+        l1_accesses,
+        ppu_cycles,
+        noc_cycles,
+        energy,
+        mapping,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{explore_shard, DesignSpace, ExploreOptions};
+    use lego_workloads::zoo;
+
+    fn sample_snapshot() -> Snapshot {
+        let model = zoo::lenet();
+        let space = DesignSpace::tiny();
+        let run = explore_shard(
+            &model,
+            &space.shard(1, 2),
+            &mut crate::default_strategies(0xA11CE),
+            &ExploreOptions {
+                budget_per_strategy: 12,
+                ..Default::default()
+            },
+        );
+        run.snapshot(&model.name, 0xA11CE)
+    }
+
+    #[test]
+    fn encode_decode_roundtrips_byte_identically() {
+        let snap = sample_snapshot();
+        assert!(!snap.frontier.is_empty());
+        assert!(!snap.cache.is_empty());
+        let bytes = snap.encode();
+        let decoded = Snapshot::decode(&bytes).expect("own encoding decodes");
+        assert_eq!(decoded.shard_index, 1);
+        assert_eq!(decoded.shard_count, 2);
+        assert_eq!(decoded.seed, 0xA11CE);
+        assert_eq!(decoded.model, snap.model);
+        assert_eq!(decoded.frontier.len(), snap.frontier.len());
+        assert_eq!(decoded.frontier.genome_keys(), snap.frontier.genome_keys());
+        assert_eq!(decoded.cache, snap.cache);
+        // Canonical form: re-encoding the decoded snapshot is the identity.
+        assert_eq!(decoded.encode(), bytes);
+    }
+
+    #[test]
+    fn every_truncation_errors_instead_of_panicking() {
+        let bytes = sample_snapshot().encode();
+        for len in 0..bytes.len() {
+            match Snapshot::decode(&bytes[..len]) {
+                Err(_) => {}
+                Ok(_) => panic!("decoding a {len}-byte prefix must fail"),
+            }
+        }
+    }
+
+    #[test]
+    fn corruption_is_reported_not_panicked() {
+        let good = sample_snapshot().encode();
+        // Bad magic.
+        let mut bad = good.clone();
+        bad[0] ^= 0xFF;
+        assert!(matches!(
+            Snapshot::decode(&bad),
+            Err(SnapshotError::BadMagic)
+        ));
+        // Unknown version.
+        let mut bad = good.clone();
+        bad[8] = 0xEE;
+        assert!(matches!(
+            Snapshot::decode(&bad),
+            Err(SnapshotError::UnsupportedVersion(0xEE))
+        ));
+        // Trailing garbage.
+        let mut bad = good.clone();
+        bad.push(0);
+        assert!(matches!(
+            Snapshot::decode(&bad),
+            Err(SnapshotError::TrailingBytes(1))
+        ));
+        // Every single-byte corruption either decodes (the byte was inert
+        // for validation — e.g. part of a float) or errors; none panic.
+        for i in 0..good.len() {
+            let mut fuzz = good.clone();
+            fuzz[i] ^= 0xA5;
+            let _ = Snapshot::decode(&fuzz);
+        }
+    }
+
+    #[test]
+    fn merge_order_does_not_change_the_bytes() {
+        // The coordinator may receive shard snapshots in any order; the
+        // canonical encoding (sorted frontier + sorted cache) makes the
+        // merged checkpoint byte-identical either way.
+        let model = zoo::lenet();
+        let space = DesignSpace::tiny();
+        let shard_snap = |i: u32| {
+            explore_shard(
+                &model,
+                &space.shard(i, 2),
+                &mut crate::default_strategies(9),
+                &ExploreOptions {
+                    budget_per_strategy: 16,
+                    ..Default::default()
+                },
+            )
+            .snapshot(&model.name, 9)
+        };
+        let (a, b) = (shard_snap(0), shard_snap(1));
+        let mut ab = a.clone();
+        ab.absorb(&b);
+        let mut ba = b.clone();
+        ba.absorb(&a);
+        // Align the metadata a coordinator would rewrite anyway.
+        for s in [&mut ab, &mut ba] {
+            s.shard_index = 0;
+            s.shard_count = 1;
+        }
+        assert_eq!(ab.encode(), ba.encode());
+    }
+
+    #[test]
+    fn absorb_merges_frontier_and_cache() {
+        let model = zoo::lenet();
+        let space = DesignSpace::tiny();
+        let mut halves: Vec<Snapshot> = (0..2)
+            .map(|i| {
+                explore_shard(
+                    &model,
+                    &space.shard(i, 2),
+                    &mut [Box::new(crate::GridSearch) as Box<dyn crate::SearchStrategy>],
+                    &ExploreOptions::default(),
+                )
+                .snapshot(&model.name, 0)
+            })
+            .collect();
+        let second = halves.pop().expect("two shards");
+        let mut merged = halves.pop().expect("two shards");
+        merged.absorb(&second);
+        // The merged cache is the key-union, still canonically sorted.
+        assert!(merged.cache.windows(2).all(|w| w[0].0 < w[1].0));
+        let keys: std::collections::HashSet<(u64, u64)> =
+            merged.cache.iter().map(|(k, _)| *k).collect();
+        assert_eq!(keys.len(), merged.cache.len());
+        // And the merged frontier equals the single-process grid frontier.
+        let single = crate::explore(
+            &model,
+            &space,
+            &mut [Box::new(crate::GridSearch) as Box<dyn crate::SearchStrategy>],
+            &ExploreOptions::default(),
+        );
+        assert!(merged.frontier.dominance_equal(&single.frontier));
+    }
+}

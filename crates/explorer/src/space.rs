@@ -69,6 +69,21 @@ impl DataflowSet {
             .expect("known mapping");
         self.0 & (1 << idx) != 0
     }
+
+    /// The raw bitmask over [`ALL_MAPPINGS`] — the set's wire encoding.
+    pub fn bits(self) -> u8 {
+        self.0
+    }
+
+    /// Rebuilds a set from its [`DataflowSet::bits`] encoding. `None` for
+    /// an empty set or for bits outside [`ALL_MAPPINGS`].
+    pub fn from_bits(bits: u8) -> Option<Self> {
+        let valid = (1u8 << ALL_MAPPINGS.len()) - 1;
+        if bits == 0 || bits & !valid != 0 {
+            return None;
+        }
+        Some(DataflowSet(bits))
+    }
 }
 
 impl fmt::Display for DataflowSet {
@@ -408,6 +423,37 @@ impl DesignSpace {
         out
     }
 
+    /// Deterministic 1-of-`count` slice of the space for distributed
+    /// search: shard `index` owns the genomes at enumeration positions
+    /// `index, index + count, index + 2·count, …`, so the `count` shards
+    /// cover [`DesignSpace::enumerate`] disjointly and reproducibly. The
+    /// shard also splits seeded RNG streams ([`SpaceShard::split_seed`])
+    /// so random/evolutionary strategies on different shards draw
+    /// different sample sequences from the same base seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count == 0` or `index >= count`.
+    pub fn shard(&self, index: u32, count: u32) -> SpaceShard<'_> {
+        assert!(count > 0, "a space splits into at least one shard");
+        assert!(
+            index < count,
+            "shard index {index} out of range for {count} shards"
+        );
+        SpaceShard {
+            space: self,
+            index,
+            count,
+        }
+    }
+
+    /// The trivial shard covering the whole space (what
+    /// [`explore`](crate::explore) searches). Grid enumeration, sampling, and seed
+    /// splitting through it are bit-identical to the unsharded space.
+    pub fn full(&self) -> SpaceShard<'_> {
+        self.shard(0, 1)
+    }
+
     /// Uniform crossover: each axis from one parent or the other.
     pub fn crossover(&self, a: &Genome, b: &Genome, rng: &mut SplitMix64) -> Genome {
         Genome {
@@ -450,6 +496,95 @@ impl DesignSpace {
                 a.sparse
             },
         }
+    }
+}
+
+/// A deterministic slice of a [`DesignSpace`] — the unit a distributed
+/// search hands to one worker process.
+///
+/// Shard `index` of `count` owns the strided subset of the canonical
+/// enumeration (positions ≡ `index` mod `count`), so grid search over all
+/// shards covers the space exactly once. Sampling, mutation, and crossover
+/// delegate to the full space (stochastic strategies are disjoint by
+/// *seed*, not by rejection — see [`SpaceShard::split_seed`]), which keeps
+/// evolutionary walks free to roam the whole space while the exhaustive
+/// partition stays airtight.
+#[derive(Debug, Clone, Copy)]
+pub struct SpaceShard<'a> {
+    space: &'a DesignSpace,
+    index: u32,
+    count: u32,
+}
+
+impl<'a> SpaceShard<'a> {
+    /// The underlying full design space.
+    pub fn space(&self) -> &'a DesignSpace {
+        self.space
+    }
+
+    /// This shard's index in `0..count`.
+    pub fn index(&self) -> u32 {
+        self.index
+    }
+
+    /// Total number of shards in the partition.
+    pub fn count(&self) -> u32 {
+        self.count
+    }
+
+    /// Whether this shard is the whole space.
+    pub fn is_full(&self) -> bool {
+        self.count == 1
+    }
+
+    /// Number of genomes this shard owns.
+    pub fn size(&self) -> usize {
+        let total = self.space.size();
+        let (i, n) = (self.index as usize, self.count as usize);
+        if i >= total {
+            0
+        } else {
+            (total - i).div_ceil(n)
+        }
+    }
+
+    /// This shard's genomes: every `count`-th genome of the canonical
+    /// enumeration starting at `index`. The union over all shards is
+    /// exactly [`DesignSpace::enumerate`], with no duplicates.
+    pub fn enumerate(&self) -> Vec<Genome> {
+        self.space
+            .enumerate()
+            .into_iter()
+            .skip(self.index as usize)
+            .step_by(self.count as usize)
+            .collect()
+    }
+
+    /// Splits a strategy's base seed for this shard. The full shard is the
+    /// identity — single-process runs replay their historical RNG streams
+    /// bit-for-bit — and every other `(index, count)` derives a distinct,
+    /// reproducible stream through one splitmix64 step.
+    pub fn split_seed(&self, base: u64) -> u64 {
+        if self.count <= 1 {
+            return base;
+        }
+        let tag = (u64::from(self.index) << 32) | u64::from(self.count);
+        SplitMix64::new(base ^ tag.wrapping_mul(0x9e37_79b9_7f4a_7c15)).next_u64()
+    }
+
+    /// Uniform random genome from the *full* space (see the type docs).
+    pub fn sample(&self, rng: &mut SplitMix64) -> Genome {
+        self.space.sample(rng)
+    }
+
+    /// Mutation over the full space's axes.
+    pub fn mutate(&self, g: &Genome, rng: &mut SplitMix64) -> Genome {
+        self.space.mutate(g, rng)
+    }
+
+    /// Uniform crossover over the full space's axes.
+    pub fn crossover(&self, a: &Genome, b: &Genome, rng: &mut SplitMix64) -> Genome {
+        self.space.crossover(a, b, rng)
     }
 }
 
@@ -594,6 +729,74 @@ mod tests {
         assert!((0..50).all(|_| s.mutate(&g, &mut rng).sparse == SparseAccel::None));
         let sp = DesignSpace::sparse();
         assert!((0..200).any(|_| sp.mutate(&g, &mut rng).sparse != SparseAccel::None));
+    }
+
+    #[test]
+    fn shards_partition_the_enumeration_disjointly() {
+        let s = DesignSpace::tiny();
+        for n in [1u32, 2, 3, 4, 7] {
+            let mut union: Vec<u64> = Vec::new();
+            let mut total = 0usize;
+            for i in 0..n {
+                let shard = s.shard(i, n);
+                let genomes = shard.enumerate();
+                assert_eq!(genomes.len(), shard.size(), "shard {i}/{n}");
+                total += genomes.len();
+                union.extend(genomes.iter().map(Genome::key));
+            }
+            assert_eq!(total, s.size(), "{n} shards must cover the space");
+            union.sort_unstable();
+            union.dedup();
+            assert_eq!(union.len(), s.size(), "{n} shards must not overlap");
+        }
+        // More shards than genomes: trailing shards are empty, the
+        // partition still covers.
+        let n = (s.size() + 3) as u32;
+        let covered: usize = (0..n).map(|i| s.shard(i, n).size()).sum();
+        assert_eq!(covered, s.size());
+        assert_eq!(s.shard(n - 1, n).enumerate().len(), 0);
+    }
+
+    #[test]
+    fn full_shard_is_the_identity() {
+        let s = DesignSpace::tiny();
+        let full = s.full();
+        assert!(full.is_full());
+        assert_eq!(full.enumerate(), s.enumerate());
+        assert_eq!(full.size(), s.size());
+        // Seed splitting is the identity on the full shard, so historical
+        // single-process runs replay bit-for-bit…
+        assert_eq!(full.split_seed(0xDE5E), 0xDE5E);
+        // …and sharded seeds are distinct per shard but stable per call.
+        let a = s.shard(0, 4).split_seed(7);
+        let b = s.shard(1, 4).split_seed(7);
+        assert_ne!(a, b);
+        assert_ne!(a, 7);
+        assert_eq!(a, s.shard(0, 4).split_seed(7));
+        // A different shard count gives a different stream, too.
+        assert_ne!(a, s.shard(0, 2).split_seed(7));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn shard_index_must_be_in_range() {
+        let s = DesignSpace::tiny();
+        let _ = s.shard(3, 3);
+    }
+
+    #[test]
+    fn dataflow_set_bits_roundtrip() {
+        use SpatialMapping::*;
+        let set = DataflowSet::new(&[GemmMN, ConvOhOw]);
+        assert_eq!(DataflowSet::from_bits(set.bits()), Some(set));
+        assert_eq!(DataflowSet::from_bits(0), None, "empty set is invalid");
+        assert_eq!(DataflowSet::from_bits(0xE0), None, "unknown bits rejected");
+        // Every enumerable set survives the round trip.
+        for bits in 1u8..(1 << ALL_MAPPINGS.len()) {
+            let s = DataflowSet::from_bits(bits).expect("valid mask");
+            assert_eq!(s.bits(), bits);
+            assert_eq!(DataflowSet::new(&s.to_vec()), s);
+        }
     }
 
     #[test]

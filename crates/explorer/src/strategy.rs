@@ -3,7 +3,9 @@
 use crate::eval::{DesignPoint, Evaluator};
 use crate::pareto::ParetoFrontier;
 use crate::rng::SplitMix64;
-use crate::space::{DesignSpace, Genome};
+#[cfg(test)]
+use crate::space::DesignSpace;
+use crate::space::{Genome, SpaceShard};
 
 /// What one strategy did with its evaluation budget.
 #[derive(Debug, Clone)]
@@ -17,13 +19,16 @@ pub struct SearchReport {
     pub best: Option<DesignPoint>,
 }
 
-/// A search procedure spending an evaluation budget on the space.
+/// A search procedure spending an evaluation budget on (a shard of) the
+/// space.
 ///
 /// Strategies receive the shared [`Evaluator`] (and through it the shared
 /// [`EvalCache`](crate::EvalCache) and the active
 /// [`Objective`](crate::Objective)), push every candidate they score into
 /// the common [`ParetoFrontier`], and report their scalar best. All
-/// randomness must come from strategy-owned seeds so runs replay exactly.
+/// randomness must come from strategy-owned seeds — split per shard via
+/// [`SpaceShard::split_seed`], which is the identity on the full shard —
+/// so runs replay exactly, sharded or not.
 pub trait SearchStrategy {
     /// Display name (used in reports and tables).
     fn name(&self) -> String;
@@ -33,10 +38,12 @@ pub trait SearchStrategy {
     /// strategies may start from them instead of uniform samples.
     fn warm_start(&mut self, _genomes: &[Genome]) {}
 
-    /// Spends up to `budget` evaluations.
+    /// Spends up to `budget` evaluations on `shard` (use
+    /// [`DesignSpace::full`](crate::DesignSpace::full) for a
+    /// single-process search over the whole space).
     fn run(
         &mut self,
-        space: &DesignSpace,
+        shard: &SpaceShard<'_>,
         evaluator: &Evaluator<'_>,
         frontier: &mut ParetoFrontier,
         budget: usize,
@@ -71,7 +78,7 @@ fn score_batch(
     points
 }
 
-/// Exhaustive sweep of the whole space (truncated at the budget), in the
+/// Exhaustive sweep of the shard (truncated at the budget), in the
 /// space's canonical enumeration order.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct GridSearch;
@@ -83,12 +90,12 @@ impl SearchStrategy for GridSearch {
 
     fn run(
         &mut self,
-        space: &DesignSpace,
+        shard: &SpaceShard<'_>,
         evaluator: &Evaluator<'_>,
         frontier: &mut ParetoFrontier,
         budget: usize,
     ) -> SearchReport {
-        let mut genomes = space.enumerate();
+        let mut genomes = shard.enumerate();
         genomes.truncate(budget);
         let mut best = None;
         score_batch(evaluator, frontier, &genomes, &mut best);
@@ -114,13 +121,13 @@ impl SearchStrategy for RandomSearch {
 
     fn run(
         &mut self,
-        space: &DesignSpace,
+        shard: &SpaceShard<'_>,
         evaluator: &Evaluator<'_>,
         frontier: &mut ParetoFrontier,
         budget: usize,
     ) -> SearchReport {
-        let mut rng = SplitMix64::new(self.seed);
-        let genomes: Vec<Genome> = (0..budget).map(|_| space.sample(&mut rng)).collect();
+        let mut rng = SplitMix64::new(shard.split_seed(self.seed));
+        let genomes: Vec<Genome> = (0..budget).map(|_| shard.sample(&mut rng)).collect();
         let mut best = None;
         score_batch(evaluator, frontier, &genomes, &mut best);
         SearchReport {
@@ -202,14 +209,14 @@ impl SearchStrategy for EvolutionarySearch {
 
     fn run(
         &mut self,
-        space: &DesignSpace,
+        shard: &SpaceShard<'_>,
         evaluator: &Evaluator<'_>,
         frontier: &mut ParetoFrontier,
         budget: usize,
     ) -> SearchReport {
         let mu = self.mu.max(2);
         let lambda = self.lambda.max(1);
-        let mut rng = SplitMix64::new(self.seed);
+        let mut rng = SplitMix64::new(shard.split_seed(self.seed));
         let mut best = None;
 
         // Initial population: warm-start genomes first (a previous
@@ -221,7 +228,7 @@ impl SearchStrategy for EvolutionarySearch {
         let init_size = mu.min(budget.max(1));
         let mut init: Vec<Genome> = self.warm.iter().copied().take(init_size).collect();
         while init.len() < init_size {
-            init.push(space.sample(&mut rng));
+            init.push(shard.sample(&mut rng));
         }
         let mut evaluated = init.len();
         let mut population = score_batch(evaluator, frontier, &init, &mut best);
@@ -242,9 +249,9 @@ impl SearchStrategy for EvolutionarySearch {
                     };
                     let pa = pick(&mut rng, &population);
                     let pb = pick(&mut rng, &population);
-                    let mut child = space.crossover(&pa, &pb, &mut rng);
+                    let mut child = shard.crossover(&pa, &pb, &mut rng);
                     if rng.chance(self.mutation_rate) {
-                        child = space.mutate(&child, &mut rng);
+                        child = shard.mutate(&child, &mut rng);
                     }
                     child
                 })
@@ -279,7 +286,8 @@ mod tests {
         let model = zoo::lenet();
         let ev = Evaluator::new(&model, TechModel::default());
         let mut frontier = ParetoFrontier::new();
-        let report = strategy.run(&DesignSpace::tiny(), &ev, &mut frontier, budget);
+        let space = DesignSpace::tiny();
+        let report = strategy.run(&space.full(), &ev, &mut frontier, budget);
         (report, frontier)
     }
 
@@ -335,6 +343,59 @@ mod tests {
             a.best.as_ref().unwrap().genome,
             b.best.as_ref().unwrap().genome
         );
+    }
+
+    #[test]
+    fn sharded_grid_unions_to_the_full_grid() {
+        let model = zoo::lenet();
+        let space = DesignSpace::tiny();
+        let ev = Evaluator::new(&model, TechModel::default());
+        let mut full = ParetoFrontier::new();
+        let full_report = GridSearch.run(&space.full(), &ev, &mut full, usize::MAX);
+        let mut merged = ParetoFrontier::new();
+        let mut evaluated = 0;
+        for i in 0..3 {
+            let shard = space.shard(i, 3);
+            evaluated += GridSearch
+                .run(&shard, &ev, &mut merged, usize::MAX)
+                .evaluated;
+        }
+        assert_eq!(evaluated, full_report.evaluated);
+        assert!(merged.dominance_equal(&full));
+    }
+
+    #[test]
+    fn sharded_stochastic_strategies_draw_distinct_streams() {
+        // Same base seed, different shards: the random strategy must not
+        // replay the same sample sequence (that would duplicate work
+        // across workers), yet each shard must replay itself exactly.
+        let model = zoo::lenet();
+        let space = DesignSpace::tiny();
+        let ev = Evaluator::new(&model, TechModel::default());
+        let sample_trace = |i: u32, n: u32| -> Vec<Genome> {
+            let shard = space.shard(i, n);
+            let mut rng = SplitMix64::new(shard.split_seed(17));
+            (0..8).map(|_| shard.sample(&mut rng)).collect()
+        };
+        assert_ne!(sample_trace(0, 4), sample_trace(1, 4));
+        assert_eq!(sample_trace(2, 4), sample_trace(2, 4));
+        // And the full shard replays the historical unsharded stream.
+        let mut rng = SplitMix64::new(17);
+        let unsharded: Vec<Genome> = (0..8).map(|_| space.sample(&mut rng)).collect();
+        assert_eq!(sample_trace(0, 1), unsharded);
+        // The ES is reproducible per shard, too.
+        let es_best = |i: u32| {
+            let shard = space.shard(i, 2);
+            let mut es = EvolutionarySearch {
+                seed: 5,
+                mu: 4,
+                lambda: 4,
+                ..Default::default()
+            };
+            let mut f = ParetoFrontier::new();
+            es.run(&shard, &ev, &mut f, 16).best.unwrap().genome
+        };
+        assert_eq!(es_best(0), es_best(0));
     }
 
     #[test]

@@ -46,12 +46,12 @@ proptest! {
         let evaluator = Evaluator::new(&model, TechModel::default());
 
         let mut grid_frontier = ParetoFrontier::new();
-        let grid = GridSearch.run(&space, &evaluator, &mut grid_frontier, space.size());
+        let grid = GridSearch.run(&space.full(), &evaluator, &mut grid_frontier, space.size());
         let grid_best = grid.best.expect("grid evaluated the whole space");
 
         let mut rand_frontier = ParetoFrontier::new();
         let random =
-            RandomSearch { seed }.run(&space, &evaluator, &mut rand_frontier, budget);
+            RandomSearch { seed }.run(&space.full(), &evaluator, &mut rand_frontier, budget);
         let rand_best = random.best.expect("random evaluated at least one point");
 
         prop_assert!(

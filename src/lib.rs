@@ -24,7 +24,10 @@
 //!   random / (μ+λ) evolutionary search over array shape × L2 cluster
 //!   grid × buffer × bandwidth × dataflow set × tiling, under hard
 //!   area/power feasibility budgets, sharing a memoized evaluation
-//!   cache and accumulating a (latency, energy, area) Pareto frontier;
+//!   cache and accumulating a (latency, energy, area) Pareto frontier —
+//!   shardable across processes/hosts (`DesignSpace::shard` partitions
+//!   the space deterministically, `Snapshot` checkpoints a shard's
+//!   frontier + cache to a file, and merging is a lossless union);
 //! * [`sparse`] — Sparseloop-style sparsity modeling: density models
 //!   (uniform, N:M structured, masked attention), compressed formats
 //!   (bitmask / RLE / CSR) with storage and decode costs, and the

@@ -15,6 +15,7 @@ const EXAMPLES: &[&str] = &[
     "explore_design_space",
     "fused_accelerator",
     "quickstart",
+    "sharded_exploration",
 ];
 
 #[test]
