@@ -9,8 +9,8 @@
 //! the host and are *excluded* from its cycle counts, matching the paper's
 //! methodology ("only counting the #cycles of the tensor kernel itself").
 
-use lego_model::TechModel;
-use lego_sim::{aggregate, simulate_layer, HwConfig, LayerPerf, ModelPerf, SpatialMapping};
+use lego_model::{CostContext, TechModel};
+use lego_sim::{aggregate, simulate_layer_ctx, HwConfig, LayerPerf, ModelPerf, SpatialMapping};
 use lego_workloads::Model;
 
 /// The Gemmini-comparable hardware configuration.
@@ -39,7 +39,8 @@ pub fn simulate_layer_gemmini(layer: &lego_workloads::Layer, tech: &TechModel) -
     // Host handles non-tensor work; strip it for the kernel-only count.
     let mut kernel_only = layer.clone();
     kernel_only.nonlinear.clear();
-    let mut perf = simulate_layer(&kernel_only, SpatialMapping::GemmKN, &hw, tech);
+    let ctx = CostContext::new(hw.clone(), *tech);
+    let mut perf = simulate_layer_ctx(&kernel_only, SpatialMapping::GemmKN, &ctx, None);
 
     // Convolutions run through im2col: the expanded activation matrix is
     // materialized through the scratchpad (written once, read once), losing
@@ -109,8 +110,15 @@ pub fn simulate_model_gemmini(model: &Model, tech: &TechModel) -> ModelPerf {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use lego_sim::perf::simulate_model;
+    use lego_eval::{EvalRequest, EvalSession};
     use lego_workloads::zoo;
+
+    /// LEGO-side reference numbers, through the canonical session API.
+    fn simulate_model(m: &Model, hw: &HwConfig, tech: &TechModel) -> ModelPerf {
+        EvalSession::new()
+            .evaluate(&EvalRequest::new(m.clone(), hw.clone()).with_tech(*tech))
+            .model
+    }
 
     #[test]
     fn lego_beats_gemmini_on_every_figure11_model() {

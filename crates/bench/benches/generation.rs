@@ -3,10 +3,10 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use lego_backend::{lower, optimize, BackendConfig, OptimizeOptions};
+use lego_eval::{EvalRequest, EvalSession};
 use lego_frontend::{build_adg, FrontendConfig};
 use lego_ir::kernels::{self, dataflows};
-use lego_model::TechModel;
-use lego_sim::{perf::simulate_model, HwConfig};
+use lego_sim::HwConfig;
 
 fn bench_generation(c: &mut Criterion) {
     let mut group = c.benchmark_group("full_generation");
@@ -60,11 +60,13 @@ fn bench_backend(c: &mut Criterion) {
 fn bench_simulator(c: &mut Criterion) {
     let mut group = c.benchmark_group("simulator");
     group.sample_size(10);
-    let tech = TechModel::default();
     let hw = HwConfig::lego_256();
     let model = lego_workloads::zoo::resnet50();
+    let request = EvalRequest::new(model, hw);
     group.bench_function("map_resnet50", |b| {
-        b.iter(|| simulate_model(&model, &hw, &tech));
+        // A fresh session per iteration: this benches the simulator, not
+        // the memoized cache.
+        b.iter(|| EvalSession::new().evaluate(&request).model.cycles);
     });
     group.finish();
 }

@@ -3,7 +3,13 @@
 //!
 //! ```text
 //! dse_shard run --shard I/N --out SNAP [--model M] [--space S] [--seed X] [--budget B]
+//!              [--warm SNAP]
 //!     Explore shard I of N and checkpoint the frontier + eval cache.
+//!     `--warm` preloads the evaluation cache from a previous (merged)
+//!     snapshot, so layer simulations a peer already ran are answered as
+//!     cache hits — results are identical either way, only the work
+//!     changes. The warm entries ride along into the checkpoint (cache
+//!     merging is a union).
 //!
 //! dse_shard merge SNAP... [--out SNAP] [--report]
 //!     Union-merge shard snapshots (frontier merge + cache absorb).
@@ -48,7 +54,7 @@ fn main() -> ExitCode {
 }
 
 const USAGE: &str = "usage:
-  dse_shard run --shard I/N --out SNAP [--model M] [--space paper|sparse|tiny] [--seed X] [--budget B]
+  dse_shard run --shard I/N --out SNAP [--model M] [--space paper|sparse|tiny] [--seed X] [--budget B] [--warm SNAP]
   dse_shard merge SNAP... [--out SNAP] [--report]
   dse_shard verify [--shards N] [--model M] [--space paper|sparse|tiny]";
 
@@ -119,6 +125,7 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
     let budget = take_flag(&mut args, "--budget")?
         .map(|b| b.parse::<usize>().map_err(|_| format!("bad budget {b:?}")))
         .transpose()?;
+    let warm = take_flag(&mut args, "--warm")?;
     if !args.is_empty() {
         return Err(format!("unexpected arguments {args:?}\n{USAGE}"));
     }
@@ -130,10 +137,25 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
         .ok_or(format!("--shard wants I/N with I < N, got {shard_spec:?}"))?;
 
     let shard = space.shard(index, count);
-    let opts = ExploreOptions {
+    let mut opts = ExploreOptions {
         budget_per_strategy: budget.unwrap_or_else(|| shard.size().max(1)),
         ..Default::default()
     };
+    if let Some(warm_path) = &warm {
+        let warm_snap = Snapshot::read_from(Path::new(warm_path))
+            .map_err(|e| format!("reading {warm_path}: {e}"))?;
+        if warm_snap.model != model.name {
+            return Err(format!(
+                "warm snapshot is for {:?}, run targets {:?}",
+                warm_snap.model, model.name
+            ));
+        }
+        println!(
+            "warm start: preloading {} cache entries from {warm_path}",
+            warm_snap.cache.len()
+        );
+        opts.warm_cache = warm_snap.cache;
+    }
     section(&format!(
         "dse_shard run: {} shard {index}/{count} ({} of {} genomes; seed {seed:#x})",
         model.name,

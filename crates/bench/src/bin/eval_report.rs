@@ -1,0 +1,130 @@
+//! Canonical `EvalRequest` → `EvalReport` codec driver — the determinism
+//! gate for the request/response evaluation layer, and the smallest
+//! possible multi-host worker: decode a request, price it, encode the
+//! report.
+//!
+//! ```text
+//! eval_report [--model M] [--hw lego_256|lego_icoc_1k] [--sparse dense|gate|skip]
+//!             [--out REPORT.bin] [--request-out REQUEST.bin] [--in REQUEST.bin]
+//! ```
+//!
+//! With `--in`, the request is decoded from a file instead of built from
+//! flags (what a worker fed over a byte transport would do). Everything is
+//! deterministic: the same request encodes and evaluates to byte-identical
+//! files across runs — CI pins this with `cmp`.
+
+use lego_bench::harness::section;
+use lego_eval::{EvalRequest, EvalSession};
+use lego_model::{SparseAccel, SparseHw};
+use lego_sim::HwConfig;
+use lego_workloads::{zoo, Model};
+use std::path::Path;
+use std::process::ExitCode;
+
+const USAGE: &str = "usage:
+  eval_report [--model M] [--hw lego_256|lego_icoc_1k] [--sparse dense|gate|skip]
+              [--out REPORT.bin] [--request-out REQUEST.bin] [--in REQUEST.bin]";
+
+fn model_by_name(name: &str) -> Result<Model, String> {
+    Ok(match name {
+        "lenet" => zoo::lenet(),
+        "mobilenet_v2" => zoo::mobilenet_v2(),
+        "resnet50" => zoo::resnet50(),
+        "bert_base" => zoo::bert_base(),
+        "resnet50_2to4" => zoo::resnet50_2to4(),
+        "bert_base_pruned90" => zoo::bert_base_pruned90(),
+        "gpt2_prefill_causal" => zoo::gpt2_prefill_causal(),
+        _ => return Err(format!("unknown model {name:?}")),
+    })
+}
+
+fn take_flag(args: &mut Vec<String>, flag: &str) -> Result<Option<String>, String> {
+    match args.iter().position(|a| a == flag) {
+        None => Ok(None),
+        Some(i) if i + 1 < args.len() => {
+            let value = args.remove(i + 1);
+            args.remove(i);
+            Ok(Some(value))
+        }
+        Some(_) => Err(format!("{flag} needs a value\n{USAGE}")),
+    }
+}
+
+fn run() -> Result<(), String> {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let input = take_flag(&mut args, "--in")?;
+    let model = take_flag(&mut args, "--model")?;
+    let hw = take_flag(&mut args, "--hw")?;
+    let sparse = take_flag(&mut args, "--sparse")?;
+    let out = take_flag(&mut args, "--out")?;
+    let request_out = take_flag(&mut args, "--request-out")?;
+    if !args.is_empty() {
+        return Err(format!("unexpected arguments {args:?}\n{USAGE}"));
+    }
+
+    let request = match input {
+        Some(path) => {
+            if model.is_some() || hw.is_some() || sparse.is_some() {
+                return Err(format!("--in replaces the request flags\n{USAGE}"));
+            }
+            EvalRequest::read_from(Path::new(&path)).map_err(|e| format!("reading {path}: {e}"))?
+        }
+        None => {
+            let model = model_by_name(&model.unwrap_or("resnet50_2to4".into()))?;
+            let hw = match hw.as_deref().unwrap_or("lego_256") {
+                "lego_256" => HwConfig::lego_256(),
+                "lego_icoc_1k" => HwConfig::lego_icoc_1k(),
+                other => return Err(format!("unknown hw {other:?}")),
+            };
+            let accel = match sparse.as_deref().unwrap_or("skip") {
+                "dense" => SparseAccel::None,
+                "gate" => SparseAccel::Gating,
+                "skip" => SparseAccel::Skipping,
+                other => return Err(format!("unknown sparse feature {other:?}")),
+            };
+            EvalRequest::new(model, hw).with_sparse(SparseHw::with_accel(accel))
+        }
+    };
+
+    section(&format!(
+        "eval_report: {} on {}x{} ({}), fingerprint {:#018x}",
+        request.workload.name,
+        request.hw.array.0,
+        request.hw.array.1,
+        request.sparse.accel,
+        request.fingerprint(),
+    ));
+    if let Some(path) = &request_out {
+        request
+            .write_to(Path::new(path))
+            .map_err(|e| format!("writing {path}: {e}"))?;
+        println!("request ({} bytes) -> {path}", request.encode().len());
+    }
+
+    let report = EvalSession::new().evaluate(&request);
+    println!(
+        "{} layers, {} cycles, {:.1} GOP/s, EDP {:.3e}, score {:.3e}",
+        report.per_layer.len(),
+        report.model.cycles,
+        report.model.gops,
+        report.cost.edp(),
+        report.cost.score,
+    );
+    if let Some(path) = &out {
+        report
+            .write_to(Path::new(path))
+            .map_err(|e| format!("writing {path}: {e}"))?;
+        println!("report ({} bytes) -> {path}", report.encode().len());
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("{msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -5,12 +5,14 @@
 //! check (< 1 % of DRAM bandwidth).
 
 use lego_baselines::simulate_model_gemmini;
-use lego_bench::harness::{f, geomean, row, section};
+use lego_bench::harness::{evaluate, f, geomean, row, section};
+use lego_eval::EvalSession;
 use lego_model::TechModel;
-use lego_sim::{perf::simulate_model, HwConfig};
+use lego_sim::HwConfig;
 use lego_workloads::zoo;
 
 fn main() {
+    let session = EvalSession::new();
     let tech = TechModel::default();
     let hw = HwConfig::lego_256();
 
@@ -30,7 +32,7 @@ fn main() {
     let mut effs = Vec::new();
     for m in zoo::figure11_models() {
         let g = simulate_model_gemmini(&m, &tech);
-        let l = simulate_model(&m, &hw, &tech);
+        let l = evaluate(&session, &m, &hw).model;
         let sp = l.gops / g.gops;
         let ef = l.gops_per_watt / g.gops_per_watt;
         speedups.push(sp);

@@ -4,11 +4,13 @@
 //! (paper: 0.5 %–7.2 % per model).
 
 use lego_backend::{lower, optimize, BackendConfig, OptimizeOptions};
+use lego_bench::harness::evaluate;
 use lego_bench::harness::{f, row, section};
+use lego_eval::EvalSession;
 use lego_frontend::{build_adg, FrontendConfig};
 use lego_ir::kernels::{self, dataflows};
 use lego_model::{dag_cost, SramModel, TechModel};
-use lego_sim::{perf::simulate_model, HwConfig};
+use lego_sim::HwConfig;
 use lego_workloads::zoo;
 
 fn main() {
@@ -69,9 +71,10 @@ fn main() {
 
     section("Figure 12b: post-processing share of end-to-end latency");
     row(&["model".into(), "PPU %".into()]);
+    let session = EvalSession::new();
     let hw = HwConfig::lego_256();
     for m in zoo::figure11_models() {
-        let perf = simulate_model(&m, &hw, &tech);
+        let perf = evaluate(&session, &m, &hw).model;
         row(&[m.name.clone(), f(100.0 * perf.ppu_fraction, 1)]);
     }
     println!("paper reports per-model PPU overhead between 0.5% and 7.2%");

@@ -2,13 +2,13 @@
 //! 32 PPUs, 32 GB/s). Paper: DDPM 92.9 % util / 1903 GOP/s, Stable
 //! Diffusion 80.2 % / 1642, LLaMA-7B bs=1 3.1 % / 63, bs=32 42.9 % / 878.
 
-use lego_bench::harness::{f, row, section};
-use lego_model::TechModel;
-use lego_sim::{perf::simulate_model, HwConfig};
+use lego_bench::harness::{evaluate, f, row, section};
+use lego_eval::EvalSession;
+use lego_sim::HwConfig;
 use lego_workloads::zoo;
 
 fn main() {
-    let tech = TechModel::default();
+    let session = EvalSession::new();
     let hw = HwConfig::lego_icoc_1k();
 
     section("Table II: generative models on LEGO-ICOC-1K (1024 FUs, 32 GB/s)");
@@ -24,7 +24,7 @@ fn main() {
         zoo::llama7b_decode(1),
         zoo::llama7b_decode(32),
     ] {
-        let p = simulate_model(&m, &hw, &tech);
+        let p = evaluate(&session, &m, &hw).model;
         row(&[
             m.name.clone(),
             f(100.0 * p.utilization, 1),

@@ -6,13 +6,16 @@
 use std::time::Instant;
 
 use lego_backend::{lower, optimize, BackendConfig, OptimizeOptions};
+use lego_bench::harness::evaluate;
 use lego_bench::harness::{f, row, section};
+use lego_eval::EvalSession;
 use lego_frontend::{build_adg, FrontendConfig};
 use lego_ir::kernels::{self, dataflows};
 use lego_model::{dag_cost, SramModel, TechModel};
-use lego_sim::{perf::simulate_model, HwConfig, SpatialMapping};
+use lego_sim::{HwConfig, SpatialMapping};
 
 fn main() {
+    let session = EvalSession::new();
     let tech = TechModel::default();
     let sram = SramModel::default();
     section("Table IV: scaling from 64 to 16384 FUs");
@@ -68,7 +71,7 @@ fn main() {
             static_mw: power * 0.2,
             dynamic_mw: power * 0.8,
         };
-        let perf = simulate_model(&lego_workloads::zoo::resnet50(), &hw, &tech);
+        let perf = evaluate(&session, &lego_workloads::zoo::resnet50(), &hw).model;
 
         row(&[
             fus.to_string(),

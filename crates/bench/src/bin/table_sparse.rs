@@ -15,10 +15,12 @@
 //! order-preserving parallel evaluation — byte-identical across runs.
 
 use lego_bench::harness::{f, row, section};
+use lego_eval::{EvalRequest, EvalSession};
 use lego_explorer::{
-    default_strategies, explore, Constraints, DesignSpace, ExploreOptions, ParetoFrontier,
+    default_strategies, explore, Constraints, DesignSpace, ExploreOptions, Genome, ParetoFrontier,
     SparseAccel,
 };
+use lego_model::SparseHw;
 use lego_workloads::zoo;
 
 const SEED: u64 = 0x5BA5;
@@ -46,6 +48,7 @@ fn main() {
         "frontier d/g/s".into(),
     ]);
 
+    let mut format_probes: Vec<(lego_workloads::Model, Genome)> = Vec::new();
     for model in zoo::sparse_models() {
         let mut class_best = Vec::new();
         let mut merged = ParetoFrontier::new();
@@ -100,9 +103,41 @@ fn main() {
                 "skipping must beat dense on ResNet50 @ 2:4"
             );
         }
+        format_probes.push((model, skip.genome));
     }
     println!("\ngain > 1.00 means the sparse datapath beat the best dense design on the");
     println!("same model and budget; gating saves only datapath energy, skipping also");
     println!("saves cycles and compressed traffic (minus frontend area/energy overhead).");
     println!("frontier d/g/s = dense/gating/skipping members of the merged Pareto frontier.");
+
+    // Per-layer representation choices of each model's best skipping
+    // design, straight from the session's LayerReport (the frontend picks
+    // the smallest format it can index into, per operand, per layer).
+    section("Per-layer compressed-format selection (best skipping design per model)");
+    row(&[
+        "model".into(),
+        "weights".into(),
+        "inputs".into(),
+        "layers".into(),
+    ]);
+    let session = EvalSession::new();
+    for (model, genome) in &format_probes {
+        let report = session.evaluate(
+            &EvalRequest::new(model.clone(), genome.to_hw_config())
+                .with_sparse(SparseHw::with_accel(genome.sparse))
+                .with_tile_cap(genome.tile_cap),
+        );
+        let mut combos: std::collections::BTreeMap<(&str, &str), i64> = Default::default();
+        for l in &report.per_layer {
+            *combos
+                .entry((l.weight_format.name(), l.input_format.name()))
+                .or_default() += l.count;
+        }
+        for ((w, i), layers) in combos {
+            row(&[model.name.clone(), w.into(), i.into(), layers.to_string()]);
+        }
+    }
+    println!("\nlayers = repetition-weighted layer instances streaming that (weights, inputs)");
+    println!("format pair; dense layers inside a pruned model keep dense operands, which is");
+    println!("why per-layer (not per-chip) selection matters.");
 }

@@ -5,13 +5,16 @@
 
 use lego_backend::{lower, optimize, BackendConfig, OptimizeOptions};
 use lego_baselines::naive_fusion_adg;
+use lego_bench::harness::evaluate;
 use lego_bench::harness::{f, row, section};
+use lego_eval::EvalSession;
 use lego_frontend::{build_adg, FrontendConfig};
 use lego_ir::kernels::{self, dataflows};
 use lego_model::{dag_cost, TechModel};
-use lego_sim::{perf::simulate_model, HwConfig, SpatialMapping};
+use lego_sim::{HwConfig, SpatialMapping};
 
 fn main() {
+    let session = EvalSession::new();
     let tech = TechModel::default();
     let conv = kernels::conv2d(1, 16, 16, 64, 64, 3, 3, 1);
     let icoc = dataflows::conv_icoc(&conv, 16);
@@ -47,8 +50,8 @@ fn main() {
             dataflows,
             ..HwConfig::lego_256()
         };
-        let mbv2 = simulate_model(&lego_workloads::zoo::mobilenet_v2(), &hw, &tech);
-        let rn = simulate_model(&lego_workloads::zoo::resnet50(), &hw, &tech);
+        let mbv2 = evaluate(&session, &lego_workloads::zoo::mobilenet_v2(), &hw).model;
+        let rn = evaluate(&session, &lego_workloads::zoo::resnet50(), &hw).model;
         (mbv2, rn)
     };
     let single_icoc = perf_of(

@@ -5,10 +5,12 @@
 //! vs TensorLib, 5.0-6.5× FF/LUT vs AutoSA, 14×/32× vs SODA.
 
 use lego_baselines::{dsagen_cost, per_fu_control_cost, shared_control_cost, soda_perf};
+use lego_bench::harness::evaluate_with_tech;
 use lego_bench::harness::{f, row, section};
+use lego_eval::EvalSession;
 use lego_ir::kernels::{self, dataflows};
 use lego_model::TechModel;
-use lego_sim::{perf::simulate_model, HwConfig, SpatialMapping};
+use lego_sim::{HwConfig, SpatialMapping};
 
 fn main() {
     let tech = TechModel::default();
@@ -82,7 +84,7 @@ fn main() {
         dynamic_mw: 70.0,
     };
     let m = lego_workloads::zoo::mobilenet_v2();
-    let lego_perf = simulate_model(&m, &tiny, &t45);
+    let lego_perf = evaluate_with_tech(&EvalSession::new(), &m, &tiny, &t45).model;
     let (soda_gflops, soda_eff, _) = soda_perf(&m);
     row(&[
         "SODA".into(),

@@ -5,11 +5,13 @@
 
 use lego_backend::{lower, optimize, BackendConfig, OptimizeOptions};
 use lego_baselines::soda_perf;
+use lego_bench::harness::evaluate_with_tech;
 use lego_bench::harness::{f, row, section};
+use lego_eval::EvalSession;
 use lego_frontend::{build_adg, FrontendConfig};
 use lego_ir::kernels::{self, dataflows};
 use lego_model::{dag_cost, SramModel, TechModel};
-use lego_sim::{perf::simulate_model, HwConfig, SpatialMapping};
+use lego_sim::{HwConfig, SpatialMapping};
 
 fn main() {
     let mut t45 = TechModel::default().scaled_to(45.0);
@@ -50,6 +52,7 @@ fn main() {
         dynamic_mw: c.dynamic_mw + 40.0,
     };
 
+    let session = EvalSession::new();
     section("Table VII: SODA toolchain vs LEGO-MNICOC-Tiny (45 nm, 500 MHz)");
     row(&[
         "model".into(),
@@ -66,7 +69,7 @@ fn main() {
         lego_workloads::zoo::resnet50(),
     ] {
         let (sg, se, sa) = soda_perf(&m);
-        let p = simulate_model(&m, &tiny, &t45);
+        let p = evaluate_with_tech(&session, &m, &tiny, &t45).model;
         row(&[
             m.name.clone(),
             f(sg, 2),

@@ -1,4 +1,32 @@
-//! Pretty-printing helpers shared by the harness binaries.
+//! Shared harness for the table/figure binaries: pretty-printing plus the
+//! one evaluation entry point every binary speaks.
+//!
+//! Historically each binary hand-wired `HwConfig`, `TechModel`, sparsity,
+//! and objective into free-function calls; they now all build an
+//! [`EvalRequest`] and price it through one [`EvalSession`] per binary, so
+//! repeated model/hardware pairs share the memoized cache and every table
+//! exercises the same API a multi-host driver would ship over the wire.
+
+use lego_eval::{EvalReport, EvalRequest, EvalSession};
+use lego_model::TechModel;
+use lego_sim::HwConfig;
+use lego_workloads::Model;
+
+/// Prices `model` on `hw` (default technology) through the shared
+/// request/response evaluation layer.
+pub fn evaluate(session: &EvalSession, model: &Model, hw: &HwConfig) -> EvalReport {
+    session.evaluate(&EvalRequest::new(model.clone(), hw.clone()))
+}
+
+/// [`evaluate`] under an explicit technology model (45 nm tables).
+pub fn evaluate_with_tech(
+    session: &EvalSession,
+    model: &Model,
+    hw: &HwConfig,
+    tech: &TechModel,
+) -> EvalReport {
+    session.evaluate(&EvalRequest::new(model.clone(), hw.clone()).with_tech(*tech))
+}
 
 /// Prints a row of right-aligned cells under a fixed-width layout.
 pub fn row(cells: &[String]) {

@@ -17,6 +17,13 @@
 //! | `table_vii_soda` | Table VII (SODA toolchain comparison) |
 //! | `table_viii_autosa` | Table VIII (AutoSA FF/LUT comparison) |
 //! | `table_dse` | Design-space exploration vs. the hand-picked `lego_256` |
+//! | `table_sparse` | Sparse DSE (dense/gating/skipping) + per-layer formats |
+//! | `dse_shard` | Distributed DSE worker/coordinator (run/merge/verify) |
+//! | `eval_report` | `EvalRequest`→`EvalReport` codec driver (determinism gate) |
+//!
+//! Every binary that prices a workload on a configuration does so through
+//! [`harness::evaluate`] — one `EvalSession` per binary speaking the
+//! canonical `EvalRequest`/`EvalReport` API from `lego-eval`.
 
 pub mod designs;
 pub mod harness;

@@ -19,6 +19,7 @@
 //! ```
 
 use lego_backend::{lower, optimize, BackendConfig, Dag, OptimizeOptions, OptimizeReport};
+use lego_eval::{EvalReport, EvalRequest, EvalSession};
 use lego_explorer::{DesignSpace, ExplorationResult, ExploreOptions, ShardedExplorationResult};
 use lego_frontend::{build_adg, Adg, FrontendConfig, FrontendError};
 use lego_ir::{tensor::TensorData, Dataflow, Workload};
@@ -74,6 +75,29 @@ impl Lego {
     pub fn optimize_options(mut self, opts: OptimizeOptions) -> Self {
         self.options = opts;
         self
+    }
+
+    /// Prices one evaluation request through a one-shot [`EvalSession`] —
+    /// the canonical workload-on-configuration evaluation of the stack.
+    ///
+    /// Sweeps that evaluate many requests should hold their own session
+    /// (`EvalSession::new()`) so the memoized evaluation cache and worker
+    /// pool are shared; this convenience exists for the single-question
+    /// case ("what does ResNet50 cost on this configuration?").
+    ///
+    /// ```
+    /// use lego_core::Lego;
+    /// use lego_eval::EvalRequest;
+    /// use lego_model::HwConfig;
+    ///
+    /// let report = Lego::evaluate(&EvalRequest::new(
+    ///     lego_workloads::zoo::lenet(),
+    ///     HwConfig::lego_256(),
+    /// ));
+    /// assert!(report.model.gops > 0.0);
+    /// ```
+    pub fn evaluate(request: &EvalRequest) -> EvalReport {
+        EvalSession::new().evaluate(request)
     }
 
     /// Searches the joint hardware design space (array shape, L2 cluster

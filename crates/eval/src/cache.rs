@@ -1,4 +1,4 @@
-//! The memoized evaluation cache shared by all search strategies.
+//! The memoized evaluation cache shared by every consumer of a session.
 
 use lego_sim::LayerPerf;
 use lego_workloads::Layer;
@@ -11,15 +11,15 @@ const SHARDS: usize = 16;
 /// Concurrent memo table from (hardware fingerprint, layer fingerprint) to
 /// the layer's best mapping result.
 ///
-/// Strategies overlap heavily — the evolutionary search revisits elite
-/// genomes, random sampling collides with the grid, and repeated blocks
-/// within a model share layer shapes — so the cache is shared across every
-/// strategy of an exploration and across the worker threads inside one.
-/// (The hardware fingerprint is part of the key: every genome field feeds
-/// the simulation, so entries cannot be shared across configurations.) It
-/// is sharded by key to keep lock contention off the hot path, and it
-/// counts hits and misses so callers can verify the sharing actually
-/// happens.
+/// Evaluation workloads overlap heavily — search strategies revisit elite
+/// genomes, random sampling collides with grid enumeration, and repeated
+/// blocks within a model share layer shapes — so the cache is shared
+/// across every request of an [`EvalSession`](crate::EvalSession) and
+/// across the worker threads inside one. (The hardware fingerprint is part
+/// of the key: every configuration field feeds the simulation, so entries
+/// cannot be shared across configurations.) It is sharded by key to keep
+/// lock contention off the hot path, and it counts hits and misses so
+/// callers can verify the sharing actually happens.
 #[derive(Debug)]
 pub struct EvalCache {
     shards: Vec<Mutex<HashMap<(u64, u64), LayerPerf>>>,
@@ -92,9 +92,8 @@ impl EvalCache {
     }
 
     /// Every `((hw_key, layer_key), perf)` entry, sorted by key — the
-    /// canonical order a [`Snapshot`](crate::Snapshot) serializes, so two
-    /// caches with the same contents encode byte-identically regardless of
-    /// insertion history.
+    /// canonical order a snapshot serializes, so two caches with the same
+    /// contents encode byte-identically regardless of insertion history.
     pub fn entries(&self) -> Vec<((u64, u64), LayerPerf)> {
         let mut out: Vec<((u64, u64), LayerPerf)> = self
             .shards
@@ -154,22 +153,22 @@ impl EvalCache {
 /// The sparsity annotation is *included* — a pruned layer and its dense
 /// twin cost differently on sparse hardware, so they must not collide.
 pub fn layer_key(layer: &Layer) -> u64 {
-    crate::space::stable_hash(&(&layer.kind, &layer.nonlinear, &layer.sparsity))
+    crate::hash::stable_hash(&(&layer.kind, &layer.nonlinear, &layer.sparsity))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use lego_model::TechModel;
-    use lego_sim::{simulate_layer, HwConfig, SpatialMapping};
+    use lego_model::{CostContext, TechModel};
+    use lego_sim::{simulate_layer_ctx, HwConfig, SpatialMapping};
     use lego_workloads::LayerKind;
 
     fn perf() -> LayerPerf {
-        simulate_layer(
+        simulate_layer_ctx(
             &Layer::new("l", LayerKind::Gemm { m: 8, n: 8, k: 8 }),
             SpatialMapping::GemmMN,
-            &HwConfig::lego_256(),
-            &TechModel::default(),
+            &CostContext::new(HwConfig::lego_256(), TechModel::default()),
+            None,
         )
     }
 

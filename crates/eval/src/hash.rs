@@ -1,0 +1,62 @@
+//! Stable fingerprinting: FNV-1a as a `Hasher`.
+//!
+//! Every cache key, snapshot key, and request fingerprint in the
+//! evaluation stack must be identical across processes and hosts (a
+//! coordinator merges worker checkpoints by key-set union), so nothing
+//! here may use `DefaultHasher`, which is randomly keyed per process.
+
+use std::hash::{Hash, Hasher};
+
+/// FNV-1a as a `Hasher`, so fingerprints are stable across processes
+/// (unlike `DefaultHasher`, which is randomly keyed per process).
+pub struct FnvHasher(u64);
+
+impl FnvHasher {
+    /// A hasher at the FNV-1a offset basis.
+    pub fn new() -> Self {
+        FnvHasher(0xcbf2_9ce4_8422_2325)
+    }
+}
+
+impl Default for FnvHasher {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Hasher for FnvHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(0x1000_0000_01b3);
+        }
+    }
+}
+
+/// Stable fingerprint of any `Hash` value under FNV-1a.
+pub fn stable_hash<T: Hash>(value: &T) -> u64 {
+    let mut h = FnvHasher::new();
+    value.hash(&mut h);
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fingerprints_are_stable_and_value_sensitive() {
+        assert_eq!(stable_hash(&(1u64, "a")), stable_hash(&(1u64, "a")));
+        assert_ne!(stable_hash(&(1u64, "a")), stable_hash(&(2u64, "a")));
+        assert_ne!(stable_hash(&(1u64, "a")), stable_hash(&(1u64, "b")));
+    }
+
+    #[test]
+    fn empty_input_is_the_offset_basis() {
+        let h = FnvHasher::new();
+        assert_eq!(h.finish(), 0xcbf2_9ce4_8422_2325);
+    }
+}

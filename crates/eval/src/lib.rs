@@ -1,0 +1,68 @@
+//! # lego-eval — the canonical request/response evaluation layer
+//!
+//! Every earlier generation of this workspace priced designs through free
+//! functions: `simulate_layer` / `simulate_layer_tiled` /
+//! `simulate_layer_ctx`, `best_mapping` and friends, `map_model` and
+//! friends — three generations of entry points over one honest cost model,
+//! with every bench binary hand-wiring `HwConfig` + `TechModel` + sparsity
+//! on the side. This crate collapses them into one API, the shape
+//! Sparseloop- and Timeloop-style evaluators expose:
+//!
+//! * [`EvalRequest`] — *what* to price: a workload, a hardware
+//!   configuration (dense + sparse halves), a technology model, the
+//!   [`Objective`] to score, and the tiling knob;
+//! * [`EvalSession`] — *how* it is priced: owns
+//!   [`CostContext`](lego_model::CostContext) construction, the memoized
+//!   [`EvalCache`], and the worker pool, behind
+//!   [`evaluate`](EvalSession::evaluate) /
+//!   [`evaluate_batch`](EvalSession::evaluate_batch) /
+//!   [`evaluate_stream`](EvalSession::evaluate_stream);
+//! * [`EvalReport`] — the response: per-layer mapping results (including
+//!   the [`CompressedFormat`](lego_model::CompressedFormat) selected per
+//!   operand), aggregated [`ModelPerf`](lego_sim::ModelPerf), a
+//!   [`CostSummary`], and [`Provenance`].
+//!
+//! Requests and reports carry a versioned binary codec
+//! ([`EvalRequest::encode`] / [`EvalReport::encode`]; same magic+version
+//! discipline as the explorer's `Snapshot`, `encode → decode → encode`
+//! byte-identical), so a multi-host driver can ship work over any byte
+//! transport.
+//!
+//! ```
+//! use lego_eval::{EvalRequest, EvalSession};
+//! use lego_sim::HwConfig;
+//!
+//! let session = EvalSession::new();
+//! let request = EvalRequest::new(lego_workloads::zoo::lenet(), HwConfig::lego_256());
+//! let report = session.evaluate(&request);
+//! assert!(report.cost.edp() > 0.0);
+//!
+//! // The request round-trips byte-identically through the codec…
+//! let bytes = request.encode();
+//! let decoded = lego_eval::EvalRequest::decode(&bytes).unwrap();
+//! assert_eq!(decoded.encode(), bytes);
+//! // …and a remote worker evaluating the decoded request reproduces the
+//! // report bit-for-bit (evaluation is pure).
+//! assert_eq!(session.evaluate(&decoded), report);
+//! ```
+//!
+//! The pre-session entry points still exist as `#[deprecated]` shims over
+//! the same internals (`simulate_layer_ctx` / `best_mapping_ctx` /
+//! `map_model_ctx` are what a session runs per layer), so downstream code
+//! migrates on its own schedule — but workspace CI builds with
+//! `-D deprecated`, so nothing inside this repository can regress onto
+//! them.
+
+pub mod cache;
+pub mod codec;
+pub mod hash;
+pub mod objective;
+pub mod session;
+
+pub use cache::{layer_key, EvalCache};
+pub use codec::{CodecError, ALL_MAPPINGS, VERSION as CODEC_VERSION};
+pub use hash::{stable_hash, FnvHasher};
+pub use objective::{BaseObjective, Objective, Objectives};
+pub use session::{
+    CostSummary, EvalReport, EvalRequest, EvalRequestRef, EvalSession, LayerReport, Provenance,
+};

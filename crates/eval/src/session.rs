@@ -1,0 +1,721 @@
+//! The request/response evaluation session.
+//!
+//! One [`EvalSession`] owns everything a caller used to hand-wire per call
+//! site: [`CostContext`] construction, the
+//! memoized [`EvalCache`], and a worker pool for batch evaluation. Callers
+//! describe *what* to price as an [`EvalRequest`] and get back an
+//! [`EvalReport`]; how the pricing happens (context reuse, caching,
+//! threading) is the session's business.
+
+use crate::cache::{layer_key, EvalCache};
+use crate::hash::FnvHasher;
+use crate::objective::{Objective, Objectives};
+use lego_model::{
+    CompressedFormat, CostContext, HwConfig, MacroArea, SparseHw, SramModel, TechModel,
+};
+use lego_sim::{aggregate, best_mapping_ctx, LayerPerf, ModelPerf};
+use lego_workloads::Model;
+use std::hash::{Hash, Hasher};
+use std::sync::{mpsc, Mutex};
+
+/// Everything one evaluation needs: the workload, the hardware (dense and
+/// sparse halves), the technology, the scalarization to report, and the
+/// tiling knob.
+///
+/// A request is a plain owned value with a versioned binary codec
+/// ([`EvalRequest::encode`]/[`EvalRequest::decode`]), so a multi-host
+/// driver can ship it over any byte transport and replay it bit-for-bit on
+/// the other side.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EvalRequest {
+    /// The model to price, layer by layer.
+    pub workload: Model,
+    /// The dense hardware configuration under evaluation.
+    pub hw: HwConfig,
+    /// The sparse half of the configuration (gating/skipping frontend).
+    pub sparse: SparseHw,
+    /// Technology constants every cost is priced under.
+    pub tech: TechModel,
+    /// The scalarization reported in [`CostSummary::score`].
+    pub objective: Objective,
+    /// Optional L1 tile-edge cap (`None` = buffer-limited automatic
+    /// tiling).
+    pub tile_cap: Option<i64>,
+}
+
+impl EvalRequest {
+    /// A request with the default technology, a dense datapath, the EDP
+    /// objective, and automatic tiling.
+    pub fn new(workload: Model, hw: HwConfig) -> Self {
+        EvalRequest {
+            workload,
+            hw,
+            sparse: SparseHw::dense(),
+            tech: TechModel::default(),
+            objective: Objective::EDP,
+            tile_cap: None,
+        }
+    }
+
+    /// Replaces the sparse datapath configuration.
+    #[must_use]
+    pub fn with_sparse(mut self, sparse: SparseHw) -> Self {
+        self.sparse = sparse;
+        self
+    }
+
+    /// Replaces the technology model.
+    #[must_use]
+    pub fn with_tech(mut self, tech: TechModel) -> Self {
+        self.tech = tech;
+        self
+    }
+
+    /// Replaces the reported scalarization.
+    #[must_use]
+    pub fn with_objective(mut self, objective: Objective) -> Self {
+        self.objective = objective;
+        self
+    }
+
+    /// Caps the L1 tile edge (see `lego_sim::tiled_dram_traffic`).
+    #[must_use]
+    pub fn with_tile_cap(mut self, tile_cap: Option<i64>) -> Self {
+        self.tile_cap = tile_cap;
+        self
+    }
+
+    /// The borrowed view of this request ([`EvalRequestRef`]) — what the
+    /// hot evaluation path consumes, so sweep drivers that evaluate one
+    /// workload under thousands of configurations never clone the model.
+    pub fn as_view(&self) -> EvalRequestRef<'_> {
+        EvalRequestRef {
+            workload: &self.workload,
+            hw: &self.hw,
+            sparse: self.sparse,
+            tech: self.tech,
+            objective: self.objective,
+            tile_cap: self.tile_cap,
+            hw_key: None,
+        }
+    }
+
+    /// Stable fingerprint of the request's hardware side — the hardware
+    /// half of [`EvalCache`] keys for this request. Two requests with the
+    /// same `hw`/`sparse`/`tech`/`tile_cap` share cache lines; any field
+    /// difference separates them, because every field feeds the
+    /// simulation.
+    pub fn hw_key(&self) -> u64 {
+        hw_fingerprint(&self.hw, self.sparse, &self.tech, self.tile_cap)
+    }
+
+    /// Stable fingerprint of the whole request (hardware side plus the
+    /// workload's name and layer shapes) — recorded in
+    /// [`Provenance::request_fingerprint`] so a report can be matched back
+    /// to the request that produced it.
+    pub fn fingerprint(&self) -> u64 {
+        request_fingerprint(&self.workload, self.hw_key())
+    }
+}
+
+/// The borrowed form of an [`EvalRequest`] — same fields, no ownership,
+/// plus an optional explicit cache key for callers (like the explorer)
+/// that already fingerprint configurations their own way.
+#[derive(Debug, Clone, Copy)]
+pub struct EvalRequestRef<'a> {
+    /// The model to price.
+    pub workload: &'a Model,
+    /// The dense hardware configuration under evaluation.
+    pub hw: &'a HwConfig,
+    /// The sparse half of the configuration.
+    pub sparse: SparseHw,
+    /// Technology constants.
+    pub tech: TechModel,
+    /// The scalarization reported in [`CostSummary::score`].
+    pub objective: Objective,
+    /// Optional L1 tile-edge cap.
+    pub tile_cap: Option<i64>,
+    /// Overrides the hardware half of the cache key (`None` = derive it
+    /// from the request fields). The explorer passes its genome
+    /// fingerprint here so session cache entries line up with snapshot
+    /// checkpoints and warm-started caches.
+    pub hw_key: Option<u64>,
+}
+
+impl<'a> EvalRequestRef<'a> {
+    /// A borrowed request with the default technology, a dense datapath,
+    /// the EDP objective, and automatic tiling.
+    pub fn new(workload: &'a Model, hw: &'a HwConfig) -> Self {
+        EvalRequestRef {
+            workload,
+            hw,
+            sparse: SparseHw::dense(),
+            tech: TechModel::default(),
+            objective: Objective::EDP,
+            tile_cap: None,
+            hw_key: None,
+        }
+    }
+}
+
+/// Stable fingerprint of one hardware-side configuration (dense config,
+/// sparse feature, technology, tiling cap).
+fn hw_fingerprint(hw: &HwConfig, sparse: SparseHw, tech: &TechModel, tile_cap: Option<i64>) -> u64 {
+    let mut h = FnvHasher::new();
+    (
+        hw.array,
+        hw.clusters,
+        hw.buffer_kb,
+        hw.dram_gbps.to_bits(),
+        hw.num_ppus,
+    )
+        .hash(&mut h);
+    for m in &hw.dataflows {
+        m.hash(&mut h);
+    }
+    (hw.static_mw.to_bits(), hw.dynamic_mw.to_bits()).hash(&mut h);
+    sparse.hash(&mut h);
+    for field in crate::codec::tech_fields(tech) {
+        field.to_bits().hash(&mut h);
+    }
+    tile_cap.hash(&mut h);
+    h.finish()
+}
+
+/// The [`SramModel`] fields that feed per-layer pricing
+/// (`sram_energy_pj`), for cache-key fingerprinting.
+fn sram_fields(s: &SramModel) -> [f64; 4] {
+    [
+        s.area_um2_per_byte,
+        s.bank_overhead,
+        s.access_pj_per_byte,
+        s.leak_uw_per_kb,
+    ]
+}
+
+/// Stable fingerprint of (workload, hardware key): what
+/// [`Provenance::request_fingerprint`] records.
+fn request_fingerprint(workload: &Model, hw_key: u64) -> u64 {
+    let mut h = FnvHasher::new();
+    hw_key.hash(&mut h);
+    workload.name.hash(&mut h);
+    for l in &workload.layers {
+        (layer_key(l), l.count, &l.name).hash(&mut h);
+    }
+    h.finish()
+}
+
+/// One priced layer of an [`EvalReport`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct LayerReport {
+    /// Layer name, as in the workload.
+    pub name: String,
+    /// Repetition count.
+    pub count: i64,
+    /// Chosen mapping and predicted performance.
+    pub perf: LayerPerf,
+    /// Storage format selected for the weight operand (`Dense` on the
+    /// dense path — only a skipping frontend streams compressed operands).
+    pub weight_format: CompressedFormat,
+    /// Storage format selected for the input-activation operand.
+    pub input_format: CompressedFormat,
+}
+
+/// The whole-design cost roll-up of one evaluation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CostSummary {
+    /// The (latency, energy, area) objective vector.
+    pub objectives: Objectives,
+    /// Analytic area breakdown (array / SRAM / NoC / PPU).
+    pub area: MacroArea,
+    /// Peak power draw (static + full-activity dynamic) in mW.
+    pub peak_power_mw: f64,
+    /// The scalarization the request asked for.
+    pub objective: Objective,
+    /// `objective` applied to this design (lower is better).
+    pub score: f64,
+}
+
+impl CostSummary {
+    /// Energy-delay product of the evaluated design.
+    pub fn edp(&self) -> f64 {
+        self.objectives.edp()
+    }
+}
+
+/// Where a report came from: enough to match it to its request and to
+/// refuse codec mismatches. Every field is deterministic — two runs of the
+/// same request produce byte-identical provenance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Provenance {
+    /// Version of the evaluating `lego-eval` crate.
+    pub version: String,
+    /// Codec version the report round-trips under.
+    pub codec_version: u8,
+    /// [`EvalRequest::fingerprint`] of the priced request.
+    pub request_fingerprint: u64,
+    /// [`EvalRequest::hw_key`] of the priced request (the request-level
+    /// hardware-side fingerprint, not the session-internal cache key).
+    pub hw_key: u64,
+}
+
+/// The response to an [`EvalRequest`]: per-layer mapping results, the
+/// aggregated model performance, the design-level cost summary, and
+/// provenance. Serializable next to the request
+/// ([`EvalReport::encode`]/[`EvalReport::decode`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct EvalReport {
+    /// One entry per workload layer, in execution order.
+    pub per_layer: Vec<LayerReport>,
+    /// Aggregated whole-model performance.
+    pub model: ModelPerf,
+    /// Design-level cost roll-up (objectives, area, peak power, score).
+    pub cost: CostSummary,
+    /// Who evaluated what.
+    pub provenance: Provenance,
+}
+
+impl EvalReport {
+    /// Counts how many layers chose each dataflow — fused designs switch
+    /// mappings at runtime, and this is the evidence.
+    pub fn dataflow_histogram(&self) -> Vec<(&'static str, usize)> {
+        let mut hist: std::collections::BTreeMap<&'static str, usize> = Default::default();
+        for l in &self.per_layer {
+            *hist.entry(l.perf.mapping.name()).or_default() += 1;
+        }
+        hist.into_iter().collect()
+    }
+}
+
+/// The canonical evaluation layer: prices [`EvalRequest`]s into
+/// [`EvalReport`]s through one [`CostContext`] per request, one shared
+/// memoized [`EvalCache`], and a worker pool for batches.
+///
+/// Evaluation is pure, so everything a session does is deterministic:
+/// batches return in input order regardless of thread interleaving, and
+/// two sessions given the same requests produce byte-identical reports.
+///
+/// ```
+/// use lego_eval::{EvalRequest, EvalSession};
+/// use lego_sim::HwConfig;
+///
+/// let session = EvalSession::new();
+/// let report = session.evaluate(&EvalRequest::new(
+///     lego_workloads::zoo::lenet(),
+///     HwConfig::lego_256(),
+/// ));
+/// assert!(report.model.gops > 0.0);
+/// assert_eq!(report.per_layer.len(), lego_workloads::zoo::lenet().layers.len());
+/// ```
+#[derive(Debug)]
+pub struct EvalSession {
+    cache: EvalCache,
+    sram: SramModel,
+    threads: usize,
+}
+
+impl Default for EvalSession {
+    fn default() -> Self {
+        let threads = std::thread::available_parallelism()
+            .map_or(1, |n| n.get())
+            .min(8);
+        EvalSession {
+            cache: EvalCache::new(),
+            sram: SramModel::default(),
+            threads,
+        }
+    }
+}
+
+impl EvalSession {
+    /// A session with a fresh cache, the default SRAM model, and an
+    /// automatic worker count.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Overrides the worker-pool width (0 means one thread).
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// Replaces the SRAM model every request is priced under.
+    #[must_use]
+    pub fn with_sram(mut self, sram: SramModel) -> Self {
+        self.sram = sram;
+        self
+    }
+
+    /// The shared memo table.
+    pub fn cache(&self) -> &EvalCache {
+        &self.cache
+    }
+
+    /// Absorbs foreign cache entries — typically a merged snapshot's cache
+    /// from a previous (possibly distributed) run — so this session starts
+    /// warm instead of re-simulating layers a peer already priced. Returns
+    /// the number of entries actually added ([`EvalCache::absorb`]: a
+    /// resident entry is never overwritten).
+    ///
+    /// Safe by keying, not by trust: cache keys fold in the technology
+    /// and SRAM models (see the key derivation on the session), so
+    /// entries absorbed from a run that priced under different models
+    /// simply never hit — a mismatched warm start costs recomputation,
+    /// never correctness.
+    pub fn warm_cache<I: IntoIterator<Item = ((u64, u64), LayerPerf)>>(&self, entries: I) -> usize {
+        self.cache.absorb(entries)
+    }
+
+    /// Prices one request.
+    pub fn evaluate(&self, request: &EvalRequest) -> EvalReport {
+        self.evaluate_view(request.as_view())
+    }
+
+    /// The hardware half of the cache key one evaluation uses.
+    ///
+    /// Every input that feeds per-layer pricing must separate cache
+    /// entries, including the ones a caller-supplied
+    /// [`EvalRequestRef::hw_key`] cannot know about: the technology model
+    /// (the explorer's genome fingerprint hashes only genome fields) and
+    /// this session's [`SramModel`]. Folding them in here means
+    /// warm-cache entries absorbed from a run that priced under a
+    /// different technology or SRAM model *miss* — recomputing honestly —
+    /// instead of being served as silently wrong results.
+    fn cache_key(&self, request: &EvalRequestRef<'_>) -> u64 {
+        let mut h = FnvHasher::new();
+        match request.hw_key {
+            None => {
+                hw_fingerprint(request.hw, request.sparse, &request.tech, request.tile_cap)
+                    .hash(&mut h);
+            }
+            Some(key) => {
+                key.hash(&mut h);
+                // A caller key covers the configuration, not the tech.
+                for field in crate::codec::tech_fields(&request.tech) {
+                    field.to_bits().hash(&mut h);
+                }
+            }
+        }
+        for field in sram_fields(&self.sram) {
+            field.to_bits().hash(&mut h);
+        }
+        h.finish()
+    }
+
+    /// Prices a borrowed request view — the zero-clone form sweep drivers
+    /// and the explorer use (see [`EvalRequestRef`]).
+    pub fn evaluate_view(&self, request: EvalRequestRef<'_>) -> EvalReport {
+        let ctx = CostContext::new(request.hw.clone(), request.tech)
+            .with_sram(self.sram)
+            .with_sparse(request.sparse);
+        let cache_key = self.cache_key(&request);
+        let per_layer: Vec<LayerReport> = request
+            .workload
+            .layers
+            .iter()
+            .map(|layer| {
+                let perf = self.cache.get_or_compute(cache_key, layer_key(layer), || {
+                    best_mapping_ctx(layer, &ctx, request.tile_cap)
+                });
+                let (weight_format, input_format) = ctx
+                    .sparse_effects(&layer.sparsity)
+                    .map_or((CompressedFormat::Dense, CompressedFormat::Dense), |e| {
+                        (e.weight_format, e.input_format)
+                    });
+                LayerReport {
+                    name: layer.name.clone(),
+                    count: layer.count,
+                    perf,
+                    weight_format,
+                    input_format,
+                }
+            })
+            .collect();
+        let pairs: Vec<(i64, LayerPerf)> = per_layer
+            .iter()
+            .map(|l| (l.count, l.perf.clone()))
+            .collect();
+        let model = aggregate(request.workload, &pairs, &request.tech);
+
+        let latency_cycles = model.cycles as f64;
+        let time_s = latency_cycles / (request.tech.freq_ghz * 1e9);
+        let energy_pj = model.watts * time_s * 1e12;
+        // Memory banked per array edge so wider arrays get more ports.
+        let banks = (request.hw.array.0 + request.hw.array.1).max(1) as u64;
+        let area = ctx.area(banks);
+        let peak_power_mw = ctx.peak_power_mw();
+        let objectives = Objectives {
+            latency_cycles,
+            energy_pj,
+            area_um2: area.total_um2(),
+        };
+        let score = request.objective.score(&objectives, peak_power_mw);
+        EvalReport {
+            per_layer,
+            model,
+            cost: CostSummary {
+                objectives,
+                area,
+                peak_power_mw,
+                objective: request.objective,
+                score,
+            },
+            provenance: {
+                // Provenance records *request-level* fingerprints — the
+                // values [`EvalRequest::hw_key`]/[`EvalRequest::fingerprint`]
+                // compute, so a driver can match reports back to requests.
+                // The session-internal cache key (which additionally folds
+                // in the SRAM model and any caller-supplied key) is an
+                // implementation detail and is deliberately not exposed.
+                let hw_key =
+                    hw_fingerprint(request.hw, request.sparse, &request.tech, request.tile_cap);
+                Provenance {
+                    version: env!("CARGO_PKG_VERSION").to_string(),
+                    codec_version: crate::codec::VERSION,
+                    request_fingerprint: request_fingerprint(request.workload, hw_key),
+                    hw_key,
+                }
+            },
+        }
+    }
+
+    /// Prices a batch on the worker pool, sharing the cache; reports come
+    /// back in input order.
+    pub fn evaluate_batch(&self, requests: &[EvalRequest]) -> Vec<EvalReport> {
+        self.run_batch(requests, |r| self.evaluate(r))
+    }
+
+    /// Prices requests lazily, one per `next()` call, sharing the session
+    /// cache across the whole stream — the shape sweep drivers consume
+    /// (generate requests on the fly, fold reports as they arrive, never
+    /// hold the full sweep in memory).
+    pub fn evaluate_stream<'s, I>(&'s self, requests: I) -> impl Iterator<Item = EvalReport> + 's
+    where
+        I: IntoIterator<Item = EvalRequest>,
+        I::IntoIter: 's,
+    {
+        requests.into_iter().map(move |req| self.evaluate(&req))
+    }
+
+    /// Runs `f` over `items` on the session's worker pool, returning
+    /// results in input order. This is the pool behind
+    /// [`EvalSession::evaluate_batch`], exposed so callers with their own
+    /// unit of work (the explorer evaluates genomes, not requests) share
+    /// one pool implementation. Tasks are fed over a channel; `f` must be
+    /// pure for the output to be deterministic, which every evaluation in
+    /// this workspace is.
+    pub fn run_batch<T, R, F>(&self, items: &[T], f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(&T) -> R + Sync,
+    {
+        if items.is_empty() {
+            return Vec::new();
+        }
+        let workers = self.threads.min(items.len()).max(1);
+        if workers == 1 {
+            return items.iter().map(f).collect();
+        }
+        let (task_tx, task_rx) = mpsc::channel::<usize>();
+        for i in 0..items.len() {
+            task_tx.send(i).expect("queue open");
+        }
+        drop(task_tx);
+        let task_rx = Mutex::new(task_rx);
+        let (result_tx, result_rx) = mpsc::channel::<(usize, R)>();
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                let result_tx = result_tx.clone();
+                let task_rx = &task_rx;
+                let f = &f;
+                scope.spawn(move || loop {
+                    let task = task_rx.lock().expect("task queue poisoned").recv();
+                    match task {
+                        Ok(i) => {
+                            if result_tx.send((i, f(&items[i]))).is_err() {
+                                break;
+                            }
+                        }
+                        Err(_) => break,
+                    }
+                });
+            }
+            drop(result_tx);
+            let mut out: Vec<Option<R>> = (0..items.len()).map(|_| None).collect();
+            for (i, r) in result_rx.iter() {
+                out[i] = Some(r);
+            }
+            out.into_iter()
+                .map(|r| r.expect("every task produced a result"))
+                .collect()
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lego_model::SparseAccel;
+    use lego_workloads::zoo;
+
+    #[test]
+    fn session_matches_the_ctx_internals_exactly() {
+        // The session is a packaging of the `_ctx` path: same context, same
+        // per-layer simulation, same aggregate — so results are
+        // byte-identical to hand-wiring the internals.
+        let model = zoo::mobilenet_v2();
+        let hw = HwConfig::lego_256();
+        let tech = TechModel::default();
+        let report = EvalSession::new().evaluate(&EvalRequest::new(model.clone(), hw.clone()));
+        let ctx = CostContext::new(hw, tech);
+        for (layer, got) in model.layers.iter().zip(&report.per_layer) {
+            assert_eq!(
+                got.perf,
+                best_mapping_ctx(layer, &ctx, None),
+                "{}",
+                layer.name
+            );
+            assert_eq!(got.name, layer.name);
+            assert_eq!(got.count, layer.count);
+        }
+        let pairs: Vec<(i64, LayerPerf)> = model
+            .layers
+            .iter()
+            .map(|l| (l.count, best_mapping_ctx(l, &ctx, None)))
+            .collect();
+        assert_eq!(report.model, aggregate(&model, &pairs, &tech));
+    }
+
+    #[test]
+    fn repeated_requests_hit_the_cache() {
+        let session = EvalSession::new();
+        let req = EvalRequest::new(zoo::resnet50(), HwConfig::lego_256());
+        session.evaluate(&req);
+        let misses = session.cache().misses();
+        let again = session.evaluate(&req);
+        assert_eq!(session.cache().misses(), misses, "second eval is all hits");
+        assert!(session.cache().hits() > 0);
+        assert!(again.cost.edp() > 0.0);
+    }
+
+    #[test]
+    fn batch_and_stream_match_sequential_evaluation() {
+        let hws = [HwConfig::lego_256(), HwConfig::lego_icoc_1k()];
+        let requests: Vec<EvalRequest> = hws
+            .iter()
+            .map(|hw| EvalRequest::new(zoo::lenet(), hw.clone()))
+            .collect();
+        let par = EvalSession::new().with_threads(4);
+        let seq = EvalSession::new().with_threads(1);
+        let batched = par.evaluate_batch(&requests);
+        let sequential = seq.evaluate_batch(&requests);
+        let streamed: Vec<EvalReport> = seq.evaluate_stream(requests.clone()).collect();
+        assert_eq!(batched, sequential);
+        assert_eq!(streamed, sequential);
+    }
+
+    #[test]
+    fn sparse_requests_report_format_selection() {
+        let session = EvalSession::new();
+        let skip = session.evaluate(
+            &EvalRequest::new(zoo::resnet50_2to4(), HwConfig::lego_256())
+                .with_sparse(SparseHw::with_accel(SparseAccel::Skipping)),
+        );
+        // 2:4 weights on a skipping frontend stream as bitmask.
+        assert!(skip
+            .per_layer
+            .iter()
+            .any(|l| l.weight_format == CompressedFormat::Bitmask));
+        // The dense twin reports dense formats everywhere.
+        let dense = session.evaluate(&EvalRequest::new(zoo::resnet50(), HwConfig::lego_256()));
+        assert!(dense
+            .per_layer
+            .iter()
+            .all(|l| l.weight_format == CompressedFormat::Dense
+                && l.input_format == CompressedFormat::Dense));
+    }
+
+    #[test]
+    fn warm_cache_preloads_evaluations() {
+        let first = EvalSession::new();
+        let req = EvalRequest::new(zoo::lenet(), HwConfig::lego_256());
+        first.evaluate(&req);
+        let entries = first.cache().entries();
+        assert!(!entries.is_empty());
+        // A fresh session warmed with those entries answers the same
+        // request without a single simulation.
+        let second = EvalSession::new();
+        assert_eq!(second.warm_cache(entries), first.cache().len());
+        let report = second.evaluate(&req);
+        assert_eq!(second.cache().misses(), 0, "warm start: no misses");
+        assert_eq!(report, first.evaluate(&req));
+    }
+
+    #[test]
+    fn foreign_cache_entries_from_a_different_sram_model_never_lie() {
+        let req = EvalRequest::new(zoo::lenet(), HwConfig::lego_256());
+        let default_sram = EvalSession::new();
+        let cheap = default_sram.evaluate(&req);
+        // A session pricing under a pricier SRAM model absorbs the
+        // default-model entries…
+        let pricier = EvalSession::new().with_sram(SramModel {
+            access_pj_per_byte: 10.0 * SramModel::default().access_pj_per_byte,
+            ..SramModel::default()
+        });
+        assert!(pricier.warm_cache(default_sram.cache().entries()) > 0);
+        let report = pricier.evaluate(&req);
+        // …but never serves them: the SRAM model is folded into the cache
+        // key, so the mismatched entries miss and pricing stays honest.
+        assert!(pricier.cache().misses() > 0, "foreign entries must miss");
+        assert!(
+            report.model.watts > cheap.model.watts,
+            "the pricier SRAM must show up in the result"
+        );
+    }
+
+    #[test]
+    fn fingerprints_separate_requests() {
+        let a = EvalRequest::new(zoo::lenet(), HwConfig::lego_256());
+        let mut b = a.clone();
+        b.hw.buffer_kb = 512;
+        let mut c = a.clone();
+        c.tile_cap = Some(32);
+        let mut d = a.clone();
+        d.sparse = SparseHw::with_accel(SparseAccel::Skipping);
+        assert_ne!(a.hw_key(), b.hw_key());
+        assert_ne!(a.hw_key(), c.hw_key());
+        assert_ne!(a.hw_key(), d.hw_key());
+        assert_ne!(a.fingerprint(), b.fingerprint());
+        // Same request, same fingerprint — across sessions and processes.
+        assert_eq!(a.fingerprint(), a.clone().fingerprint());
+    }
+
+    #[test]
+    fn provenance_matches_the_request_fingerprints() {
+        // The report-to-request matching contract a multi-host driver
+        // leans on: provenance records exactly what the request computes.
+        let req = EvalRequest::new(zoo::lenet(), HwConfig::lego_256());
+        let report = EvalSession::new().evaluate(&req);
+        assert_eq!(report.provenance.request_fingerprint, req.fingerprint());
+        assert_eq!(report.provenance.hw_key, req.hw_key());
+        // The contract holds regardless of session-level state (SRAM) or
+        // caller-supplied cache keys.
+        let custom = EvalSession::new().with_sram(SramModel {
+            access_pj_per_byte: 1.0,
+            ..SramModel::default()
+        });
+        assert_eq!(
+            custom.evaluate(&req).provenance.request_fingerprint,
+            req.fingerprint()
+        );
+        let mut view = req.as_view();
+        view.hw_key = Some(0xDEAD_BEEF);
+        assert_eq!(
+            EvalSession::new().evaluate_view(view).provenance.hw_key,
+            req.hw_key()
+        );
+    }
+}

@@ -1,15 +1,20 @@
 //! Candidate evaluation: genome → objectives, in parallel, through the
-//! shared cache.
+//! shared session.
+//!
+//! The explorer does not price hardware itself — it owns the *search*
+//! (genomes, constraints, frontiers) and routes every evaluation through
+//! one [`EvalSession`] from `lego-eval`, the same request/response layer
+//! the bench harness and the facade speak. The session owns the
+//! `CostContext`, the memoized [`EvalCache`], and the
+//! worker pool; the evaluator adds the genome↔request translation and the
+//! feasibility check.
 
-use crate::cache::{layer_key, EvalCache};
-use crate::pareto::{Constraints, Objective, Objectives};
+use crate::pareto::{Constraints, Objective};
 use crate::space::Genome;
-use lego_mapper::map_model_with;
-use lego_model::{CostContext, SparseHw, SramModel, TechModel};
-use lego_sim::{best_mapping_ctx, ModelPerf};
+use lego_eval::{EvalCache, EvalRequestRef, EvalSession, Objectives};
+use lego_model::{SparseHw, TechModel};
+use lego_sim::{LayerPerf, ModelPerf};
 use lego_workloads::Model;
-use std::sync::mpsc;
-use std::sync::Mutex;
 
 /// One fully evaluated candidate.
 #[derive(Debug, Clone)]
@@ -29,33 +34,28 @@ pub struct DesignPoint {
 
 /// Evaluates genomes against one target model.
 ///
-/// Owns the [`EvalCache`] all strategies share, and a `std::thread` worker
-/// pool (fed over channels) for batch evaluation. Evaluation is pure, so
-/// batches return in input order and the whole exploration is deterministic
-/// regardless of thread interleaving.
+/// Wraps an [`EvalSession`] (which owns the shared [`EvalCache`] and the
+/// `std::thread` worker pool): a genome is materialized into a borrowed
+/// request view keyed by [`Genome::key`], so session cache entries line up
+/// with snapshot checkpoints and warm-started caches. Evaluation is pure,
+/// so batches return in input order and the whole exploration is
+/// deterministic regardless of thread interleaving.
 pub struct Evaluator<'m> {
     model: &'m Model,
     tech: TechModel,
-    sram: SramModel,
-    cache: EvalCache,
-    threads: usize,
+    session: EvalSession,
     constraints: Constraints,
     objective: Objective,
 }
 
 impl<'m> Evaluator<'m> {
-    /// Evaluator for `model` with a fresh cache and an automatic thread
-    /// count.
+    /// Evaluator for `model` with a fresh session (empty cache, automatic
+    /// thread count).
     pub fn new(model: &'m Model, tech: TechModel) -> Self {
-        let threads = std::thread::available_parallelism()
-            .map_or(1, |n| n.get())
-            .min(8);
         Evaluator {
             model,
             tech,
-            sram: SramModel::default(),
-            cache: EvalCache::new(),
-            threads,
+            session: EvalSession::new(),
             constraints: Constraints::none(),
             objective: Objective::EDP,
         }
@@ -64,7 +64,7 @@ impl<'m> Evaluator<'m> {
     /// Overrides the worker-pool width (0 means one thread).
     #[must_use]
     pub fn with_threads(mut self, threads: usize) -> Self {
-        self.threads = threads.max(1);
+        self.session = self.session.with_threads(threads);
         self
     }
 
@@ -94,7 +94,7 @@ impl<'m> Evaluator<'m> {
 
     /// Scores a point under the active scalarization (lower is better).
     pub fn score(&self, point: &DesignPoint) -> f64 {
-        self.objective.score(point)
+        self.objective.score(&point.objectives, point.peak_power_mw)
     }
 
     /// The target model.
@@ -102,96 +102,66 @@ impl<'m> Evaluator<'m> {
         self.model
     }
 
+    /// The underlying evaluation session.
+    pub fn session(&self) -> &EvalSession {
+        &self.session
+    }
+
     /// The shared memo table.
     pub fn cache(&self) -> &EvalCache {
-        &self.cache
+        self.session.cache()
     }
 
-    /// Evaluates one genome, memoizing every per-layer simulation.
+    /// Preloads the session cache with entries from a previous run —
+    /// typically a merged snapshot's cache
+    /// ([`ExploreOptions::warm_cache`](crate::ExploreOptions)). Returns
+    /// the number of entries actually added (resident entries win
+    /// collisions).
+    pub fn warm_cache<I: IntoIterator<Item = ((u64, u64), LayerPerf)>>(&self, entries: I) -> usize {
+        self.session.warm_cache(entries)
+    }
+
+    /// Evaluates one genome through the session, memoizing every per-layer
+    /// simulation under the genome's stable fingerprint.
     ///
-    /// The genome's [`CostContext`] is built once and threaded through
-    /// every per-layer simulation, the area roll-up (which includes L2
-    /// router area for multi-cluster designs), and the peak-power figure
-    /// the feasibility budgets check.
+    /// The genome's `CostContext` is built once per evaluation and
+    /// threaded through every per-layer simulation, the area roll-up
+    /// (which includes L2 router area for multi-cluster designs), and the
+    /// peak-power figure the feasibility budgets check — all inside
+    /// [`EvalSession::evaluate_view`].
     pub fn eval(&self, genome: &Genome) -> DesignPoint {
-        let ctx = CostContext::new(genome.to_hw_config(), self.tech)
-            .with_sram(self.sram)
-            .with_sparse(SparseHw::with_accel(genome.sparse));
-        let hw_key = genome.key();
-        let mapping = map_model_with(self.model, &self.tech, |layer| {
-            self.cache.get_or_compute(hw_key, layer_key(layer), || {
-                best_mapping_ctx(layer, &ctx, genome.tile_cap)
-            })
+        let hw = genome.to_hw_config();
+        let report = self.session.evaluate_view(EvalRequestRef {
+            workload: self.model,
+            hw: &hw,
+            sparse: SparseHw::with_accel(genome.sparse),
+            tech: self.tech,
+            objective: self.objective,
+            tile_cap: genome.tile_cap,
+            hw_key: Some(genome.key()),
         });
-        let latency_cycles = mapping.perf.cycles as f64;
-        let time_s = latency_cycles / (self.tech.freq_ghz * 1e9);
-        let energy_pj = mapping.perf.watts * time_s * 1e12;
-        // Memory banked per array edge so wider arrays get more ports.
-        let banks = (ctx.hw.array.0 + ctx.hw.array.1).max(1) as u64;
-        let area = ctx.area(banks);
-        let peak_power_mw = ctx.peak_power_mw();
-        let objectives = Objectives {
-            latency_cycles,
-            energy_pj,
-            area_um2: area.total_um2(),
-        };
         DesignPoint {
             genome: *genome,
-            feasible: self.constraints.admits(objectives.area_um2, peak_power_mw),
-            objectives,
-            perf: mapping.perf,
-            peak_power_mw,
+            feasible: self
+                .constraints
+                .admits(report.cost.objectives.area_um2, report.cost.peak_power_mw),
+            objectives: report.cost.objectives,
+            perf: report.model,
+            peak_power_mw: report.cost.peak_power_mw,
         }
     }
 
-    /// Evaluates a batch on the worker pool; results come back in input
-    /// order.
+    /// Evaluates a batch on the session's worker pool; results come back
+    /// in input order.
     pub fn eval_batch(&self, genomes: &[Genome]) -> Vec<DesignPoint> {
-        if genomes.is_empty() {
-            return Vec::new();
-        }
-        let workers = self.threads.min(genomes.len()).max(1);
-        if workers == 1 {
-            return genomes.iter().map(|g| self.eval(g)).collect();
-        }
-        let (task_tx, task_rx) = mpsc::channel::<(usize, Genome)>();
-        for (i, g) in genomes.iter().enumerate() {
-            task_tx.send((i, *g)).expect("queue open");
-        }
-        drop(task_tx);
-        let task_rx = Mutex::new(task_rx);
-        let (result_tx, result_rx) = mpsc::channel::<(usize, DesignPoint)>();
-        std::thread::scope(|scope| {
-            for _ in 0..workers {
-                let result_tx = result_tx.clone();
-                let task_rx = &task_rx;
-                scope.spawn(move || loop {
-                    let task = task_rx.lock().expect("task queue poisoned").recv();
-                    match task {
-                        Ok((i, genome)) => {
-                            if result_tx.send((i, self.eval(&genome))).is_err() {
-                                break;
-                            }
-                        }
-                        Err(_) => break,
-                    }
-                });
-            }
-            drop(result_tx);
-            let mut out: Vec<Option<DesignPoint>> = vec![None; genomes.len()];
-            for (i, point) in result_rx.iter() {
-                out[i] = Some(point);
-            }
-            out.into_iter()
-                .map(|p| p.expect("every task produced a result"))
-                .collect()
-        })
+        self.session.run_batch(genomes, |g| self.eval(g))
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use lego_model::CostContext;
     use lego_sim::HwConfig;
     use lego_workloads::zoo;
 
@@ -201,7 +171,8 @@ mod tests {
         let tech = TechModel::default();
         let ev = Evaluator::new(&model, tech);
         let point = ev.eval(&Genome::lego_256_baseline());
-        let direct = lego_mapper::map_model(&model, &HwConfig::lego_256(), &tech);
+        let direct =
+            lego_mapper::map_model_ctx(&model, &CostContext::new(HwConfig::lego_256(), tech), None);
         assert_eq!(point.perf.cycles, direct.perf.cycles);
         assert!((point.perf.gops - direct.perf.gops).abs() < 1e-9);
         assert!(point.objectives.area_um2 > 0.0);
@@ -238,5 +209,41 @@ mod tests {
         ev.eval(&g);
         assert_eq!(ev.cache().misses(), misses_after_first);
         assert!(ev.cache().hits() > 0);
+    }
+
+    #[test]
+    fn warm_cache_from_a_different_tech_model_never_lies() {
+        // Genome fingerprints hash only genome fields, but the session
+        // folds the technology model into its cache keys — so entries
+        // checkpointed under one tech can never be served as another
+        // tech's results.
+        let model = zoo::lenet();
+        let g = Genome::lego_256_baseline();
+        let t28 = Evaluator::new(&model, TechModel::default());
+        let p28 = t28.eval(&g);
+        let t45 = Evaluator::new(&model, TechModel::default().scaled_to(45.0));
+        assert!(t45.warm_cache(t28.cache().entries()) > 0);
+        let p45 = t45.eval(&g);
+        assert!(t45.cache().misses() > 0, "foreign-tech entries must miss");
+        assert_ne!(
+            p45.perf.cycles, p28.perf.cycles,
+            "45 nm pricing must be recomputed, not replayed from 28 nm"
+        );
+    }
+
+    #[test]
+    fn warm_cache_answers_without_simulating() {
+        let model = zoo::lenet();
+        let g = Genome::lego_256_baseline();
+        let first = Evaluator::new(&model, TechModel::default());
+        let point = first.eval(&g);
+        // A fresh evaluator warmed with the first one's entries answers
+        // the same genome entirely from the cache — and identically.
+        let second = Evaluator::new(&model, TechModel::default());
+        assert!(second.warm_cache(first.cache().entries()) > 0);
+        let again = second.eval(&g);
+        assert_eq!(second.cache().misses(), 0);
+        assert_eq!(again.perf, point.perf);
+        assert_eq!(again.objectives, point.objectives);
     }
 }

@@ -71,7 +71,6 @@
 //! );
 //! ```
 
-pub mod cache;
 pub mod eval;
 pub mod pareto;
 pub mod rng;
@@ -79,8 +78,8 @@ pub mod snapshot;
 pub mod space;
 pub mod strategy;
 
-pub use cache::{layer_key, EvalCache};
 pub use eval::{DesignPoint, Evaluator};
+pub use lego_eval::{layer_key, EvalCache, EvalSession};
 pub use lego_model::SparseAccel;
 pub use pareto::{BaseObjective, Constraints, Objective, Objectives, ParetoFrontier};
 pub use rng::SplitMix64;
@@ -114,6 +113,15 @@ pub struct ExploreOptions {
     /// population from them). Empty = cold start, bit-identical to the
     /// pre-warm-start behavior.
     pub warm_start: Vec<Genome>,
+    /// Evaluation-cache entries preloaded into the fresh session before
+    /// anything is evaluated — typically a merged
+    /// [`Snapshot`]'s `cache` from a previous (possibly
+    /// distributed) run. Where [`ExploreOptions::warm_start`] warm-starts
+    /// the *frontier*, this warm-starts the *cache*: layer simulations a
+    /// peer already ran are answered as hits instead of recomputed.
+    /// Results are unchanged either way (entries are deterministic), only
+    /// the work is. Empty = cold cache.
+    pub warm_cache: Vec<((u64, u64), LayerPerf)>,
 }
 
 impl Default for ExploreOptions {
@@ -125,6 +133,7 @@ impl Default for ExploreOptions {
             constraints: Constraints::none(),
             objective: Objective::EDP,
             warm_start: Vec::new(),
+            warm_cache: Vec::new(),
         }
     }
 }
@@ -231,6 +240,11 @@ pub fn explore_shard(
         .with_objective(opts.objective);
     if opts.threads > 0 {
         evaluator = evaluator.with_threads(opts.threads);
+    }
+    // Warm cache: absorb a previous run's evaluations before anything is
+    // computed, so even the warm-start genome batch below hits.
+    if !opts.warm_cache.is_empty() {
+        evaluator.warm_cache(opts.warm_cache.iter().cloned());
     }
     let mut frontier = ParetoFrontier::new();
     // Warm start: fold the seed genomes (usually a previous frontier) into
@@ -558,6 +572,40 @@ mod tests {
             warm.best_by_edp().unwrap().genome,
             warm2.best_by_edp().unwrap().genome
         );
+    }
+
+    #[test]
+    fn warm_cache_answers_a_repeat_run_without_simulating() {
+        let model = zoo::lenet();
+        let space = DesignSpace::tiny();
+        let opts = ExploreOptions {
+            budget_per_strategy: 16,
+            ..Default::default()
+        };
+        let cold = explore(&model, &space, &mut default_strategies(7), &opts);
+        assert!(cold.cache_misses > 0);
+        // Checkpoint the cold run exactly as a shard worker would…
+        let snap = explore_shard(&model, &space.full(), &mut default_strategies(7), &opts)
+            .snapshot(&model.name, 7);
+        // …and absorb the snapshot's cache into a fresh run's evaluator.
+        let warm = explore(
+            &model,
+            &space,
+            &mut default_strategies(7),
+            &ExploreOptions {
+                warm_cache: snap.cache.clone(),
+                ..opts
+            },
+        );
+        // Same seed, same budget: every layer evaluation is already in the
+        // absorbed cache, so the warm run never touches the simulator…
+        assert_eq!(warm.cache_misses, 0, "warm cache must answer everything");
+        assert!(warm.cache_hits > 0);
+        // …and the results are bit-identical to the cold run.
+        assert_eq!(warm.frontier.genome_keys(), cold.frontier.genome_keys());
+        let (w, c) = (warm.best_by_edp().unwrap(), cold.best_by_edp().unwrap());
+        assert_eq!(w.genome, c.genome);
+        assert_eq!(w.perf, c.perf);
     }
 
     #[test]

@@ -2,9 +2,16 @@
 //! feasibility constraints, and the scalarizations ([`Objective`]) used
 //! for ranking — including penalty-based *soft* budgets that compose with
 //! the hard [`Constraints`] filter.
+//!
+//! The objective vector and scalarization types ([`Objectives`],
+//! [`BaseObjective`], [`Objective`]) moved down into `lego-eval` with the
+//! evaluation layer — a request names the objective it is scored under —
+//! and are re-exported here so explorer-facing code keeps its paths.
 
 use crate::eval::DesignPoint;
 use crate::space::Genome;
+
+pub use lego_eval::{BaseObjective, Objective, Objectives};
 
 /// Hard feasibility budgets applied to every candidate before it may join
 /// the frontier or be reported as a best design.
@@ -51,140 +58,6 @@ impl Constraints {
     /// Whether any budget is set.
     pub fn is_constrained(&self) -> bool {
         self.max_area_um2.is_some() || self.max_power_mw.is_some()
-    }
-}
-
-/// The three objectives every candidate is scored on. Lower is better for
-/// all of them.
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub struct Objectives {
-    /// End-to-end model latency in cycles.
-    pub latency_cycles: f64,
-    /// End-to-end model energy in pJ.
-    pub energy_pj: f64,
-    /// Accelerator area in µm².
-    pub area_um2: f64,
-}
-
-impl Objectives {
-    /// Pareto dominance: no worse on every objective, strictly better on at
-    /// least one.
-    pub fn dominates(&self, other: &Objectives) -> bool {
-        let no_worse = self.latency_cycles <= other.latency_cycles
-            && self.energy_pj <= other.energy_pj
-            && self.area_um2 <= other.area_um2;
-        let better = self.latency_cycles < other.latency_cycles
-            || self.energy_pj < other.energy_pj
-            || self.area_um2 < other.area_um2;
-        no_worse && better
-    }
-
-    /// Energy-delay product (cycles · pJ). The clock frequency is a
-    /// constant of the technology model across the whole space, so this is
-    /// a monotone transform of J·s and ranks identically.
-    pub fn edp(&self) -> f64 {
-        self.latency_cycles * self.energy_pj
-    }
-
-    /// Energy-delay-area product (cycles · pJ · µm²).
-    pub fn edap(&self) -> f64 {
-        self.edp() * self.area_um2
-    }
-}
-
-/// A scalarization without penalties — the base of [`Objective`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-pub enum BaseObjective {
-    /// Energy-delay product (the default search fitness).
-    #[default]
-    Edp,
-    /// Energy-delay-area product.
-    Edap,
-    /// Latency alone.
-    Latency,
-    /// Energy alone.
-    Energy,
-}
-
-impl BaseObjective {
-    /// The scalar score (lower is better).
-    pub fn score(&self, o: &Objectives) -> f64 {
-        match self {
-            BaseObjective::Edp => o.edp(),
-            BaseObjective::Edap => o.edap(),
-            BaseObjective::Latency => o.latency_cycles,
-            BaseObjective::Energy => o.energy_pj,
-        }
-    }
-}
-
-/// The scalarization a search minimizes (lower is better).
-///
-/// [`Objective::Penalized`] adds **soft** area/power budgets: a design
-/// over budget is not disqualified (that is what the hard [`Constraints`]
-/// filter does) but its score inflates in proportion to the relative
-/// overshoot, steering the search toward the budget boundary instead of
-/// walling it off. The two compose naturally — a hard outer budget with a
-/// softer inner target is the SparseMap-style constrained scalarization.
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub enum Objective {
-    /// A plain base scalarization.
-    Base(BaseObjective),
-    /// `base` multiplied by `1 + weight · Σ relative-overshoot` over the
-    /// soft budgets.
-    Penalized {
-        /// The underlying scalarization.
-        base: BaseObjective,
-        /// Soft area budget in µm² (`None` = no area penalty).
-        area_budget: Option<f64>,
-        /// Soft peak-power budget in mW (`None` = no power penalty).
-        power_budget: Option<f64>,
-        /// Penalty strength: score multiplier per 100 % overshoot.
-        weight: f64,
-    },
-}
-
-impl Default for Objective {
-    fn default() -> Self {
-        Objective::EDP
-    }
-}
-
-impl Objective {
-    /// Plain energy-delay product (the historical default fitness).
-    pub const EDP: Objective = Objective::Base(BaseObjective::Edp);
-
-    /// Convenience constructor with budgets in engineering units
-    /// (mm² / W) rather than the µm² / mW the score works in.
-    pub fn penalized_edp(area_mm2: Option<f64>, power_w: Option<f64>, weight: f64) -> Self {
-        Objective::Penalized {
-            base: BaseObjective::Edp,
-            area_budget: area_mm2.map(|a| a * 1e6),
-            power_budget: power_w.map(|p| p * 1e3),
-            weight,
-        }
-    }
-
-    /// The scalar score of a design point (lower is better). Penalties
-    /// need the point's peak power, not just its objective vector.
-    pub fn score(&self, point: &DesignPoint) -> f64 {
-        match *self {
-            Objective::Base(base) => base.score(&point.objectives),
-            Objective::Penalized {
-                base,
-                area_budget,
-                power_budget,
-                weight,
-            } => {
-                let overshoot = |value: f64, budget: Option<f64>| match budget {
-                    Some(cap) if cap > 0.0 => ((value - cap) / cap).max(0.0),
-                    _ => 0.0,
-                };
-                let penalty = overshoot(point.objectives.area_um2, area_budget)
-                    + overshoot(point.peak_power_mw, power_budget);
-                base.score(&point.objectives) * (1.0 + weight.max(0.0) * penalty)
-            }
-        }
     }
 }
 
@@ -261,8 +134,8 @@ impl ParetoFrontier {
     pub fn best_by_objective(&self, objective: &Objective) -> Option<&DesignPoint> {
         self.points.iter().min_by(|a, b| {
             objective
-                .score(a)
-                .partial_cmp(&objective.score(b))
+                .score(&a.objectives, a.peak_power_mw)
+                .partial_cmp(&objective.score(&b.objectives, b.peak_power_mw))
                 .expect("finite scores")
                 .then_with(|| a.genome.key().cmp(&b.genome.key()))
         })
@@ -359,31 +232,6 @@ mod tests {
     }
 
     #[test]
-    fn dominance_is_strict_and_partial() {
-        let a = Objectives {
-            latency_cycles: 1.0,
-            energy_pj: 1.0,
-            area_um2: 1.0,
-        };
-        let b = Objectives {
-            latency_cycles: 2.0,
-            energy_pj: 2.0,
-            area_um2: 2.0,
-        };
-        let c = Objectives {
-            latency_cycles: 0.5,
-            energy_pj: 3.0,
-            area_um2: 1.0,
-        };
-        assert!(a.dominates(&b));
-        assert!(!b.dominates(&a));
-        // Equal objectives dominate in neither direction.
-        assert!(!a.dominates(&a.clone()));
-        // Trade-offs are incomparable.
-        assert!(!a.dominates(&c) && !c.dominates(&a));
-    }
-
-    #[test]
     fn insertion_rejects_dominated_and_evicts_dominated() {
         let mut f = ParetoFrontier::new();
         assert!(f.insert(point(2.0, 2.0, 2.0)));
@@ -427,30 +275,6 @@ mod tests {
         assert!(c.admits(1.9e6, 299.0));
         assert!(!c.admits(2.1e6, 299.0), "area budget must bind");
         assert!(!c.admits(1.9e6, 301.0), "power budget must bind");
-    }
-
-    #[test]
-    fn penalized_objective_matches_base_inside_budget() {
-        let p = point(10.0, 2.0, 1.5e6);
-        let base = Objective::EDP;
-        let soft = Objective::penalized_edp(Some(2.0), Some(1.0), 4.0);
-        // Inside both budgets (1.5 mm², 0 mW): no penalty.
-        assert!((soft.score(&p) - base.score(&p)).abs() < 1e-12);
-    }
-
-    #[test]
-    fn penalized_objective_scales_with_overshoot() {
-        let mut over = point(10.0, 2.0, 3.0e6); // 3 mm² vs a 2 mm² soft cap
-        over.peak_power_mw = 1500.0; // 1.5 W vs a 1 W soft cap
-        let soft = Objective::penalized_edp(Some(2.0), Some(1.0), 4.0);
-        // Overshoots: area 50 %, power 50 % → ×(1 + 4·1.0).
-        let expect = over.objectives.edp() * 5.0;
-        assert!((soft.score(&over) - expect).abs() < 1e-9 * expect);
-        // A stronger weight penalizes harder; weight 0 is the base again.
-        let hard = Objective::penalized_edp(Some(2.0), Some(1.0), 10.0);
-        assert!(hard.score(&over) > soft.score(&over));
-        let zero = Objective::penalized_edp(Some(2.0), Some(1.0), 0.0);
-        assert!((zero.score(&over) - over.objectives.edp()).abs() < 1e-12);
     }
 
     #[test]

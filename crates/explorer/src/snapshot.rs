@@ -12,17 +12,26 @@
 //! validates everything it reads and returns a [`SnapshotError`] — never
 //! panics — on truncated or corrupt input.
 
-use crate::cache::EvalCache;
 use crate::eval::DesignPoint;
 use crate::pareto::{Objectives, ParetoFrontier};
 use crate::space::{DataflowSet, Genome, ALL_MAPPINGS};
+use lego_eval::EvalCache;
 use lego_sim::{EnergyBreakdown, LayerPerf, ModelPerf, SparseAccel};
 use std::fmt;
 
 /// File magic: identifies a LEGO DSE snapshot.
 const MAGIC: &[u8; 8] = b"LEGOSNAP";
 /// Current codec version.
-const VERSION: u8 = 1;
+///
+/// Version 2 marks the cache-key epoch change that came with the
+/// `EvalSession` migration: cache entries are now keyed by the session's
+/// derived key (genome fingerprint folded with the technology and SRAM
+/// models) instead of the bare genome fingerprint. Version-1 snapshots
+/// would decode structurally, but their cache entries live in a dead
+/// keyspace — every warm-start lookup would silently miss while the
+/// entries ride along into future merges — so they are rejected loudly
+/// instead.
+const VERSION: u8 = 2;
 
 /// One shard's checkpointed search state: where it ran (shard coordinates,
 /// seed, model), what it found (the feasible [`ParetoFrontier`]), and what

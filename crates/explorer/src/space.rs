@@ -1,18 +1,12 @@
 //! The joint hardware design space: genomes and the axes they move on.
 
 use crate::rng::SplitMix64;
+use lego_eval::FnvHasher;
 use lego_sim::{HwConfig, SparseAccel, SpatialMapping};
 use std::fmt;
 use std::hash::{Hash, Hasher};
 
-/// Every spatial dataflow the simulator knows, in canonical order.
-pub const ALL_MAPPINGS: [SpatialMapping; 5] = [
-    SpatialMapping::GemmMN,
-    SpatialMapping::GemmKN,
-    SpatialMapping::ConvIcOc,
-    SpatialMapping::ConvOhOw,
-    SpatialMapping::ConvKhOh,
-];
+pub use lego_eval::ALL_MAPPINGS;
 
 /// A set of fused dataflows, packed as a bitmask over [`ALL_MAPPINGS`].
 ///
@@ -183,7 +177,7 @@ impl Genome {
     /// and table that depends on them — are stable across the sparse
     /// extension. A non-`None` sparse feature extends the hashed tuple.
     pub fn key(&self) -> u64 {
-        let mut h = Fnv::new();
+        let mut h = FnvHasher::new();
         (
             self.rows,
             self.cols,
@@ -219,35 +213,6 @@ impl fmt::Display for Genome {
         }
         Ok(())
     }
-}
-
-/// FNV-1a as a `Hasher`, so `Genome::key` is stable across processes
-/// (unlike `DefaultHasher`, which is randomly keyed per process).
-struct Fnv(u64);
-
-impl Fnv {
-    fn new() -> Self {
-        Fnv(0xcbf2_9ce4_8422_2325)
-    }
-}
-
-impl Hasher for Fnv {
-    fn finish(&self) -> u64 {
-        self.0
-    }
-    fn write(&mut self, bytes: &[u8]) {
-        for &b in bytes {
-            self.0 ^= u64::from(b);
-            self.0 = self.0.wrapping_mul(0x1000_0000_01b3);
-        }
-    }
-}
-
-/// Stable fingerprint of any `Hash` value under FNV-1a.
-pub(crate) fn stable_hash<T: Hash>(value: &T) -> u64 {
-    let mut h = Fnv::new();
-    value.hash(&mut h);
-    h.finish()
 }
 
 /// The axes a search may explore: the candidate values per genome field.

@@ -3,12 +3,17 @@
 //! network layer based on the simulated #cycles and energy".
 //!
 //! The per-layer dataflow choice lives in `lego-sim`'s
-//! [`lego_sim::best_mapping`]; this crate adds whole-model
-//! mapping with a per-layer report, plus a tiling refinement that shrinks
-//! DRAM traffic when a layer's working set nearly fits on chip.
+//! [`lego_sim::best_mapping_ctx`]; this crate adds whole-model mapping
+//! with a per-layer report. Both the whole-model path
+//! ([`map_model_ctx`]) and the single-layer convenience ([`map_layer`])
+//! are the same internals an [`lego_eval::EvalSession`] runs — `map_layer`
+//! literally builds a one-shot session — so the two can never disagree.
+//! The pre-context entry points ([`map_model`], [`map_model_with`]) are
+//! `#[deprecated]` shims kept for downstream callers.
 
+use lego_eval::{EvalRequest, EvalSession};
 use lego_model::{CostContext, TechModel};
-use lego_sim::{aggregate, best_mapping, best_mapping_ctx, HwConfig, LayerPerf, ModelPerf};
+use lego_sim::{aggregate, best_mapping_ctx, HwConfig, LayerPerf, ModelPerf};
 use lego_workloads::{Layer, Model};
 
 /// One mapped layer: the layer, its repetition count, and its performance.
@@ -33,41 +38,74 @@ pub struct Mapping {
 
 /// Maps every layer of `model` onto `hw`, choosing the best dataflow per
 /// layer, and aggregates the result.
-///
-/// # Examples
-///
-/// ```
-/// use lego_mapper::map_model;
-/// use lego_model::TechModel;
-/// use lego_sim::HwConfig;
-///
-/// let model = lego_workloads::zoo::resnet50();
-/// let mapping = map_model(&model, &HwConfig::lego_256(), &TechModel::default());
-/// assert!(mapping.perf.gops > 0.0);
-/// assert_eq!(mapping.layers.len(), model.layers.len());
-/// ```
+#[deprecated(
+    since = "0.1.0",
+    note = "evaluate an EvalRequest through lego_eval::EvalSession (its \
+            EvalReport carries the same per-layer results), or use \
+            map_model_ctx with a prebuilt CostContext"
+)]
 pub fn map_model(model: &Model, hw: &HwConfig, tech: &TechModel) -> Mapping {
-    map_model_ctx(model, &CostContext::new(hw.clone(), *tech), None)
+    // One-shot session: the same internals, cache and all, for one call.
+    let report =
+        EvalSession::new().evaluate(&EvalRequest::new(model.clone(), hw.clone()).with_tech(*tech));
+    Mapping {
+        layers: report
+            .per_layer
+            .into_iter()
+            .map(|l| MappedLayer {
+                name: l.name,
+                count: l.count,
+                perf: l.perf,
+            })
+            .collect(),
+        perf: report.model,
+    }
 }
 
 /// Maps every layer against a prebuilt [`CostContext`] with an optional L1
 /// tile-edge cap.
 ///
 /// The context is built **once** per configuration (its NoC models and
-/// SRAM fit are part of the price of the hardware, not of any one layer),
-/// which is what the design-space explorer and the benchmark harnesses
-/// thread through their evaluation loops.
+/// SRAM fit are part of the price of the hardware, not of any one layer).
+/// This is the layer loop an [`lego_eval::EvalSession`] runs per request;
+/// it stays public as the low-level form for callers that manage their own
+/// contexts.
+///
+/// # Examples
+///
+/// ```
+/// use lego_mapper::map_model_ctx;
+/// use lego_model::{CostContext, TechModel};
+/// use lego_sim::HwConfig;
+///
+/// let model = lego_workloads::zoo::resnet50();
+/// let ctx = CostContext::new(HwConfig::lego_256(), TechModel::default());
+/// let mapping = map_model_ctx(&model, &ctx, None);
+/// assert!(mapping.perf.gops > 0.0);
+/// assert_eq!(mapping.layers.len(), model.layers.len());
+/// ```
 pub fn map_model_ctx(model: &Model, ctx: &CostContext, tile_cap: Option<i64>) -> Mapping {
-    map_model_with(model, &ctx.tech, |l| best_mapping_ctx(l, ctx, tile_cap))
+    let layers: Vec<MappedLayer> = model
+        .layers
+        .iter()
+        .map(|l| MappedLayer {
+            name: l.name.clone(),
+            count: l.count,
+            perf: best_mapping_ctx(l, ctx, tile_cap),
+        })
+        .collect();
+    let pairs: Vec<(i64, LayerPerf)> = layers.iter().map(|m| (m.count, m.perf.clone())).collect();
+    let perf = aggregate(model, &pairs, &ctx.tech);
+    Mapping { layers, perf }
 }
 
 /// Maps every layer through a caller-supplied evaluator and aggregates.
-///
-/// This is the injection point for alternative per-layer evaluations — the
-/// design-space explorer routes layers through its memoized `EvalCache`
-/// here, so for a given hardware configuration each distinct layer shape is
-/// simulated once, no matter how many strategies or repeated blocks revisit
-/// it.
+#[deprecated(
+    since = "0.1.0",
+    note = "the injection point moved into lego_eval::EvalSession (which \
+            owns the memoized cache); use map_model_ctx, or a session, \
+            instead"
+)]
 pub fn map_model_with<F>(model: &Model, tech: &TechModel, mut eval: F) -> Mapping
 where
     F: FnMut(&Layer) -> LayerPerf,
@@ -97,8 +135,23 @@ pub fn dataflow_histogram(mapping: &Mapping) -> Vec<(&'static str, usize)> {
 }
 
 /// Convenience: maps a single standalone layer.
+///
+/// Routed through a one-shot [`EvalSession`] over a single-layer model, so
+/// this is *definitionally* the per-layer result of the whole-model path —
+/// the two evaluation entry points share one implementation and can never
+/// disagree.
 pub fn map_layer(layer: &Layer, hw: &HwConfig, tech: &TechModel) -> LayerPerf {
-    best_mapping(layer, hw, tech)
+    let model = Model {
+        name: layer.name.clone(),
+        layers: vec![layer.clone()],
+    };
+    let report = EvalSession::new().evaluate(&EvalRequest::new(model, hw.clone()).with_tech(*tech));
+    report
+        .per_layer
+        .into_iter()
+        .next()
+        .expect("one layer in, one layer report out")
+        .perf
 }
 
 #[cfg(test)]
@@ -107,10 +160,14 @@ mod tests {
     use lego_sim::SpatialMapping;
     use lego_workloads::zoo;
 
+    fn ctx(hw: &HwConfig) -> CostContext {
+        CostContext::new(hw.clone(), TechModel::default())
+    }
+
     #[test]
     fn mobilenet_switches_dataflows() {
         let hw = HwConfig::lego_256();
-        let mapping = map_model(&zoo::mobilenet_v2(), &hw, &TechModel::default());
+        let mapping = map_model_ctx(&zoo::mobilenet_v2(), &ctx(&hw), None);
         let hist = dataflow_histogram(&mapping);
         // Depthwise layers pick OHOW, pointwise convs pick ICOC or MN.
         assert!(hist.iter().any(|(n, c)| *n == "OHOW" && *c > 0), "{hist:?}");
@@ -126,10 +183,9 @@ mod tests {
         let full = HwConfig::lego_256();
         let mut icoc_only = HwConfig::lego_256();
         icoc_only.dataflows = vec![SpatialMapping::ConvIcOc, SpatialMapping::GemmMN];
-        let t = TechModel::default();
         let m = zoo::mobilenet_v2();
-        let a = map_model(&m, &full, &t);
-        let b = map_model(&m, &icoc_only, &t);
+        let a = map_model_ctx(&m, &ctx(&full), None);
+        let b = map_model_ctx(&m, &ctx(&icoc_only), None);
         assert!(
             a.perf.cycles < b.perf.cycles,
             "fused dataflows must win on MobileNetV2"
@@ -137,21 +193,43 @@ mod tests {
     }
 
     #[test]
-    fn ctx_mapping_matches_wrapper() {
+    #[allow(deprecated)]
+    fn deprecated_shims_match_the_ctx_path() {
+        // The shims route through a one-shot session; pin that this is
+        // byte-identical to the context path they historically wrapped.
         let hw = HwConfig::lego_256();
         let t = TechModel::default();
         let m = zoo::mobilenet_v2();
         let a = map_model(&m, &hw, &t);
-        let b = map_model_ctx(&m, &CostContext::new(hw.clone(), t), None);
-        assert_eq!(a.perf.cycles, b.perf.cycles);
+        let b = map_model_ctx(&m, &ctx(&hw), None);
+        assert_eq!(a.perf, b.perf);
         assert_eq!(a.layers.len(), b.layers.len());
+        for (x, y) in a.layers.iter().zip(&b.layers) {
+            assert_eq!(x.perf, y.perf, "{}", x.name);
+        }
+        let c = map_model_with(&m, &t, |l| best_mapping_ctx(l, &ctx(&hw), None));
+        assert_eq!(c.perf, b.perf);
+    }
+
+    #[test]
+    fn map_layer_agrees_with_whole_model_mapping() {
+        // The satellite fix this test pins: `map_layer` and the
+        // whole-model path share the session internals, so a layer priced
+        // standalone equals the same layer priced inside a model.
+        let hw = HwConfig::lego_256();
+        let t = TechModel::default();
+        let m = zoo::mobilenet_v2();
+        let whole = map_model_ctx(&m, &ctx(&hw), None);
+        for (layer, mapped) in m.layers.iter().zip(&whole.layers) {
+            assert_eq!(map_layer(layer, &hw, &t), mapped.perf, "{}", layer.name);
+        }
     }
 
     #[test]
     fn per_layer_counts_preserved() {
         let hw = HwConfig::lego_256();
         let m = zoo::bert_base();
-        let mapping = map_model(&m, &hw, &TechModel::default());
+        let mapping = map_model_ctx(&m, &ctx(&hw), None);
         let total: i64 = mapping.layers.iter().map(|l| l.count).sum();
         let expect: i64 = m.layers.iter().map(|l| l.count).sum();
         assert_eq!(total, expect);

@@ -287,21 +287,29 @@ fn cluster_halo_bytes(kind: &LayerKind, n_clusters: i64) -> i64 {
 }
 
 /// Simulates one layer instance under a fixed mapping.
+#[deprecated(
+    since = "0.1.0",
+    note = "evaluate an EvalRequest through lego_eval::EvalSession, or use \
+            simulate_layer_ctx with a prebuilt CostContext"
+)]
 pub fn simulate_layer(
     layer: &Layer,
     mapping: SpatialMapping,
     hw: &HwConfig,
     tech: &TechModel,
 ) -> LayerPerf {
-    simulate_layer_tiled(layer, mapping, hw, tech, None)
+    simulate_layer_ctx(layer, mapping, &CostContext::new(hw.clone(), *tech), None)
 }
 
-/// [`simulate_layer`] with an explicit L1 tile-edge cap (see
-/// [`tiled_dram_traffic`]). `None` keeps the automatic tiling.
-///
-/// Builds a throwaway [`CostContext`]; callers evaluating many layers on
-/// one configuration should build the context once and use
-/// [`simulate_layer_ctx`].
+/// [`simulate_layer_ctx`] with a throwaway one-shot [`CostContext`] and an
+/// explicit L1 tile-edge cap (see [`tiled_dram_traffic`]). `None` keeps
+/// the automatic tiling.
+#[deprecated(
+    since = "0.1.0",
+    note = "evaluate an EvalRequest (with_tile_cap) through \
+            lego_eval::EvalSession, or use simulate_layer_ctx with a \
+            prebuilt CostContext"
+)]
 pub fn simulate_layer_tiled(
     layer: &Layer,
     mapping: SpatialMapping,
@@ -478,12 +486,25 @@ pub fn simulate_layer_ctx(
 
 /// Picks the best supported mapping for a layer (fewest cycles, then least
 /// energy) — the paper's mapping-search tool at layer granularity.
+#[deprecated(
+    since = "0.1.0",
+    note = "evaluate an EvalRequest through lego_eval::EvalSession (or \
+            lego_mapper::map_layer), or use best_mapping_ctx with a \
+            prebuilt CostContext"
+)]
 pub fn best_mapping(layer: &Layer, hw: &HwConfig, tech: &TechModel) -> LayerPerf {
-    best_mapping_tiled(layer, hw, tech, None)
+    best_mapping_ctx(layer, &CostContext::new(hw.clone(), *tech), None)
 }
 
-/// [`best_mapping`] with an explicit L1 tile-edge cap (see
-/// [`tiled_dram_traffic`]). `None` keeps the automatic tiling.
+/// [`best_mapping_ctx`] with a throwaway one-shot [`CostContext`] and an
+/// explicit L1 tile-edge cap (see [`tiled_dram_traffic`]). `None` keeps
+/// the automatic tiling.
+#[deprecated(
+    since = "0.1.0",
+    note = "evaluate an EvalRequest (with_tile_cap) through \
+            lego_eval::EvalSession, or use best_mapping_ctx with a \
+            prebuilt CostContext"
+)]
 pub fn best_mapping_tiled(
     layer: &Layer,
     hw: &HwConfig,
@@ -550,7 +571,12 @@ pub fn aggregate(model: &Model, perfs: &[(i64, LayerPerf)], tech: &TechModel) ->
     }
 }
 
-/// Maps every layer with [`best_mapping`] and aggregates.
+/// Maps every layer with [`best_mapping_ctx`] and aggregates.
+#[deprecated(
+    since = "0.1.0",
+    note = "evaluate an EvalRequest through lego_eval::EvalSession (the \
+            report's `model` field is this ModelPerf)"
+)]
 pub fn simulate_model(model: &Model, hw: &HwConfig, tech: &TechModel) -> ModelPerf {
     let ctx = CostContext::new(hw.clone(), *tech);
     let perfs: Vec<(i64, LayerPerf)> = model
@@ -568,6 +594,28 @@ mod tests {
 
     fn tech() -> TechModel {
         TechModel::default()
+    }
+
+    fn ctx_of(hw: &HwConfig) -> CostContext {
+        CostContext::new(hw.clone(), tech())
+    }
+
+    fn sim(layer: &Layer, mapping: SpatialMapping, hw: &HwConfig) -> LayerPerf {
+        simulate_layer_ctx(layer, mapping, &ctx_of(hw), None)
+    }
+
+    fn best(layer: &Layer, hw: &HwConfig) -> LayerPerf {
+        best_mapping_ctx(layer, &ctx_of(hw), None)
+    }
+
+    fn sim_model(model: &Model, hw: &HwConfig) -> ModelPerf {
+        let ctx = ctx_of(hw);
+        let perfs: Vec<(i64, LayerPerf)> = model
+            .layers
+            .iter()
+            .map(|l| (l.count, best_mapping_ctx(l, &ctx, None)))
+            .collect();
+        aggregate(model, &perfs, &tech())
     }
 
     #[test]
@@ -614,7 +662,7 @@ mod tests {
                 k: 768,
             },
         );
-        let p = best_mapping(&l, &hw, &tech());
+        let p = best(&l, &hw);
         // Weights dominate traffic; utilization collapses.
         assert!(p.dram_bytes >= 3072 * 768);
         assert!(p.utilization < 0.1, "{p:?}");
@@ -637,8 +685,8 @@ mod tests {
                 stride: 1,
             },
         );
-        let fused = best_mapping(&dw, &hw_fused, &tech());
-        let icoc = best_mapping(&dw, &hw_icoc, &tech());
+        let fused = best(&dw, &hw_fused);
+        let icoc = best(&dw, &hw_icoc);
         assert!(
             icoc.cycles > 3 * fused.cycles,
             "OHOW must rescue depthwise: {} vs {}",
@@ -661,7 +709,7 @@ mod tests {
                 k: 64,
             },
         );
-        let p = best_mapping(&l, &hw, &tech());
+        let p = best(&l, &hw);
         assert_eq!(p.mapping, SpatialMapping::GemmMN);
         assert!(p.cycles > 0);
     }
@@ -670,7 +718,7 @@ mod tests {
     fn model_aggregate_is_consistent() {
         let hw = HwConfig::lego_256();
         let m = zoo::resnet50();
-        let perf = simulate_model(&m, &hw, &tech());
+        let perf = sim_model(&m, &hw);
         assert!(perf.gops > 50.0, "{perf:?}");
         assert!(perf.gops_per_watt > 100.0, "{perf:?}");
         assert!(perf.utilization > 0.3, "{perf:?}");
@@ -681,7 +729,7 @@ mod tests {
     fn ppu_overhead_is_small_across_models() {
         let hw = HwConfig::lego_256();
         for m in zoo::figure11_models() {
-            let perf = simulate_model(&m, &hw, &tech());
+            let perf = sim_model(&m, &hw);
             assert!(
                 perf.ppu_fraction < 0.30,
                 "{}: PPU fraction {}",
@@ -694,7 +742,7 @@ mod tests {
     #[test]
     fn instruction_overhead_below_one_percent() {
         let hw = HwConfig::lego_256();
-        let perf = simulate_model(&zoo::resnet50(), &hw, &tech());
+        let perf = sim_model(&zoo::resnet50(), &hw);
         assert!(
             perf.instr_gbps < 0.01 * hw.dram_gbps,
             "instr {} GB/s",
@@ -738,7 +786,7 @@ mod tests {
             let capped = tiled_dram_traffic(512, 512, 512, b, Some(cap));
             assert!(capped >= auto, "cap {cap}: {capped} < {auto}");
         }
-        // A generous cap is a no-op, so `simulate_layer` is the None case.
+        // A generous cap is a no-op, so the uncapped path is the None case.
         let hw = HwConfig::lego_256();
         let l = lego_workloads::Layer::new(
             "g",
@@ -748,9 +796,46 @@ mod tests {
                 k: 256,
             },
         );
-        let a = simulate_layer(&l, SpatialMapping::GemmMN, &hw, &tech());
-        let b = simulate_layer_tiled(&l, SpatialMapping::GemmMN, &hw, &tech(), Some(1 << 20));
+        let a = sim(&l, SpatialMapping::GemmMN, &hw);
+        let b = simulate_layer_ctx(&l, SpatialMapping::GemmMN, &ctx_of(&hw), Some(1 << 20));
         assert_eq!(a, b);
+    }
+
+    /// The `#[deprecated]` shims exist for downstream callers; inside the
+    /// workspace they are compile errors (CI builds with `-D deprecated`).
+    /// Pin that each stays byte-identical to the `_ctx` internals it
+    /// wraps, so external code migrating late loses nothing.
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shims_match_the_ctx_path() {
+        let hw = HwConfig::lego_256();
+        let ctx = ctx_of(&hw);
+        let l = lego_workloads::Layer::new(
+            "g",
+            LayerKind::Gemm {
+                m: 96,
+                n: 64,
+                k: 48,
+            },
+        );
+        assert_eq!(
+            simulate_layer(&l, SpatialMapping::GemmMN, &hw, &tech()),
+            simulate_layer_ctx(&l, SpatialMapping::GemmMN, &ctx, None),
+        );
+        assert_eq!(
+            simulate_layer_tiled(&l, SpatialMapping::GemmMN, &hw, &tech(), Some(8)),
+            simulate_layer_ctx(&l, SpatialMapping::GemmMN, &ctx, Some(8)),
+        );
+        assert_eq!(
+            best_mapping(&l, &hw, &tech()),
+            best_mapping_ctx(&l, &ctx, None),
+        );
+        assert_eq!(
+            best_mapping_tiled(&l, &hw, &tech(), Some(8)),
+            best_mapping_ctx(&l, &ctx, Some(8)),
+        );
+        let m = zoo::lenet();
+        assert_eq!(simulate_model(&m, &hw, &tech()), sim_model(&m, &hw));
     }
 
     #[test]
@@ -774,8 +859,8 @@ mod tests {
                 k: 64,
             },
         );
-        let pf = simulate_layer(&l, SpatialMapping::GemmMN, &flat, &tech());
-        let pt = simulate_layer(&l, SpatialMapping::GemmMN, &tiled, &tech());
+        let pf = sim(&l, SpatialMapping::GemmMN, &flat);
+        let pt = sim(&l, SpatialMapping::GemmMN, &tiled);
         assert_eq!(pf.noc_cycles, 0);
         assert!(pt.noc_cycles > 0, "{pt:?}");
         assert!(
@@ -804,7 +889,7 @@ mod tests {
             hw.clusters = clusters;
             (
                 hw.l2_mesh().max_hops(),
-                simulate_layer(&l, SpatialMapping::GemmMN, &hw, &tech()).cycles,
+                sim(&l, SpatialMapping::GemmMN, &hw).cycles,
             )
         };
         // 8 clusters arranged from compact to strip: hop distance 4 → 7.
@@ -1014,8 +1099,8 @@ mod tests {
         let mut big = HwConfig::lego_icoc_1k();
         big.dataflows = small.dataflows.clone();
         let m = zoo::ddpm();
-        let ps = simulate_model(&m, &small, &tech());
-        let pb = simulate_model(&m, &big, &tech());
+        let ps = sim_model(&m, &small);
+        let pb = sim_model(&m, &big);
         assert!(pb.gops > 2.0 * ps.gops, "{} vs {}", pb.gops, ps.gops);
     }
 }

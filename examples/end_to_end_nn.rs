@@ -1,12 +1,13 @@
-//! End-to-end neural-network evaluation (paper Figure 11): map every layer
-//! of MobileNetV2 onto the Gemmini-comparable LEGO configuration, watch the
+//! End-to-end neural-network evaluation (paper Figure 11): price every
+//! layer of MobileNetV2 on the Gemmini-comparable LEGO configuration
+//! through the canonical `EvalSession` request/response API, watch the
 //! mapper switch dataflows per layer, and compare against the Gemmini
 //! baseline.
 //!
 //! Run with: `cargo run --release --example end_to_end_nn`
 
 use lego::baselines::simulate_model_gemmini;
-use lego::mapper::{dataflow_histogram, map_model};
+use lego::eval::{EvalRequest, EvalSession};
 use lego::model::TechModel;
 use lego::sim::HwConfig;
 use lego::workloads::zoo;
@@ -16,20 +17,21 @@ fn main() {
     let hw = HwConfig::lego_256();
     let model = zoo::mobilenet_v2();
 
-    let mapping = map_model(&model, &hw, &tech);
+    let session = EvalSession::new();
+    let report = session.evaluate(&EvalRequest::new(model.clone(), hw.clone()));
     println!(
         "MobileNetV2 on LEGO-256: {:.0} GOP/s at {:.0} GOPS/W ({:.1}% utilization)",
-        mapping.perf.gops,
-        mapping.perf.gops_per_watt,
-        100.0 * mapping.perf.utilization
+        report.model.gops,
+        report.model.gops_per_watt,
+        100.0 * report.model.utilization
     );
     println!(
         "per-layer dataflow choices: {:?}",
-        dataflow_histogram(&mapping)
+        report.dataflow_histogram()
     );
 
     // Show a few interesting layers: depthwise picks OHOW, pointwise ICOC.
-    for l in mapping.layers.iter().filter(|l| l.name.contains("b3.0")) {
+    for l in report.per_layer.iter().filter(|l| l.name.contains("b3.0")) {
         println!(
             "  {:<18} -> {:<5} {:>9} cycles, util {:.2}",
             l.name,
@@ -46,7 +48,7 @@ fn main() {
     );
     println!(
         "LEGO speedup: {:.1}x, energy-efficiency gain: {:.1}x (paper MobileNetV2: ~12.9x / ~9.6x)",
-        mapping.perf.gops / gemmini.gops,
-        mapping.perf.gops_per_watt / gemmini.gops_per_watt
+        report.model.gops / gemmini.gops,
+        report.model.gops_per_watt / gemmini.gops_per_watt
     );
 }

@@ -1,46 +1,78 @@
-//! Quickstart: generate the paper's Figure 3 design — a 2×2 systolic GEMM
-//! array (TPU-style, K-J parallel) — inspect it, verify it functionally,
-//! and emit Verilog.
+//! Quickstart: the two halves of LEGO in one sitting.
+//!
+//! 1. **Evaluate** — price a whole network on a hardware configuration
+//!    through the canonical request/response API (`EvalRequest` in,
+//!    `EvalReport` out; the request is serializable, so the same bytes
+//!    evaluate identically on any host).
+//! 2. **Generate** — produce the paper's Figure 3 design (a 2×2 systolic
+//!    GEMM array), verify it functionally, and emit Verilog.
 //!
 //! Run with: `cargo run --example quickstart`
 
 use lego::core::Lego;
+use lego::eval::{EvalRequest, EvalSession};
 use lego::ir::kernels::{self, dataflows};
 use lego::ir::{tensor::reference_execute, TensorData};
 use lego::model::TechModel;
+use lego::sim::HwConfig;
 
 fn main() {
-    // 1. Describe the workload relation-centrically: GEMM Y += X·W.
-    let gemm = kernels::gemm(8, 4, 4);
-    println!("Workload:\n{}", gemm.to_loop_nest());
+    // ── 1. Evaluate a workload on a configuration ──────────────────────
+    // One session owns the cost model, the memoized evaluation cache, and
+    // the worker pool; requests describe *what* to price.
+    let session = EvalSession::new();
+    let request = EvalRequest::new(lego::workloads::zoo::resnet50(), HwConfig::lego_256());
+    let report = session.evaluate(&request);
+    println!(
+        "ResNet50 on LEGO-256: {:.0} GOP/s at {:.0} GOPS/W, {:.2} mm^2, EDP {:.3e}",
+        report.model.gops,
+        report.model.gops_per_watt,
+        report.cost.objectives.area_um2 / 1e6,
+        report.cost.edp(),
+    );
+    println!(
+        "per-layer dataflow choices: {:?}",
+        report.dataflow_histogram()
+    );
 
-    // 2. Pick a spatial dataflow: parallel k and j on a 2×2 array with a
-    //    systolic control flow (c = [1, 1]).
+    // Requests and reports are versioned wire payloads: encode → decode →
+    // re-evaluate reproduces the report bit-for-bit on any host.
+    let wire = request.encode();
+    let decoded = EvalRequest::decode(&wire).expect("own encoding decodes");
+    assert_eq!(session.evaluate(&decoded), report);
+    println!(
+        "request round-trips through {} bytes (fingerprint {:#018x})",
+        wire.len(),
+        request.fingerprint(),
+    );
+
+    // ── 2. Generate the paper's Figure 3 accelerator ───────────────────
+    // Describe the workload relation-centrically: GEMM Y += X·W, then pick
+    // a spatial dataflow (parallel k and j on a 2×2 systolic array).
+    let gemm = kernels::gemm(8, 4, 4);
     let df = dataflows::gemm_kj(&gemm, 2);
     println!(
-        "Dataflow `{}`: {} FUs, {} temporal steps, control {:?}",
+        "\nDataflow `{}`: {} FUs, {} temporal steps, control {:?}",
         df.name,
         df.num_fus(),
         df.total_steps(),
         df.control
     );
-
-    // 3. Generate the accelerator.
     let design = Lego::new(gemm.clone()).dataflow(df).generate().unwrap();
-    println!("\n{}", design.adg.summary());
+    println!("{}", design.adg.summary());
     println!("{}", design.dag.summary());
 
-    // 4. Verify cycle-accurately against the reference loop nest.
+    // Verify cycle-accurately against the reference loop nest.
     let x = TensorData::from_fn(&[8, 4], |i| (i as i64 * 7 + 1) % 13 - 6);
     let w = TensorData::from_fn(&[4, 4], |i| (i as i64 * 5 + 2) % 11 - 5);
     let out = design.simulate(0, &[&x, &w]);
     assert_eq!(out.output, reference_execute(&gemm, &[&x, &w]));
     println!(
-        "\nVerified: output matches the reference ({} FU ops, {} edge deliveries, {} port reads)",
+        "Verified: output matches the reference ({} FU ops, {} edge deliveries, {} port reads)",
         out.stats.fu_ops, out.stats.edge_deliveries, out.stats.port_reads
     );
 
-    // 5. Cost it and emit Verilog.
+    // Cost it and emit Verilog.
     let cost = design.cost(&TechModel::default());
     println!(
         "Cost @28nm: {:.0} um^2 logic, {:.2} mW, {:.0} FF bits",

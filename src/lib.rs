@@ -15,6 +15,12 @@
 //!   and the unified cost stack: one `CostContext { hw, tech, sram, noc }`
 //!   per configuration, priced through `ComputeCost` / `MemoryCost` /
 //!   `NocCost` component traits;
+//! * [`eval`] — the canonical request/response evaluation layer: an
+//!   `EvalSession` owns `CostContext` construction, the memoized
+//!   `EvalCache`, and the worker pool, and prices serializable
+//!   `EvalRequest`s into `EvalReport`s (`evaluate` / `evaluate_batch` /
+//!   `evaluate_stream`); the versioned binary codec makes requests and
+//!   reports wire payloads a multi-host driver can ship anywhere;
 //! * [`noc`] — butterfly and wormhole-mesh NoC models with
 //!   `Transfer`-returning latency queries (broadcast, scatter, halo);
 //! * [`sim`] — the performance/energy simulator (multi-cluster designs pay
@@ -38,7 +44,41 @@
 //! * [`baselines`] — Gemmini / AutoSA / TensorLib / SODA / DSAGen models;
 //! * [`core`] — the [`Lego`](core::Lego) builder tying it all together.
 //!
-//! # Quickstart
+//! # Quickstart: evaluate a workload on a configuration
+//!
+//! Everything that prices a design goes through one API: build an
+//! `EvalRequest`, hand it to an `EvalSession`, read the `EvalReport`.
+//! The session owns the cost model, the memoized evaluation cache, and
+//! the worker pool; requests are serializable, so the same bytes evaluate
+//! identically on any host.
+//!
+//! ```
+//! use lego::eval::{EvalRequest, EvalSession};
+//! use lego::sim::HwConfig;
+//!
+//! let session = EvalSession::new();
+//! let request = EvalRequest::new(
+//!     lego::workloads::zoo::lenet(),
+//!     HwConfig::lego_256(),
+//! );
+//! let report = session.evaluate(&request);
+//! println!(
+//!     "{:.0} GOP/s at {:.0} GOPS/W, EDP {:.3e}",
+//!     report.model.gops, report.model.gops_per_watt, report.cost.edp(),
+//! );
+//!
+//! // Requests round-trip byte-identically through the versioned codec —
+//! // the transport contract of the multi-host evaluation workflow.
+//! let bytes = request.encode();
+//! let decoded = EvalRequest::decode(&bytes).unwrap();
+//! assert_eq!(decoded.encode(), bytes);
+//! assert_eq!(session.evaluate(&decoded), report);
+//! ```
+//!
+//! # Generating hardware
+//!
+//! The generator half: describe a workload relation-centrically, pick a
+//! spatial dataflow, and emit a verified design.
 //!
 //! ```
 //! use lego::core::Lego;
@@ -63,10 +103,10 @@
 //!
 //! # Exploring the hardware design space
 //!
-//! Where the quickstart generates one hand-picked design, the explorer
-//! searches configurations — and every strategy shares one memoized
-//! evaluation cache, so overlapping searches pay for each layer
-//! simulation once:
+//! Where the quickstart evaluates one configuration, the explorer
+//! searches the space — every strategy routes its genome evaluations
+//! through one shared `EvalSession`, so overlapping searches pay for each
+//! layer simulation once:
 //!
 //! ```
 //! use lego::explorer::{DesignSpace, ExploreOptions};
@@ -83,10 +123,26 @@
 //! println!("best config: {} (EDP {:.3e})", best.genome, best.objectives.edp());
 //! assert!(result.frontier.len() >= 1);
 //! ```
+//!
+//! # Deprecation policy
+//!
+//! The pre-session evaluation entry points — `sim::simulate_layer`,
+//! `sim::simulate_layer_tiled`, `sim::best_mapping`,
+//! `sim::best_mapping_tiled`, `sim::perf::simulate_model`,
+//! `mapper::map_model`, `mapper::map_model_with` — are `#[deprecated]`
+//! shims over the same internals a session runs (`simulate_layer_ctx` /
+//! `best_mapping_ctx` / `map_model_ctx` remain the supported low-level
+//! context API). The shims stay source- and behavior-compatible (each is
+//! pinned byte-identical to its `_ctx` equivalent by tests) for external
+//! callers, but workspace CI compiles with `-D deprecated`, so no code in
+//! this repository may call them outside the `#[allow(deprecated)]` shim
+//! tests. They will be removed once the multi-host driver lands and
+//! nothing external depends on them.
 
 pub use lego_backend as backend;
 pub use lego_baselines as baselines;
 pub use lego_core as core;
+pub use lego_eval as eval;
 pub use lego_explorer as explorer;
 pub use lego_frontend as frontend;
 pub use lego_graph as graph;

@@ -3,10 +3,18 @@
 //! (see EXPERIMENTS.md for the full side-by-side).
 
 use lego::baselines::{per_fu_control_cost, shared_control_cost, simulate_model_gemmini};
+use lego::eval::{EvalRequest, EvalSession};
 use lego::ir::kernels::{self, dataflows};
 use lego::model::TechModel;
-use lego::sim::{perf::simulate_model, HwConfig};
-use lego::workloads::zoo;
+use lego::sim::{HwConfig, ModelPerf};
+use lego::workloads::{zoo, Model};
+
+/// LEGO-side numbers through the canonical session API.
+fn simulate_model(m: &Model, hw: &HwConfig, tech: &TechModel) -> ModelPerf {
+    EvalSession::new()
+        .evaluate(&EvalRequest::new(m.clone(), hw.clone()).with_tech(*tech))
+        .model
+}
 
 fn geomean(xs: &[f64]) -> f64 {
     (xs.iter().map(|x| x.ln()).sum::<f64>() / xs.len() as f64).exp()
