@@ -168,7 +168,8 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
         .write_to(Path::new(&out))
         .map_err(|e| format!("writing {out}: {e}"))?;
     println!(
-        "frontier {} points, cache {} entries ({} hits / {} misses) -> {out}",
+        "{} genomes evaluated: frontier {} points, cache {} entries ({} hits / {} misses) -> {out}",
+        run.evaluated(),
         run.frontier.len(),
         run.cache.len(),
         run.cache_hits,
@@ -198,30 +199,13 @@ fn cmd_merge(args: &[String]) -> Result<(), String> {
             .push(Snapshot::read_from(p).map_err(|e| format!("reading {}: {e}", p.display()))?);
     }
 
-    if report {
-        section("dse_shard merge");
-        row(&[
-            "snapshot".into(),
-            "shard".into(),
-            "frontier".into(),
-            "cache".into(),
-            "model".into(),
-        ]);
-        for (p, s) in paths.iter().zip(&snapshots) {
-            row(&[
-                p.file_name()
-                    .map_or_else(String::new, |n| n.to_string_lossy().into_owned()),
-                format!("{}/{}", s.shard_index, s.shard_count),
-                format!("{}", s.frontier.len()),
-                format!("{}", s.cache.len()),
-                s.model.clone(),
-            ]);
-        }
-    }
-
-    let mut merged = snapshots.remove(0);
+    let mut merged = snapshots[0].clone();
+    // Per-snapshot contribution in merge order: the first snapshot seeds
+    // everything it carries; each later one contributes what `absorb`
+    // actually added.
+    let mut contributions = vec![(snapshots[0].frontier.len(), snapshots[0].cache.len())];
     let (mut joined, mut absorbed) = (0, 0);
-    for s in &snapshots {
+    for s in &snapshots[1..] {
         if s.model != merged.model {
             return Err(format!(
                 "snapshot models disagree: {:?} vs {:?}",
@@ -229,12 +213,54 @@ fn cmd_merge(args: &[String]) -> Result<(), String> {
             ));
         }
         let (j, a) = merged.absorb(s);
+        contributions.push((j, a));
         joined += j;
         absorbed += a;
     }
     // The merged snapshot stands for the whole space, not one slice.
     merged.shard_index = 0;
     merged.shard_count = 1;
+
+    if report {
+        section("dse_shard merge");
+        // Which shard frontier points made it into the merged frontier.
+        let surviving: std::collections::HashSet<u64> =
+            merged.frontier.genome_keys().into_iter().collect();
+        row(&[
+            "snapshot".into(),
+            "shard".into(),
+            "evaluated".into(),
+            "frontier".into(),
+            "survived".into(),
+            "cache".into(),
+            "contributed".into(),
+        ]);
+        for ((p, s), (frontier_joined, cache_added)) in
+            paths.iter().zip(&snapshots).zip(&contributions)
+        {
+            let survived = s
+                .frontier
+                .points()
+                .iter()
+                .filter(|pt| surviving.contains(&pt.genome.key()))
+                .count();
+            row(&[
+                p.file_name()
+                    .map_or_else(String::new, |n| n.to_string_lossy().into_owned()),
+                format!("{}/{}", s.shard_index, s.shard_count),
+                format!("{}", s.evaluated),
+                format!("{}/{}", frontier_joined, s.frontier.len()),
+                format!("{}", survived),
+                format!("{}", s.cache.len()),
+                format!("{}", cache_added),
+            ]);
+        }
+        println!(
+            "({} genomes evaluated across the partition; \"frontier\" is \
+             points joined at merge / points checkpointed)",
+            merged.evaluated
+        );
+    }
 
     println!(
         "merged {} snapshots: frontier {} points (+{joined}), cache {} entries (+{absorbed})",

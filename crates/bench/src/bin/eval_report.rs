@@ -11,11 +11,15 @@
 //! With `--in`, the request is decoded from a file instead of built from
 //! flags (what a worker fed over a byte transport would do). Everything is
 //! deterministic: the same request encodes and evaluates to byte-identical
-//! files across runs — CI pins this with `cmp`.
+//! files across runs — CI pins this with `cmp`. The run records a
+//! deterministic observability summary (codec and evaluation spans, cache
+//! warmth) and prints it at the end; instrumentation never changes the
+//! emitted bytes.
 
 use lego_bench::harness::section;
 use lego_eval::{EvalRequest, EvalSession};
 use lego_model::{SparseAccel, SparseHw};
+use lego_obs::Obs;
 use lego_sim::HwConfig;
 use lego_workloads::{zoo, Model};
 use std::path::Path;
@@ -62,12 +66,16 @@ fn run() -> Result<(), String> {
         return Err(format!("unexpected arguments {args:?}\n{USAGE}"));
     }
 
+    let obs = Obs::deterministic();
     let request = match input {
         Some(path) => {
             if model.is_some() || hw.is_some() || sparse.is_some() {
                 return Err(format!("--in replaces the request flags\n{USAGE}"));
             }
-            EvalRequest::read_from(Path::new(&path)).map_err(|e| format!("reading {path}: {e}"))?
+            obs.time("codec/request_decode", || {
+                EvalRequest::read_from(Path::new(&path))
+            })
+            .map_err(|e| format!("reading {path}: {e}"))?
         }
         None => {
             let model = model_by_name(&model.unwrap_or("resnet50_2to4".into()))?;
@@ -95,13 +103,12 @@ fn run() -> Result<(), String> {
         request.fingerprint(),
     ));
     if let Some(path) = &request_out {
-        request
-            .write_to(Path::new(path))
+        obs.time("codec/request_encode", || request.write_to(Path::new(path)))
             .map_err(|e| format!("writing {path}: {e}"))?;
         println!("request ({} bytes) -> {path}", request.encode().len());
     }
 
-    let report = EvalSession::new().evaluate(&request);
+    let report = EvalSession::new().with_obs(obs.clone()).evaluate(&request);
     println!(
         "{} layers, {} cycles, {:.1} GOP/s, EDP {:.3e}, score {:.3e}",
         report.per_layer.len(),
@@ -110,12 +117,23 @@ fn run() -> Result<(), String> {
         report.cost.edp(),
         report.cost.score,
     );
+    println!(
+        "cache: {} hits / {} misses ({})",
+        report.provenance.cache_hits,
+        report.provenance.cache_misses,
+        if report.provenance.warm() {
+            "warm"
+        } else {
+            "cold"
+        },
+    );
     if let Some(path) = &out {
-        report
-            .write_to(Path::new(path))
+        obs.time("codec/report_encode", || report.write_to(Path::new(path)))
             .map_err(|e| format!("writing {path}: {e}"))?;
         println!("report ({} bytes) -> {path}", report.encode().len());
     }
+    section("observability summary");
+    print!("{}", obs.summary().render());
     Ok(())
 }
 

@@ -1,0 +1,98 @@
+//! Runs the canonical perf workloads and writes `BENCH_eval.json` — the
+//! machine-readable performance trajectory subsequent PRs diff against.
+//!
+//! ```text
+//! perf_bench [--mode deterministic|wallclock] [--out PATH]
+//! perf_bench check [PATH]
+//! ```
+//!
+//! The default mode is `deterministic`: wall-clock rows are exactly `0`,
+//! work-count rows carry the signal, and two runs render byte-identical
+//! documents (the CI bench-smoke job diffs them). `--mode wallclock`
+//! fills in real nanoseconds and throughput figures for humans chasing a
+//! regression. `check` re-parses an existing file and verifies the
+//! required-metric contract ([`perf::REQUIRED_METRICS`]).
+
+use lego_bench::perf;
+use lego_obs::bench::{parse_bench_json, render_bench_json};
+use lego_obs::ObsMode;
+use std::process::ExitCode;
+
+const DEFAULT_OUT: &str = "BENCH_eval.json";
+
+fn usage() -> ExitCode {
+    eprintln!("usage: perf_bench [--mode deterministic|wallclock] [--out PATH]");
+    eprintln!("       perf_bench check [PATH]");
+    ExitCode::FAILURE
+}
+
+fn check(path: &str) -> ExitCode {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("perf_bench check: cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let rows = match parse_bench_json(&text) {
+        Ok(rows) => rows,
+        Err(e) => {
+            eprintln!("perf_bench check: {path} is not a bench document: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let missing = perf::missing_metrics(&rows);
+    if !missing.is_empty() {
+        eprintln!("perf_bench check: {path} is missing required metrics: {missing:?}");
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "perf_bench check: {path} OK ({} rows, all {} required metrics present)",
+        rows.len(),
+        perf::REQUIRED_METRICS.len()
+    );
+    ExitCode::SUCCESS
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("check") {
+        if args.len() > 2 {
+            return usage();
+        }
+        return check(args.get(1).map_or(DEFAULT_OUT, String::as_str));
+    }
+
+    let mut mode = ObsMode::Deterministic;
+    let mut out = DEFAULT_OUT.to_string();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--mode" => match it.next().map(String::as_str) {
+                Some("deterministic") => mode = ObsMode::Deterministic,
+                Some("wallclock" | "wall_clock") => mode = ObsMode::WallClock,
+                _ => return usage(),
+            },
+            "--out" => match it.next() {
+                Some(path) => out = path.clone(),
+                None => return usage(),
+            },
+            _ => return usage(),
+        }
+    }
+
+    let run = perf::run(mode);
+    let doc = render_bench_json(&run.rows);
+    if let Err(e) = std::fs::write(&out, &doc) {
+        eprintln!("perf_bench: cannot write {out}: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "perf_bench: wrote {} rows to {out} (mode={})",
+        run.rows.len(),
+        mode.label()
+    );
+    println!("\n=== observability summary ===");
+    print!("{}", run.summary.render());
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,304 @@
+//! The canonical perf workloads behind the `perf_bench` binary: a small,
+//! fixed set of measurements over the evaluation stack, emitted as
+//! [`BenchRow`]s for `BENCH_eval.json`.
+//!
+//! Every run exercises four surfaces:
+//!
+//! 1. **Single evaluate** — one cold `EvalSession::evaluate` of ResNet-50
+//!    on `lego_256`;
+//! 2. **Batch throughput** — `evaluate_batch` over a small zoo mix;
+//! 3. **Explorer** — a full [`explore`] (grid + random + ES) over the tiny
+//!    design space, with the obs handle threaded through the strategies;
+//! 4. **Snapshot codec** — encode, decode, and merge of two shard
+//!    checkpoints.
+//!
+//! The same row set is emitted in every [`ObsMode`]. In
+//! [`ObsMode::Deterministic`] all wall-clock rows are exactly `0` and the
+//! work-count rows (layers, evaluations, bytes, cache entries) carry the
+//! signal — so the rendered document is byte-identical across runs and CI
+//! can diff it. In [`ObsMode::WallClock`] the wall rows hold real
+//! nanoseconds and the derived throughput rows (`requests/s`, `evals/s`)
+//! become meaningful.
+
+use lego_eval::{EvalRequest, EvalSession};
+use lego_explorer::{
+    default_strategies, explore, explore_shard, DesignSpace, ExploreOptions, Snapshot,
+};
+use lego_obs::bench::BenchRow;
+use lego_obs::{Obs, ObsMode, Summary};
+use lego_sim::HwConfig;
+use lego_workloads::zoo;
+
+/// Metric names every `perf_bench` run must emit — the contract the CI
+/// bench-smoke job (and `perf_bench check`) verifies after parsing
+/// `BENCH_eval.json`.
+pub const REQUIRED_METRICS: &[&str] = &[
+    "evaluate_single_wall",
+    "evaluate_single_layers",
+    "evaluate_batch_wall",
+    "evaluate_batch_requests",
+    "evaluate_batch_throughput",
+    "explore_wall",
+    "explore_evals",
+    "explore_throughput",
+    "snapshot_encode_wall",
+    "snapshot_decode_wall",
+    "snapshot_merge_wall",
+    "snapshot_bytes",
+];
+
+/// Everything one perf run produces: the machine-readable rows plus the
+/// full observability summary behind them.
+#[derive(Debug, Clone)]
+pub struct PerfRun {
+    /// `BENCH_eval.json` rows, in stable emission order.
+    pub rows: Vec<BenchRow>,
+    /// The recorder snapshot the rows were derived from.
+    pub summary: Summary,
+}
+
+/// Required metrics absent from `rows` (empty = the contract holds).
+pub fn missing_metrics(rows: &[BenchRow]) -> Vec<&'static str> {
+    REQUIRED_METRICS
+        .iter()
+        .copied()
+        .filter(|m| !rows.iter().any(|r| r.metric == *m))
+        .collect()
+}
+
+fn obs_for(mode: ObsMode) -> Obs {
+    match mode {
+        ObsMode::Disabled => Obs::disabled(),
+        ObsMode::Deterministic => Obs::deterministic(),
+        ObsMode::WallClock => Obs::wall_clock(),
+    }
+}
+
+/// Total nanoseconds of a span, `0` when it was never recorded (disabled
+/// handles record nothing at all).
+fn span_total_ns(summary: &Summary, name: &str) -> u64 {
+    summary.spans.get(name).map_or(0, |s| s.total_ns)
+}
+
+/// `value / (ns ⋅ 1e-9)`, or `0` when no time was recorded (deterministic
+/// mode never reads the clock, so its throughput rows are exactly zero).
+fn per_second(value: f64, ns: u64) -> f64 {
+    if ns == 0 {
+        0.0
+    } else {
+        value / (ns as f64 * 1e-9)
+    }
+}
+
+/// Runs the canonical workloads under `mode` and returns the rows.
+///
+/// Deterministic runs pin every thread pool to one worker so cache-warmth
+/// counters cannot race; wall-clock runs use the automatic pool width
+/// (that is the configuration whose performance matters).
+pub fn run(mode: ObsMode) -> PerfRun {
+    let obs = obs_for(mode);
+    let threads = if mode == ObsMode::WallClock { 0 } else { 1 };
+    let tag = |workload: &str| format!("{workload} mode={}", mode.label());
+    let mut rows = Vec::new();
+
+    // 1. Single cold evaluate.
+    {
+        let session = EvalSession::new()
+            .with_threads(if threads == 0 { 8 } else { threads })
+            .with_obs(obs.clone());
+        let request = EvalRequest::new(zoo::resnet50(), HwConfig::lego_256());
+        let report = obs.time("bench/evaluate_single", || session.evaluate(&request));
+        let cfg = tag("resnet50@lego_256");
+        let wall = span_total_ns(&obs.summary(), "bench/evaluate_single");
+        rows.push(BenchRow::new(
+            "evaluate_single_wall",
+            wall as f64,
+            "ns",
+            &cfg,
+        ));
+        rows.push(BenchRow::new(
+            "evaluate_single_layers",
+            report.per_layer.len() as f64,
+            "layers",
+            &cfg,
+        ));
+        rows.push(BenchRow::new(
+            "evaluate_single_cache_misses",
+            report.provenance.cache_misses as f64,
+            "count",
+            &cfg,
+        ));
+    }
+
+    // 2. Batch throughput over a zoo mix.
+    {
+        let session = EvalSession::new()
+            .with_threads(if threads == 0 { 8 } else { threads })
+            .with_obs(obs.clone());
+        let requests: Vec<EvalRequest> = [zoo::lenet(), zoo::mobilenet_v2(), zoo::resnet50()]
+            .into_iter()
+            .map(|m| EvalRequest::new(m, HwConfig::lego_256()))
+            .collect();
+        let reports = obs.time("bench/evaluate_batch", || session.evaluate_batch(&requests));
+        assert_eq!(reports.len(), requests.len());
+        let cfg = tag("lenet+mobilenet_v2+resnet50@lego_256");
+        let wall = span_total_ns(&obs.summary(), "bench/evaluate_batch");
+        rows.push(BenchRow::new(
+            "evaluate_batch_wall",
+            wall as f64,
+            "ns",
+            &cfg,
+        ));
+        rows.push(BenchRow::new(
+            "evaluate_batch_requests",
+            requests.len() as f64,
+            "count",
+            &cfg,
+        ));
+        rows.push(BenchRow::new(
+            "evaluate_batch_throughput",
+            per_second(requests.len() as f64, wall),
+            "requests/s",
+            &cfg,
+        ));
+    }
+
+    // 3. Explorer: the full strategy portfolio over the tiny space.
+    let opts = ExploreOptions {
+        budget_per_strategy: 24,
+        threads,
+        obs: obs.clone(),
+        ..Default::default()
+    };
+    {
+        let model = zoo::lenet();
+        let result = obs.time("bench/explore", || {
+            explore(
+                &model,
+                &DesignSpace::tiny(),
+                &mut default_strategies(7),
+                &opts,
+            )
+        });
+        assert!(!result.frontier.is_empty());
+        let cfg = tag("lenet@tiny_space budget=24x3");
+        let summary = obs.summary();
+        let wall = span_total_ns(&summary, "bench/explore");
+        // `explore.evals` is counted before each batch evaluates, so it is
+        // identical in every mode and under any pool width.
+        let evals = summary.counter("explore.evals");
+        rows.push(BenchRow::new("explore_wall", wall as f64, "ns", &cfg));
+        rows.push(BenchRow::new("explore_evals", evals as f64, "count", &cfg));
+        rows.push(BenchRow::new(
+            "explore_throughput",
+            per_second(evals as f64, wall),
+            "evals/s",
+            &cfg,
+        ));
+    }
+
+    // 4. Snapshot codec: encode / decode / merge two shard checkpoints.
+    {
+        let model = zoo::lenet();
+        let space = DesignSpace::tiny();
+        let snap = |i: u32| {
+            explore_shard(
+                &model,
+                &space.shard(i, 2),
+                &mut default_strategies(7),
+                &opts,
+            )
+            .snapshot(&model.name, 7)
+        };
+        let (a, b) = (snap(0), snap(1));
+        let cfg = tag("lenet@tiny_space shards=2");
+        let bytes = obs.time("bench/snapshot_encode", || a.encode());
+        let decoded = obs.time("bench/snapshot_decode", || {
+            Snapshot::decode(&bytes).expect("own encoding decodes")
+        });
+        assert_eq!(decoded.cache, a.cache);
+        let merged = obs.time("bench/snapshot_merge", || {
+            let mut m = a.clone();
+            m.absorb(&b);
+            m
+        });
+        let summary = obs.summary();
+        let span_ns = |name: &str| span_total_ns(&summary, name) as f64;
+        rows.push(BenchRow::new(
+            "snapshot_encode_wall",
+            span_ns("bench/snapshot_encode"),
+            "ns",
+            &cfg,
+        ));
+        rows.push(BenchRow::new(
+            "snapshot_decode_wall",
+            span_ns("bench/snapshot_decode"),
+            "ns",
+            &cfg,
+        ));
+        rows.push(BenchRow::new(
+            "snapshot_merge_wall",
+            span_ns("bench/snapshot_merge"),
+            "ns",
+            &cfg,
+        ));
+        rows.push(BenchRow::new(
+            "snapshot_bytes",
+            bytes.len() as f64,
+            "bytes",
+            &cfg,
+        ));
+        rows.push(BenchRow::new(
+            "snapshot_cache_entries",
+            merged.cache.len() as f64,
+            "count",
+            &cfg,
+        ));
+        rows.push(BenchRow::new(
+            "snapshot_evaluated",
+            merged.evaluated as f64,
+            "count",
+            &cfg,
+        ));
+    }
+
+    PerfRun {
+        rows,
+        summary: obs.summary(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lego_obs::bench::render_bench_json;
+
+    #[test]
+    fn every_required_metric_is_emitted() {
+        let run = run(ObsMode::Deterministic);
+        assert!(missing_metrics(&run.rows).is_empty(), "{:?}", run.rows);
+        // Work-count rows carry real signal even without a clock.
+        let value = |metric: &str| {
+            run.rows
+                .iter()
+                .find(|r| r.metric == metric)
+                .map(|r| r.value)
+                .unwrap()
+        };
+        assert!(value("evaluate_single_layers") > 0.0);
+        assert!(value("explore_evals") > 0.0);
+        assert!(value("snapshot_bytes") > 0.0);
+        assert!(value("snapshot_cache_entries") > 0.0);
+        // Deterministic mode never reads the clock.
+        assert_eq!(value("evaluate_single_wall"), 0.0);
+        assert_eq!(value("explore_throughput"), 0.0);
+    }
+
+    #[test]
+    fn deterministic_runs_render_byte_identically() {
+        let a = run(ObsMode::Deterministic);
+        let b = run(ObsMode::Deterministic);
+        assert_eq!(render_bench_json(&a.rows), render_bench_json(&b.rows));
+        assert_eq!(a.summary.render(), b.summary.render());
+    }
+}

@@ -130,6 +130,18 @@ impl EvalCache {
         added
     }
 
+    /// Rough resident memory of the table: key + value + per-entry
+    /// `HashMap` bookkeeping for every stored entry. An estimate
+    /// (allocator slack and unused table capacity are not counted), but a
+    /// deterministic function of the entry count, so it is safe to
+    /// surface in deterministic observability summaries.
+    pub fn estimated_resident_bytes(&self) -> usize {
+        // Control byte plus amortized empty-slot overhead per occupied
+        // bucket (the hash table keeps its load factor below ~7/8).
+        const PER_ENTRY_OVERHEAD: usize = 16;
+        self.len() * (std::mem::size_of::<((u64, u64), LayerPerf)>() + PER_ENTRY_OVERHEAD)
+    }
+
     /// Distinct entries stored.
     pub fn len(&self) -> usize {
         self.shards
@@ -186,6 +198,17 @@ mod tests {
         assert_eq!(cache.misses(), 1);
         assert_eq!(cache.hits(), 2);
         assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn resident_bytes_track_entry_count() {
+        let cache = EvalCache::new();
+        assert_eq!(cache.estimated_resident_bytes(), 0);
+        cache.get_or_compute(1, 1, perf);
+        let one = cache.estimated_resident_bytes();
+        assert!(one > 0);
+        cache.get_or_compute(1, 2, perf);
+        assert_eq!(cache.estimated_resident_bytes(), 2 * one);
     }
 
     #[test]

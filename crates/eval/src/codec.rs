@@ -19,8 +19,9 @@ use std::fmt;
 
 /// File magic: identifies a LEGO evaluation codec payload.
 const MAGIC: &[u8; 8] = b"LEGOEVAL";
-/// Current codec version.
-pub const VERSION: u8 = 1;
+/// Current codec version. Version 2 added the per-request cache-warmth
+/// counters (`cache_hits`/`cache_misses`) to [`Provenance`].
+pub const VERSION: u8 = 2;
 /// Kind byte for an encoded [`EvalRequest`].
 const KIND_REQUEST: u8 = 1;
 /// Kind byte for an encoded [`EvalReport`].
@@ -746,6 +747,8 @@ impl EvalReport {
         e.u8(self.provenance.codec_version);
         e.u64(self.provenance.request_fingerprint);
         e.u64(self.provenance.hw_key);
+        e.u64(self.provenance.cache_hits);
+        e.u64(self.provenance.cache_misses);
         e.buf
     }
 
@@ -806,6 +809,8 @@ impl EvalReport {
             codec_version: d.u8()?,
             request_fingerprint: d.u64()?,
             hw_key: d.u64()?,
+            cache_hits: d.u64()?,
+            cache_misses: d.u64()?,
         };
         d.done()?;
         Ok(EvalReport {

@@ -42,8 +42,9 @@
 //! let decoded = lego_eval::EvalRequest::decode(&bytes).unwrap();
 //! assert_eq!(decoded.encode(), bytes);
 //! // …and a remote worker evaluating the decoded request reproduces the
-//! // report bit-for-bit (evaluation is pure).
-//! assert_eq!(session.evaluate(&decoded), report);
+//! // report bit-for-bit (evaluation is pure; a fresh session matches the
+//! // sender's cold cache, which provenance records).
+//! assert_eq!(EvalSession::new().evaluate(&decoded), report);
 //! ```
 //!
 //! The pre-session entry points still exist as `#[deprecated]` shims over

@@ -13,8 +13,10 @@ use crate::objective::{Objective, Objectives};
 use lego_model::{
     CompressedFormat, CostContext, HwConfig, MacroArea, SparseHw, SramModel, TechModel,
 };
-use lego_sim::{aggregate, best_mapping_ctx, LayerPerf, ModelPerf};
+use lego_obs::Obs;
+use lego_sim::{aggregate, best_mapping_obs, LayerPerf, ModelPerf};
 use lego_workloads::Model;
+use std::cell::Cell;
 use std::hash::{Hash, Hasher};
 use std::sync::{mpsc, Mutex};
 
@@ -243,9 +245,11 @@ impl CostSummary {
     }
 }
 
-/// Where a report came from: enough to match it to its request and to
-/// refuse codec mismatches. Every field is deterministic — two runs of the
-/// same request produce byte-identical provenance.
+/// Where a report came from: enough to match it to its request, to refuse
+/// codec mismatches, and to say whether the evaluation was warm. Every
+/// field is a deterministic function of the request and the session's
+/// cache state when the request was priced — two runs of the same request
+/// against the same cache state produce byte-identical provenance.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Provenance {
     /// Version of the evaluating `lego-eval` crate.
@@ -257,6 +261,20 @@ pub struct Provenance {
     /// [`EvalRequest::hw_key`] of the priced request (the request-level
     /// hardware-side fingerprint, not the session-internal cache key).
     pub hw_key: u64,
+    /// Layer lookups *this request* answered from the session cache —
+    /// counted locally per request, not read from the global cache
+    /// counters, so parallel batches still produce deterministic reports.
+    /// `cache_misses == 0` means the evaluation was fully warm.
+    pub cache_hits: u64,
+    /// Layer lookups this request had to simulate.
+    pub cache_misses: u64,
+}
+
+impl Provenance {
+    /// Whether every layer was answered from the cache (no simulation ran).
+    pub fn warm(&self) -> bool {
+        self.cache_misses == 0
+    }
 }
 
 /// The response to an [`EvalRequest`]: per-layer mapping results, the
@@ -312,6 +330,7 @@ pub struct EvalSession {
     cache: EvalCache,
     sram: SramModel,
     threads: usize,
+    obs: Obs,
 }
 
 impl Default for EvalSession {
@@ -323,13 +342,14 @@ impl Default for EvalSession {
             cache: EvalCache::new(),
             sram: SramModel::default(),
             threads,
+            obs: Obs::disabled(),
         }
     }
 }
 
 impl EvalSession {
-    /// A session with a fresh cache, the default SRAM model, and an
-    /// automatic worker count.
+    /// A session with a fresh cache, the default SRAM model, an automatic
+    /// worker count, and observability disabled.
     pub fn new() -> Self {
         Self::default()
     }
@@ -346,6 +366,23 @@ impl EvalSession {
     pub fn with_sram(mut self, sram: SramModel) -> Self {
         self.sram = sram;
         self
+    }
+
+    /// Attaches an observability handle: every evaluation records
+    /// per-phase spans (`eval/context_build`, `eval/mapping_search`,
+    /// `eval/aggregate`, and `sim/best_mapping` per simulated layer) and
+    /// counters (`eval.requests`, `eval.layers`, `cache.hits`,
+    /// `cache.misses`, `sim.mappings_tried`). Instrumentation never
+    /// changes results: reports are byte-identical with any [`Obs`] mode.
+    #[must_use]
+    pub fn with_obs(mut self, obs: Obs) -> Self {
+        self.obs = obs;
+        self
+    }
+
+    /// The observability handle evaluations record into.
+    pub fn obs(&self) -> &Obs {
+        &self.obs
     }
 
     /// The shared memo table.
@@ -407,17 +444,29 @@ impl EvalSession {
     /// Prices a borrowed request view — the zero-clone form sweep drivers
     /// and the explorer use (see [`EvalRequestRef`]).
     pub fn evaluate_view(&self, request: EvalRequestRef<'_>) -> EvalReport {
-        let ctx = CostContext::new(request.hw.clone(), request.tech)
-            .with_sram(self.sram)
-            .with_sparse(request.sparse);
+        let _eval_span = self.obs.span("eval/evaluate");
+        self.obs.count("eval.requests", 1);
+        self.obs
+            .count("eval.layers", request.workload.layers.len() as u64);
+        let ctx = self.obs.time("eval/context_build", || {
+            CostContext::new(request.hw.clone(), request.tech)
+                .with_sram(self.sram)
+                .with_sparse(request.sparse)
+        });
         let cache_key = self.cache_key(&request);
+        // Cache warmth is counted locally (not read from the global cache
+        // counters) so a report's provenance depends only on this
+        // request's lookups, never on what parallel batch neighbors did.
+        let computed = Cell::new(0u64);
+        let search_span = self.obs.span("eval/mapping_search");
         let per_layer: Vec<LayerReport> = request
             .workload
             .layers
             .iter()
             .map(|layer| {
                 let perf = self.cache.get_or_compute(cache_key, layer_key(layer), || {
-                    best_mapping_ctx(layer, &ctx, request.tile_cap)
+                    computed.set(computed.get() + 1);
+                    best_mapping_obs(layer, &ctx, request.tile_cap, &self.obs)
                 });
                 let (weight_format, input_format) = ctx
                     .sparse_effects(&layer.sparsity)
@@ -433,11 +482,18 @@ impl EvalSession {
                 }
             })
             .collect();
+        drop(search_span);
+        let cache_misses = computed.get();
+        let cache_hits = per_layer.len() as u64 - cache_misses;
+        self.obs.count("cache.hits", cache_hits);
+        self.obs.count("cache.misses", cache_misses);
         let pairs: Vec<(i64, LayerPerf)> = per_layer
             .iter()
             .map(|l| (l.count, l.perf.clone()))
             .collect();
-        let model = aggregate(request.workload, &pairs, &request.tech);
+        let model = self.obs.time("eval/aggregate", || {
+            aggregate(request.workload, &pairs, &request.tech)
+        });
 
         let latency_cycles = model.cycles as f64;
         let time_s = latency_cycles / (request.tech.freq_ghz * 1e9);
@@ -476,6 +532,8 @@ impl EvalSession {
                     codec_version: crate::codec::VERSION,
                     request_fingerprint: request_fingerprint(request.workload, hw_key),
                     hw_key,
+                    cache_hits,
+                    cache_misses,
                 }
             },
         }
@@ -516,6 +574,13 @@ impl EvalSession {
             return Vec::new();
         }
         let workers = self.threads.min(items.len()).max(1);
+        // Pool shape metrics are scheduling-dependent (worker counts vary
+        // with thread interleaving), so they only exist in wall-clock mode
+        // and never leak into deterministic summaries.
+        self.obs.count_scheduling("pool.batches", 1);
+        self.obs
+            .record_scheduling("pool.queue_depth", items.len() as f64);
+        self.obs.record_scheduling("pool.workers", workers as f64);
         if workers == 1 {
             return items.iter().map(f).collect();
         }
@@ -531,16 +596,24 @@ impl EvalSession {
                 let result_tx = result_tx.clone();
                 let task_rx = &task_rx;
                 let f = &f;
-                scope.spawn(move || loop {
-                    let task = task_rx.lock().expect("task queue poisoned").recv();
-                    match task {
-                        Ok(i) => {
-                            if result_tx.send((i, f(&items[i]))).is_err() {
-                                break;
+                let obs = &self.obs;
+                scope.spawn(move || {
+                    let mut done = 0u64;
+                    loop {
+                        let task = task_rx.lock().expect("task queue poisoned").recv();
+                        match task {
+                            Ok(i) => {
+                                if result_tx.send((i, f(&items[i]))).is_err() {
+                                    break;
+                                }
+                                done += 1;
                             }
+                            Err(_) => break,
                         }
-                        Err(_) => break,
                     }
+                    // How evenly the queue spread across workers; one
+                    // sample per worker per batch.
+                    obs.record_scheduling("pool.worker_tasks", done as f64);
                 });
             }
             drop(result_tx);
@@ -559,6 +632,7 @@ impl EvalSession {
 mod tests {
     use super::*;
     use lego_model::SparseAccel;
+    use lego_sim::best_mapping_ctx;
     use lego_workloads::zoo;
 
     #[test]
@@ -612,9 +686,60 @@ mod tests {
         let seq = EvalSession::new().with_threads(1);
         let batched = par.evaluate_batch(&requests);
         let sequential = seq.evaluate_batch(&requests);
-        let streamed: Vec<EvalReport> = seq.evaluate_stream(requests.clone()).collect();
+        // A fresh session for the stream: provenance records cache
+        // warmth, so only equal cache states compare byte-identical.
+        let stream_session = EvalSession::new().with_threads(1);
+        let streamed: Vec<EvalReport> = stream_session.evaluate_stream(requests.clone()).collect();
         assert_eq!(batched, sequential);
         assert_eq!(streamed, sequential);
+    }
+
+    #[test]
+    fn provenance_reports_cache_warmth() {
+        let session = EvalSession::new();
+        let req = EvalRequest::new(zoo::lenet(), HwConfig::lego_256());
+        let cold = session.evaluate(&req);
+        assert!(cold.provenance.cache_misses > 0, "cold run must simulate");
+        assert!(!cold.provenance.warm());
+        assert_eq!(
+            cold.provenance.cache_hits + cold.provenance.cache_misses,
+            req.workload.layers.len() as u64
+        );
+        let warm = session.evaluate(&req);
+        assert!(warm.provenance.warm());
+        assert_eq!(warm.provenance.cache_hits, req.workload.layers.len() as u64);
+        // Warmth is the only difference between the two reports.
+        assert_eq!(warm.per_layer, cold.per_layer);
+        assert_eq!(warm.model, cold.model);
+        assert_eq!(warm.cost, cold.cost);
+    }
+
+    #[test]
+    fn observability_never_perturbs_reports() {
+        let req = EvalRequest::new(zoo::resnet50(), HwConfig::lego_256());
+        let plain = EvalSession::new().evaluate(&req);
+        let obs = Obs::deterministic();
+        let instrumented = EvalSession::new().with_obs(obs.clone()).evaluate(&req);
+        assert_eq!(instrumented, plain, "instrumentation must not perturb");
+        assert_eq!(instrumented.encode(), plain.encode());
+        // And the recorder saw the evaluation's shape.
+        let summary = obs.summary();
+        assert_eq!(summary.counter("eval.requests"), 1);
+        assert_eq!(
+            summary.counter("eval.layers"),
+            req.workload.layers.len() as u64
+        );
+        assert_eq!(
+            summary.counter("cache.hits") + summary.counter("cache.misses"),
+            req.workload.layers.len() as u64
+        );
+        assert!(summary.counter("sim.mappings_tried") > 0);
+        assert_eq!(summary.spans["eval/evaluate"].count, 1);
+        assert_eq!(summary.spans["eval/context_build"].count, 1);
+        assert_eq!(summary.spans["eval/mapping_search"].count, 1);
+        assert_eq!(summary.spans["eval/aggregate"].count, 1);
+        // Deterministic mode never reads the clock.
+        assert!(summary.spans.values().all(|s| s.total_ns == 0));
     }
 
     #[test]

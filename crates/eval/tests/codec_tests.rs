@@ -54,11 +54,15 @@ fn report_roundtrip_is_byte_identical() {
 #[test]
 fn a_decoded_request_evaluates_to_the_same_report() {
     // The multi-host contract: ship the bytes anywhere, evaluate there,
-    // get bit-for-bit the report the sender would have computed.
-    let session = EvalSession::new();
+    // get bit-for-bit the report the sender would have computed. Each side
+    // evaluates on a fresh session: provenance records cache warmth, so
+    // the contract compares equal cache states (cold vs cold).
     for request in requests() {
         let remote = EvalRequest::decode(&request.encode()).expect("decodes");
-        assert_eq!(session.evaluate(&remote), session.evaluate(&request));
+        assert_eq!(
+            EvalSession::new().evaluate(&remote),
+            EvalSession::new().evaluate(&request)
+        );
         assert_eq!(remote.fingerprint(), request.fingerprint());
     }
 }

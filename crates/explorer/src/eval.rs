@@ -13,6 +13,7 @@ use crate::pareto::{Constraints, Objective};
 use crate::space::Genome;
 use lego_eval::{EvalCache, EvalRequestRef, EvalSession, Objectives};
 use lego_model::{SparseHw, TechModel};
+use lego_obs::Obs;
 use lego_sim::{LayerPerf, ModelPerf};
 use lego_workloads::Model;
 
@@ -66,6 +67,22 @@ impl<'m> Evaluator<'m> {
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.session = self.session.with_threads(threads);
         self
+    }
+
+    /// Attaches an observability handle; it is forwarded to the underlying
+    /// [`EvalSession`], so every genome evaluation records the session's
+    /// per-phase spans and cache counters, and the strategies record
+    /// search-level series (`explore.evals`, `explore/generation`).
+    /// Instrumentation never changes search results.
+    #[must_use]
+    pub fn with_obs(mut self, obs: Obs) -> Self {
+        self.session = self.session.with_obs(obs);
+        self
+    }
+
+    /// The observability handle evaluations and strategies record into.
+    pub fn obs(&self) -> &Obs {
+        self.session.obs()
     }
 
     /// Applies hard feasibility budgets to every evaluation.

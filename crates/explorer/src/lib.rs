@@ -88,6 +88,7 @@ pub use space::{DataflowSet, DesignSpace, Genome, SpaceShard, ALL_MAPPINGS};
 pub use strategy::{EvolutionarySearch, GridSearch, RandomSearch, SearchReport, SearchStrategy};
 
 use lego_model::TechModel;
+use lego_obs::Obs;
 use lego_sim::LayerPerf;
 use lego_workloads::Model;
 
@@ -122,6 +123,13 @@ pub struct ExploreOptions {
     /// Results are unchanged either way (entries are deterministic), only
     /// the work is. Empty = cold cache.
     pub warm_cache: Vec<((u64, u64), LayerPerf)>,
+    /// Observability handle threaded through the evaluator (and the
+    /// session inside it) and the strategies: per-phase evaluation spans,
+    /// cache hit/miss counters, per-strategy `explore/strategy` spans and
+    /// `explore.evaluated` counts, ES `explore/generation` spans.
+    /// Default: [`Obs::disabled`] — a near-no-op handle. Instrumentation
+    /// never changes search results.
+    pub obs: Obs,
 }
 
 impl Default for ExploreOptions {
@@ -134,6 +142,7 @@ impl Default for ExploreOptions {
             objective: Objective::EDP,
             warm_start: Vec::new(),
             warm_cache: Vec::new(),
+            obs: Obs::disabled(),
         }
     }
 }
@@ -211,6 +220,12 @@ pub struct ShardRunResult {
 }
 
 impl ShardRunResult {
+    /// Candidate evaluations the shard's strategies spent (the per-strategy
+    /// [`SearchReport::evaluated`] counts summed; cache hits included).
+    pub fn evaluated(&self) -> u64 {
+        self.reports.iter().map(|r| r.evaluated as u64).sum()
+    }
+
     /// Packages the shard's results as a serializable [`Snapshot`].
     pub fn snapshot(&self, model: &str, seed: u64) -> Snapshot {
         Snapshot {
@@ -218,6 +233,7 @@ impl ShardRunResult {
             shard_count: self.shard_count,
             seed,
             model: model.to_string(),
+            evaluated: self.evaluated(),
             frontier: self.frontier.clone(),
             cache: self.cache.clone(),
         }
@@ -237,7 +253,8 @@ pub fn explore_shard(
 ) -> ShardRunResult {
     let mut evaluator = Evaluator::new(model, opts.tech)
         .with_constraints(opts.constraints)
-        .with_objective(opts.objective);
+        .with_objective(opts.objective)
+        .with_obs(opts.obs.clone());
     if opts.threads > 0 {
         evaluator = evaluator.with_threads(opts.threads);
     }
@@ -261,7 +278,12 @@ pub fn explore_shard(
     }
     let reports: Vec<SearchReport> = strategies
         .iter_mut()
-        .map(|s| s.run(shard, &evaluator, &mut frontier, opts.budget_per_strategy))
+        .map(|s| {
+            let _span = opts.obs.span("explore/strategy");
+            let report = s.run(shard, &evaluator, &mut frontier, opts.budget_per_strategy);
+            opts.obs.count("explore.evaluated", report.evaluated as u64);
+            report
+        })
         .collect();
     ShardRunResult {
         shard_index: shard.index(),

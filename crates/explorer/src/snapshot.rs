@@ -31,7 +31,11 @@ const MAGIC: &[u8; 8] = b"LEGOSNAP";
 /// keyspace — every warm-start lookup would silently miss while the
 /// entries ride along into future merges — so they are rejected loudly
 /// instead.
-const VERSION: u8 = 2;
+///
+/// Version 3 adds the `evaluated` counter (candidate evaluations the
+/// shard's strategies spent), so merge tooling can report per-shard search
+/// effort without re-running anything.
+const VERSION: u8 = 3;
 
 /// One shard's checkpointed search state: where it ran (shard coordinates,
 /// seed, model), what it found (the feasible [`ParetoFrontier`]), and what
@@ -47,6 +51,10 @@ pub struct Snapshot {
     pub seed: u64,
     /// Name of the model that was explored.
     pub model: String,
+    /// Candidate evaluations the shard's strategies spent producing this
+    /// snapshot (cache hits included). [`Snapshot::absorb`] sums it, so a
+    /// merged checkpoint reports the whole partition's search effort.
+    pub evaluated: u64,
     /// The shard's feasible Pareto frontier.
     pub frontier: ParetoFrontier,
     /// The shard's memoized `((hw_key, layer_key), perf)` evaluations, in
@@ -61,6 +69,7 @@ impl Snapshot {
     /// collisions (the [`EvalCache::absorb`] rule). Returns
     /// `(frontier_points_added, cache_entries_added)`.
     pub fn absorb(&mut self, other: &Snapshot) -> (usize, usize) {
+        self.evaluated = self.evaluated.saturating_add(other.evaluated);
         let joined = self.frontier.merge(&other.frontier);
         let resident = EvalCache::new();
         resident.absorb(self.cache.iter().cloned());
@@ -83,6 +92,7 @@ impl Snapshot {
         e.u32(self.shard_count);
         e.u64(self.seed);
         e.str(&self.model);
+        e.u64(self.evaluated);
         let mut points: Vec<&DesignPoint> = self.frontier.points().iter().collect();
         points.sort_by_key(|p| p.genome.key());
         e.u32(points.len() as u32);
@@ -118,6 +128,7 @@ impl Snapshot {
         let shard_count = d.u32()?;
         let seed = d.u64()?;
         let model = d.str()?;
+        let evaluated = d.u64()?;
         let mut frontier = ParetoFrontier::new();
         let n_points = d.u32()?;
         for _ in 0..n_points {
@@ -136,6 +147,7 @@ impl Snapshot {
             shard_count,
             seed,
             model,
+            evaluated,
             frontier,
             cache,
         })
@@ -513,6 +525,8 @@ mod tests {
         assert_eq!(decoded.shard_count, 2);
         assert_eq!(decoded.seed, 0xA11CE);
         assert_eq!(decoded.model, snap.model);
+        assert!(snap.evaluated > 0, "strategies spent evaluations");
+        assert_eq!(decoded.evaluated, snap.evaluated);
         assert_eq!(decoded.frontier.len(), snap.frontier.len());
         assert_eq!(decoded.frontier.genome_keys(), snap.frontier.genome_keys());
         assert_eq!(decoded.cache, snap.cache);
@@ -613,7 +627,10 @@ mod tests {
             .collect();
         let second = halves.pop().expect("two shards");
         let mut merged = halves.pop().expect("two shards");
+        let total_evaluated = merged.evaluated + second.evaluated;
         merged.absorb(&second);
+        // Search effort sums across the partition.
+        assert_eq!(merged.evaluated, total_evaluated);
         // The merged cache is the key-union, still canonically sorted.
         assert!(merged.cache.windows(2).all(|w| w[0].0 < w[1].0));
         let keys: std::collections::HashSet<(u64, u64)> =

@@ -62,6 +62,7 @@ fn score_batch(
     genomes: &[Genome],
     best: &mut Option<DesignPoint>,
 ) -> Vec<DesignPoint> {
+    evaluator.obs().count("explore.evals", genomes.len() as u64);
     let points = evaluator.eval_batch(genomes);
     for p in &points {
         if !p.feasible {
@@ -231,10 +232,21 @@ impl SearchStrategy for EvolutionarySearch {
             init.push(shard.sample(&mut rng));
         }
         let mut evaluated = init.len();
-        let mut population = score_batch(evaluator, frontier, &init, &mut best);
+        let mut population = {
+            let _span = evaluator.obs().span("explore/generation");
+            score_batch(evaluator, frontier, &init, &mut best)
+        };
 
         while evaluated < budget {
+            // One span per generation: with a wall-clock recorder, the
+            // span's total time over the `explore.evals` counter is the
+            // search's evaluations-per-second figure.
+            let _gen_span = evaluator.obs().span("explore/generation");
+            evaluator.obs().count("explore.generations", 1);
             let brood = lambda.min(budget - evaluated);
+            evaluator
+                .obs()
+                .record("explore.generation_size", brood as f64);
             let children: Vec<Genome> = (0..brood)
                 .map(|_| {
                     // Binary tournament per parent slot.

@@ -171,6 +171,7 @@ proptest! {
             shard_count: 1,
             seed,
             model: "synthetic".into(),
+            evaluated: (xs.len() + ys.len()) as u64,
             frontier: merged(&frontier_of(&xs), &frontier_of(&ys)),
             cache: cache.entries(),
         };
@@ -180,6 +181,7 @@ proptest! {
         prop_assert_eq!(decoded.frontier.genome_keys(), snap.frontier.genome_keys());
         prop_assert_eq!(decoded.cache, snap.cache);
         prop_assert_eq!(decoded.seed, seed);
+        prop_assert_eq!(decoded.evaluated, snap.evaluated);
     }
 }
 

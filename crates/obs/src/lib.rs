@@ -1,0 +1,592 @@
+//! # lego-obs — zero-dependency observability for the evaluation stack
+//!
+//! Every hot path in the workspace (the `EvalSession` request/response
+//! layer, the explorer worker pool, the bench bins) threads an [`Obs`]
+//! handle: a cheap, cloneable reference to a shared [`Recorder`] that
+//! accumulates **counters**, **value histograms** (count/sum/min/max),
+//! and **named timed spans**. The design constraint that shapes the whole
+//! crate is the repository's byte-identical determinism CI: observability
+//! must never perturb results, and in [`ObsMode::Deterministic`] the
+//! summary itself must be byte-identical across runs.
+//!
+//! Three modes:
+//!
+//! * [`Obs::disabled`] — a `None` handle; every operation is a single
+//!   branch and no allocation. This is the default everywhere.
+//! * [`Obs::deterministic`] — records counts, values, and span *counts*,
+//!   but never reads the clock (all durations render as `0`) and drops
+//!   scheduling-dependent values ([`Obs::count_scheduling`] /
+//!   [`Obs::record_scheduling`]), so [`Summary::render`] is byte-stable
+//!   across identical runs regardless of thread interleaving.
+//! * [`Obs::wall_clock`] — records real durations and the
+//!   scheduling-dependent series too; for perf runs, not for CI diffing.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use lego_obs::{Obs, ObsMode};
+//!
+//! let obs = Obs::deterministic();
+//! {
+//!     let _span = obs.span("eval/mapping_search");
+//!     obs.count("sim.mappings_tried", 12);
+//!     obs.record("pool.queue_depth", 3.0);
+//! } // span closes on drop
+//!
+//! let summary = obs.summary();
+//! assert_eq!(summary.mode, ObsMode::Deterministic);
+//! assert_eq!(summary.counter("sim.mappings_tried"), 12);
+//! assert_eq!(summary.spans["eval/mapping_search"].count, 1);
+//! // Deterministic mode never reads the clock:
+//! assert_eq!(summary.spans["eval/mapping_search"].total_ns, 0);
+//! // The render is a stable JSON document (sorted keys, fixed layout),
+//! // safe to byte-compare across runs in CI.
+//! let text = summary.render();
+//! assert_eq!(text, obs.summary().render());
+//! ```
+//!
+//! Timing a closure and nesting spans:
+//!
+//! ```
+//! use lego_obs::Obs;
+//!
+//! let obs = Obs::wall_clock();
+//! let span = obs.span("explore/generation");
+//! let value = span.time("score_batch", || 6 * 7); // "explore/generation/score_batch"
+//! assert_eq!(value, 42);
+//! drop(span);
+//! assert!(obs.summary().spans["explore/generation/score_batch"].total_ns > 0);
+//! ```
+//!
+//! The [`mod@bench`] module holds the machine-readable `BENCH_*.json` row
+//! format (`{metric, value, unit, config}`) that `perf_bench` writes and
+//! CI re-parses.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+pub mod bench;
+
+pub use bench::BenchRow;
+
+/// What a [`Recorder`] is allowed to observe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum ObsMode {
+    /// No recorder attached; every operation is a no-op.
+    Disabled,
+    /// Record counts and values, but never read the clock and never
+    /// record scheduling-dependent series: the summary is byte-identical
+    /// across identical runs, whatever the thread interleaving.
+    Deterministic,
+    /// Record everything, including real wall-clock durations.
+    WallClock,
+}
+
+impl ObsMode {
+    /// Stable lowercase name: `disabled` / `deterministic` / `wall_clock`.
+    pub fn label(self) -> &'static str {
+        match self {
+            ObsMode::Disabled => "disabled",
+            ObsMode::Deterministic => "deterministic",
+            ObsMode::WallClock => "wall_clock",
+        }
+    }
+}
+
+/// Count/sum/min/max statistics for one recorded value series.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ValueStat {
+    /// Number of samples recorded.
+    pub count: u64,
+    /// Sum of all samples.
+    pub sum: f64,
+    /// Smallest sample.
+    pub min: f64,
+    /// Largest sample.
+    pub max: f64,
+}
+
+impl ValueStat {
+    fn observe(&mut self, value: f64) {
+        if self.count == 0 {
+            self.min = value;
+            self.max = value;
+        } else {
+            if value < self.min {
+                self.min = value;
+            }
+            if value > self.max {
+                self.max = value;
+            }
+        }
+        self.count += 1;
+        self.sum += value;
+    }
+
+    /// Arithmetic mean of the samples (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+}
+
+/// Aggregate statistics for one named span.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpanStat {
+    /// How many times the span was entered.
+    pub count: u64,
+    /// Total nanoseconds across all entries; always `0` in
+    /// [`ObsMode::Deterministic`].
+    pub total_ns: u64,
+}
+
+#[derive(Debug, Default)]
+struct State {
+    counters: BTreeMap<String, u64>,
+    values: BTreeMap<String, ValueStat>,
+    spans: BTreeMap<String, SpanStat>,
+}
+
+/// The shared sink behind an [`Obs`] handle. Interior-mutable and
+/// thread-safe; all maps are `BTreeMap`s so summaries iterate in a
+/// stable order.
+#[derive(Debug)]
+pub struct Recorder {
+    mode: ObsMode,
+    state: Mutex<State>,
+}
+
+impl Recorder {
+    fn new(mode: ObsMode) -> Self {
+        Recorder {
+            mode,
+            state: Mutex::new(State::default()),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, State> {
+        // Observability must never take the process down: if another
+        // thread panicked while holding the lock, keep recording into
+        // whatever state it left behind.
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn end_span(&self, name: &str, elapsed_ns: u64) {
+        let mut state = self.lock();
+        let stat = state.spans.entry(name.to_string()).or_insert(SpanStat {
+            count: 0,
+            total_ns: 0,
+        });
+        stat.count += 1;
+        stat.total_ns = stat.total_ns.saturating_add(elapsed_ns);
+    }
+}
+
+/// A cheap, cloneable observability handle: `None` when disabled, a
+/// shared [`Recorder`] otherwise. See the crate docs for the quickstart.
+#[derive(Clone, Debug, Default)]
+pub struct Obs {
+    rec: Option<Arc<Recorder>>,
+}
+
+impl Obs {
+    /// A handle that records nothing; every operation is a single branch.
+    /// This is also what [`Obs::default`] returns.
+    pub fn disabled() -> Self {
+        Obs { rec: None }
+    }
+
+    /// A recorder whose summary is byte-identical across identical runs:
+    /// counts and values are recorded, the clock is never read, and
+    /// scheduling-dependent series are dropped.
+    pub fn deterministic() -> Self {
+        Obs {
+            rec: Some(Arc::new(Recorder::new(ObsMode::Deterministic))),
+        }
+    }
+
+    /// A recorder that also measures real wall-clock durations and keeps
+    /// scheduling-dependent series. Use for perf runs, not CI diffing.
+    pub fn wall_clock() -> Self {
+        Obs {
+            rec: Some(Arc::new(Recorder::new(ObsMode::WallClock))),
+        }
+    }
+
+    /// The mode of the attached recorder ([`ObsMode::Disabled`] if none).
+    pub fn mode(&self) -> ObsMode {
+        self.rec.as_ref().map_or(ObsMode::Disabled, |r| r.mode)
+    }
+
+    /// `true` unless this handle is [`Obs::disabled`].
+    pub fn is_enabled(&self) -> bool {
+        self.rec.is_some()
+    }
+
+    /// Add `n` to the named counter.
+    pub fn count(&self, name: &str, n: u64) {
+        if let Some(rec) = &self.rec {
+            let mut state = rec.lock();
+            *state.counters.entry(name.to_string()).or_insert(0) += n;
+        }
+    }
+
+    /// Record one sample of the named value series (count/sum/min/max).
+    /// Non-finite samples are dropped: they cannot render as JSON and a
+    /// single NaN would poison the min/max forever.
+    pub fn record(&self, name: &str, value: f64) {
+        if !value.is_finite() {
+            return;
+        }
+        if let Some(rec) = &self.rec {
+            let mut state = rec.lock();
+            state
+                .values
+                .entry(name.to_string())
+                .or_insert(ValueStat {
+                    count: 0,
+                    sum: 0.0,
+                    min: 0.0,
+                    max: 0.0,
+                })
+                .observe(value);
+        }
+    }
+
+    /// Like [`Obs::count`], but for totals that depend on thread
+    /// scheduling (per-worker evaluation counts, duplicate computes from
+    /// racing cache fills). Dropped in [`ObsMode::Deterministic`] so the
+    /// summary stays byte-stable; recorded normally in
+    /// [`ObsMode::WallClock`].
+    pub fn count_scheduling(&self, name: &str, n: u64) {
+        if self.mode() == ObsMode::WallClock {
+            self.count(name, n);
+        }
+    }
+
+    /// Like [`Obs::record`], but for scheduling-dependent samples (queue
+    /// depths observed by racing workers). Dropped in
+    /// [`ObsMode::Deterministic`].
+    pub fn record_scheduling(&self, name: &str, value: f64) {
+        if self.mode() == ObsMode::WallClock {
+            self.record(name, value);
+        }
+    }
+
+    /// Open a named span; it closes (and records) when the returned guard
+    /// drops. In [`ObsMode::Deterministic`] the entry is counted but the
+    /// clock is never read, so the recorded duration is `0`.
+    pub fn span(&self, name: &str) -> Span {
+        match &self.rec {
+            None => Span {
+                obs: Obs { rec: None },
+                name: String::new(),
+                start: None,
+            },
+            Some(rec) => Span {
+                obs: self.clone(),
+                name: name.to_string(),
+                start: if rec.mode == ObsMode::WallClock {
+                    Some(Instant::now())
+                } else {
+                    None
+                },
+            },
+        }
+    }
+
+    /// Run `f` inside a span of the given name and return its result.
+    pub fn time<R>(&self, name: &str, f: impl FnOnce() -> R) -> R {
+        let _span = self.span(name);
+        f()
+    }
+
+    /// Snapshot the recorder into an immutable [`Summary`].
+    pub fn summary(&self) -> Summary {
+        match &self.rec {
+            None => Summary {
+                mode: ObsMode::Disabled,
+                counters: BTreeMap::new(),
+                values: BTreeMap::new(),
+                spans: BTreeMap::new(),
+            },
+            Some(rec) => {
+                let state = rec.lock();
+                Summary {
+                    mode: rec.mode,
+                    counters: state.counters.clone(),
+                    values: state.values.clone(),
+                    spans: state.spans.clone(),
+                }
+            }
+        }
+    }
+
+    /// Clear all recorded data (mode is kept).
+    pub fn reset(&self) {
+        if let Some(rec) = &self.rec {
+            let mut state = rec.lock();
+            state.counters.clear();
+            state.values.clear();
+            state.spans.clear();
+        }
+    }
+}
+
+/// Drop guard for one entry into a named span. Created by [`Obs::span`].
+#[derive(Debug)]
+pub struct Span {
+    obs: Obs,
+    name: String,
+    start: Option<Instant>,
+}
+
+impl Span {
+    /// Open a nested span named `parent/child`.
+    pub fn child(&self, name: &str) -> Span {
+        if self.obs.rec.is_none() {
+            return self.obs.span("");
+        }
+        self.obs.span(&format!("{}/{}", self.name, name))
+    }
+
+    /// Run `f` inside a nested span named `parent/child`.
+    pub fn time<R>(&self, name: &str, f: impl FnOnce() -> R) -> R {
+        let _span = self.child(name);
+        f()
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if let Some(rec) = &self.obs.rec {
+            let ns = self
+                .start
+                .map(|s| u64::try_from(s.elapsed().as_nanos()).unwrap_or(u64::MAX))
+                .unwrap_or(0);
+            rec.end_span(&self.name, ns);
+        }
+    }
+}
+
+/// An immutable snapshot of a [`Recorder`], with a byte-stable
+/// [`Summary::render`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Summary {
+    /// Mode of the recorder this was snapshotted from.
+    pub mode: ObsMode,
+    /// Counter totals, keyed by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Value series statistics, keyed by name.
+    pub values: BTreeMap<String, ValueStat>,
+    /// Span statistics, keyed by name.
+    pub spans: BTreeMap<String, SpanStat>,
+}
+
+impl Summary {
+    /// Counter total by name (`0` if never counted).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// `true` when nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.values.is_empty() && self.spans.is_empty()
+    }
+
+    /// Render as a stable JSON document: sorted keys, fixed layout, no
+    /// clock-derived content in [`ObsMode::Deterministic`]. Two identical
+    /// runs produce byte-identical output, so CI can `diff` it.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str(&format!("  \"mode\": \"{}\",\n", self.mode.label()));
+        out.push_str("  \"counters\": {");
+        render_map(&mut out, &self.counters, |out, v| {
+            out.push_str(&v.to_string())
+        });
+        out.push_str("},\n  \"values\": {");
+        render_map(&mut out, &self.values, |out, v| {
+            out.push_str(&format!(
+                "{{\"count\": {}, \"sum\": {}, \"min\": {}, \"max\": {}}}",
+                v.count,
+                bench::fmt_f64(v.sum),
+                bench::fmt_f64(v.min),
+                bench::fmt_f64(v.max),
+            ))
+        });
+        out.push_str("},\n  \"spans\": {");
+        render_map(&mut out, &self.spans, |out, v| {
+            out.push_str(&format!(
+                "{{\"count\": {}, \"total_ns\": {}}}",
+                v.count, v.total_ns
+            ))
+        });
+        out.push_str("}\n}\n");
+        out
+    }
+}
+
+impl fmt::Display for Summary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+fn render_map<V>(
+    out: &mut String,
+    map: &BTreeMap<String, V>,
+    mut render_value: impl FnMut(&mut String, &V),
+) {
+    if map.is_empty() {
+        return;
+    }
+    out.push('\n');
+    for (i, (k, v)) in map.iter().enumerate() {
+        out.push_str("    \"");
+        bench::escape_into(out, k);
+        out.push_str("\": ");
+        render_value(out, v);
+        if i + 1 < map.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    out.push_str("  ");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_is_inert() {
+        let obs = Obs::disabled();
+        obs.count("a", 1);
+        obs.record("b", 2.0);
+        let _span = obs.span("c");
+        drop(_span);
+        let s = obs.summary();
+        assert_eq!(s.mode, ObsMode::Disabled);
+        assert!(s.is_empty());
+        assert!(!obs.is_enabled());
+    }
+
+    #[test]
+    fn deterministic_counts_but_never_times() {
+        let obs = Obs::deterministic();
+        obs.count("eval.requests", 2);
+        obs.count("eval.requests", 1);
+        obs.record("bytes", 10.0);
+        obs.record("bytes", 4.0);
+        obs.count_scheduling("worker.0.evals", 5);
+        obs.record_scheduling("queue", 3.0);
+        obs.time("phase", || ());
+        obs.time("phase", || ());
+
+        let s = obs.summary();
+        assert_eq!(s.counter("eval.requests"), 3);
+        assert_eq!(s.values["bytes"].count, 2);
+        assert_eq!(s.values["bytes"].sum, 14.0);
+        assert_eq!(s.values["bytes"].min, 4.0);
+        assert_eq!(s.values["bytes"].max, 10.0);
+        assert_eq!(s.values["bytes"].mean(), 7.0);
+        // Scheduling-dependent series are dropped in deterministic mode.
+        assert_eq!(s.counter("worker.0.evals"), 0);
+        assert!(!s.values.contains_key("queue"));
+        assert_eq!(
+            s.spans["phase"],
+            SpanStat {
+                count: 2,
+                total_ns: 0
+            }
+        );
+    }
+
+    #[test]
+    fn wall_clock_times_and_keeps_scheduling_series() {
+        let obs = Obs::wall_clock();
+        obs.count_scheduling("worker.0.evals", 5);
+        obs.record_scheduling("queue", 3.0);
+        obs.time("phase", || {
+            std::thread::sleep(std::time::Duration::from_millis(1))
+        });
+        let s = obs.summary();
+        assert_eq!(s.counter("worker.0.evals"), 5);
+        assert_eq!(s.values["queue"].count, 1);
+        assert_eq!(s.spans["phase"].count, 1);
+        assert!(s.spans["phase"].total_ns >= 1_000_000);
+    }
+
+    #[test]
+    fn nested_spans_compose_names() {
+        let obs = Obs::deterministic();
+        let outer = obs.span("a");
+        let v = outer.time("b", || 7);
+        assert_eq!(v, 7);
+        drop(outer);
+        let s = obs.summary();
+        assert_eq!(s.spans["a"].count, 1);
+        assert_eq!(s.spans["a/b"].count, 1);
+    }
+
+    #[test]
+    fn non_finite_samples_are_dropped() {
+        let obs = Obs::deterministic();
+        obs.record("v", f64::NAN);
+        obs.record("v", f64::INFINITY);
+        obs.record("v", 1.5);
+        let s = obs.summary();
+        assert_eq!(s.values["v"].count, 1);
+        assert_eq!(s.values["v"].sum, 1.5);
+    }
+
+    #[test]
+    fn render_is_stable_and_sorted() {
+        let obs = Obs::deterministic();
+        obs.count("zeta", 1);
+        obs.count("alpha", 2);
+        obs.record("mid", 3.5);
+        obs.time("span", || ());
+        let a = obs.summary().render();
+        let b = obs.summary().render();
+        assert_eq!(a, b);
+        let alpha = a.find("\"alpha\"").unwrap();
+        let zeta = a.find("\"zeta\"").unwrap();
+        assert!(alpha < zeta, "keys must render sorted");
+        assert!(a.contains("\"mode\": \"deterministic\""));
+        assert!(a.contains("\"sum\": 3.5"));
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let obs = Obs::deterministic();
+        obs.count("a", 1);
+        obs.time("s", || ());
+        obs.reset();
+        assert!(obs.summary().is_empty());
+        assert_eq!(obs.mode(), ObsMode::Deterministic);
+    }
+
+    #[test]
+    fn clones_share_one_recorder() {
+        let obs = Obs::deterministic();
+        let clone = obs.clone();
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let h = clone.clone();
+                scope.spawn(move || {
+                    for _ in 0..100 {
+                        h.count("shared", 1);
+                    }
+                });
+            }
+        });
+        assert_eq!(obs.summary().counter("shared"), 400);
+    }
+}

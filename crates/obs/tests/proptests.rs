@@ -1,0 +1,108 @@
+//! Property tests for the determinism contract of `lego-obs`: a
+//! `Deterministic`-mode summary must be byte-identical across two
+//! identical runs, whatever sequence of operations produced it, and the
+//! bench-row JSON must round-trip exactly.
+
+use lego_obs::bench::{parse_bench_json, render_bench_json, BenchRow};
+use lego_obs::Obs;
+use proptest::prelude::*;
+use proptest::{collection, sample};
+
+/// One recorded operation, replayable onto any recorder.
+#[derive(Debug, Clone)]
+enum Op {
+    Count(String, u64),
+    Record(String, f64),
+    CountScheduling(String, u64),
+    Span(String),
+    NestedSpan(String, String),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    let name = sample::select(vec![
+        "eval/context_build".to_string(),
+        "eval.requests".to_string(),
+        "sim.mappings_tried".to_string(),
+        "pool.queue_depth".to_string(),
+        "codec/encode".to_string(),
+    ]);
+    (name, 0u8..5, 0u64..1000).prop_map(|(name, kind, raw)| match kind {
+        0 => Op::Count(name, raw),
+        1 => Op::Record(name, raw as f64 / 8.0),
+        2 => Op::CountScheduling(name, raw),
+        3 => Op::Span(name),
+        _ => Op::NestedSpan(name, format!("sub{}", raw % 3)),
+    })
+}
+
+fn replay(obs: &Obs, ops: &[Op]) {
+    for op in ops {
+        match op {
+            Op::Count(name, n) => obs.count(name, *n),
+            Op::Record(name, v) => obs.record(name, *v),
+            Op::CountScheduling(name, n) => obs.count_scheduling(name, *n),
+            Op::Span(name) => drop(obs.span(name)),
+            Op::NestedSpan(name, child) => {
+                let span = obs.span(name);
+                span.time(child, || ());
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    // The satellite-3 contract: replaying any op sequence onto two fresh
+    // deterministic recorders yields byte-identical summary renders.
+    #[test]
+    fn deterministic_summary_is_byte_identical_across_runs(
+        ops in collection::vec(op_strategy(), 0usize..40),
+    ) {
+        let a = Obs::deterministic();
+        let b = Obs::deterministic();
+        replay(&a, &ops);
+        replay(&b, &ops);
+        prop_assert_eq!(a.summary().render(), b.summary().render());
+        // And the snapshot itself compares equal.
+        prop_assert_eq!(a.summary(), b.summary());
+    }
+
+    // Deterministic renders never contain clock-derived nanoseconds.
+    #[test]
+    fn deterministic_spans_always_render_zero_ns(
+        ops in collection::vec(op_strategy(), 1usize..40),
+    ) {
+        let obs = Obs::deterministic();
+        replay(&obs, &ops);
+        for stat in obs.summary().spans.values() {
+            prop_assert_eq!(stat.total_ns, 0);
+        }
+    }
+
+    // Bench-row JSON round-trips exactly for arbitrary row contents.
+    #[test]
+    fn bench_rows_roundtrip(
+        rows in collection::vec(
+            (
+                sample::select(vec![
+                    "evaluate_single".to_string(),
+                    "batch_throughput".to_string(),
+                    "odd \"quoted\"\\name".to_string(),
+                ]),
+                -1_000_000i64..1_000_000,
+                0u8..3,
+            )
+                .prop_map(|(metric, v, unit)| BenchRow::new(
+                    metric,
+                    v as f64 / 16.0,
+                    ["ns", "evals/s", "bytes"][unit as usize],
+                    format!("cfg{}", v % 7),
+                )),
+            0usize..12,
+        ),
+    ) {
+        let text = render_bench_json(&rows);
+        prop_assert_eq!(parse_bench_json(&text).unwrap(), rows);
+    }
+}

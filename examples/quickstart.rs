@@ -7,6 +7,9 @@
 //! 2. **Generate** — produce the paper's Figure 3 design (a 2×2 systolic
 //!    GEMM array), verify it functionally, and emit Verilog.
 //!
+//! Along the way: attach a deterministic `Obs` handle to the session to
+//! see where an evaluation spends its work without perturbing any result.
+//!
 //! Run with: `cargo run --example quickstart`
 
 use lego::core::Lego;
@@ -14,6 +17,7 @@ use lego::eval::{EvalRequest, EvalSession};
 use lego::ir::kernels::{self, dataflows};
 use lego::ir::{tensor::reference_execute, TensorData};
 use lego::model::TechModel;
+use lego::obs::Obs;
 use lego::sim::HwConfig;
 
 fn main() {
@@ -36,14 +40,33 @@ fn main() {
     );
 
     // Requests and reports are versioned wire payloads: encode → decode →
-    // re-evaluate reproduces the report bit-for-bit on any host.
+    // re-evaluate reproduces the report bit-for-bit on any host. A fresh
+    // session matches the sender's cold cache, which provenance records.
     let wire = request.encode();
     let decoded = EvalRequest::decode(&wire).expect("own encoding decodes");
-    assert_eq!(session.evaluate(&decoded), report);
+    assert_eq!(EvalSession::new().evaluate(&decoded), report);
     println!(
         "request round-trips through {} bytes (fingerprint {:#018x})",
         wire.len(),
         request.fingerprint(),
+    );
+
+    // ── Observability ──────────────────────────────────────────────────
+    // Attach an `Obs` handle to see where the evaluation spends its work.
+    // `Obs::deterministic()` counts work but never reads the clock, so the
+    // rendered summary is byte-identical across runs; instrumentation never
+    // changes a report. (`Obs::wall_clock()` fills in real durations — the
+    // `perf_bench` binary uses both to write `BENCH_eval.json`.)
+    let obs = Obs::deterministic();
+    let observed = EvalSession::new().with_obs(obs.clone()).evaluate(&request);
+    assert_eq!(observed, report);
+    let summary = obs.summary();
+    println!(
+        "observed: {} request(s), {} layer(s), {} cache misses, {} spans recorded",
+        summary.counter("eval.requests"),
+        summary.counter("eval.layers"),
+        summary.counter("cache.misses"),
+        summary.spans.len(),
     );
 
     // ── 2. Generate the paper's Figure 3 accelerator ───────────────────

@@ -68,11 +68,40 @@
 //! );
 //!
 //! // Requests round-trip byte-identically through the versioned codec —
-//! // the transport contract of the multi-host evaluation workflow.
+//! // the transport contract of the multi-host evaluation workflow. A
+//! // fresh session reproduces the report bit-for-bit (its provenance
+//! // records cache warmth, so cold compares against cold).
 //! let bytes = request.encode();
 //! let decoded = EvalRequest::decode(&bytes).unwrap();
 //! assert_eq!(decoded.encode(), bytes);
-//! assert_eq!(session.evaluate(&decoded), report);
+//! assert_eq!(EvalSession::new().evaluate(&decoded), report);
+//! ```
+//!
+//! # Observability
+//!
+//! Attach an [`obs`] handle to see where an evaluation spends its work —
+//! per-phase spans, cache warmth, mapping counts — without changing any
+//! result. `Obs::deterministic()` never reads the clock, so its rendered
+//! summary is byte-identical across runs (CI diffs it);
+//! `Obs::wall_clock()` records real durations for perf hunts. The
+//! `perf_bench` binary runs canonical workloads this way and writes the
+//! `BENCH_eval.json` trajectory.
+//!
+//! ```
+//! use lego::eval::{EvalRequest, EvalSession};
+//! use lego::obs::Obs;
+//! use lego::sim::HwConfig;
+//!
+//! let obs = Obs::deterministic();
+//! let session = EvalSession::new().with_obs(obs.clone());
+//! let request = EvalRequest::new(
+//!     lego::workloads::zoo::lenet(),
+//!     HwConfig::lego_256(),
+//! );
+//! session.evaluate(&request);
+//! let summary = obs.summary();
+//! assert_eq!(summary.counter("eval.requests"), 1);
+//! assert!(summary.spans.contains_key("eval/mapping_search"));
 //! ```
 //!
 //! # Generating hardware
@@ -152,6 +181,7 @@ pub use lego_lp as lp;
 pub use lego_mapper as mapper;
 pub use lego_model as model;
 pub use lego_noc as noc;
+pub use lego_obs as obs;
 pub use lego_rtl as rtl;
 pub use lego_sim as sim;
 pub use lego_sparse as sparse;
