@@ -1,0 +1,114 @@
+//! Criterion benches for the evaluation hot path — the per-layer pieces
+//! `perf_bench --mode wallclock` exercises end to end. Each bench isolates
+//! one stage so a regression in the wallclock trajectory (BENCH_eval_wall.json)
+//! can be pinned to cache lookups, tiling arithmetic, mapping search, or the
+//! report codec without re-profiling the whole harness.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lego_eval::{layer_key, EvalCache, EvalRequest, EvalSession};
+use lego_model::{CostContext, TechModel};
+use lego_obs::Obs;
+use lego_sim::{best_mapping_ctx, best_mapping_obs, tiled_dram_traffic, HwConfig};
+use lego_workloads::zoo;
+
+type CacheEntries = Vec<((u64, u64), lego_sim::LayerPerf)>;
+
+/// A cache populated exactly the way a session would populate it: one
+/// entry per distinct (hw, layer-shape) pair of the given model.
+fn populated_cache(hw: &HwConfig) -> (EvalCache, CacheEntries) {
+    let model = zoo::resnet50();
+    let ctx = CostContext::new(hw.clone(), TechModel::default());
+    let hw_key = EvalRequest::new(model.clone(), hw.clone()).hw_key();
+    let cache = EvalCache::new();
+    for layer in &model.layers {
+        cache.get_or_compute(hw_key, layer_key(layer), || {
+            best_mapping_ctx(layer, &ctx, None)
+        });
+    }
+    let entries = cache.entries();
+    (cache, entries)
+}
+
+fn bench_eval_cache(c: &mut Criterion) {
+    let mut group = c.benchmark_group("eval_cache");
+    group.sample_size(50);
+    let hw = HwConfig::lego_256();
+    let (cache, entries) = populated_cache(&hw);
+    let keys: Vec<(u64, u64)> = entries.iter().map(|(k, _)| *k).collect();
+    group.bench_function("get_hit_resnet50_shapes", |b| {
+        b.iter(|| {
+            keys.iter()
+                .filter(|&&(h, l)| cache.peek(h, l).is_some())
+                .count()
+        });
+    });
+    group.bench_function("absorb_resnet50_entries", |b| {
+        b.iter(|| {
+            let fresh = EvalCache::new();
+            fresh.absorb(entries.iter().cloned())
+        });
+    });
+    group.finish();
+}
+
+fn bench_tiled_dram_traffic(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tiled_dram_traffic");
+    group.sample_size(50);
+    // A mid-network ResNet bottleneck GEMM against LEGO-256's buffer.
+    let buffer = HwConfig::lego_256().buffer_kb as i64 * 1024;
+    group.bench_function("resnet_bottleneck_gemm", |b| {
+        b.iter(|| tiled_dram_traffic(196, 512, 1024, buffer, None));
+    });
+    group.bench_function("resnet_bottleneck_gemm_tile_capped", |b| {
+        b.iter(|| tiled_dram_traffic(196, 512, 1024, buffer, Some(64)));
+    });
+    group.finish();
+}
+
+fn bench_best_mapping(c: &mut Criterion) {
+    let mut group = c.benchmark_group("best_mapping");
+    group.sample_size(20);
+    let model = zoo::resnet50();
+    let ctx = CostContext::new(HwConfig::lego_256(), TechModel::default());
+    let layer = &model.layers[model.layers.len() / 2];
+    let disabled = Obs::disabled();
+    group.bench_function("obs_disabled", |b| {
+        b.iter(|| best_mapping_obs(layer, &ctx, None, &disabled));
+    });
+    let wall = Obs::wall_clock();
+    group.bench_function("obs_wall_clock", |b| {
+        b.iter(|| best_mapping_obs(layer, &ctx, None, &wall));
+    });
+    group.finish();
+}
+
+fn bench_codec(c: &mut Criterion) {
+    let mut group = c.benchmark_group("codec");
+    group.sample_size(50);
+    let request = EvalRequest::new(zoo::resnet50(), HwConfig::lego_256());
+    let report = EvalSession::new().evaluate(&request);
+    let request_bytes = request.encode();
+    let report_bytes = report.encode();
+    group.bench_function("request_encode", |b| {
+        b.iter(|| request.encode().len());
+    });
+    group.bench_function("request_decode", |b| {
+        b.iter(|| EvalRequest::decode(&request_bytes).expect("round-trip"));
+    });
+    group.bench_function("report_encode", |b| {
+        b.iter(|| report.encode().len());
+    });
+    group.bench_function("report_decode", |b| {
+        b.iter(|| lego_eval::EvalReport::decode(&report_bytes).expect("round-trip"));
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_eval_cache,
+    bench_tiled_dram_traffic,
+    bench_best_mapping,
+    bench_codec
+);
+criterion_main!(benches);

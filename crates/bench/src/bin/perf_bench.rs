@@ -3,7 +3,7 @@
 //!
 //! ```text
 //! perf_bench [--mode deterministic|wallclock] [--out PATH]
-//! perf_bench check [PATH]
+//! perf_bench check [--wall] [PATH]
 //! ```
 //!
 //! The default mode is `deterministic`: wall-clock rows are exactly `0`,
@@ -11,7 +11,11 @@
 //! documents (the CI bench-smoke job diffs them). `--mode wallclock`
 //! fills in real nanoseconds and throughput figures for humans chasing a
 //! regression. `check` re-parses an existing file and verifies the
-//! required-metric contract ([`perf::REQUIRED_METRICS`]).
+//! required-metric contract ([`perf::REQUIRED_METRICS`]); `check --wall`
+//! additionally requires every wall/throughput metric
+//! ([`perf::WALL_METRICS`]) to be finite and strictly positive — the
+//! guard CI runs on wallclock output so the measured trajectory can
+//! never silently degenerate to zeros.
 
 use lego_bench::perf;
 use lego_obs::bench::{parse_bench_json, render_bench_json};
@@ -22,11 +26,11 @@ const DEFAULT_OUT: &str = "BENCH_eval.json";
 
 fn usage() -> ExitCode {
     eprintln!("usage: perf_bench [--mode deterministic|wallclock] [--out PATH]");
-    eprintln!("       perf_bench check [PATH]");
+    eprintln!("       perf_bench check [--wall] [PATH]");
     ExitCode::FAILURE
 }
 
-fn check(path: &str) -> ExitCode {
+fn check(path: &str, wall: bool) -> ExitCode {
     let text = match std::fs::read_to_string(path) {
         Ok(t) => t,
         Err(e) => {
@@ -46,10 +50,25 @@ fn check(path: &str) -> ExitCode {
         eprintln!("perf_bench check: {path} is missing required metrics: {missing:?}");
         return ExitCode::FAILURE;
     }
+    if wall {
+        let invalid = perf::invalid_wall_metrics(&rows);
+        if !invalid.is_empty() {
+            eprintln!(
+                "perf_bench check: {path} has zero or non-finite wall metrics: {invalid:?} \
+                 (was this file produced with --mode wallclock?)"
+            );
+            return ExitCode::FAILURE;
+        }
+    }
     println!(
-        "perf_bench check: {path} OK ({} rows, all {} required metrics present)",
+        "perf_bench check: {path} OK ({} rows, all {} required metrics present{})",
         rows.len(),
-        perf::REQUIRED_METRICS.len()
+        perf::REQUIRED_METRICS.len(),
+        if wall {
+            ", all wall metrics nonzero and finite"
+        } else {
+            ""
+        }
     );
     ExitCode::SUCCESS
 }
@@ -57,10 +76,15 @@ fn check(path: &str) -> ExitCode {
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.first().map(String::as_str) == Some("check") {
-        if args.len() > 2 {
-            return usage();
+        let mut rest: Vec<&str> = args[1..].iter().map(String::as_str).collect();
+        let wall = rest.iter().position(|a| *a == "--wall").map(|i| {
+            rest.remove(i);
+        });
+        match rest.as_slice() {
+            [] => return check(DEFAULT_OUT, wall.is_some()),
+            [path] => return check(path, wall.is_some()),
+            _ => return usage(),
         }
-        return check(args.get(1).map_or(DEFAULT_OUT, String::as_str));
     }
 
     let mut mode = ObsMode::Deterministic;

@@ -4,7 +4,7 @@ use lego_sim::LayerPerf;
 use lego_workloads::Layer;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::RwLock;
 
 const SHARDS: usize = 16;
 
@@ -17,12 +17,14 @@ const SHARDS: usize = 16;
 /// across every request of an [`EvalSession`](crate::EvalSession) and
 /// across the worker threads inside one. (The hardware fingerprint is part
 /// of the key: every configuration field feeds the simulation, so entries
-/// cannot be shared across configurations.) It is sharded by key to keep
-/// lock contention off the hot path, and it counts hits and misses so
-/// callers can verify the sharing actually happens.
+/// cannot be shared across configurations.) It is sharded by key, and each
+/// shard is an `RwLock` so the warm-run steady state — ~100% hits — takes
+/// only shared read locks and never serializes readers; writers appear only
+/// on misses and absorbs. It counts hits and misses so callers can verify
+/// the sharing actually happens.
 #[derive(Debug)]
 pub struct EvalCache {
-    shards: Vec<Mutex<HashMap<(u64, u64), LayerPerf>>>,
+    shards: Vec<RwLock<HashMap<(u64, u64), LayerPerf>>>,
     hits: AtomicU64,
     misses: AtomicU64,
 }
@@ -30,7 +32,7 @@ pub struct EvalCache {
 impl Default for EvalCache {
     fn default() -> Self {
         EvalCache {
-            shards: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+            shards: (0..SHARDS).map(|_| RwLock::new(HashMap::new())).collect(),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
         }
@@ -45,10 +47,12 @@ impl EvalCache {
 
     /// Looks up `(hw_key, layer_key)`, running `compute` on a miss.
     ///
-    /// `compute` runs outside the shard lock, so a pure-but-slow evaluation
-    /// never blocks other workers; two threads racing on the same fresh key
-    /// may both compute, and the first insert wins (the evaluation is
-    /// deterministic, so both results are identical).
+    /// The hit path takes only a shared read lock (and `LayerPerf` is
+    /// `Copy`), so warm lookups from many threads proceed without mutual
+    /// exclusion. `compute` runs outside any lock, so a pure-but-slow
+    /// evaluation never blocks other workers; two threads racing on the
+    /// same fresh key may both compute, and the first insert wins (the
+    /// evaluation is deterministic, so both results are identical).
     pub fn get_or_compute<F: FnOnce() -> LayerPerf>(
         &self,
         hw_key: u64,
@@ -57,17 +61,17 @@ impl EvalCache {
     ) -> LayerPerf {
         let key = (hw_key, layer_key);
         let shard = &self.shards[(hw_key ^ layer_key) as usize % SHARDS];
-        if let Some(hit) = shard.lock().expect("cache shard poisoned").get(&key) {
+        if let Some(hit) = shard.read().expect("cache shard poisoned").get(&key) {
             self.hits.fetch_add(1, Ordering::Relaxed);
-            return hit.clone();
+            return *hit;
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
         let value = compute();
         shard
-            .lock()
+            .write()
             .expect("cache shard poisoned")
             .entry(key)
-            .or_insert_with(|| value.clone());
+            .or_insert(value);
         value
     }
 
@@ -85,10 +89,10 @@ impl EvalCache {
     /// statistics) — the lookup merge tooling and tests use.
     pub fn peek(&self, hw_key: u64, layer_key: u64) -> Option<LayerPerf> {
         self.shards[(hw_key ^ layer_key) as usize % SHARDS]
-            .lock()
+            .read()
             .expect("cache shard poisoned")
             .get(&(hw_key, layer_key))
-            .cloned()
+            .copied()
     }
 
     /// Every `((hw_key, layer_key), perf)` entry, sorted by key — the
@@ -99,10 +103,10 @@ impl EvalCache {
             .shards
             .iter()
             .flat_map(|s| {
-                s.lock()
+                s.read()
                     .expect("cache shard poisoned")
                     .iter()
-                    .map(|(k, v)| (*k, v.clone()))
+                    .map(|(k, v)| (*k, *v))
                     .collect::<Vec<_>>()
             })
             .collect();
@@ -120,7 +124,7 @@ impl EvalCache {
         let mut added = 0;
         for ((hw_key, layer_key), perf) in entries {
             let shard = &self.shards[(hw_key ^ layer_key) as usize % SHARDS];
-            let mut map = shard.lock().expect("cache shard poisoned");
+            let mut map = shard.write().expect("cache shard poisoned");
             if let std::collections::hash_map::Entry::Vacant(slot) = map.entry((hw_key, layer_key))
             {
                 slot.insert(perf);
@@ -146,7 +150,7 @@ impl EvalCache {
     pub fn len(&self) -> usize {
         self.shards
             .iter()
-            .map(|s| s.lock().expect("cache shard poisoned").len())
+            .map(|s| s.read().expect("cache shard poisoned").len())
             .sum()
     }
 
@@ -225,11 +229,11 @@ mod tests {
     fn absorb_unions_without_overwriting() {
         let a = EvalCache::new();
         let resident = perf();
-        a.get_or_compute(1, 1, || resident.clone());
+        a.get_or_compute(1, 1, || resident);
         // A foreign snapshot carrying a colliding key plus a new one.
         let mut foreign = perf();
         foreign.cycles += 999;
-        let added = a.absorb(vec![((1, 1), foreign.clone()), ((2, 2), foreign.clone())]);
+        let added = a.absorb(vec![((1, 1), foreign), ((2, 2), foreign)]);
         assert_eq!(added, 1, "only the new key joins");
         assert_eq!(a.len(), 2);
         // The resident value survived the collision…

@@ -673,14 +673,12 @@ impl EvalRequest {
         let objective = decode_objective(&mut d)?;
         let tile_cap = d.opt_i64()?;
         d.done()?;
-        Ok(EvalRequest {
-            workload,
-            hw,
-            sparse,
-            tech,
-            objective,
-            tile_cap,
-        })
+        let request = EvalRequest::new(workload, hw)
+            .with_sparse(sparse)
+            .with_tech(tech)
+            .with_objective(objective)
+            .with_tile_cap(tile_cap);
+        Ok(request)
     }
 
     /// Writes the encoded request to a file.
@@ -773,7 +771,7 @@ impl EvalReport {
             let i_tag = d.u8()?;
             let input_format = from_tag(&CompressedFormat::ALL, i_tag, "compressed format")?;
             per_layer.push(LayerReport {
-                name,
+                name: name.into(),
                 count,
                 perf,
                 weight_format,

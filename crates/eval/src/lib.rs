@@ -58,12 +58,14 @@ pub mod cache;
 pub mod codec;
 pub mod hash;
 pub mod objective;
+pub mod pool;
 pub mod session;
 
 pub use cache::{layer_key, EvalCache};
 pub use codec::{CodecError, ALL_MAPPINGS, VERSION as CODEC_VERSION};
 pub use hash::{stable_hash, FnvHasher};
 pub use objective::{BaseObjective, Objective, Objectives};
+pub use pool::WorkerPool;
 pub use session::{
     CostSummary, EvalReport, EvalRequest, EvalRequestRef, EvalSession, LayerReport, Provenance,
 };

@@ -14,11 +14,11 @@ use lego_model::{
     CompressedFormat, CostContext, HwConfig, MacroArea, SparseHw, SramModel, TechModel,
 };
 use lego_obs::Obs;
-use lego_sim::{aggregate, best_mapping_obs, LayerPerf, ModelPerf};
+use lego_sim::{aggregate_iter, best_mapping_obs, LayerPerf, ModelPerf};
 use lego_workloads::Model;
-use std::cell::Cell;
+use std::cell::{Cell, UnsafeCell};
 use std::hash::{Hash, Hasher};
-use std::sync::{mpsc, Mutex};
+use std::sync::{Arc, Mutex};
 
 /// Everything one evaluation needs: the workload, the hardware (dense and
 /// sparse halves), the technology, the scalarization to report, and the
@@ -28,7 +28,7 @@ use std::sync::{mpsc, Mutex};
 /// ([`EvalRequest::encode`]/[`EvalRequest::decode`]), so a multi-host
 /// driver can ship it over any byte transport and replay it bit-for-bit on
 /// the other side.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct EvalRequest {
     /// The model to price, layer by layer.
     pub workload: Model,
@@ -43,6 +43,23 @@ pub struct EvalRequest {
     /// Optional L1 tile-edge cap (`None` = buffer-limited automatic
     /// tiling).
     pub tile_cap: Option<i64>,
+    /// Lazily memoized [`layer_key`] per workload layer (index-aligned
+    /// with `workload.layers`). Layer shapes are hashed once per request
+    /// instead of once per evaluation — a sweep driver re-evaluating one
+    /// request object pays the hashing cost only on the first call.
+    layer_keys: std::sync::OnceLock<Box<[u64]>>,
+}
+
+impl PartialEq for EvalRequest {
+    fn eq(&self, other: &Self) -> bool {
+        // The memo is derived state; equality is over the request fields.
+        self.workload == other.workload
+            && self.hw == other.hw
+            && self.sparse == other.sparse
+            && self.tech == other.tech
+            && self.objective == other.objective
+            && self.tile_cap == other.tile_cap
+    }
 }
 
 impl EvalRequest {
@@ -56,7 +73,14 @@ impl EvalRequest {
             tech: TechModel::default(),
             objective: Objective::EDP,
             tile_cap: None,
+            layer_keys: std::sync::OnceLock::new(),
         }
+    }
+
+    /// Per-layer [`layer_key`] values, hashed on first use and memoized.
+    fn layer_keys(&self) -> &[u64] {
+        self.layer_keys
+            .get_or_init(|| self.workload.layers.iter().map(layer_key).collect())
     }
 
     /// Replaces the sparse datapath configuration.
@@ -99,6 +123,7 @@ impl EvalRequest {
             objective: self.objective,
             tile_cap: self.tile_cap,
             hw_key: None,
+            layer_keys: Some(self.layer_keys()),
         }
     }
 
@@ -116,7 +141,7 @@ impl EvalRequest {
     /// [`Provenance::request_fingerprint`] so a report can be matched back
     /// to the request that produced it.
     pub fn fingerprint(&self) -> u64 {
-        request_fingerprint(&self.workload, self.hw_key())
+        request_fingerprint(&self.workload, self.hw_key(), Some(self.layer_keys()))
     }
 }
 
@@ -142,6 +167,13 @@ pub struct EvalRequestRef<'a> {
     /// fingerprint here so session cache entries line up with snapshot
     /// checkpoints and warm-started caches.
     pub hw_key: Option<u64>,
+    /// Precomputed [`layer_key`] values, index-aligned with
+    /// `workload.layers` (`None` = hash each layer during evaluation).
+    /// Callers that price one workload under many configurations (the
+    /// explorer, [`EvalRequest::as_view`]) hash the layers once and pass
+    /// the keys here; the values must equal `layer_key` of each layer or
+    /// cache entries and provenance fingerprints will not line up.
+    pub layer_keys: Option<&'a [u64]>,
 }
 
 impl<'a> EvalRequestRef<'a> {
@@ -156,6 +188,7 @@ impl<'a> EvalRequestRef<'a> {
             objective: Objective::EDP,
             tile_cap: None,
             hw_key: None,
+            layer_keys: None,
         }
     }
 }
@@ -196,13 +229,19 @@ fn sram_fields(s: &SramModel) -> [f64; 4] {
 }
 
 /// Stable fingerprint of (workload, hardware key): what
-/// [`Provenance::request_fingerprint`] records.
-fn request_fingerprint(workload: &Model, hw_key: u64) -> u64 {
+/// [`Provenance::request_fingerprint`] records. `layer_keys`, when
+/// supplied, must be the memoized [`layer_key`] of each layer in order —
+/// the fingerprint is identical either way, the precomputed form just
+/// skips re-hashing every layer shape.
+fn request_fingerprint(workload: &Model, hw_key: u64, layer_keys: Option<&[u64]>) -> u64 {
     let mut h = FnvHasher::new();
     hw_key.hash(&mut h);
     workload.name.hash(&mut h);
-    for l in &workload.layers {
-        (layer_key(l), l.count, &l.name).hash(&mut h);
+    for (i, l) in workload.layers.iter().enumerate() {
+        let key = layer_keys
+            .and_then(|keys| keys.get(i).copied())
+            .unwrap_or_else(|| layer_key(l));
+        (key, l.count, &l.name).hash(&mut h);
     }
     h.finish()
 }
@@ -210,8 +249,9 @@ fn request_fingerprint(workload: &Model, hw_key: u64) -> u64 {
 /// One priced layer of an [`EvalReport`].
 #[derive(Debug, Clone, PartialEq)]
 pub struct LayerReport {
-    /// Layer name, as in the workload.
-    pub name: String,
+    /// Layer name, as in the workload (shared with the workload's interned
+    /// name — a refcount bump per report row, not a string copy).
+    pub name: Arc<str>,
     /// Repetition count.
     pub count: i64,
     /// Chosen mapping and predicted performance.
@@ -331,7 +371,18 @@ pub struct EvalSession {
     sram: SramModel,
     threads: usize,
     obs: Obs,
+    /// Recently built evaluation contexts, most-recently-used last, keyed
+    /// by the session cache key. Sweeps and explorer generations revisit
+    /// configurations (elites, re-scored genomes), and when a slot *is*
+    /// recycled for a new configuration it is updated in place
+    /// ([`CostContext::update`]) so unchanged cost components (the NoC
+    /// models) are not re-derived.
+    ctxs: Mutex<Vec<(u64, Arc<CostContext>)>>,
 }
+
+/// Contexts kept per session — enough for an explorer generation's worth
+/// of elite revisits without growing unboundedly on huge sweeps.
+const CTX_SLOTS: usize = 8;
 
 impl Default for EvalSession {
     fn default() -> Self {
@@ -343,6 +394,7 @@ impl Default for EvalSession {
             sram: SramModel::default(),
             threads,
             obs: Obs::disabled(),
+            ctxs: Mutex::new(Vec::new()),
         }
     }
 }
@@ -354,7 +406,9 @@ impl EvalSession {
         Self::default()
     }
 
-    /// Overrides the worker-pool width (0 means one thread).
+    /// Overrides how many concurrent lanes batch evaluation uses (0 means
+    /// one thread). Lanes map onto the process-wide [`WorkerPool`](crate::pool::WorkerPool), so the
+    /// effective parallelism is additionally bounded by the machine.
     #[must_use]
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.threads = threads.max(1);
@@ -420,12 +474,14 @@ impl EvalSession {
     /// warm-cache entries absorbed from a run that priced under a
     /// different technology or SRAM model *miss* — recomputing honestly —
     /// instead of being served as silently wrong results.
-    fn cache_key(&self, request: &EvalRequestRef<'_>) -> u64 {
+    /// `hw_fp` is the request-level hardware fingerprint the caller already
+    /// computed (it is also what provenance records), so one evaluation
+    /// hashes the configuration exactly once.
+    fn cache_key(&self, request: &EvalRequestRef<'_>, hw_fp: u64) -> u64 {
         let mut h = FnvHasher::new();
         match request.hw_key {
             None => {
-                hw_fingerprint(request.hw, request.sparse, &request.tech, request.tile_cap)
-                    .hash(&mut h);
+                hw_fp.hash(&mut h);
             }
             Some(key) => {
                 key.hash(&mut h);
@@ -441,6 +497,46 @@ impl EvalSession {
         h.finish()
     }
 
+    /// The session context cache: returns the context for `key` if one is
+    /// resident, otherwise builds it — recycling the least-recently-used
+    /// slot in place once the cache is full, so a sweep stepping through
+    /// configurations re-derives only the cost components its mutation
+    /// touched (see [`CostContext::update`]).
+    fn context_for(&self, request: &EvalRequestRef<'_>, key: u64) -> Arc<CostContext> {
+        let mut slots = self.ctxs.lock().expect("context cache poisoned");
+        if let Some(pos) = slots.iter().position(|(k, _)| *k == key) {
+            let hit = slots.remove(pos);
+            let ctx = Arc::clone(&hit.1);
+            slots.push(hit);
+            return ctx;
+        }
+        let ctx = if slots.len() >= CTX_SLOTS {
+            // Recycle the coldest slot. If nothing else holds it, update
+            // it in place (the incremental fast path); a still-shared
+            // context falls back to a fresh build.
+            let (_, lru) = slots.remove(0);
+            match Arc::try_unwrap(lru) {
+                Ok(mut owned) => {
+                    owned.update(request.hw, request.tech, self.sram, request.sparse);
+                    Arc::new(owned)
+                }
+                Err(_) => Arc::new(
+                    CostContext::new(request.hw.clone(), request.tech)
+                        .with_sram(self.sram)
+                        .with_sparse(request.sparse),
+                ),
+            }
+        } else {
+            Arc::new(
+                CostContext::new(request.hw.clone(), request.tech)
+                    .with_sram(self.sram)
+                    .with_sparse(request.sparse),
+            )
+        };
+        slots.push((key, Arc::clone(&ctx)));
+        ctx
+    }
+
     /// Prices a borrowed request view — the zero-clone form sweep drivers
     /// and the explorer use (see [`EvalRequestRef`]).
     pub fn evaluate_view(&self, request: EvalRequestRef<'_>) -> EvalReport {
@@ -448,12 +544,14 @@ impl EvalSession {
         self.obs.count("eval.requests", 1);
         self.obs
             .count("eval.layers", request.workload.layers.len() as u64);
+        // The request-level hardware fingerprint, computed exactly once per
+        // evaluation: it keys the cache (when the caller supplied no key)
+        // and is recorded in provenance.
+        let hw_fp = hw_fingerprint(request.hw, request.sparse, &request.tech, request.tile_cap);
+        let cache_key = self.cache_key(&request, hw_fp);
         let ctx = self.obs.time("eval/context_build", || {
-            CostContext::new(request.hw.clone(), request.tech)
-                .with_sram(self.sram)
-                .with_sparse(request.sparse)
+            self.context_for(&request, cache_key)
         });
-        let cache_key = self.cache_key(&request);
         // Cache warmth is counted locally (not read from the global cache
         // counters) so a report's provenance depends only on this
         // request's lookups, never on what parallel batch neighbors did.
@@ -463,8 +561,13 @@ impl EvalSession {
             .workload
             .layers
             .iter()
-            .map(|layer| {
-                let perf = self.cache.get_or_compute(cache_key, layer_key(layer), || {
+            .enumerate()
+            .map(|(i, layer)| {
+                let lk = request
+                    .layer_keys
+                    .and_then(|keys| keys.get(i).copied())
+                    .unwrap_or_else(|| layer_key(layer));
+                let perf = self.cache.get_or_compute(cache_key, lk, || {
                     computed.set(computed.get() + 1);
                     best_mapping_obs(layer, &ctx, request.tile_cap, &self.obs)
                 });
@@ -474,7 +577,7 @@ impl EvalSession {
                         (e.weight_format, e.input_format)
                     });
                 LayerReport {
-                    name: layer.name.clone(),
+                    name: Arc::clone(&layer.name),
                     count: layer.count,
                     perf,
                     weight_format,
@@ -487,12 +590,12 @@ impl EvalSession {
         let cache_hits = per_layer.len() as u64 - cache_misses;
         self.obs.count("cache.hits", cache_hits);
         self.obs.count("cache.misses", cache_misses);
-        let pairs: Vec<(i64, LayerPerf)> = per_layer
-            .iter()
-            .map(|l| (l.count, l.perf.clone()))
-            .collect();
         let model = self.obs.time("eval/aggregate", || {
-            aggregate(request.workload, &pairs, &request.tech)
+            aggregate_iter(
+                request.workload,
+                per_layer.iter().map(|l| (l.count, &l.perf)),
+                &request.tech,
+            )
         });
 
         let latency_cycles = model.cycles as f64;
@@ -518,23 +621,23 @@ impl EvalSession {
                 objective: request.objective,
                 score,
             },
-            provenance: {
-                // Provenance records *request-level* fingerprints — the
-                // values [`EvalRequest::hw_key`]/[`EvalRequest::fingerprint`]
-                // compute, so a driver can match reports back to requests.
-                // The session-internal cache key (which additionally folds
-                // in the SRAM model and any caller-supplied key) is an
-                // implementation detail and is deliberately not exposed.
-                let hw_key =
-                    hw_fingerprint(request.hw, request.sparse, &request.tech, request.tile_cap);
-                Provenance {
-                    version: env!("CARGO_PKG_VERSION").to_string(),
-                    codec_version: crate::codec::VERSION,
-                    request_fingerprint: request_fingerprint(request.workload, hw_key),
-                    hw_key,
-                    cache_hits,
-                    cache_misses,
-                }
+            // Provenance records *request-level* fingerprints — the
+            // values [`EvalRequest::hw_key`]/[`EvalRequest::fingerprint`]
+            // compute, so a driver can match reports back to requests.
+            // The session-internal cache key (which additionally folds
+            // in the SRAM model and any caller-supplied key) is an
+            // implementation detail and is deliberately not exposed.
+            provenance: Provenance {
+                version: env!("CARGO_PKG_VERSION").to_string(),
+                codec_version: crate::codec::VERSION,
+                request_fingerprint: request_fingerprint(
+                    request.workload,
+                    hw_fp,
+                    request.layer_keys,
+                ),
+                hw_key: hw_fp,
+                cache_hits,
+                cache_misses,
             },
         }
     }
@@ -561,9 +664,12 @@ impl EvalSession {
     /// results in input order. This is the pool behind
     /// [`EvalSession::evaluate_batch`], exposed so callers with their own
     /// unit of work (the explorer evaluates genomes, not requests) share
-    /// one pool implementation. Tasks are fed over a channel; `f` must be
-    /// pure for the output to be deterministic, which every evaluation in
-    /// this workspace is.
+    /// one pool implementation. The pool threads persist across batches
+    /// ([`WorkerPool`](crate::pool::WorkerPool)), so per-call overhead is a condvar handoff rather
+    /// than `threads` fresh OS threads; `f` must be pure for the output to
+    /// be deterministic, which every evaluation in this workspace is.
+    /// `f` must not call back into `run_batch` on the same session (the
+    /// pool runs one job at a time).
     pub fn run_batch<T, R, F>(&self, items: &[T], f: F) -> Vec<R>
     where
         T: Sync,
@@ -584,47 +690,25 @@ impl EvalSession {
         if workers == 1 {
             return items.iter().map(f).collect();
         }
-        let (task_tx, task_rx) = mpsc::channel::<usize>();
-        for i in 0..items.len() {
-            task_tx.send(i).expect("queue open");
-        }
-        drop(task_tx);
-        let task_rx = Mutex::new(task_rx);
-        let (result_tx, result_rx) = mpsc::channel::<(usize, R)>();
-        std::thread::scope(|scope| {
-            for _ in 0..workers {
-                let result_tx = result_tx.clone();
-                let task_rx = &task_rx;
-                let f = &f;
-                let obs = &self.obs;
-                scope.spawn(move || {
-                    let mut done = 0u64;
-                    loop {
-                        let task = task_rx.lock().expect("task queue poisoned").recv();
-                        match task {
-                            Ok(i) => {
-                                if result_tx.send((i, f(&items[i]))).is_err() {
-                                    break;
-                                }
-                                done += 1;
-                            }
-                            Err(_) => break,
-                        }
-                    }
-                    // How evenly the queue spread across workers; one
-                    // sample per worker per batch.
-                    obs.record_scheduling("pool.worker_tasks", done as f64);
-                });
-            }
-            drop(result_tx);
-            let mut out: Vec<Option<R>> = (0..items.len()).map(|_| None).collect();
-            for (i, r) in result_rx.iter() {
-                out[i] = Some(r);
-            }
-            out.into_iter()
-                .map(|r| r.expect("every task produced a result"))
-                .collect()
-        })
+        // One result slot per item. Each slot is written by exactly one
+        // claimant of its index (the pool hands out every index once), so
+        // the raw shared mutation is race-free; the pool's completion
+        // handshake orders the writes before the reads below.
+        struct Slot<R>(UnsafeCell<Option<R>>);
+        unsafe impl<R: Send> Sync for Slot<R> {}
+        let slots: Vec<Slot<R>> = (0..items.len())
+            .map(|_| Slot(UnsafeCell::new(None)))
+            .collect();
+        crate::pool::global().run(items.len(), workers, &|i| {
+            let result = f(&items[i]);
+            // SAFETY: index `i` is claimed exactly once, so no other
+            // thread touches this slot.
+            unsafe { *slots[i].0.get() = Some(result) };
+        });
+        slots
+            .into_iter()
+            .map(|s| s.0.into_inner().expect("every task produced a result"))
+            .collect()
     }
 }
 
@@ -660,7 +744,10 @@ mod tests {
             .iter()
             .map(|l| (l.count, best_mapping_ctx(l, &ctx, None)))
             .collect();
-        assert_eq!(report.model, aggregate(&model, &pairs, &tech));
+        assert_eq!(
+            report.model,
+            aggregate_iter(&model, pairs.iter().map(|(c, p)| (*c, p)), &tech)
+        );
     }
 
     #[test]

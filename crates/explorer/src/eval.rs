@@ -43,6 +43,10 @@ pub struct DesignPoint {
 /// deterministic regardless of thread interleaving.
 pub struct Evaluator<'m> {
     model: &'m Model,
+    /// Memoized `lego_eval::layer_key` per model layer: the model is fixed
+    /// for the evaluator's lifetime, so layer shapes are hashed once here
+    /// instead of once per genome evaluation.
+    layer_keys: Box<[u64]>,
     tech: TechModel,
     session: EvalSession,
     constraints: Constraints,
@@ -55,6 +59,7 @@ impl<'m> Evaluator<'m> {
     pub fn new(model: &'m Model, tech: TechModel) -> Self {
         Evaluator {
             model,
+            layer_keys: model.layers.iter().map(lego_eval::layer_key).collect(),
             tech,
             session: EvalSession::new(),
             constraints: Constraints::none(),
@@ -156,6 +161,7 @@ impl<'m> Evaluator<'m> {
             objective: self.objective,
             tile_cap: genome.tile_cap,
             hw_key: Some(genome.key()),
+            layer_keys: Some(&self.layer_keys),
         });
         DesignPoint {
             genome: *genome,

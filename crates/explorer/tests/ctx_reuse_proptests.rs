@@ -1,0 +1,64 @@
+//! Property-based tests of the session's context-reuse fast path: recycling
+//! a cold [`CostContext`] slot via [`CostContext::update`] must be
+//! indistinguishable — field for field, and evaluation for evaluation —
+//! from tearing the context down and rebuilding it with
+//! [`CostContext::new`]. If `update` ever skips a component that the new
+//! hardware actually changed, these properties catch it on arbitrary
+//! genome pairs, not just the configurations the unit tests happen to pick.
+
+use lego_explorer::{DesignSpace, Evaluator, Genome, SplitMix64};
+use lego_model::{CostContext, SparseHw, SramModel, TechModel};
+use proptest::prelude::*;
+
+fn arbitrary_genome(seed: u64) -> Genome {
+    let mut rng = SplitMix64::new(seed);
+    DesignSpace::paper().sample(&mut rng)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    // `CostContext::update` from any genome's hardware to any other's is
+    // exactly `CostContext::new` of the destination.
+    #[test]
+    fn ctx_update_equals_fresh_rebuild(from_seed in 0u64..1_000_000, to_seed in 0u64..1_000_000) {
+        let tech = TechModel::default();
+        let sram = SramModel::default();
+        let from = arbitrary_genome(from_seed);
+        let to = arbitrary_genome(to_seed);
+
+        let mut recycled = CostContext::new(from.to_hw_config(), tech)
+            .with_sram(sram)
+            .with_sparse(SparseHw::with_accel(from.sparse));
+        let to_hw = to.to_hw_config();
+        let to_sparse = SparseHw::with_accel(to.sparse);
+        recycled.update(&to_hw, tech, sram, to_sparse);
+
+        let fresh = CostContext::new(to_hw, tech)
+            .with_sram(sram)
+            .with_sparse(to_sparse);
+        prop_assert_eq!(recycled, fresh);
+    }
+
+    // Driving one evaluator across enough distinct genomes to overflow the
+    // session's context slots (so cold slots get recycled in place) prices
+    // every genome identically to an evaluator that never reuses anything.
+    #[test]
+    fn recycled_contexts_price_like_fresh_sessions(seed in 0u64..1_000_000) {
+        let model = lego_workloads::zoo::lenet();
+        let space = DesignSpace::paper();
+        let mut rng = SplitMix64::new(seed);
+        // More genomes than CTX_SLOTS, so later evaluations hit the
+        // recycle-or-rebuild branch.
+        let genomes: Vec<Genome> = (0..12).map(|_| space.sample(&mut rng)).collect();
+
+        let reusing = Evaluator::new(&model, TechModel::default());
+        for g in &genomes {
+            let warm = reusing.eval(g);
+            let cold = Evaluator::new(&model, TechModel::default()).eval(g);
+            prop_assert_eq!(warm.perf, cold.perf);
+            prop_assert_eq!(warm.objectives, cold.objectives);
+            prop_assert_eq!(warm.peak_power_mw.to_bits(), cold.peak_power_mw.to_bits());
+        }
+    }
+}

@@ -13,14 +13,15 @@
 
 use lego_eval::{EvalRequest, EvalSession};
 use lego_model::{CostContext, TechModel};
-use lego_sim::{aggregate, best_mapping_ctx, HwConfig, LayerPerf, ModelPerf};
+use lego_sim::{aggregate_iter, best_mapping_ctx, HwConfig, LayerPerf, ModelPerf};
 use lego_workloads::{Layer, Model};
+use std::sync::Arc;
 
 /// One mapped layer: the layer, its repetition count, and its performance.
 #[derive(Debug, Clone)]
 pub struct MappedLayer {
-    /// Layer name.
-    pub name: String,
+    /// Layer name (shared with the workload's interned name).
+    pub name: Arc<str>,
     /// Repetition count.
     pub count: i64,
     /// Chosen mapping and predicted performance.
@@ -89,13 +90,12 @@ pub fn map_model_ctx(model: &Model, ctx: &CostContext, tile_cap: Option<i64>) ->
         .layers
         .iter()
         .map(|l| MappedLayer {
-            name: l.name.clone(),
+            name: Arc::clone(&l.name),
             count: l.count,
             perf: best_mapping_ctx(l, ctx, tile_cap),
         })
         .collect();
-    let pairs: Vec<(i64, LayerPerf)> = layers.iter().map(|m| (m.count, m.perf.clone())).collect();
-    let perf = aggregate(model, &pairs, &ctx.tech);
+    let perf = aggregate_iter(model, layers.iter().map(|m| (m.count, &m.perf)), &ctx.tech);
     Mapping { layers, perf }
 }
 
@@ -114,13 +114,12 @@ where
         .layers
         .iter()
         .map(|l| MappedLayer {
-            name: l.name.clone(),
+            name: Arc::clone(&l.name),
             count: l.count,
             perf: eval(l),
         })
         .collect();
-    let pairs: Vec<(i64, LayerPerf)> = layers.iter().map(|m| (m.count, m.perf.clone())).collect();
-    let perf = aggregate(model, &pairs, tech);
+    let perf = aggregate_iter(model, layers.iter().map(|m| (m.count, &m.perf)), tech);
     Mapping { layers, perf }
 }
 
@@ -142,7 +141,7 @@ pub fn dataflow_histogram(mapping: &Mapping) -> Vec<(&'static str, usize)> {
 /// disagree.
 pub fn map_layer(layer: &Layer, hw: &HwConfig, tech: &TechModel) -> LayerPerf {
     let model = Model {
-        name: layer.name.clone(),
+        name: layer.name.to_string(),
         layers: vec![layer.clone()],
     };
     let report = EvalSession::new().evaluate(&EvalRequest::new(model, hw.clone()).with_tech(*tech));

@@ -62,6 +62,7 @@
 //! format (`{metric, value, unit, config}`) that `perf_bench` writes and
 //! CI re-parses.
 
+use std::borrow::Cow;
 use std::collections::BTreeMap;
 use std::fmt;
 use std::sync::{Arc, Mutex};
@@ -125,6 +126,22 @@ impl ValueStat {
         self.sum += value;
     }
 
+    /// Folds another stat into this one (used when a summary merges the
+    /// per-thread recorder stripes).
+    fn merge(&mut self, other: &ValueStat) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = *other;
+            return;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
     /// Arithmetic mean of the samples (0 when empty).
     pub fn mean(&self) -> f64 {
         if self.count == 0 {
@@ -152,36 +169,69 @@ struct State {
     spans: BTreeMap<String, SpanStat>,
 }
 
+/// One stripe of recorder state on its own cache line, so two threads
+/// recording into different stripes never bounce a line between cores.
+#[derive(Debug, Default)]
+#[repr(align(64))]
+struct Stripe(Mutex<State>);
+
+/// Stripe count. Threads are spread across stripes round-robin by a
+/// per-thread index, so with a pool-sized thread count each recording
+/// thread effectively owns a stripe and never contends.
+const STRIPES: usize = 16;
+
+/// Monotonic per-thread index, assigned on a thread's first recording.
+static NEXT_THREAD: std::sync::atomic::AtomicUsize = std::sync::atomic::AtomicUsize::new(0);
+thread_local! {
+    static THREAD_STRIPE: usize =
+        NEXT_THREAD.fetch_add(1, std::sync::atomic::Ordering::Relaxed) % STRIPES;
+}
+
 /// The shared sink behind an [`Obs`] handle. Interior-mutable and
-/// thread-safe; all maps are `BTreeMap`s so summaries iterate in a
-/// stable order.
+/// thread-safe. State is striped per recording thread (summaries merge
+/// the stripes), so concurrent workers do not serialize on one lock; all
+/// maps are `BTreeMap`s so summaries iterate in a stable order.
 #[derive(Debug)]
 pub struct Recorder {
     mode: ObsMode,
-    state: Mutex<State>,
+    stripes: [Stripe; STRIPES],
 }
 
 impl Recorder {
     fn new(mode: ObsMode) -> Self {
         Recorder {
             mode,
-            state: Mutex::new(State::default()),
+            stripes: Default::default(),
         }
     }
 
+    /// Locks the calling thread's stripe.
     fn lock(&self) -> std::sync::MutexGuard<'_, State> {
+        let i = THREAD_STRIPE.with(|i| *i);
         // Observability must never take the process down: if another
         // thread panicked while holding the lock, keep recording into
         // whatever state it left behind.
-        self.state.lock().unwrap_or_else(|e| e.into_inner())
+        self.stripes[i].0.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Locks every stripe in order and folds it into `f`.
+    fn fold_stripes(&self, mut f: impl FnMut(&State)) {
+        for stripe in &self.stripes {
+            f(&stripe.0.lock().unwrap_or_else(|e| e.into_inner()));
+        }
     }
 
     fn end_span(&self, name: &str, elapsed_ns: u64) {
         let mut state = self.lock();
-        let stat = state.spans.entry(name.to_string()).or_insert(SpanStat {
-            count: 0,
-            total_ns: 0,
-        });
+        // `get_mut` first: the common case is a hot span name recorded
+        // thousands of times, which must not allocate a key per entry.
+        let stat = match state.spans.get_mut(name) {
+            Some(stat) => stat,
+            None => state.spans.entry(name.to_string()).or_insert(SpanStat {
+                count: 0,
+                total_ns: 0,
+            }),
+        };
         stat.count += 1;
         stat.total_ns = stat.total_ns.saturating_add(elapsed_ns);
     }
@@ -232,7 +282,12 @@ impl Obs {
     pub fn count(&self, name: &str, n: u64) {
         if let Some(rec) = &self.rec {
             let mut state = rec.lock();
-            *state.counters.entry(name.to_string()).or_insert(0) += n;
+            match state.counters.get_mut(name) {
+                Some(c) => *c += n,
+                None => {
+                    state.counters.insert(name.to_string(), n);
+                }
+            }
         }
     }
 
@@ -245,16 +300,16 @@ impl Obs {
         }
         if let Some(rec) = &self.rec {
             let mut state = rec.lock();
-            state
-                .values
-                .entry(name.to_string())
-                .or_insert(ValueStat {
+            let stat = match state.values.get_mut(name) {
+                Some(stat) => stat,
+                None => state.values.entry(name.to_string()).or_insert(ValueStat {
                     count: 0,
                     sum: 0.0,
                     min: 0.0,
                     max: 0.0,
-                })
-                .observe(value);
+                }),
+            };
+            stat.observe(value);
         }
     }
 
@@ -281,16 +336,19 @@ impl Obs {
     /// Open a named span; it closes (and records) when the returned guard
     /// drops. In [`ObsMode::Deterministic`] the entry is counted but the
     /// clock is never read, so the recorded duration is `0`.
-    pub fn span(&self, name: &str) -> Span {
+    ///
+    /// The guard borrows both this handle and the name, so opening a span
+    /// on the hot path allocates nothing.
+    pub fn span<'a>(&'a self, name: &'a str) -> Span<'a> {
         match &self.rec {
             None => Span {
-                obs: Obs { rec: None },
-                name: String::new(),
+                rec: None,
+                name: Cow::Borrowed(""),
                 start: None,
             },
             Some(rec) => Span {
-                obs: self.clone(),
-                name: name.to_string(),
+                rec: Some(rec),
+                name: Cow::Borrowed(name),
                 start: if rec.mode == ObsMode::WallClock {
                     Some(Instant::now())
                 } else {
@@ -316,12 +374,43 @@ impl Obs {
                 spans: BTreeMap::new(),
             },
             Some(rec) => {
-                let state = rec.lock();
+                let mut counters: BTreeMap<String, u64> = BTreeMap::new();
+                let mut values: BTreeMap<String, ValueStat> = BTreeMap::new();
+                let mut spans: BTreeMap<String, SpanStat> = BTreeMap::new();
+                rec.fold_stripes(|state| {
+                    for (k, v) in &state.counters {
+                        match counters.get_mut(k) {
+                            Some(c) => *c += v,
+                            None => {
+                                counters.insert(k.clone(), *v);
+                            }
+                        }
+                    }
+                    for (k, v) in &state.values {
+                        match values.get_mut(k) {
+                            Some(s) => s.merge(v),
+                            None => {
+                                values.insert(k.clone(), *v);
+                            }
+                        }
+                    }
+                    for (k, v) in &state.spans {
+                        match spans.get_mut(k) {
+                            Some(s) => {
+                                s.count += v.count;
+                                s.total_ns = s.total_ns.saturating_add(v.total_ns);
+                            }
+                            None => {
+                                spans.insert(k.clone(), *v);
+                            }
+                        }
+                    }
+                });
                 Summary {
                     mode: rec.mode,
-                    counters: state.counters.clone(),
-                    values: state.values.clone(),
-                    spans: state.spans.clone(),
+                    counters,
+                    values,
+                    spans,
                 }
             }
         }
@@ -330,29 +419,45 @@ impl Obs {
     /// Clear all recorded data (mode is kept).
     pub fn reset(&self) {
         if let Some(rec) = &self.rec {
-            let mut state = rec.lock();
-            state.counters.clear();
-            state.values.clear();
-            state.spans.clear();
+            for stripe in &rec.stripes {
+                let mut state = stripe.0.lock().unwrap_or_else(|e| e.into_inner());
+                state.counters.clear();
+                state.values.clear();
+                state.spans.clear();
+            }
         }
     }
 }
 
 /// Drop guard for one entry into a named span. Created by [`Obs::span`].
+/// Borrows the recorder and (usually) the name, so the guard itself is
+/// allocation-free; only [`Span::child`] builds an owned composed name.
 #[derive(Debug)]
-pub struct Span {
-    obs: Obs,
-    name: String,
+pub struct Span<'a> {
+    rec: Option<&'a Recorder>,
+    name: Cow<'a, str>,
     start: Option<Instant>,
 }
 
-impl Span {
+impl<'a> Span<'a> {
     /// Open a nested span named `parent/child`.
-    pub fn child(&self, name: &str) -> Span {
-        if self.obs.rec.is_none() {
-            return self.obs.span("");
+    pub fn child(&self, name: &str) -> Span<'a> {
+        match self.rec {
+            None => Span {
+                rec: None,
+                name: Cow::Borrowed(""),
+                start: None,
+            },
+            Some(rec) => Span {
+                rec: Some(rec),
+                name: Cow::Owned(format!("{}/{}", self.name, name)),
+                start: if rec.mode == ObsMode::WallClock {
+                    Some(Instant::now())
+                } else {
+                    None
+                },
+            },
         }
-        self.obs.span(&format!("{}/{}", self.name, name))
     }
 
     /// Run `f` inside a nested span named `parent/child`.
@@ -362,9 +467,9 @@ impl Span {
     }
 }
 
-impl Drop for Span {
+impl Drop for Span<'_> {
     fn drop(&mut self) {
-        if let Some(rec) = &self.obs.rec {
+        if let Some(rec) = self.rec {
             let ns = self
                 .start
                 .map(|s| u64::try_from(s.elapsed().as_nanos()).unwrap_or(u64::MAX))

@@ -27,8 +27,8 @@ pub use lego_model::{
     SpatialMapping,
 };
 pub use perf::{
-    aggregate, best_mapping_ctx, best_mapping_obs, simulate_layer_ctx, tiled_dram_traffic,
-    tiled_dram_traffic_sparse, EnergyBreakdown, LayerPerf, ModelPerf,
+    aggregate, aggregate_iter, best_mapping_ctx, best_mapping_obs, simulate_layer_ctx,
+    tiled_dram_traffic, tiled_dram_traffic_sparse, EnergyBreakdown, LayerPerf, ModelPerf,
 };
 // Deprecated shims, re-exported for downstream callers still migrating to
 // `lego_eval::EvalSession`; the deprecation travels with the re-export.

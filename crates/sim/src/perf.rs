@@ -46,7 +46,10 @@ impl EnergyBreakdown {
 }
 
 /// Result of simulating one layer instance.
-#[derive(Debug, Clone, PartialEq)]
+///
+/// Plain `Copy` data (every field is scalar), so cache hits, report rows,
+/// and aggregation inputs are register copies, never heap traffic.
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct LayerPerf {
     /// Execution cycles (compute/memory overlapped, PPU serialized).
     pub cycles: i64,
@@ -189,11 +192,21 @@ pub fn tiled_dram_traffic(m: i64, n: i64, k: i64, buffer_bytes: i64, tile_cap: O
     let inputs = m * k;
     let outputs = m * n;
     // Pick the largest square tile fitting the double-buffered budget:
-    // t·k (weights) + t·k (inputs) + t·t (outputs) ≤ B/2.
+    // t·k (weights) + t·k (inputs) + t·t (outputs) ≤ B/2. The fit
+    // condition t² + 2kt ≤ B is monotone in t, so the edge is the positive
+    // root √(k² + B) − k; the two exact walks below repair any float
+    // rounding against the integer predicate (they run 0–1 steps), which
+    // keeps the result bit-identical to the incremental search this
+    // replaces — pinned by the hand-count tests.
     let budget = (buffer_bytes / 2).max(64);
-    let mut t = 1i64;
-    while (t + 1) * k * 2 + (t + 1) * (t + 1) <= budget && t < m.max(n) {
+    let cap_mn = m.max(n).max(1);
+    let root = ((k as f64) * (k as f64) + budget as f64).sqrt() - k as f64;
+    let mut t = (root.floor() as i64).clamp(1, cap_mn);
+    while (t + 1) * k * 2 + (t + 1) * (t + 1) <= budget && t < cap_mn {
         t += 1;
+    }
+    while t > 1 && t * k * 2 + t * t > budget {
+        t -= 1;
     }
     if let Some(cap) = tile_cap {
         t = t.min(cap.max(1));
@@ -238,12 +251,26 @@ pub fn tiled_dram_traffic_sparse(
     let inputs = (m * k) as f64 * i_scale;
     let outputs = (m * n) as f64 * o_scale;
     let budget = (buffer_bytes / 2).max(64) as f64;
-    let mut t = 1i64;
-    while ((t + 1) * k) as f64 * (w_scale + i_scale) + ((t + 1) * (t + 1)) as f64 * o_scale
-        <= budget
-        && t < m.max(n)
-    {
+    // Same closed-form tile solve as the dense path, with per-operand
+    // scales: o·t² + k(w+i)·t ≤ B. The walks repair float rounding against
+    // the exact predicate of the incremental search this replaces, so
+    // results stay bit-identical.
+    let cap_mn = m.max(n).max(1);
+    let operand = k as f64 * (w_scale + i_scale);
+    let root = if o_scale > 0.0 {
+        ((operand * operand + 4.0 * o_scale * budget).sqrt() - operand) / (2.0 * o_scale)
+    } else if operand > 0.0 {
+        budget / operand
+    } else {
+        cap_mn as f64
+    };
+    let fits = |t: i64| (t * k) as f64 * (w_scale + i_scale) + (t * t) as f64 * o_scale <= budget;
+    let mut t = (root.floor() as i64).clamp(1, cap_mn);
+    while t < cap_mn && fits(t + 1) {
         t += 1;
+    }
+    while t > 1 && !fits(t) {
+        t -= 1;
     }
     if let Some(cap) = tile_cap {
         t = t.min(cap.max(1));
@@ -550,29 +577,40 @@ pub fn best_mapping_obs(
 
 /// Aggregates per-layer results into whole-model numbers.
 pub fn aggregate(model: &Model, perfs: &[(i64, LayerPerf)], tech: &TechModel) -> ModelPerf {
-    let cycles: i64 = perfs.iter().map(|(c, p)| c * p.cycles).sum();
-    let ppu: i64 = perfs.iter().map(|(c, p)| c * p.ppu_cycles).sum();
+    aggregate_iter(model, perfs.iter().map(|(c, p)| (*c, p)), tech)
+}
+
+/// Single-pass [`aggregate`] over borrowed per-layer results.
+///
+/// Each output keeps its own accumulator, summed in iteration order, so the
+/// float results are bit-identical to the multi-pass slice version while the
+/// caller avoids materialising a `Vec<(i64, LayerPerf)>` just to aggregate.
+pub fn aggregate_iter<'a, I>(model: &Model, perfs: I, tech: &TechModel) -> ModelPerf
+where
+    I: IntoIterator<Item = (i64, &'a LayerPerf)>,
+{
+    let mut cycles: i64 = 0;
+    let mut ppu: i64 = 0;
+    let mut energy_pj: f64 = 0.0;
+    let mut util_num: f64 = 0.0;
+    let mut util_den: f64 = 0.0;
+    let mut instrs: f64 = 0.0;
+    for (c, p) in perfs {
+        cycles += c * p.cycles;
+        ppu += c * p.ppu_cycles;
+        energy_pj += c as f64 * p.energy.total_pj();
+        util_num += (c * p.macs) as f64 * p.utilization;
+        util_den += (c * p.macs) as f64;
+        instrs += c as f64 * 24.0;
+    }
     let ops = model.total_ops();
     let time_s = cycles as f64 / (tech.freq_ghz * 1e9);
-    let energy_pj: f64 = perfs
-        .iter()
-        .map(|(c, p)| *c as f64 * p.energy.total_pj())
-        .sum();
     let watts = energy_pj * 1e-12 / time_s.max(1e-12);
     let gops = ops as f64 / 1e9 / time_s.max(1e-12);
-    let util = perfs
-        .iter()
-        .map(|(c, p)| (c * p.macs) as f64 * p.utilization)
-        .sum::<f64>()
-        / perfs
-            .iter()
-            .map(|(c, p)| (c * p.macs) as f64)
-            .sum::<f64>()
-            .max(1.0);
+    let util = util_num / util_den.max(1.0);
     // Instruction stream: ~32 B of configuration per tile of work; tiles
     // approximated by layer count × sweeps (≥ 2000 cycles per instruction
     // per the paper's §VI-B system-overhead analysis).
-    let instrs: f64 = perfs.iter().map(|(c, _)| *c as f64 * 24.0).sum();
     let instr_gbps = instrs * 32.0 / time_s.max(1e-12) / 1e9;
 
     ModelPerf {

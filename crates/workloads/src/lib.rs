@@ -89,8 +89,10 @@ pub enum Nonlinear {
 /// One layer instance (possibly repeated) within a model.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Layer {
-    /// Human-readable name.
-    pub name: String,
+    /// Human-readable name. Interned as `Arc<str>` so clones along the
+    /// evaluation hot path (reports, mapped layers) are refcount bumps,
+    /// not heap copies; hashes identically to a `String` of the same text.
+    pub name: std::sync::Arc<str>,
     /// Shape descriptor.
     pub kind: LayerKind,
     /// Repetition count (identical blocks).
@@ -105,7 +107,7 @@ pub struct Layer {
 
 impl Layer {
     /// Creates a layer with no non-tensor work.
-    pub fn new(name: impl Into<String>, kind: LayerKind) -> Self {
+    pub fn new(name: impl Into<std::sync::Arc<str>>, kind: LayerKind) -> Self {
         Layer {
             name: name.into(),
             kind,

@@ -153,6 +153,44 @@
 //! assert!(result.frontier.len() >= 1);
 //! ```
 //!
+//! # Performance workflow
+//!
+//! The evaluation hot path is benchmarked, not guessed at. The contract
+//! every performance PR follows:
+//!
+//! 1. **Two modes, one harness.** `perf_bench --mode deterministic` never
+//!    reads the clock: every wall metric is 0, every counter is exact, and
+//!    the output (`BENCH_eval.json`) is byte-identical across runs — CI
+//!    diffs it run-vs-run, and `crates/bench/tests/golden_bytes.rs` pins
+//!    it (plus the DSE tables, the `eval_report` request/report bytes,
+//!    and a `dse_shard` snapshot) to committed goldens. `--mode wallclock`
+//!    measures the same surfaces for real and writes the same schema with
+//!    populated wall/throughput rows.
+//! 2. **Minimum over iterations.** In wallclock mode each surface runs
+//!    `WALL_ITERS` times and reports the per-metric minimum — the best
+//!    observed run is the closest estimate of the code's intrinsic cost
+//!    on a noisy machine; means conflate scheduler noise with the code
+//!    under test. Deterministic mode runs each surface exactly once, so
+//!    iteration count can never perturb the pinned counters.
+//! 3. **Trajectory files.** `BENCH_eval.json` (deterministic counters:
+//!    cache misses, layers priced, evals run) is the *semantic*
+//!    trajectory; `BENCH_eval_wall.json` is the *wallclock* trajectory,
+//!    with `BENCH_eval_wall_before.json` holding the same-machine
+//!    measurement taken at the parent commit. Speedup claims are the
+//!    ratio of those two files — same harness, same protocol, same
+//!    machine — never numbers quoted from different environments.
+//! 4. **Every perf PR commits before and after.** Run
+//!    `perf_bench --mode wallclock` at the parent commit and at the tip,
+//!    commit both files, and state the per-metric ratios in the PR. A
+//!    perf change that cannot show its trajectory did not happen; a perf
+//!    change that moves any golden byte is a semantic change wearing a
+//!    perf costume.
+//! 5. **Micro-benches localize regressions.** `cargo bench -p lego-bench`
+//!    (`benches/hotpath.rs`) times the stages end-to-end numbers are made
+//!    of — cache hit/absorb, tiled DRAM traffic, mapping search with and
+//!    without observability, codec round-trips — so a wallclock
+//!    regression can be attributed without re-profiling the harness.
+//!
 //! # Deprecation policy
 //!
 //! The pre-session evaluation entry points — `sim::simulate_layer`,
