@@ -260,6 +260,18 @@ fn cmd_merge(args: &[String]) -> Result<(), String> {
              points joined at merge / points checkpointed)",
             merged.evaluated
         );
+        let shard_bytes: usize = snapshots
+            .iter()
+            .map(|s| lego_eval::estimated_resident_bytes_for(s.cache.len()))
+            .sum();
+        let merged_bytes = lego_eval::estimated_resident_bytes_for(merged.cache.len());
+        println!(
+            "cache residency: {} bytes across shards -> {} bytes merged \
+             ({} bytes deduplicated)",
+            shard_bytes,
+            merged_bytes,
+            shard_bytes.saturating_sub(merged_bytes),
+        );
     }
 
     println!(

@@ -10,11 +10,18 @@
 //!
 //! With `--in`, the request is decoded from a file instead of built from
 //! flags (what a worker fed over a byte transport would do). Everything is
-//! deterministic: the same request encodes and evaluates to byte-identical
-//! files across runs — CI pins this with `cmp`. The run records a
-//! deterministic observability summary (codec and evaluation spans, cache
-//! warmth) and prints it at the end; instrumentation never changes the
-//! emitted bytes.
+//! deterministic by default: the same request encodes and evaluates to
+//! byte-identical files across runs — CI pins this with `cmp`. The run
+//! records an observability summary (codec and evaluation spans, cache
+//! warmth and residency gauges) and prints it at the end; instrumentation
+//! never changes the emitted bytes.
+//!
+//! `--wallclock` switches the recorder to real timestamps for profiling.
+//! `--trace-out PATH` writes a Chrome trace-event JSON file of the run
+//! (load it in Perfetto / `chrome://tracing`); `--folded-out PATH` writes
+//! folded stacks for flamegraph tools. Either flag enables the bounded
+//! trace ring; in deterministic mode the exported trace still has zeroed
+//! timestamps and is byte-identical across runs.
 
 use lego_bench::harness::section;
 use lego_eval::{EvalRequest, EvalSession};
@@ -27,7 +34,22 @@ use std::process::ExitCode;
 
 const USAGE: &str = "usage:
   eval_report [--model M] [--hw lego_256|lego_icoc_1k] [--sparse dense|gate|skip]
-              [--out REPORT.bin] [--request-out REQUEST.bin] [--in REQUEST.bin]";
+              [--out REPORT.bin] [--request-out REQUEST.bin] [--in REQUEST.bin]
+              [--wallclock] [--trace-out TRACE.json] [--folded-out STACKS.txt]";
+
+/// Ring capacity for `--trace-out` / `--folded-out` runs: enough for every
+/// span of the largest zoo model with plenty of headroom.
+const TRACE_CAPACITY: usize = 65536;
+
+fn take_switch(args: &mut Vec<String>, flag: &str) -> bool {
+    match args.iter().position(|a| a == flag) {
+        Some(i) => {
+            args.remove(i);
+            true
+        }
+        None => false,
+    }
+}
 
 fn model_by_name(name: &str) -> Result<Model, String> {
     Ok(match name {
@@ -62,11 +84,21 @@ fn run() -> Result<(), String> {
     let sparse = take_flag(&mut args, "--sparse")?;
     let out = take_flag(&mut args, "--out")?;
     let request_out = take_flag(&mut args, "--request-out")?;
+    let trace_out = take_flag(&mut args, "--trace-out")?;
+    let folded_out = take_flag(&mut args, "--folded-out")?;
+    let wallclock = take_switch(&mut args, "--wallclock");
     if !args.is_empty() {
         return Err(format!("unexpected arguments {args:?}\n{USAGE}"));
     }
 
-    let obs = Obs::deterministic();
+    let mut obs = if wallclock {
+        Obs::wall_clock()
+    } else {
+        Obs::deterministic()
+    };
+    if trace_out.is_some() || folded_out.is_some() {
+        obs = obs.traced(TRACE_CAPACITY);
+    }
     let request = match input {
         Some(path) => {
             if model.is_some() || hw.is_some() || sparse.is_some() {
@@ -108,7 +140,8 @@ fn run() -> Result<(), String> {
         println!("request ({} bytes) -> {path}", request.encode().len());
     }
 
-    let report = EvalSession::new().with_obs(obs.clone()).evaluate(&request);
+    let session = EvalSession::new().with_obs(obs.clone());
+    let report = session.evaluate(&request);
     println!(
         "{} layers, {} cycles, {:.1} GOP/s, EDP {:.3e}, score {:.3e}",
         report.per_layer.len(),
@@ -132,6 +165,37 @@ fn run() -> Result<(), String> {
             .map_err(|e| format!("writing {path}: {e}"))?;
         println!("report ({} bytes) -> {path}", report.encode().len());
     }
+
+    let gauges = session.cache().gauges();
+    section("cache gauges");
+    println!(
+        "resident: {} entries, {} bytes; hit rate {:.1}% ({} hits / {} misses)",
+        gauges.entries,
+        gauges.resident_bytes,
+        gauges.hit_rate() * 100.0,
+        gauges.hits,
+        gauges.misses,
+    );
+
+    if let Some(snapshot) = obs.trace_snapshot() {
+        if let Some(path) = &trace_out {
+            std::fs::write(path, snapshot.chrome_trace_json())
+                .map_err(|e| format!("writing {path}: {e}"))?;
+            println!("chrome trace ({} events) -> {path}", snapshot.events.len());
+        }
+        if let Some(path) = &folded_out {
+            std::fs::write(path, snapshot.folded_stacks())
+                .map_err(|e| format!("writing {path}: {e}"))?;
+            println!("folded stacks -> {path}");
+        }
+        if snapshot.dropped > 0 {
+            println!(
+                "warning: trace ring overflowed, {} oldest events dropped",
+                snapshot.dropped
+            );
+        }
+    }
+
     section("observability summary");
     print!("{}", obs.summary().render());
     Ok(())

@@ -4,50 +4,77 @@
 //! ```text
 //! perf_bench [--mode deterministic|wallclock] [--out PATH]
 //! perf_bench check [--wall] [PATH]
+//! perf_bench diff BEFORE AFTER [--tolerance R] [--tolerance-for METRIC=R]
+//! perf_bench record [--mode deterministic|wallclock] [--out PATH]
 //! ```
 //!
 //! The default mode is `deterministic`: wall-clock rows are exactly `0`,
 //! work-count rows carry the signal, and two runs render byte-identical
 //! documents (the CI bench-smoke job diffs them). `--mode wallclock`
 //! fills in real nanoseconds and throughput figures for humans chasing a
-//! regression. `check` re-parses an existing file and verifies the
-//! required-metric contract ([`perf::REQUIRED_METRICS`]); `check --wall`
-//! additionally requires every wall/throughput metric
+//! regression.
+//!
+//! `check` re-parses an existing file and verifies the required-metric
+//! contract ([`perf::REQUIRED_METRICS`]) plus structural validity
+//! ([`perf::invalid_rows`]: finite, non-negative, correct units);
+//! `check --wall` additionally requires every wall/throughput metric
 //! ([`perf::WALL_METRICS`]) to be finite and strictly positive — the
 //! guard CI runs on wallclock output so the measured trajectory can
 //! never silently degenerate to zeros.
+//!
+//! `diff` is the regression gate: it compares two bench documents with
+//! per-metric tolerance ratios (default 1.25×; override globally with
+//! `--tolerance` or per metric with `--tolerance-for explore_wall=2.0`)
+//! and exits nonzero when any lower-is-better metric grew — or any
+//! higher-is-better metric shrank — past its tolerance, or when a metric
+//! disappeared or changed unit.
+//!
+//! `record` appends one single-line JSON object (mode, iteration count,
+//! full row set) to `BENCH_trajectory.jsonl`, the append-only log from
+//! which the performance trajectory across commits is reconstructed.
 
 use lego_bench::perf;
-use lego_obs::bench::{parse_bench_json, render_bench_json};
+use lego_obs::bench::{parse_bench_json, render_bench_json, render_trajectory_line, BenchRow};
+use lego_obs::diff::{diff_rows, Tolerances};
 use lego_obs::ObsMode;
+use std::io::Write as _;
 use std::process::ExitCode;
 
 const DEFAULT_OUT: &str = "BENCH_eval.json";
+const DEFAULT_TRAJECTORY: &str = "BENCH_trajectory.jsonl";
 
 fn usage() -> ExitCode {
     eprintln!("usage: perf_bench [--mode deterministic|wallclock] [--out PATH]");
     eprintln!("       perf_bench check [--wall] [PATH]");
+    eprintln!("       perf_bench diff BEFORE AFTER [--tolerance R] [--tolerance-for METRIC=R]");
+    eprintln!("       perf_bench record [--mode deterministic|wallclock] [--out PATH]");
     ExitCode::FAILURE
 }
 
+fn load_rows(path: &str) -> Result<Vec<BenchRow>, ExitCode> {
+    let text = std::fs::read_to_string(path).map_err(|e| {
+        eprintln!("perf_bench: cannot read {path}: {e}");
+        ExitCode::FAILURE
+    })?;
+    parse_bench_json(&text).map_err(|e| {
+        eprintln!("perf_bench: {path} is not a bench document: {e}");
+        ExitCode::FAILURE
+    })
+}
+
 fn check(path: &str, wall: bool) -> ExitCode {
-    let text = match std::fs::read_to_string(path) {
-        Ok(t) => t,
-        Err(e) => {
-            eprintln!("perf_bench check: cannot read {path}: {e}");
-            return ExitCode::FAILURE;
-        }
-    };
-    let rows = match parse_bench_json(&text) {
+    let rows = match load_rows(path) {
         Ok(rows) => rows,
-        Err(e) => {
-            eprintln!("perf_bench check: {path} is not a bench document: {e}");
-            return ExitCode::FAILURE;
-        }
+        Err(code) => return code,
     };
     let missing = perf::missing_metrics(&rows);
     if !missing.is_empty() {
         eprintln!("perf_bench check: {path} is missing required metrics: {missing:?}");
+        return ExitCode::FAILURE;
+    }
+    let malformed = perf::invalid_rows(&rows);
+    if !malformed.is_empty() {
+        eprintln!("perf_bench check: {path} has malformed rows: {malformed:?}");
         return ExitCode::FAILURE;
     }
     if wall {
@@ -61,7 +88,7 @@ fn check(path: &str, wall: bool) -> ExitCode {
         }
     }
     println!(
-        "perf_bench check: {path} OK ({} rows, all {} required metrics present{})",
+        "perf_bench check: {path} OK ({} rows, all {} required metrics present, units valid{})",
         rows.len(),
         perf::REQUIRED_METRICS.len(),
         if wall {
@@ -73,50 +100,139 @@ fn check(path: &str, wall: bool) -> ExitCode {
     ExitCode::SUCCESS
 }
 
-fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    if args.first().map(String::as_str) == Some("check") {
-        let mut rest: Vec<&str> = args[1..].iter().map(String::as_str).collect();
-        let wall = rest.iter().position(|a| *a == "--wall").map(|i| {
-            rest.remove(i);
-        });
-        match rest.as_slice() {
-            [] => return check(DEFAULT_OUT, wall.is_some()),
-            [path] => return check(path, wall.is_some()),
-            _ => return usage(),
-        }
-    }
-
-    let mut mode = ObsMode::Deterministic;
-    let mut out = DEFAULT_OUT.to_string();
+fn diff(args: &[&str]) -> ExitCode {
+    let mut tol = Tolerances::default();
+    let mut paths: Vec<&str> = Vec::new();
     let mut it = args.iter();
     while let Some(arg) = it.next() {
-        match arg.as_str() {
-            "--mode" => match it.next().map(String::as_str) {
-                Some("deterministic") => mode = ObsMode::Deterministic,
-                Some("wallclock" | "wall_clock") => mode = ObsMode::WallClock,
+        match *arg {
+            "--tolerance" => match it.next().and_then(|v| v.parse::<f64>().ok()) {
+                Some(ratio) if ratio.is_finite() && ratio > 0.0 => {
+                    tol = Tolerances::new(ratio);
+                }
                 _ => return usage(),
             },
-            "--out" => match it.next() {
-                Some(path) => out = path.clone(),
+            "--tolerance-for" => match it.next().and_then(|v| v.split_once('=')) {
+                Some((metric, ratio)) => match ratio.parse::<f64>() {
+                    Ok(ratio) if ratio.is_finite() && ratio > 0.0 => {
+                        tol = tol.with_metric(metric, ratio);
+                    }
+                    _ => return usage(),
+                },
                 None => return usage(),
             },
-            _ => return usage(),
+            path => paths.push(path),
         }
     }
+    let [before_path, after_path] = paths.as_slice() else {
+        return usage();
+    };
+    let (before, after) = match (load_rows(before_path), load_rows(after_path)) {
+        (Ok(b), Ok(a)) => (b, a),
+        (Err(code), _) | (_, Err(code)) => return code,
+    };
+    let report = diff_rows(&before, &after, &tol);
+    print!("{}", report.render());
+    if report.passed() {
+        println!("perf_bench diff: PASS ({before_path} -> {after_path})");
+        ExitCode::SUCCESS
+    } else {
+        eprintln!(
+            "perf_bench diff: FAIL — {} regression(s), {} missing, {} unit change(s)",
+            report.regressions().len(),
+            report.missing_after.len(),
+            report.unit_changed.len()
+        );
+        ExitCode::FAILURE
+    }
+}
 
+fn parse_mode_out(args: &[&str]) -> Option<(ObsMode, Option<String>)> {
+    let mut mode = ObsMode::Deterministic;
+    let mut out = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match *arg {
+            "--mode" => match it.next().copied() {
+                Some("deterministic") => mode = ObsMode::Deterministic,
+                Some("wallclock" | "wall_clock") => mode = ObsMode::WallClock,
+                _ => return None,
+            },
+            "--out" => match it.next() {
+                Some(path) => out = Some(path.to_string()),
+                None => return None,
+            },
+            _ => return None,
+        }
+    }
+    Some((mode, out))
+}
+
+fn record(args: &[&str]) -> ExitCode {
+    let Some((mode, out)) = parse_mode_out(args) else {
+        return usage();
+    };
+    let out = out.unwrap_or_else(|| DEFAULT_TRAJECTORY.to_string());
+    let iters = if mode == ObsMode::WallClock {
+        perf::WALL_ITERS
+    } else {
+        1
+    };
     let run = perf::run(mode);
-    let doc = render_bench_json(&run.rows);
-    if let Err(e) = std::fs::write(&out, &doc) {
-        eprintln!("perf_bench: cannot write {out}: {e}");
+    let line = render_trajectory_line(mode.label(), iters, &run.rows);
+    let result = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&out)
+        .and_then(|mut f| writeln!(f, "{line}"));
+    if let Err(e) = result {
+        eprintln!("perf_bench record: cannot append to {out}: {e}");
         return ExitCode::FAILURE;
     }
     println!(
-        "perf_bench: wrote {} rows to {out} (mode={})",
+        "perf_bench record: appended {} rows to {out} (mode={}, iters={iters})",
         run.rows.len(),
         mode.label()
     );
-    println!("\n=== observability summary ===");
-    print!("{}", run.summary.render());
     ExitCode::SUCCESS
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let argv: Vec<&str> = args.iter().map(String::as_str).collect();
+    match argv.split_first() {
+        Some((&"check", rest)) => {
+            let mut rest = rest.to_vec();
+            let wall = rest.iter().position(|a| *a == "--wall").map(|i| {
+                rest.remove(i);
+            });
+            match rest.as_slice() {
+                [] => check(DEFAULT_OUT, wall.is_some()),
+                [path] => check(path, wall.is_some()),
+                _ => usage(),
+            }
+        }
+        Some((&"diff", rest)) => diff(rest),
+        Some((&"record", rest)) => record(rest),
+        _ => {
+            let Some((mode, out)) = parse_mode_out(&argv) else {
+                return usage();
+            };
+            let out = out.unwrap_or_else(|| DEFAULT_OUT.to_string());
+            let run = perf::run(mode);
+            let doc = render_bench_json(&run.rows);
+            if let Err(e) = std::fs::write(&out, &doc) {
+                eprintln!("perf_bench: cannot write {out}: {e}");
+                return ExitCode::FAILURE;
+            }
+            println!(
+                "perf_bench: wrote {} rows to {out} (mode={})",
+                run.rows.len(),
+                mode.label()
+            );
+            println!("\n=== observability summary ===");
+            print!("{}", run.summary.render());
+            ExitCode::SUCCESS
+        }
+    }
 }

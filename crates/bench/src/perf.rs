@@ -104,6 +104,51 @@ pub fn invalid_wall_metrics(rows: &[BenchRow]) -> Vec<&'static str> {
         .collect()
 }
 
+/// The unit a known metric must carry (`None` for metrics this crate does
+/// not emit). Wall metrics are nanoseconds, throughputs are rates, and
+/// work counts are what their name says — a mismatched unit means the
+/// document was hand-edited or produced by an incompatible build.
+pub fn expected_unit(metric: &str) -> Option<&'static str> {
+    match metric {
+        m if m.ends_with("_wall") => Some("ns"),
+        "evaluate_single_layers" => Some("layers"),
+        "evaluate_batch_throughput" => Some("requests/s"),
+        "explore_throughput" => Some("evals/s"),
+        "snapshot_bytes" => Some("bytes"),
+        "evaluate_single_cache_misses"
+        | "evaluate_batch_requests"
+        | "explore_evals"
+        | "snapshot_cache_entries"
+        | "snapshot_evaluated" => Some("count"),
+        _ => None,
+    }
+}
+
+/// Structural problems in a bench document: rows whose value is
+/// non-finite or negative (no perf measurement is either), and known
+/// metrics carrying the wrong unit. One malformed row used to pass
+/// `perf_bench check --wall` as long as the [`WALL_METRICS`] were
+/// present; this is the rest of the validation. Empty = clean.
+pub fn invalid_rows(rows: &[BenchRow]) -> Vec<String> {
+    let mut problems = Vec::new();
+    for row in rows {
+        if !row.value.is_finite() {
+            problems.push(format!("{}: non-finite value", row.metric));
+        } else if row.value < 0.0 {
+            problems.push(format!("{}: negative value {}", row.metric, row.value));
+        }
+        if let Some(expected) = expected_unit(&row.metric) {
+            if row.unit != expected {
+                problems.push(format!(
+                    "{}: unit '{}' (expected '{}')",
+                    row.metric, row.unit, expected
+                ));
+            }
+        }
+    }
+    problems
+}
+
 fn obs_for(mode: ObsMode) -> Obs {
     match mode {
         ObsMode::Disabled => Obs::disabled(),
@@ -397,6 +442,41 @@ mod tests {
             "{:?}",
             wall.rows
         );
+    }
+
+    #[test]
+    fn emitted_rows_pass_structural_validation() {
+        let run = run(ObsMode::Deterministic);
+        assert!(invalid_rows(&run.rows).is_empty(), "{:?}", run.rows);
+        // Every emitted metric has a pinned unit expectation.
+        for row in &run.rows {
+            assert_eq!(
+                expected_unit(&row.metric),
+                Some(row.unit.as_str()),
+                "{} must have a pinned unit",
+                row.metric
+            );
+        }
+    }
+
+    #[test]
+    fn structural_validation_rejects_malformed_rows() {
+        let bad = vec![
+            BenchRow {
+                metric: "evaluate_single_wall".into(),
+                value: f64::NAN,
+                unit: "ns".into(),
+                config: String::new(),
+            },
+            BenchRow::new("explore_evals", -3.0, "count", ""),
+            BenchRow::new("evaluate_batch_throughput", 10.0, "ns", ""),
+            BenchRow::new("some_unknown_metric", 1.0, "widgets", ""),
+        ];
+        let problems = invalid_rows(&bad);
+        assert_eq!(problems.len(), 3, "{problems:?}");
+        assert!(problems[0].contains("non-finite"));
+        assert!(problems[1].contains("negative"));
+        assert!(problems[2].contains("expected 'requests/s'"));
     }
 
     #[test]

@@ -1,0 +1,188 @@
+//! The bench regression gate, end to end: `perf_bench diff` must exit
+//! nonzero when a wall metric regresses past tolerance and zero on a
+//! self-diff, and `perf_bench check` must reject structurally malformed
+//! documents (wrong units, negative values) — not just missing metrics.
+//!
+//! The before/after fixtures are synthesized rather than measured so the
+//! test is fast and the "regression" is exactly 50%, well past the
+//! default 1.25× tolerance and inside a generous 2× one.
+
+use lego_bench::perf;
+use lego_obs::bench::{render_bench_json, BenchRow};
+use std::path::PathBuf;
+use std::process::Command;
+
+/// A plausible wallclock bench document: every required metric, correct
+/// units, nonzero walls.
+fn baseline_rows() -> Vec<BenchRow> {
+    perf::REQUIRED_METRICS
+        .iter()
+        .map(|&metric| {
+            let unit = perf::expected_unit(metric).expect("required metric has a pinned unit");
+            let value = match unit {
+                "ns" => 1_000_000.0,
+                "requests/s" | "evals/s" => 5_000.0,
+                _ => 42.0,
+            };
+            BenchRow::new(metric, value, unit, "synthetic@gate")
+        })
+        .collect()
+}
+
+/// The same document with every wall metric 50% slower.
+fn regressed_rows() -> Vec<BenchRow> {
+    baseline_rows()
+        .into_iter()
+        .map(|mut row| {
+            if row.unit == "ns" {
+                row.value *= 1.5;
+            }
+            row
+        })
+        .collect()
+}
+
+fn tmp_file(name: &str, contents: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("lego_perf_gate_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    let path = dir.join(name);
+    std::fs::write(&path, contents).expect("write fixture");
+    path
+}
+
+fn perf_bench(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_perf_bench"))
+        .args(args)
+        .output()
+        .expect("spawn perf_bench")
+}
+
+#[test]
+fn diff_fails_on_synthetic_regression_and_passes_on_self_diff() {
+    let before = tmp_file("gate_before.json", &render_bench_json(&baseline_rows()));
+    let after = tmp_file("gate_after.json", &render_bench_json(&regressed_rows()));
+    let (before, after) = (before.to_str().unwrap(), after.to_str().unwrap());
+
+    // 1.5× growth on lower-is-better wall metrics breaks the default
+    // 1.25× tolerance…
+    let out = perf_bench(&["diff", before, after]);
+    assert!(
+        !out.status.success(),
+        "50% regression must fail the gate:\n{}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("evaluate_single_wall"), "{stdout}");
+
+    // …passes a generous 2× tolerance (the CI setting)…
+    let out = perf_bench(&["diff", before, after, "--tolerance", "2.0"]);
+    assert!(
+        out.status.success(),
+        "1.5x growth is inside a 2x tolerance:\n{}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+
+    // …and a per-metric override can re-tighten a single series.
+    let out = perf_bench(&[
+        "diff",
+        before,
+        after,
+        "--tolerance",
+        "2.0",
+        "--tolerance-for",
+        "explore_wall=1.1",
+    ]);
+    assert!(!out.status.success(), "per-metric override must gate");
+
+    // A self-diff is always clean.
+    let out = perf_bench(&["diff", before, before]);
+    assert!(
+        out.status.success(),
+        "self-diff must pass:\n{}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+}
+
+#[test]
+fn diff_fails_when_a_metric_disappears_or_changes_unit() {
+    let before = tmp_file("gate_full.json", &render_bench_json(&baseline_rows()));
+    let mut rows = baseline_rows();
+    rows.retain(|r| r.metric != "explore_wall");
+    rows[0].unit = "us".into();
+    let after = tmp_file("gate_mangled.json", &render_bench_json(&rows));
+
+    let out = perf_bench(&[
+        "diff",
+        before.to_str().unwrap(),
+        after.to_str().unwrap(),
+        "--tolerance",
+        "1000.0",
+    ]);
+    assert!(
+        !out.status.success(),
+        "missing metric + unit change must fail regardless of tolerance"
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("explore_wall"), "{stdout}");
+}
+
+#[test]
+fn check_rejects_malformed_rows() {
+    // Wrong unit on a known metric: present, finite, positive — the old
+    // presence-only check passed this.
+    let mut rows = baseline_rows();
+    rows.iter_mut()
+        .find(|r| r.metric == "evaluate_batch_throughput")
+        .unwrap()
+        .unit = "ns".into();
+    let path = tmp_file("gate_bad_unit.json", &render_bench_json(&rows));
+    let out = perf_bench(&["check", path.to_str().unwrap()]);
+    assert!(!out.status.success(), "wrong unit must fail check");
+    assert!(String::from_utf8_lossy(&out.stderr).contains("evaluate_batch_throughput"));
+
+    // Negative value.
+    let mut rows = baseline_rows();
+    rows.iter_mut()
+        .find(|r| r.metric == "snapshot_bytes")
+        .unwrap()
+        .value = -1.0;
+    let path = tmp_file("gate_negative.json", &render_bench_json(&rows));
+    let out = perf_bench(&["check", path.to_str().unwrap()]);
+    assert!(!out.status.success(), "negative value must fail check");
+
+    // The clean fixture passes, including --wall.
+    let path = tmp_file("gate_clean.json", &render_bench_json(&baseline_rows()));
+    let out = perf_bench(&["check", "--wall", path.to_str().unwrap()]);
+    assert!(
+        out.status.success(),
+        "clean wallclock fixture must pass:\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+}
+
+#[test]
+fn record_appends_single_line_trajectory_entries() {
+    let dir = std::env::temp_dir().join(format!("lego_perf_gate_rec_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    let path = dir.join("trajectory.jsonl");
+    let _ = std::fs::remove_file(&path);
+
+    for _ in 0..2 {
+        let out = perf_bench(&["record", "--out", path.to_str().unwrap()]);
+        assert!(
+            out.status.success(),
+            "record failed:\n{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+    }
+    let text = std::fs::read_to_string(&path).expect("read trajectory");
+    let lines: Vec<&str> = text.lines().collect();
+    assert_eq!(lines.len(), 2, "append-only: one line per invocation");
+    for line in &lines {
+        assert!(line.starts_with("{\"mode\": \"deterministic\""), "{line}");
+        assert!(line.contains("\"iters\": 1"), "{line}");
+        assert!(line.contains("evaluate_single_wall"), "{line}");
+    }
+    // Deterministic mode: both entries are byte-identical.
+    assert_eq!(lines[0], lines[1]);
+}

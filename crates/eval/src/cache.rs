@@ -140,10 +140,19 @@ impl EvalCache {
     /// deterministic function of the entry count, so it is safe to
     /// surface in deterministic observability summaries.
     pub fn estimated_resident_bytes(&self) -> usize {
-        // Control byte plus amortized empty-slot overhead per occupied
-        // bucket (the hash table keeps its load factor below ~7/8).
-        const PER_ENTRY_OVERHEAD: usize = 16;
-        self.len() * (std::mem::size_of::<((u64, u64), LayerPerf)>() + PER_ENTRY_OVERHEAD)
+        estimated_resident_bytes_for(self.len())
+    }
+
+    /// One coherent reading of every gauge ([`CacheGauges`]). Each counter
+    /// is read once; the set is not a transaction (concurrent lookups may
+    /// land between reads), which is fine for the stats tables this feeds.
+    pub fn gauges(&self) -> CacheGauges {
+        CacheGauges {
+            entries: self.len(),
+            resident_bytes: self.estimated_resident_bytes(),
+            hits: self.hits(),
+            misses: self.misses(),
+        }
     }
 
     /// Distinct entries stored.
@@ -157,6 +166,44 @@ impl EvalCache {
     /// Whether the cache has no entries.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+}
+
+/// The [`EvalCache::estimated_resident_bytes`] formula applied to an
+/// arbitrary entry count — for tooling (the `dse_shard merge` report)
+/// that prices snapshot entry lists without materializing a cache.
+pub fn estimated_resident_bytes_for(entries: usize) -> usize {
+    // Control byte plus amortized empty-slot overhead per occupied
+    // bucket (the hash table keeps its load factor below ~7/8).
+    const PER_ENTRY_OVERHEAD: usize = 16;
+    entries * (std::mem::size_of::<((u64, u64), LayerPerf)>() + PER_ENTRY_OVERHEAD)
+}
+
+/// A point-in-time reading of an [`EvalCache`]'s size and effectiveness
+/// gauges — what `eval_report` and `dse_shard merge --report` surface in
+/// their stats tables (ROADMAP item 1: the cache "grows without bound",
+/// so its growth must at least be visible).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheGauges {
+    /// Distinct entries resident.
+    pub entries: usize,
+    /// Estimated resident bytes ([`EvalCache::estimated_resident_bytes`]).
+    pub resident_bytes: usize,
+    /// Lookups answered from the table since construction.
+    pub hits: u64,
+    /// Lookups that had to evaluate.
+    pub misses: u64,
+}
+
+impl CacheGauges {
+    /// Fraction of lookups answered from the table (`0` when none ran).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
     }
 }
 
@@ -213,6 +260,22 @@ mod tests {
         assert!(one > 0);
         cache.get_or_compute(1, 2, perf);
         assert_eq!(cache.estimated_resident_bytes(), 2 * one);
+        assert_eq!(estimated_resident_bytes_for(2), 2 * one);
+    }
+
+    #[test]
+    fn gauges_snapshot_the_counters() {
+        let cache = EvalCache::new();
+        assert_eq!(cache.gauges().hit_rate(), 0.0, "empty cache: no lookups");
+        cache.get_or_compute(1, 1, perf);
+        cache.get_or_compute(1, 1, perf);
+        cache.get_or_compute(1, 1, perf);
+        cache.get_or_compute(1, 2, perf);
+        let g = cache.gauges();
+        assert_eq!(g.entries, 2);
+        assert_eq!(g.resident_bytes, cache.estimated_resident_bytes());
+        assert_eq!((g.hits, g.misses), (2, 2));
+        assert_eq!(g.hit_rate(), 0.5);
     }
 
     #[test]

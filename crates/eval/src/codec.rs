@@ -20,8 +20,9 @@ use std::fmt;
 /// File magic: identifies a LEGO evaluation codec payload.
 const MAGIC: &[u8; 8] = b"LEGOEVAL";
 /// Current codec version. Version 2 added the per-request cache-warmth
-/// counters (`cache_hits`/`cache_misses`) to [`Provenance`].
-pub const VERSION: u8 = 2;
+/// counters (`cache_hits`/`cache_misses`) to [`Provenance`]; version 3
+/// added the session-minted `request_id`.
+pub const VERSION: u8 = 3;
 /// Kind byte for an encoded [`EvalRequest`].
 const KIND_REQUEST: u8 = 1;
 /// Kind byte for an encoded [`EvalReport`].
@@ -747,6 +748,7 @@ impl EvalReport {
         e.u64(self.provenance.hw_key);
         e.u64(self.provenance.cache_hits);
         e.u64(self.provenance.cache_misses);
+        e.u64(self.provenance.request_id);
         e.buf
     }
 
@@ -802,13 +804,15 @@ impl EvalReport {
         let peak_power_mw = d.f64()?;
         let objective = decode_objective(&mut d)?;
         let score = d.f64()?;
+        let (version, codec_version) = (d.str()?, d.u8()?);
         let provenance = Provenance {
-            version: d.str()?,
-            codec_version: d.u8()?,
+            version,
+            codec_version,
             request_fingerprint: d.u64()?,
             hw_key: d.u64()?,
             cache_hits: d.u64()?,
             cache_misses: d.u64()?,
+            request_id: d.u64()?,
         };
         d.done()?;
         Ok(EvalReport {

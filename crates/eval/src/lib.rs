@@ -61,7 +61,7 @@ pub mod objective;
 pub mod pool;
 pub mod session;
 
-pub use cache::{layer_key, EvalCache};
+pub use cache::{estimated_resident_bytes_for, layer_key, CacheGauges, EvalCache};
 pub use codec::{CodecError, ALL_MAPPINGS, VERSION as CODEC_VERSION};
 pub use hash::{stable_hash, FnvHasher};
 pub use objective::{BaseObjective, Objective, Objectives};

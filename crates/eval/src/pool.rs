@@ -25,6 +25,7 @@
 //! - Worker panics are caught, carried back, and re-raised on the
 //!   submitting thread, matching the propagation `thread::scope` gave us.
 
+use lego_obs::{Obs, ObsMode};
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicIsize, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
@@ -58,6 +59,11 @@ struct Job {
     next: AtomicUsize,
     /// Number of indices fully executed (successfully or by panic).
     completed: AtomicUsize,
+    /// Items executed per lane: slot 0 is the submitter, slots `1..` the
+    /// workers that claimed a seat. Each lane's tally is bumped before the
+    /// item's `completed` release-increment, so once the submitter
+    /// observes `completed == len` every tally is visible too.
+    lane_tasks: Box<[AtomicU64]>,
     /// First captured worker panic, re-raised by the submitter.
     panic: Mutex<Option<Box<dyn std::any::Any + Send>>>,
 }
@@ -69,9 +75,10 @@ unsafe impl Send for Job {}
 unsafe impl Sync for Job {}
 
 impl Job {
-    /// Claims and runs indices until the counter is exhausted. Returns the
-    /// number of indices this caller executed.
-    fn drain(&self) -> usize {
+    /// Claims and runs indices until the counter is exhausted, tallying
+    /// each executed item against `lane`. Returns the number of indices
+    /// this caller executed.
+    fn drain(&self, lane: usize) -> usize {
         let mut ran = 0;
         loop {
             let i = self.next.fetch_add(1, Ordering::Relaxed);
@@ -87,9 +94,10 @@ impl Job {
                 slot.get_or_insert(payload);
             }
             ran += 1;
+            self.lane_tasks[lane].fetch_add(1, Ordering::Relaxed);
             // Release pairs with the submitter's Acquire load so every
-            // side effect of `task(i)` is visible once the count reaches
-            // `len`.
+            // side effect of `task(i)` (and the lane tally above) is
+            // visible once the count reaches `len`.
             self.completed.fetch_add(1, Ordering::Release);
         }
     }
@@ -186,9 +194,23 @@ impl WorkerPool {
     /// must not call back into the same pool. A panic inside `task` is
     /// re-raised here after the batch drains.
     pub fn run(&self, len: usize, lanes: usize, task: &(dyn Fn(usize) + Sync)) {
+        self.run_obs(len, lanes, task, &Obs::disabled());
+    }
+
+    /// [`WorkerPool::run`] with scheduling observability: the submit path
+    /// records the batch's queue depth (`pool.queue_depth`) and, once the
+    /// batch drains, how many items each lane executed
+    /// (`pool.lane.N.tasks` counters plus a `pool.tasks_per_lane` value
+    /// series; lane 0 is the submitting thread). All of it is
+    /// scheduling-dependent — which lane wins an index race varies run to
+    /// run — so the series exist only in
+    /// [`ObsMode::WallClock`] and
+    /// deterministic summaries stay byte-stable.
+    pub fn run_obs(&self, len: usize, lanes: usize, task: &(dyn Fn(usize) + Sync), obs: &Obs) {
         if len == 0 {
             return;
         }
+        obs.record_scheduling("pool.queue_depth", len as f64);
         let helpers = lanes
             .saturating_sub(1)
             .min(self.workers.len())
@@ -196,6 +218,10 @@ impl WorkerPool {
         if helpers == 0 {
             for i in 0..len {
                 task(i);
+            }
+            if obs.mode() == ObsMode::WallClock {
+                obs.count_scheduling("pool.lane.0.tasks", len as u64);
+                obs.record_scheduling("pool.tasks_per_lane", len as f64);
             }
             return;
         }
@@ -216,6 +242,7 @@ impl WorkerPool {
             seats: AtomicIsize::new(helpers as isize),
             next: AtomicUsize::new(0),
             completed: AtomicUsize::new(0),
+            lane_tasks: (0..=helpers).map(|_| AtomicU64::new(0)).collect(),
             panic: Mutex::new(None),
         });
         {
@@ -235,8 +262,8 @@ impl WorkerPool {
                 }
             }
         }
-        // The submitter is a full participant in the index race.
-        job.drain();
+        // The submitter is a full participant in the index race (lane 0).
+        job.drain(0);
         // Stragglers are at most one in-flight item each from done — spin
         // for them first so the common case never parks on the condvar.
         let mut spins = 0;
@@ -254,6 +281,15 @@ impl WorkerPool {
         let payload = job.panic.lock().expect("panic slot poisoned").take();
         if let Some(payload) = payload {
             resume_unwind(payload);
+        }
+        if obs.mode() == ObsMode::WallClock {
+            for (lane, tally) in job.lane_tasks.iter().enumerate() {
+                let tasks = tally.load(Ordering::Relaxed);
+                if tasks > 0 {
+                    obs.count_scheduling(&format!("pool.lane.{lane}.tasks"), tasks);
+                    obs.record_scheduling("pool.tasks_per_lane", tasks as f64);
+                }
+            }
         }
     }
 }
@@ -286,7 +322,7 @@ fn worker_loop(shared: &Shared) {
             std::hint::spin_loop();
             spins += 1;
         }
-        let job = {
+        let (job, lane) = {
             let mut state = shared.state.lock().expect("pool state poisoned");
             loop {
                 if state.shutdown {
@@ -298,15 +334,19 @@ fn worker_loop(shared: &Shared) {
                     // be retired already, or want fewer lanes than the
                     // pool is wide).
                     if let Some(job) = &state.job {
-                        if job.seats.fetch_sub(1, Ordering::Relaxed) > 0 {
-                            break Arc::clone(job);
+                        let s = job.seats.fetch_sub(1, Ordering::Relaxed);
+                        if s > 0 {
+                            // Seat `s` counts down from `helpers`, so this
+                            // claim maps to the unique lane slot
+                            // `helpers - s + 1` (the submitter is lane 0).
+                            break (Arc::clone(job), job.lane_tasks.len() - s as usize);
                         }
                     }
                 }
                 state = shared.work.wait(state).expect("pool state poisoned");
             }
         };
-        job.drain();
+        job.drain(lane);
         if job.done() {
             // Notify under the state mutex: the submitter's done-check and
             // its condvar wait form one critical section, so taking the
@@ -379,6 +419,37 @@ mod tests {
             ran.fetch_add(1, Ordering::Relaxed);
         });
         assert_eq!(ran.load(Ordering::Relaxed), 4);
+    }
+
+    #[test]
+    fn lane_accounting_covers_every_task_in_wallclock_mode() {
+        let pool = WorkerPool::new(3);
+        let obs = Obs::wall_clock();
+        pool.run_obs(64, 4, &|_| {}, &obs);
+        let summary = obs.summary();
+        assert_eq!(summary.values["pool.queue_depth"].sum, 64.0);
+        // Every executed item is attributed to exactly one lane.
+        let lane_total: u64 = (0..4)
+            .map(|lane| summary.counter(&format!("pool.lane.{lane}.tasks")))
+            .sum();
+        assert_eq!(lane_total, 64);
+        // The submitter races indices too, so lane 0 always runs something.
+        assert!(summary.counter("pool.lane.0.tasks") > 0);
+        assert_eq!(summary.values["pool.tasks_per_lane"].sum, 64.0);
+        // The inline path (one lane) attributes everything to lane 0.
+        let inline = Obs::wall_clock();
+        pool.run_obs(5, 1, &|_| {}, &inline);
+        assert_eq!(inline.summary().counter("pool.lane.0.tasks"), 5);
+    }
+
+    #[test]
+    fn lane_accounting_is_absent_in_deterministic_mode() {
+        let pool = WorkerPool::new(2);
+        let obs = Obs::deterministic();
+        pool.run_obs(16, 3, &|_| {}, &obs);
+        let summary = obs.summary();
+        // Scheduling-dependent series never reach deterministic summaries.
+        assert!(summary.is_empty());
     }
 
     #[test]

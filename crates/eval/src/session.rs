@@ -18,6 +18,7 @@ use lego_sim::{aggregate_iter, best_mapping_obs, LayerPerf, ModelPerf};
 use lego_workloads::Model;
 use std::cell::{Cell, UnsafeCell};
 use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 /// Everything one evaluation needs: the workload, the hardware (dense and
@@ -287,11 +288,20 @@ impl CostSummary {
 
 /// Where a report came from: enough to match it to its request, to refuse
 /// codec mismatches, and to say whether the evaluation was warm. Every
-/// field is a deterministic function of the request and the session's
-/// cache state when the request was priced — two runs of the same request
-/// against the same cache state produce byte-identical provenance.
-#[derive(Debug, Clone, PartialEq)]
+/// field except [`Provenance::request_id`] is a deterministic function of
+/// the request and the session's cache state when the request was priced —
+/// two runs of the same request against the same cache state produce
+/// byte-identical provenance. The request id is an identity token (which
+/// evaluation of this session produced the report), so it is excluded
+/// from equality: reports differing only in `request_id` compare equal.
+#[derive(Debug, Clone)]
 pub struct Provenance {
+    /// Session-local request id, minted per evaluation (the first request
+    /// a session prices is `1`). This is the id trace events carry (see
+    /// `lego_obs::Obs::request_scope`), so an exported trace's spans can
+    /// be attributed back to the report they produced. Not a cross-session
+    /// identity: two sessions both mint `1` first.
+    pub request_id: u64,
     /// Version of the evaluating `lego-eval` crate.
     pub version: String,
     /// Codec version the report round-trips under.
@@ -308,6 +318,20 @@ pub struct Provenance {
     pub cache_hits: u64,
     /// Layer lookups this request had to simulate.
     pub cache_misses: u64,
+}
+
+impl PartialEq for Provenance {
+    fn eq(&self, other: &Self) -> bool {
+        // `request_id` is an identity token, not a property of the result:
+        // a warm replay of the same request must compare equal to the
+        // original report even though the session minted it a fresh id.
+        self.version == other.version
+            && self.codec_version == other.codec_version
+            && self.request_fingerprint == other.request_fingerprint
+            && self.hw_key == other.hw_key
+            && self.cache_hits == other.cache_hits
+            && self.cache_misses == other.cache_misses
+    }
 }
 
 impl Provenance {
@@ -371,6 +395,9 @@ pub struct EvalSession {
     sram: SramModel,
     threads: usize,
     obs: Obs,
+    /// The next request id to mint ([`Provenance::request_id`]); the
+    /// first request a session prices is `1`.
+    next_request: AtomicU64,
     /// Recently built evaluation contexts, most-recently-used last, keyed
     /// by the session cache key. Sweeps and explorer generations revisit
     /// configurations (elites, re-scored genomes), and when a slot *is*
@@ -394,6 +421,7 @@ impl Default for EvalSession {
             sram: SramModel::default(),
             threads,
             obs: Obs::disabled(),
+            next_request: AtomicU64::new(1),
             ctxs: Mutex::new(Vec::new()),
         }
     }
@@ -540,6 +568,12 @@ impl EvalSession {
     /// Prices a borrowed request view — the zero-clone form sweep drivers
     /// and the explorer use (see [`EvalRequestRef`]).
     pub fn evaluate_view(&self, request: EvalRequestRef<'_>) -> EvalReport {
+        // Mint this evaluation's request id and mark the calling thread
+        // with it: every trace event recorded below (the eval/* spans and
+        // cache counters) carries the id, which is how an exported trace
+        // attributes spans to the report's provenance.
+        let request_id = self.next_request.fetch_add(1, Ordering::Relaxed);
+        let _req_scope = self.obs.request_scope(request_id);
         let _eval_span = self.obs.span("eval/evaluate");
         self.obs.count("eval.requests", 1);
         self.obs
@@ -628,6 +662,7 @@ impl EvalSession {
             // in the SRAM model and any caller-supplied key) is an
             // implementation detail and is deliberately not exposed.
             provenance: Provenance {
+                request_id,
                 version: env!("CARGO_PKG_VERSION").to_string(),
                 codec_version: crate::codec::VERSION,
                 request_fingerprint: request_fingerprint(
@@ -682,12 +717,20 @@ impl EvalSession {
         let workers = self.threads.min(items.len()).max(1);
         // Pool shape metrics are scheduling-dependent (worker counts vary
         // with thread interleaving), so they only exist in wall-clock mode
-        // and never leak into deterministic summaries.
+        // and never leak into deterministic summaries. Queue depth and
+        // per-lane task counts are recorded by the pool's own submit path
+        // (`run_obs`).
         self.obs.count_scheduling("pool.batches", 1);
-        self.obs
-            .record_scheduling("pool.queue_depth", items.len() as f64);
         self.obs.record_scheduling("pool.workers", workers as f64);
         if workers == 1 {
+            // The sequential path never reaches the pool; record the same
+            // submit-path series it would have (everything ran on lane 0).
+            self.obs
+                .record_scheduling("pool.queue_depth", items.len() as f64);
+            self.obs
+                .count_scheduling("pool.lane.0.tasks", items.len() as u64);
+            self.obs
+                .record_scheduling("pool.tasks_per_lane", items.len() as f64);
             return items.iter().map(f).collect();
         }
         // One result slot per item. Each slot is written by exactly one
@@ -699,12 +742,17 @@ impl EvalSession {
         let slots: Vec<Slot<R>> = (0..items.len())
             .map(|_| Slot(UnsafeCell::new(None)))
             .collect();
-        crate::pool::global().run(items.len(), workers, &|i| {
-            let result = f(&items[i]);
-            // SAFETY: index `i` is claimed exactly once, so no other
-            // thread touches this slot.
-            unsafe { *slots[i].0.get() = Some(result) };
-        });
+        crate::pool::global().run_obs(
+            items.len(),
+            workers,
+            &|i| {
+                let result = f(&items[i]);
+                // SAFETY: index `i` is claimed exactly once, so no other
+                // thread touches this slot.
+                unsafe { *slots[i].0.get() = Some(result) };
+            },
+            &self.obs,
+        );
         slots
             .into_iter()
             .map(|s| s.0.into_inner().expect("every task produced a result"))
@@ -903,6 +951,29 @@ mod tests {
         assert_ne!(a.fingerprint(), b.fingerprint());
         // Same request, same fingerprint — across sessions and processes.
         assert_eq!(a.fingerprint(), a.clone().fingerprint());
+    }
+
+    #[test]
+    fn request_ids_are_minted_per_evaluation() {
+        let session = EvalSession::new();
+        let req = EvalRequest::new(zoo::lenet(), HwConfig::lego_256());
+        let first = session.evaluate(&req);
+        let second = session.evaluate(&req);
+        let third = session.evaluate(&req);
+        assert_eq!(first.provenance.request_id, 1);
+        assert_eq!(second.provenance.request_id, 2);
+        assert_eq!(third.provenance.request_id, 3);
+        // The id is an identity token, excluded from report equality: the
+        // two warm replays differ only in their ids and compare equal.
+        assert_eq!(first.per_layer, second.per_layer);
+        assert_eq!(second.provenance, third.provenance);
+        assert_eq!(second, third);
+        // Batches mint one id per item (order across lanes is arbitrary).
+        let batch_session = EvalSession::new().with_threads(4);
+        let reports = batch_session.evaluate_batch(&[req.clone(), req.clone(), req.clone()]);
+        let mut ids: Vec<u64> = reports.iter().map(|r| r.provenance.request_id).collect();
+        ids.sort_unstable();
+        assert_eq!(ids, vec![1, 2, 3]);
     }
 
     #[test]

@@ -125,8 +125,10 @@ pub struct ExploreOptions {
     pub warm_cache: Vec<((u64, u64), LayerPerf)>,
     /// Observability handle threaded through the evaluator (and the
     /// session inside it) and the strategies: per-phase evaluation spans,
-    /// cache hit/miss counters, per-strategy `explore/strategy` spans and
-    /// `explore.evaluated` counts, ES `explore/generation` spans.
+    /// cache hit/miss counters, an `explore/shard` span per shard run
+    /// with `explore/shard/strategy` children and `explore.evaluated`
+    /// counts, end-of-run `cache.resident_entries`/`cache.resident_bytes`
+    /// gauges, ES `explore/generation` spans.
     /// Default: [`Obs::disabled`] — a near-no-op handle. Instrumentation
     /// never changes search results.
     pub obs: Obs,
@@ -276,15 +278,27 @@ pub fn explore_shard(
             s.warm_start(&opts.warm_start);
         }
     }
-    let reports: Vec<SearchReport> = strategies
-        .iter_mut()
-        .map(|s| {
-            let _span = opts.obs.span("explore/strategy");
-            let report = s.run(shard, &evaluator, &mut frontier, opts.budget_per_strategy);
-            opts.obs.count("explore.evaluated", report.evaluated as u64);
-            report
-        })
-        .collect();
+    let reports: Vec<SearchReport> = {
+        let shard_span = opts.obs.span("explore/shard");
+        strategies
+            .iter_mut()
+            .map(|s| {
+                let _span = shard_span.child("strategy");
+                let report = s.run(shard, &evaluator, &mut frontier, opts.budget_per_strategy);
+                opts.obs.count("explore.evaluated", report.evaluated as u64);
+                report
+            })
+            .collect()
+    };
+    // End-of-run cache gauges: entry count and resident bytes are pure
+    // functions of the evaluations this shard performed, so they are safe
+    // for deterministic summaries (unlike the racing hit/miss split,
+    // which provenance accounts for per request instead).
+    let gauges = evaluator.cache().gauges();
+    opts.obs
+        .record("cache.resident_entries", gauges.entries as f64);
+    opts.obs
+        .record("cache.resident_bytes", gauges.resident_bytes as f64);
     ShardRunResult {
         shard_index: shard.index(),
         shard_count: shard.count(),

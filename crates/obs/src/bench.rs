@@ -99,9 +99,11 @@ impl fmt::Display for BenchParseError {
 impl std::error::Error for BenchParseError {}
 
 /// Parse a document produced by [`render_bench_json`] (or any JSON array
-/// of flat objects with string/number fields). Unknown fields are
-/// ignored; missing fields default (`value` to 0, strings to empty).
-/// Never panics on malformed input.
+/// of objects). Unknown fields are ignored — including structured values
+/// (nested objects/arrays, booleans, `null`), which are skipped, so the
+/// parser also validates documents like Chrome trace-event JSON whose
+/// events carry an `args` object. Missing fields default (`value` to 0,
+/// strings to empty). Never panics on malformed input.
 pub fn parse_bench_json(text: &str) -> Result<Vec<BenchRow>, BenchParseError> {
     let mut p = Parser {
         bytes: text.as_bytes(),
@@ -194,6 +196,7 @@ impl<'a> Parser<'a> {
                         _ => {}
                     }
                 }
+                Some(b'{' | b'[' | b't' | b'f' | b'n') => self.skip_value()?,
                 _ => {
                     let value = self.number()?;
                     if key == "value" {
@@ -259,6 +262,62 @@ impl<'a> Parser<'a> {
         }
     }
 
+    /// Skip one JSON value of any shape (used for unknown structured
+    /// fields like a trace event's `args` object).
+    fn skip_value(&mut self) -> Result<(), BenchParseError> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'"') => {
+                self.string()?;
+                Ok(())
+            }
+            Some(b'{') | Some(b'[') => {
+                let (open, close) = if self.peek() == Some(b'{') {
+                    (b'{', b'}')
+                } else {
+                    (b'[', b']')
+                };
+                self.pos += 1;
+                self.skip_ws();
+                if self.peek() == Some(close) {
+                    self.pos += 1;
+                    return Ok(());
+                }
+                loop {
+                    if open == b'{' {
+                        self.skip_ws();
+                        self.string()?;
+                        self.skip_ws();
+                        self.expect(b':')?;
+                    }
+                    self.skip_value()?;
+                    self.skip_ws();
+                    match self.next() {
+                        Some(b',') => continue,
+                        Some(b) if b == close => return Ok(()),
+                        _ => return Err(self.err("expected ',' or close in value")),
+                    }
+                }
+            }
+            Some(b't') => self.keyword("true"),
+            Some(b'f') => self.keyword("false"),
+            Some(b'n') => self.keyword("null"),
+            _ => {
+                self.number()?;
+                Ok(())
+            }
+        }
+    }
+
+    fn keyword(&mut self, word: &str) -> Result<(), BenchParseError> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected '{word}'")))
+        }
+    }
+
     fn number(&mut self) -> Result<f64, BenchParseError> {
         let start = self.pos;
         while matches!(
@@ -275,6 +334,50 @@ impl<'a> Parser<'a> {
             .and_then(|s| s.parse::<f64>().ok())
             .ok_or_else(|| self.err("malformed number"))
     }
+}
+
+/// Render one `BENCH_trajectory.jsonl` line: a single-line JSON object
+/// stamping a bench run with its mode and iteration count alongside the
+/// measured rows. `perf_bench record` appends these to an append-only
+/// trajectory log so the perf history of the repo survives each
+/// overwrite of the latest `BENCH_*.json` document.
+///
+/// ```
+/// use lego_obs::bench::{render_trajectory_line, BenchRow};
+///
+/// let line = render_trajectory_line(
+///     "wall_clock",
+///     7,
+///     &[BenchRow::new("evaluate_single_wall", 123.0, "ns", "cfg")],
+/// );
+/// assert!(line.starts_with("{\"mode\": \"wall_clock\", \"iters\": 7, \"rows\": ["));
+/// assert!(!line.contains('\n'));
+/// ```
+pub fn render_trajectory_line(mode_label: &str, iters: u32, rows: &[BenchRow]) -> String {
+    let mut out = String::new();
+    out.push_str("{\"mode\": \"");
+    escape_into(&mut out, mode_label);
+    out.push_str(&format!("\", \"iters\": {iters}, \"rows\": ["));
+    for (i, row) in rows.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        out.push_str("{\"metric\": \"");
+        escape_into(&mut out, &row.metric);
+        out.push_str("\", \"value\": ");
+        out.push_str(&fmt_f64(if row.value.is_finite() {
+            row.value
+        } else {
+            0.0
+        }));
+        out.push_str(", \"unit\": \"");
+        escape_into(&mut out, &row.unit);
+        out.push_str("\", \"config\": \"");
+        escape_into(&mut out, &row.config);
+        out.push_str("\"}");
+    }
+    out.push_str("]}");
+    out
 }
 
 /// Format an `f64` for JSON output: shortest round-trip decimal, with a
@@ -351,6 +454,41 @@ mod tests {
         assert_eq!(rows[0].metric, "m");
         assert_eq!(rows[0].value, 0.0);
         assert_eq!(rows[0].unit, "");
+    }
+
+    #[test]
+    fn structured_unknown_fields_are_skipped() {
+        // The shape of a Chrome trace-event row: nested args object,
+        // plus booleans/null/arrays for good measure.
+        let text = "[{\"metric\": \"m\", \"args\": {\"request_id\": 7, \"nested\": {\"deep\": [1, 2, {\"x\": null}]}}, \"flag\": true, \"off\": false, \"none\": null, \"list\": [], \"value\": 3}]";
+        let rows = parse_bench_json(text).unwrap();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].metric, "m");
+        assert_eq!(rows[0].value, 3.0);
+        // Unterminated nesting still errors without panicking.
+        assert!(parse_bench_json("[{\"args\": {\"a\": [1, }]").is_err());
+        assert!(parse_bench_json("[{\"flag\": tru}]").is_err());
+    }
+
+    #[test]
+    fn trajectory_lines_are_single_line_json() {
+        let line = render_trajectory_line(
+            "deterministic",
+            3,
+            &[
+                BenchRow::new("a", 1.0, "ns", "cfg"),
+                BenchRow::new("b", 2.5, "evals/s", "cfg"),
+            ],
+        );
+        assert!(!line.contains('\n'));
+        assert!(line.contains("\"iters\": 3"));
+        assert!(line.contains("\"metric\": \"b\""));
+        // Each line's rows array round-trips through the parser.
+        let rows_start = line.find('[').unwrap();
+        let rows_json = &line[rows_start..line.len() - 1];
+        let parsed = parse_bench_json(rows_json).unwrap();
+        assert_eq!(parsed.len(), 2);
+        assert_eq!(parsed[1].value, 2.5);
     }
 
     #[test]

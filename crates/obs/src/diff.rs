@@ -1,0 +1,312 @@
+//! Bench-document comparison: the logic behind `perf_bench diff`, which
+//! turns two `BENCH_*.json` row sets into a per-metric verdict and a
+//! single regressed-or-not answer a CI job can gate on.
+//!
+//! Each metric's improvement direction is inferred from its unit: `ns`
+//! (and any `*_ns`) means lower is better, rate units (`*/s`) mean higher
+//! is better, and anything else (counts, bytes, layers) is informational
+//! — a changed work count is reported but never fails the gate on its
+//! own. Rows whose baseline or candidate value is `0` are skipped too: a
+//! deterministic-mode document pins every wall metric to exactly `0`, and
+//! a ratio against zero is meaningless.
+//!
+//! ```
+//! use lego_obs::bench::BenchRow;
+//! use lego_obs::diff::{diff_rows, Tolerances};
+//!
+//! let before = vec![BenchRow::new("evaluate_single_wall", 100.0, "ns", "cfg")];
+//! let after = vec![BenchRow::new("evaluate_single_wall", 160.0, "ns", "cfg")];
+//! let report = diff_rows(&before, &after, &Tolerances::new(1.5));
+//! assert_eq!(report.regressions().len(), 1); // 1.6× > 1.5× tolerance
+//! assert!(diff_rows(&before, &before, &Tolerances::new(1.5)).passed());
+//! ```
+
+use crate::bench::BenchRow;
+use std::fmt::Write as _;
+
+/// Which way a metric improves.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// Time-like metrics (`ns`): smaller is faster.
+    LowerIsBetter,
+    /// Rate metrics (`…/s`): bigger is faster.
+    HigherIsBetter,
+    /// Work counts and sizes: changes are reported, never gated.
+    Informational,
+}
+
+/// Infer the improvement direction from a row's unit.
+pub fn direction_for(unit: &str) -> Direction {
+    if unit == "ns" || unit.ends_with("_ns") {
+        Direction::LowerIsBetter
+    } else if unit.ends_with("/s") {
+        Direction::HigherIsBetter
+    } else {
+        Direction::Informational
+    }
+}
+
+/// Per-metric regression thresholds: a default ratio plus any number of
+/// per-metric overrides. A tolerance of `1.5` allows a metric to get up
+/// to 50% worse (slower, or lower-throughput) before it counts as a
+/// regression. Ratios below `1` are clamped to `1`.
+#[derive(Debug, Clone)]
+pub struct Tolerances {
+    default_ratio: f64,
+    per_metric: Vec<(String, f64)>,
+}
+
+impl Tolerances {
+    /// Thresholds with one default ratio and no overrides.
+    pub fn new(default_ratio: f64) -> Self {
+        Tolerances {
+            default_ratio: default_ratio.max(1.0),
+            per_metric: Vec::new(),
+        }
+    }
+
+    /// Override the threshold for one metric.
+    #[must_use]
+    pub fn with_metric(mut self, metric: impl Into<String>, ratio: f64) -> Self {
+        self.per_metric.push((metric.into(), ratio.max(1.0)));
+        self
+    }
+
+    /// The threshold that applies to `metric`.
+    pub fn ratio_for(&self, metric: &str) -> f64 {
+        self.per_metric
+            .iter()
+            .rev()
+            .find(|(m, _)| m == metric)
+            .map_or(self.default_ratio, |(_, r)| *r)
+    }
+}
+
+impl Default for Tolerances {
+    /// A 25% default threshold — tight enough to catch a real regression,
+    /// loose enough for run-to-run scheduler noise on a quiet machine.
+    fn default() -> Self {
+        Tolerances::new(1.25)
+    }
+}
+
+/// One metric's before/after verdict.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricDelta {
+    /// Metric name.
+    pub metric: String,
+    /// Unit (from the baseline row).
+    pub unit: String,
+    /// Baseline value.
+    pub before: f64,
+    /// Candidate value.
+    pub after: f64,
+    /// `after / before` (`0` when the baseline is zero).
+    pub ratio: f64,
+    /// Improvement direction inferred from the unit.
+    pub direction: Direction,
+    /// Whether this metric regressed past its tolerance.
+    pub regressed: bool,
+}
+
+/// The outcome of comparing two bench documents.
+#[derive(Debug, Clone, Default)]
+pub struct DiffReport {
+    /// One verdict per metric present in both documents.
+    pub deltas: Vec<MetricDelta>,
+    /// Baseline metrics the candidate no longer emits — always a failure
+    /// (a metric silently disappearing is how a gate goes blind).
+    pub missing_after: Vec<String>,
+    /// Candidate metrics the baseline lacks (reported, not gated).
+    pub added: Vec<String>,
+    /// Metrics whose unit changed between the documents — a contract
+    /// break, always a failure.
+    pub unit_changed: Vec<String>,
+}
+
+impl DiffReport {
+    /// The deltas that regressed.
+    pub fn regressions(&self) -> Vec<&MetricDelta> {
+        self.deltas.iter().filter(|d| d.regressed).collect()
+    }
+
+    /// `true` when nothing regressed, disappeared, or changed unit.
+    pub fn passed(&self) -> bool {
+        self.missing_after.is_empty()
+            && self.unit_changed.is_empty()
+            && self.deltas.iter().all(|d| !d.regressed)
+    }
+
+    /// Human-readable table, one line per metric, stable order.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for d in &self.deltas {
+            let verdict = if d.regressed {
+                "REGRESSED"
+            } else if d.direction == Direction::Informational {
+                "info"
+            } else if d.before == 0.0 || d.after == 0.0 {
+                "skipped (zero)"
+            } else {
+                "ok"
+            };
+            let _ = writeln!(
+                out,
+                "{:<28} {:>14} -> {:>14} {:<10} x{:.3}  {}",
+                d.metric,
+                crate::bench::fmt_f64(d.before),
+                crate::bench::fmt_f64(d.after),
+                d.unit,
+                d.ratio,
+                verdict,
+            );
+        }
+        for m in &self.missing_after {
+            let _ = writeln!(out, "{m:<28} MISSING from candidate");
+        }
+        for m in &self.unit_changed {
+            let _ = writeln!(out, "{m:<28} UNIT CHANGED between documents");
+        }
+        for m in &self.added {
+            let _ = writeln!(out, "{m:<28} new in candidate");
+        }
+        out
+    }
+}
+
+/// Compare `after` against the `before` baseline under `tol`. Metrics are
+/// matched by name (first occurrence wins); see the module docs for the
+/// zero-value and direction rules.
+pub fn diff_rows(before: &[BenchRow], after: &[BenchRow], tol: &Tolerances) -> DiffReport {
+    let find = |rows: &[BenchRow], metric: &str| -> Option<BenchRow> {
+        rows.iter().find(|r| r.metric == metric).cloned()
+    };
+    let mut report = DiffReport::default();
+    let mut seen = std::collections::BTreeSet::new();
+    for b in before {
+        if !seen.insert(b.metric.clone()) {
+            continue;
+        }
+        let Some(a) = find(after, &b.metric) else {
+            report.missing_after.push(b.metric.clone());
+            continue;
+        };
+        if a.unit != b.unit {
+            report.unit_changed.push(b.metric.clone());
+            continue;
+        }
+        let direction = direction_for(&b.unit);
+        let ratio = if b.value == 0.0 {
+            0.0
+        } else {
+            a.value / b.value
+        };
+        let threshold = tol.ratio_for(&b.metric);
+        let gated = b.value > 0.0 && a.value > 0.0;
+        let regressed = gated
+            && match direction {
+                Direction::LowerIsBetter => a.value > b.value * threshold,
+                Direction::HigherIsBetter => a.value * threshold < b.value,
+                Direction::Informational => false,
+            };
+        report.deltas.push(MetricDelta {
+            metric: b.metric.clone(),
+            unit: b.unit.clone(),
+            before: b.value,
+            after: a.value,
+            ratio,
+            direction,
+            regressed,
+        });
+    }
+    for a in after {
+        if !seen.contains(&a.metric) && !report.added.contains(&a.metric) {
+            report.added.push(a.metric.clone());
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rows(values: &[(&str, f64, &str)]) -> Vec<BenchRow> {
+        values
+            .iter()
+            .map(|(m, v, u)| BenchRow::new(*m, *v, *u, "cfg"))
+            .collect()
+    }
+
+    #[test]
+    fn self_diff_always_passes() {
+        let doc = rows(&[
+            ("wall", 100.0, "ns"),
+            ("throughput", 50.0, "evals/s"),
+            ("bytes", 4096.0, "bytes"),
+        ]);
+        let report = diff_rows(&doc, &doc, &Tolerances::default());
+        assert!(report.passed());
+        assert!(report.regressions().is_empty());
+    }
+
+    #[test]
+    fn directions_follow_units() {
+        assert_eq!(direction_for("ns"), Direction::LowerIsBetter);
+        assert_eq!(direction_for("evals/s"), Direction::HigherIsBetter);
+        assert_eq!(direction_for("requests/s"), Direction::HigherIsBetter);
+        assert_eq!(direction_for("bytes"), Direction::Informational);
+        assert_eq!(direction_for("count"), Direction::Informational);
+    }
+
+    #[test]
+    fn fifty_percent_wall_regression_fails_a_quarter_tolerance() {
+        let before = rows(&[("wall", 100.0, "ns")]);
+        let after = rows(&[("wall", 150.0, "ns")]);
+        let report = diff_rows(&before, &after, &Tolerances::new(1.25));
+        assert!(!report.passed());
+        assert_eq!(report.regressions().len(), 1);
+        // A generous 2× threshold tolerates the same change.
+        assert!(diff_rows(&before, &after, &Tolerances::new(2.0)).passed());
+    }
+
+    #[test]
+    fn throughput_drops_regress_and_gains_never_do() {
+        let before = rows(&[("throughput", 100.0, "evals/s")]);
+        let slower = rows(&[("throughput", 60.0, "evals/s")]);
+        let faster = rows(&[("throughput", 500.0, "evals/s")]);
+        assert!(!diff_rows(&before, &slower, &Tolerances::new(1.25)).passed());
+        assert!(diff_rows(&before, &faster, &Tolerances::new(1.25)).passed());
+    }
+
+    #[test]
+    fn zero_baselines_are_skipped() {
+        // Deterministic documents pin wall metrics to 0; they can never
+        // gate a wallclock run (or vice versa).
+        let det = rows(&[("wall", 0.0, "ns")]);
+        let wall = rows(&[("wall", 123456.0, "ns")]);
+        assert!(diff_rows(&det, &wall, &Tolerances::new(1.0)).passed());
+        assert!(diff_rows(&wall, &det, &Tolerances::new(1.0)).passed());
+    }
+
+    #[test]
+    fn missing_metrics_and_unit_changes_fail() {
+        let before = rows(&[("wall", 100.0, "ns"), ("gone", 5.0, "count")]);
+        let after = rows(&[("wall", 100.0, "us"), ("new", 7.0, "count")]);
+        let report = diff_rows(&before, &after, &Tolerances::default());
+        assert!(!report.passed());
+        assert_eq!(report.missing_after, vec!["gone".to_string()]);
+        assert_eq!(report.unit_changed, vec!["wall".to_string()]);
+        assert_eq!(report.added, vec!["new".to_string()]);
+    }
+
+    #[test]
+    fn per_metric_overrides_take_precedence() {
+        let before = rows(&[("wall", 100.0, "ns")]);
+        let after = rows(&[("wall", 180.0, "ns")]);
+        let tol = Tolerances::new(1.25).with_metric("wall", 2.0);
+        assert!(diff_rows(&before, &after, &tol).passed());
+        assert_eq!(tol.ratio_for("wall"), 2.0);
+        assert_eq!(tol.ratio_for("other"), 1.25);
+    }
+}

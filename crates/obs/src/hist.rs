@@ -1,0 +1,211 @@
+//! Log-bucketed histograms: fixed-size percentile estimation for the
+//! value and span series a [`Recorder`](crate::Recorder) accumulates.
+//!
+//! A [`Hist`] is 64 power-of-two buckets of sample counts — no stored
+//! samples, so recording is O(1), merging is a vector add, and the memory
+//! cost is constant no matter how many samples arrive. Percentiles are
+//! estimated as the **lower bound** of the bucket holding the requested
+//! rank, so an estimate is exact for integral powers of two and otherwise
+//! correct to within 2× — the right resolution for the "where did the
+//! time go" questions this crate answers.
+//!
+//! Determinism: a bucket index is computed from the sample's binary
+//! exponent (no floating-point log), so the counts — and therefore every
+//! percentile — are a pure function of the recorded samples. In
+//! [`ObsMode::Deterministic`](crate::ObsMode::Deterministic) span
+//! durations are recorded as `0`, which lands in bucket 0 and reports
+//! every percentile as `0`: bucket counts are kept, wall values are
+//! zeroed, and the rendered summary stays byte-identical across runs.
+
+/// Number of power-of-two buckets; bucket `0` holds samples below `1`,
+/// bucket `i ≥ 1` holds samples in `[2^(i-1), 2^i)`, and the last bucket
+/// absorbs everything above `2^62`.
+pub const BUCKETS: usize = 64;
+
+/// A fixed-size log₂-bucketed histogram of non-negative samples.
+///
+/// ```
+/// use lego_obs::hist::Hist;
+///
+/// let mut h = Hist::default();
+/// for v in [1.0, 2.0, 3.0, 900.0] {
+///     h.record(v);
+/// }
+/// assert_eq!(h.count(), 4);
+/// assert_eq!(h.percentile(0.50), 2.0); // 2 and 3 share bucket [2, 4)
+/// assert_eq!(h.percentile(0.99), 512.0); // 900 lands in [512, 1024)
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Hist {
+    counts: [u64; BUCKETS],
+    total: u64,
+}
+
+impl Default for Hist {
+    fn default() -> Self {
+        Hist {
+            counts: [0; BUCKETS],
+            total: 0,
+        }
+    }
+}
+
+/// Bucket index for one sample (see [`BUCKETS`] for the layout).
+/// Computed from the float's binary exponent, not a floating-point log,
+/// so the mapping is exact and deterministic.
+fn bucket_of(value: f64) -> usize {
+    // Sub-1 samples, zeros, negatives, and NaN all fall into the "below
+    // resolution" bucket (callers drop non-finite samples before
+    // recording; this is belt and braces). NaN fails the comparison.
+    if value < 1.0 || !value.is_finite() {
+        return 0;
+    }
+    // For a normal f64 ≥ 1, the unbiased exponent is floor(log2(v)).
+    let exponent = ((value.to_bits() >> 52) & 0x7ff) as i64 - 1023;
+    (exponent as usize + 1).min(BUCKETS - 1)
+}
+
+impl Hist {
+    /// Record one sample.
+    pub fn record(&mut self, value: f64) {
+        self.counts[bucket_of(value)] += 1;
+        self.total += 1;
+    }
+
+    /// Fold another histogram into this one (stripe merging).
+    pub fn merge(&mut self, other: &Hist) {
+        for (mine, theirs) in self.counts.iter_mut().zip(&other.counts) {
+            *mine += theirs;
+        }
+        self.total += other.total;
+    }
+
+    /// Total samples recorded.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Estimated value at quantile `q` in `[0, 1]`: the lower bound of
+    /// the bucket containing the sample of that rank (`0` when empty or
+    /// when the rank falls in the sub-1 bucket). Exact for integral
+    /// powers of two, otherwise an underestimate by less than 2×.
+    pub fn percentile(&self, q: f64) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let rank = ((q * self.total as f64).ceil() as u64).clamp(1, self.total);
+        let mut seen = 0u64;
+        for (i, n) in self.counts.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return if i == 0 {
+                    0.0
+                } else {
+                    (1u64 << (i - 1)) as f64
+                };
+            }
+        }
+        // Unreachable: the counts sum to `total` and rank ≤ total.
+        0.0
+    }
+
+    /// Median estimate — `percentile(0.50)`.
+    pub fn p50(&self) -> f64 {
+        self.percentile(0.50)
+    }
+
+    /// 90th-percentile estimate.
+    pub fn p90(&self) -> f64 {
+        self.percentile(0.90)
+    }
+
+    /// 99th-percentile estimate.
+    pub fn p99(&self) -> f64 {
+        self.percentile(0.99)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_are_powers_of_two() {
+        assert_eq!(bucket_of(0.0), 0);
+        assert_eq!(bucket_of(0.5), 0);
+        assert_eq!(bucket_of(1.0), 1);
+        assert_eq!(bucket_of(1.99), 1);
+        assert_eq!(bucket_of(2.0), 2);
+        assert_eq!(bucket_of(3.0), 2);
+        assert_eq!(bucket_of(4.0), 3);
+        assert_eq!(bucket_of(1024.0), 11);
+        assert_eq!(bucket_of(f64::MAX), BUCKETS - 1);
+        assert_eq!(bucket_of(-5.0), 0);
+    }
+
+    #[test]
+    fn empty_histogram_reports_zero() {
+        let h = Hist::default();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.p50(), 0.0);
+        assert_eq!(h.p99(), 0.0);
+    }
+
+    #[test]
+    fn constant_power_of_two_samples_are_exact() {
+        let mut h = Hist::default();
+        for _ in 0..100 {
+            h.record(8.0);
+        }
+        assert_eq!(h.p50(), 8.0);
+        assert_eq!(h.p90(), 8.0);
+        assert_eq!(h.p99(), 8.0);
+    }
+
+    #[test]
+    fn percentiles_walk_the_distribution() {
+        let mut h = Hist::default();
+        // 90 fast samples around 2^4, 10 slow ones around 2^10.
+        for _ in 0..90 {
+            h.record(20.0); // bucket [16, 32)
+        }
+        for _ in 0..10 {
+            h.record(1500.0); // bucket [1024, 2048)
+        }
+        assert_eq!(h.p50(), 16.0);
+        assert_eq!(h.p90(), 16.0);
+        assert_eq!(h.p99(), 1024.0);
+    }
+
+    #[test]
+    fn zeros_report_zero_percentiles() {
+        // The deterministic-mode contract: span durations recorded as 0
+        // keep their counts but every percentile stays 0.
+        let mut h = Hist::default();
+        for _ in 0..50 {
+            h.record(0.0);
+        }
+        assert_eq!(h.count(), 50);
+        assert_eq!(h.p50(), 0.0);
+        assert_eq!(h.p99(), 0.0);
+    }
+
+    #[test]
+    fn merge_is_a_vector_add() {
+        let mut a = Hist::default();
+        let mut b = Hist::default();
+        a.record(4.0);
+        b.record(4.0);
+        b.record(4096.0);
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.p50(), 4.0);
+        assert_eq!(a.p99(), 4096.0);
+        // Merge order never changes the result.
+        let mut c = Hist::default();
+        c.record(4096.0);
+        c.record(4.0);
+        c.record(4.0);
+        assert_eq!(a, c);
+    }
+}

@@ -3,8 +3,8 @@
 //! Every hot path in the workspace (the `EvalSession` request/response
 //! layer, the explorer worker pool, the bench bins) threads an [`Obs`]
 //! handle: a cheap, cloneable reference to a shared [`Recorder`] that
-//! accumulates **counters**, **value histograms** (count/sum/min/max),
-//! and **named timed spans**. The design constraint that shapes the whole
+//! accumulates **counters**, **value histograms** (count/sum plus
+//! log-bucketed p50/p90/p99), and **named timed spans**. The design constraint that shapes the whole
 //! crate is the repository's byte-identical determinism CI: observability
 //! must never perturb results, and in [`ObsMode::Deterministic`] the
 //! summary itself must be byte-identical across runs.
@@ -58,19 +58,32 @@
 //! assert!(obs.summary().spans["explore/generation/score_batch"].total_ns > 0);
 //! ```
 //!
+//! Every value and span series additionally feeds a log-bucketed
+//! histogram ([`mod@hist`]), so summaries report p50/p90/p99 estimates
+//! instead of min/max — and a recorder can carry an optional bounded
+//! [`TraceLog`] of typed events ([`Obs::traced`]) with
+//! Chrome-trace and folded-stack exporters; see [`mod@trace`].
+//!
 //! The [`mod@bench`] module holds the machine-readable `BENCH_*.json` row
 //! format (`{metric, value, unit, config}`) that `perf_bench` writes and
-//! CI re-parses.
+//! CI re-parses, and [`mod@diff`] the regression comparison behind
+//! `perf_bench diff`.
 
 use std::borrow::Cow;
+use std::cell::Cell;
 use std::collections::BTreeMap;
 use std::fmt;
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 pub mod bench;
+pub mod diff;
+pub mod hist;
+pub mod trace;
 
 pub use bench::BenchRow;
+pub use hist::Hist;
+pub use trace::{TraceEvent, TraceKind, TraceLog, TraceSnapshot};
 
 /// What a [`Recorder`] is allowed to observe.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
@@ -96,50 +109,31 @@ impl ObsMode {
     }
 }
 
-/// Count/sum/min/max statistics for one recorded value series.
-#[derive(Debug, Clone, Copy, PartialEq)]
+/// Statistics for one recorded value series: count, sum, and a
+/// log-bucketed percentile histogram ([`Hist`]) over the samples.
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct ValueStat {
     /// Number of samples recorded.
     pub count: u64,
     /// Sum of all samples.
     pub sum: f64,
-    /// Smallest sample.
-    pub min: f64,
-    /// Largest sample.
-    pub max: f64,
+    /// Log-bucketed distribution of the samples.
+    hist: Hist,
 }
 
 impl ValueStat {
     fn observe(&mut self, value: f64) {
-        if self.count == 0 {
-            self.min = value;
-            self.max = value;
-        } else {
-            if value < self.min {
-                self.min = value;
-            }
-            if value > self.max {
-                self.max = value;
-            }
-        }
         self.count += 1;
         self.sum += value;
+        self.hist.record(value);
     }
 
     /// Folds another stat into this one (used when a summary merges the
     /// per-thread recorder stripes).
     fn merge(&mut self, other: &ValueStat) {
-        if other.count == 0 {
-            return;
-        }
-        if self.count == 0 {
-            *self = *other;
-            return;
-        }
         self.count += other.count;
         self.sum += other.sum;
-        self.min = self.min.min(other.min);
-        self.max = self.max.max(other.max);
+        self.hist.merge(&other.hist);
     }
 
     /// Arithmetic mean of the samples (0 when empty).
@@ -150,16 +144,76 @@ impl ValueStat {
             self.sum / self.count as f64
         }
     }
+
+    /// Estimated quantile of the samples (see [`Hist::percentile`]).
+    pub fn percentile(&self, q: f64) -> f64 {
+        self.hist.percentile(q)
+    }
+
+    /// Median estimate.
+    pub fn p50(&self) -> f64 {
+        self.hist.p50()
+    }
+
+    /// 90th-percentile estimate.
+    pub fn p90(&self) -> f64 {
+        self.hist.p90()
+    }
+
+    /// 99th-percentile estimate.
+    pub fn p99(&self) -> f64 {
+        self.hist.p99()
+    }
 }
 
-/// Aggregate statistics for one named span.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+/// Aggregate statistics for one named span: entry count, total
+/// nanoseconds, and a log-bucketed duration histogram. In
+/// [`ObsMode::Deterministic`] durations are recorded as `0`, so the
+/// bucket counts survive but every wall value (total and percentiles)
+/// renders as exactly `0`.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct SpanStat {
     /// How many times the span was entered.
     pub count: u64,
     /// Total nanoseconds across all entries; always `0` in
     /// [`ObsMode::Deterministic`].
     pub total_ns: u64,
+    /// Log-bucketed distribution of per-entry durations.
+    hist: Hist,
+}
+
+impl SpanStat {
+    fn observe(&mut self, elapsed_ns: u64) {
+        self.count += 1;
+        self.total_ns = self.total_ns.saturating_add(elapsed_ns);
+        self.hist.record(elapsed_ns as f64);
+    }
+
+    fn merge(&mut self, other: &SpanStat) {
+        self.count += other.count;
+        self.total_ns = self.total_ns.saturating_add(other.total_ns);
+        self.hist.merge(&other.hist);
+    }
+
+    /// Estimated duration quantile in nanoseconds.
+    pub fn percentile_ns(&self, q: f64) -> f64 {
+        self.hist.percentile(q)
+    }
+
+    /// Median duration estimate in nanoseconds.
+    pub fn p50_ns(&self) -> f64 {
+        self.hist.p50()
+    }
+
+    /// 90th-percentile duration estimate in nanoseconds.
+    pub fn p90_ns(&self) -> f64 {
+        self.hist.p90()
+    }
+
+    /// 99th-percentile duration estimate in nanoseconds.
+    pub fn p99_ns(&self) -> f64 {
+        self.hist.p99()
+    }
 }
 
 #[derive(Debug, Default)]
@@ -187,6 +241,30 @@ thread_local! {
         NEXT_THREAD.fetch_add(1, std::sync::atomic::Ordering::Relaxed) % STRIPES;
 }
 
+/// Process-logical trace thread ids, assigned on a thread's first traced
+/// event: the main thread of a fresh process is `0`, the next thread to
+/// trace is `1`, and so on. Unlike OS thread ids these are stable across
+/// runs of a single-threaded workload, which is what keeps deterministic
+/// trace exports byte-identical.
+static NEXT_TID: std::sync::atomic::AtomicU32 = std::sync::atomic::AtomicU32::new(0);
+thread_local! {
+    static TRACE_TID: u32 = NEXT_TID.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+}
+
+thread_local! {
+    /// The request id active on this thread (see [`Obs::request_scope`]);
+    /// `0` = none.
+    static CURRENT_REQUEST: Cell<u64> = const { Cell::new(0) };
+}
+
+/// The trace half of a recorder: the bounded event ring plus the epoch
+/// timestamps are measured from.
+#[derive(Debug)]
+struct TraceState {
+    log: Mutex<TraceLog>,
+    epoch: Instant,
+}
+
 /// The shared sink behind an [`Obs`] handle. Interior-mutable and
 /// thread-safe. State is striped per recording thread (summaries merge
 /// the stripes), so concurrent workers do not serialize on one lock; all
@@ -195,6 +273,8 @@ thread_local! {
 pub struct Recorder {
     mode: ObsMode,
     stripes: [Stripe; STRIPES],
+    /// `Some` when tracing is enabled ([`Obs::traced`]).
+    trace: Option<TraceState>,
 }
 
 impl Recorder {
@@ -202,6 +282,30 @@ impl Recorder {
         Recorder {
             mode,
             stripes: Default::default(),
+            trace: None,
+        }
+    }
+
+    /// Append a trace event, if tracing is enabled. The timestamp is read
+    /// only in [`ObsMode::WallClock`]; deterministic traces carry `0`.
+    fn trace_push(&self, kind: TraceKind) {
+        if let Some(trace) = &self.trace {
+            let ts_ns = if self.mode == ObsMode::WallClock {
+                u64::try_from(trace.epoch.elapsed().as_nanos()).unwrap_or(u64::MAX)
+            } else {
+                0
+            };
+            let event = TraceEvent {
+                ts_ns,
+                tid: TRACE_TID.with(|t| *t),
+                request_id: CURRENT_REQUEST.with(|c| c.get()),
+                kind,
+            };
+            trace
+                .log
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .push(event);
         }
     }
 
@@ -227,13 +331,9 @@ impl Recorder {
         // thousands of times, which must not allocate a key per entry.
         let stat = match state.spans.get_mut(name) {
             Some(stat) => stat,
-            None => state.spans.entry(name.to_string()).or_insert(SpanStat {
-                count: 0,
-                total_ns: 0,
-            }),
+            None => state.spans.entry(name.to_string()).or_default(),
         };
-        stat.count += 1;
-        stat.total_ns = stat.total_ns.saturating_add(elapsed_ns);
+        stat.observe(elapsed_ns);
     }
 }
 
@@ -268,6 +368,67 @@ impl Obs {
         }
     }
 
+    /// Enables structured event tracing on this handle: span enter/exit
+    /// and counter events are appended to a bounded ring of `capacity`
+    /// events (oldest overwritten first; see [`TraceLog`]). Call at
+    /// construction time — the recorder is rebuilt, so clones taken
+    /// before this call keep recording into the untraced recorder, and
+    /// any already-recorded data is discarded. No-op when disabled.
+    #[must_use]
+    pub fn traced(self, capacity: usize) -> Self {
+        match self.rec {
+            None => self,
+            Some(rec) => Obs {
+                rec: Some(Arc::new(Recorder {
+                    mode: rec.mode,
+                    stripes: Default::default(),
+                    trace: Some(TraceState {
+                        log: Mutex::new(TraceLog::new(capacity)),
+                        epoch: Instant::now(),
+                    }),
+                })),
+            },
+        }
+    }
+
+    /// Snapshot the trace ring for export ([`TraceSnapshot`]); `None`
+    /// when this handle is untraced or disabled.
+    pub fn trace_snapshot(&self) -> Option<TraceSnapshot> {
+        let trace = self.rec.as_ref()?.trace.as_ref()?;
+        Some(
+            trace
+                .log
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .snapshot(),
+        )
+    }
+
+    /// Marks the calling thread as working on request `id` until the
+    /// returned guard drops: every trace event recorded on this thread in
+    /// between (span enter/exit, counter deltas) carries the id, which is
+    /// how an exported trace attributes spans to the
+    /// [`EvalSession`]-minted `RequestId` in a report's provenance.
+    /// Scopes nest — the guard restores the previous id on drop. No-op
+    /// when disabled.
+    ///
+    /// [`EvalSession`]: https://docs.rs/lego-eval
+    pub fn request_scope(&self, id: u64) -> RequestScope {
+        if self.rec.is_none() {
+            return RequestScope {
+                prev: 0,
+                active: false,
+                _not_send: std::marker::PhantomData,
+            };
+        }
+        let prev = CURRENT_REQUEST.with(|c| c.replace(id));
+        RequestScope {
+            prev,
+            active: true,
+            _not_send: std::marker::PhantomData,
+        }
+    }
+
     /// The mode of the attached recorder ([`ObsMode::Disabled`] if none).
     pub fn mode(&self) -> ObsMode {
         self.rec.as_ref().map_or(ObsMode::Disabled, |r| r.mode)
@@ -281,19 +442,24 @@ impl Obs {
     /// Add `n` to the named counter.
     pub fn count(&self, name: &str, n: u64) {
         if let Some(rec) = &self.rec {
-            let mut state = rec.lock();
-            match state.counters.get_mut(name) {
-                Some(c) => *c += n,
-                None => {
-                    state.counters.insert(name.to_string(), n);
+            {
+                let mut state = rec.lock();
+                match state.counters.get_mut(name) {
+                    Some(c) => *c += n,
+                    None => {
+                        state.counters.insert(name.to_string(), n);
+                    }
                 }
+            }
+            if rec.trace.is_some() {
+                rec.trace_push(TraceKind::Count(name.into(), n));
             }
         }
     }
 
-    /// Record one sample of the named value series (count/sum/min/max).
-    /// Non-finite samples are dropped: they cannot render as JSON and a
-    /// single NaN would poison the min/max forever.
+    /// Record one sample of the named value series (count/sum plus the
+    /// percentile histogram). Non-finite samples are dropped: they cannot
+    /// render as JSON and a single NaN would poison the sum forever.
     pub fn record(&self, name: &str, value: f64) {
         if !value.is_finite() {
             return;
@@ -302,12 +468,10 @@ impl Obs {
             let mut state = rec.lock();
             let stat = match state.values.get_mut(name) {
                 Some(stat) => stat,
-                None => state.values.entry(name.to_string()).or_insert(ValueStat {
-                    count: 0,
-                    sum: 0.0,
-                    min: 0.0,
-                    max: 0.0,
-                }),
+                None => state
+                    .values
+                    .entry(name.to_string())
+                    .or_insert_with(ValueStat::default),
             };
             stat.observe(value);
         }
@@ -346,15 +510,20 @@ impl Obs {
                 name: Cow::Borrowed(""),
                 start: None,
             },
-            Some(rec) => Span {
-                rec: Some(rec),
-                name: Cow::Borrowed(name),
-                start: if rec.mode == ObsMode::WallClock {
-                    Some(Instant::now())
-                } else {
-                    None
-                },
-            },
+            Some(rec) => {
+                if rec.trace.is_some() {
+                    rec.trace_push(TraceKind::Enter(name.into()));
+                }
+                Span {
+                    rec: Some(rec),
+                    name: Cow::Borrowed(name),
+                    start: if rec.mode == ObsMode::WallClock {
+                        Some(Instant::now())
+                    } else {
+                        None
+                    },
+                }
+            }
         }
     }
 
@@ -390,18 +559,15 @@ impl Obs {
                         match values.get_mut(k) {
                             Some(s) => s.merge(v),
                             None => {
-                                values.insert(k.clone(), *v);
+                                values.insert(k.clone(), v.clone());
                             }
                         }
                     }
                     for (k, v) in &state.spans {
                         match spans.get_mut(k) {
-                            Some(s) => {
-                                s.count += v.count;
-                                s.total_ns = s.total_ns.saturating_add(v.total_ns);
-                            }
+                            Some(s) => s.merge(v),
                             None => {
-                                spans.insert(k.clone(), *v);
+                                spans.insert(k.clone(), v.clone());
                             }
                         }
                     }
@@ -416,7 +582,8 @@ impl Obs {
         }
     }
 
-    /// Clear all recorded data (mode is kept).
+    /// Clear all recorded data (mode is kept; the trace ring is emptied
+    /// too, keeping its capacity).
     pub fn reset(&self) {
         if let Some(rec) = &self.rec {
             for stripe in &rec.stripes {
@@ -425,6 +592,28 @@ impl Obs {
                 state.values.clear();
                 state.spans.clear();
             }
+            if let Some(trace) = &rec.trace {
+                let mut log = trace.log.lock().unwrap_or_else(|e| e.into_inner());
+                *log = TraceLog::new(log.capacity());
+            }
+        }
+    }
+}
+
+/// Drop guard from [`Obs::request_scope`]: restores the thread's previous
+/// request id when dropped. Deliberately `!Send` — the guard manipulates
+/// thread-local state, so it must drop on the thread that created it.
+#[derive(Debug)]
+pub struct RequestScope {
+    prev: u64,
+    active: bool,
+    _not_send: std::marker::PhantomData<*const ()>,
+}
+
+impl Drop for RequestScope {
+    fn drop(&mut self) {
+        if self.active {
+            CURRENT_REQUEST.with(|c| c.set(self.prev));
         }
     }
 }
@@ -448,15 +637,21 @@ impl<'a> Span<'a> {
                 name: Cow::Borrowed(""),
                 start: None,
             },
-            Some(rec) => Span {
-                rec: Some(rec),
-                name: Cow::Owned(format!("{}/{}", self.name, name)),
-                start: if rec.mode == ObsMode::WallClock {
-                    Some(Instant::now())
-                } else {
-                    None
-                },
-            },
+            Some(rec) => {
+                let composed = format!("{}/{}", self.name, name);
+                if rec.trace.is_some() {
+                    rec.trace_push(TraceKind::Enter(composed.as_str().into()));
+                }
+                Span {
+                    rec: Some(rec),
+                    name: Cow::Owned(composed),
+                    start: if rec.mode == ObsMode::WallClock {
+                        Some(Instant::now())
+                    } else {
+                        None
+                    },
+                }
+            }
         }
     }
 
@@ -475,6 +670,9 @@ impl Drop for Span<'_> {
                 .map(|s| u64::try_from(s.elapsed().as_nanos()).unwrap_or(u64::MAX))
                 .unwrap_or(0);
             rec.end_span(&self.name, ns);
+            if rec.trace.is_some() {
+                rec.trace_push(TraceKind::Exit(self.name.as_ref().into()));
+            }
         }
     }
 }
@@ -518,18 +716,23 @@ impl Summary {
         out.push_str("},\n  \"values\": {");
         render_map(&mut out, &self.values, |out, v| {
             out.push_str(&format!(
-                "{{\"count\": {}, \"sum\": {}, \"min\": {}, \"max\": {}}}",
+                "{{\"count\": {}, \"sum\": {}, \"p50\": {}, \"p90\": {}, \"p99\": {}}}",
                 v.count,
                 bench::fmt_f64(v.sum),
-                bench::fmt_f64(v.min),
-                bench::fmt_f64(v.max),
+                bench::fmt_f64(v.p50()),
+                bench::fmt_f64(v.p90()),
+                bench::fmt_f64(v.p99()),
             ))
         });
         out.push_str("},\n  \"spans\": {");
         render_map(&mut out, &self.spans, |out, v| {
             out.push_str(&format!(
-                "{{\"count\": {}, \"total_ns\": {}}}",
-                v.count, v.total_ns
+                "{{\"count\": {}, \"total_ns\": {}, \"p50_ns\": {}, \"p90_ns\": {}, \"p99_ns\": {}}}",
+                v.count,
+                v.total_ns,
+                bench::fmt_f64(v.p50_ns()),
+                bench::fmt_f64(v.p90_ns()),
+                bench::fmt_f64(v.p99_ns()),
             ))
         });
         out.push_str("}\n}\n");
@@ -598,19 +801,16 @@ mod tests {
         assert_eq!(s.counter("eval.requests"), 3);
         assert_eq!(s.values["bytes"].count, 2);
         assert_eq!(s.values["bytes"].sum, 14.0);
-        assert_eq!(s.values["bytes"].min, 4.0);
-        assert_eq!(s.values["bytes"].max, 10.0);
+        assert_eq!(s.values["bytes"].p50(), 4.0); // bucket [4, 8)
+        assert_eq!(s.values["bytes"].p99(), 8.0); // 10 lands in [8, 16)
         assert_eq!(s.values["bytes"].mean(), 7.0);
         // Scheduling-dependent series are dropped in deterministic mode.
         assert_eq!(s.counter("worker.0.evals"), 0);
         assert!(!s.values.contains_key("queue"));
-        assert_eq!(
-            s.spans["phase"],
-            SpanStat {
-                count: 2,
-                total_ns: 0
-            }
-        );
+        assert_eq!(s.spans["phase"].count, 2);
+        assert_eq!(s.spans["phase"].total_ns, 0);
+        // Zero durations keep their counts but report zero percentiles.
+        assert_eq!(s.spans["phase"].p99_ns(), 0.0);
     }
 
     #[test]

@@ -1,0 +1,396 @@
+//! Structured event tracing: a bounded ring buffer of typed events with
+//! two exporters — Chrome trace-event JSON (loadable in Perfetto or
+//! `chrome://tracing`) and folded-stack text for flamegraphs.
+//!
+//! Tracing is opt-in per recorder ([`Obs::traced`](crate::Obs::traced)):
+//! when enabled, every span enter/exit and counter increment appends a
+//! [`TraceEvent`] carrying a monotonic timestamp (zero in
+//! [`ObsMode::Deterministic`](crate::ObsMode::Deterministic) — the clock
+//! is never read), a process-logical thread id, and the current request
+//! id ([`Obs::request_scope`](crate::Obs::request_scope)). The ring is
+//! bounded: at capacity the oldest events are overwritten, and the
+//! exporters emit only **matched** enter/exit pairs, so a truncated ring
+//! still produces a well-formed trace (orphaned exits whose enters were
+//! overwritten, and still-open spans, are dropped).
+//!
+//! ```
+//! use lego_obs::Obs;
+//!
+//! let obs = Obs::deterministic().traced(1024);
+//! {
+//!     let _req = obs.request_scope(7);
+//!     let _span = obs.span("eval/evaluate");
+//!     obs.count("cache.hits", 3);
+//! }
+//! let snap = obs.trace_snapshot().unwrap();
+//! assert_eq!(snap.events.len(), 3); // enter, count, exit
+//! let json = snap.chrome_trace_json();
+//! assert!(json.contains("\"ph\": \"B\""));
+//! assert!(json.contains("\"request_id\": 7"));
+//! ```
+
+use crate::bench::{escape_into, fmt_f64};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// What one [`TraceEvent`] records.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceKind {
+    /// A span of this name was entered.
+    Enter(Box<str>),
+    /// The matching span exited.
+    Exit(Box<str>),
+    /// A counter was incremented by this delta.
+    Count(Box<str>, u64),
+}
+
+impl TraceKind {
+    /// The span or counter name this event refers to.
+    pub fn name(&self) -> &str {
+        match self {
+            TraceKind::Enter(n) | TraceKind::Exit(n) | TraceKind::Count(n, _) => n,
+        }
+    }
+}
+
+/// One typed event in a [`TraceLog`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Nanoseconds since the recorder was constructed; always `0` in
+    /// deterministic mode (the clock is never read).
+    pub ts_ns: u64,
+    /// Process-logical thread id: `0` for the first thread that traced,
+    /// `1` for the second, and so on. Stable within a process run.
+    pub tid: u32,
+    /// The request id active on the recording thread (see
+    /// [`Obs::request_scope`](crate::Obs::request_scope)); `0` = none.
+    pub request_id: u64,
+    /// What happened.
+    pub kind: TraceKind,
+}
+
+/// A bounded ring buffer of [`TraceEvent`]s. At capacity, pushing a new
+/// event overwrites the oldest one; [`TraceLog::dropped`] counts the
+/// overwritten events so an exporter can say how much history was lost.
+#[derive(Debug, Clone)]
+pub struct TraceLog {
+    ring: Vec<TraceEvent>,
+    /// Index of the oldest event once the ring is full.
+    head: usize,
+    /// Total events ever pushed (including overwritten ones).
+    pushed: u64,
+    capacity: usize,
+}
+
+impl TraceLog {
+    /// An empty ring holding at most `capacity` events (minimum 1).
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        TraceLog {
+            ring: Vec::with_capacity(capacity.min(1024)),
+            head: 0,
+            pushed: 0,
+            capacity,
+        }
+    }
+
+    /// Append an event, overwriting the oldest if the ring is full.
+    pub fn push(&mut self, event: TraceEvent) {
+        if self.ring.len() < self.capacity {
+            self.ring.push(event);
+        } else {
+            self.ring[self.head] = event;
+            self.head = (self.head + 1) % self.capacity;
+        }
+        self.pushed += 1;
+    }
+
+    /// Events currently resident.
+    pub fn len(&self) -> usize {
+        self.ring.len()
+    }
+
+    /// Whether no events are resident.
+    pub fn is_empty(&self) -> bool {
+        self.ring.is_empty()
+    }
+
+    /// Maximum resident events.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Events overwritten by the ring so far.
+    pub fn dropped(&self) -> u64 {
+        self.pushed - self.ring.len() as u64
+    }
+
+    /// The resident events, oldest first.
+    pub fn events(&self) -> Vec<TraceEvent> {
+        let mut out = Vec::with_capacity(self.ring.len());
+        out.extend_from_slice(&self.ring[self.head..]);
+        out.extend_from_slice(&self.ring[..self.head]);
+        out
+    }
+
+    /// Snapshot for export.
+    pub fn snapshot(&self) -> TraceSnapshot {
+        TraceSnapshot {
+            events: self.events(),
+            dropped: self.dropped(),
+            capacity: self.capacity,
+        }
+    }
+}
+
+/// An immutable copy of a [`TraceLog`]'s resident events, with the two
+/// exporters hanging off it.
+#[derive(Debug, Clone)]
+pub struct TraceSnapshot {
+    /// Resident events, oldest first.
+    pub events: Vec<TraceEvent>,
+    /// Events the ring overwrote before this snapshot.
+    pub dropped: u64,
+    /// The ring's capacity.
+    pub capacity: usize,
+}
+
+/// Per-tid matching of enter/exit events: returns the event indices that
+/// form complete pairs. Span guards drop in LIFO order per thread, so an
+/// exit either matches the top of its thread's enter stack or is an
+/// orphan (its enter was overwritten by the ring) and is skipped; enters
+/// left on a stack (spans still open, or exits lost to snapshot timing)
+/// are skipped too. The result is balanced by construction: every kept
+/// enter has exactly one kept exit on the same thread.
+fn matched_pairs(events: &[TraceEvent]) -> Vec<(usize, usize)> {
+    let mut stacks: BTreeMap<u32, Vec<(usize, &str)>> = BTreeMap::new();
+    let mut pairs = Vec::new();
+    for (i, e) in events.iter().enumerate() {
+        match &e.kind {
+            TraceKind::Enter(name) => {
+                stacks.entry(e.tid).or_default().push((i, name));
+            }
+            TraceKind::Exit(name) => {
+                let stack = stacks.entry(e.tid).or_default();
+                if stack.last().is_some_and(|(_, top)| *top == &**name) {
+                    let (enter, _) = stack.pop().expect("just checked non-empty");
+                    pairs.push((enter, i));
+                }
+            }
+            TraceKind::Count(..) => {}
+        }
+    }
+    pairs.sort_unstable();
+    pairs
+}
+
+impl TraceSnapshot {
+    /// Export as Chrome trace-event JSON (the
+    /// [trace-event format](https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU)
+    /// Perfetto and `chrome://tracing` load): matched spans as `B`/`E`
+    /// duration events, counters as `C` events carrying their running
+    /// total. Timestamps are microseconds; a span's `B` event carries the
+    /// request id in `args` when one was active. The output is a pure
+    /// function of the events, so deterministic-mode traces are
+    /// byte-identical across runs.
+    pub fn chrome_trace_json(&self) -> String {
+        let kept: std::collections::BTreeSet<usize> = matched_pairs(&self.events)
+            .into_iter()
+            .flat_map(|(b, e)| [b, e])
+            .collect();
+        // Counter events carry running totals per (tid, name).
+        let mut totals: BTreeMap<(u32, &str), u64> = BTreeMap::new();
+        let mut out = String::from("[\n");
+        let mut first = true;
+        for (i, e) in self.events.iter().enumerate() {
+            let ph = match &e.kind {
+                TraceKind::Enter(_) if kept.contains(&i) => "B",
+                TraceKind::Exit(_) if kept.contains(&i) => "E",
+                TraceKind::Count(..) => "C",
+                _ => continue,
+            };
+            if !first {
+                out.push_str(",\n");
+            }
+            first = false;
+            out.push_str("{\"name\": \"");
+            escape_into(&mut out, e.kind.name());
+            let _ = write!(
+                out,
+                "\", \"cat\": \"lego\", \"ph\": \"{}\", \"pid\": 1, \"tid\": {}, \"ts\": {}",
+                ph,
+                e.tid,
+                fmt_f64(e.ts_ns as f64 / 1000.0),
+            );
+            match &e.kind {
+                TraceKind::Enter(_) if e.request_id != 0 => {
+                    let _ = write!(out, ", \"args\": {{\"request_id\": {}}}", e.request_id);
+                }
+                TraceKind::Count(name, delta) => {
+                    let slot = totals.entry((e.tid, name)).or_default();
+                    *slot += delta;
+                    let _ = write!(out, ", \"args\": {{\"value\": {}}}", slot);
+                }
+                _ => {}
+            }
+            out.push('}');
+        }
+        out.push_str("\n]\n");
+        out
+    }
+
+    /// Export as folded-stack text (`outer;inner self_ns` per line, the
+    /// format `flamegraph.pl` and speedscope consume): one line per
+    /// distinct call stack, carrying the **self** nanoseconds spent there
+    /// (total minus time attributed to children). Lines are sorted, so
+    /// the output is deterministic; in deterministic mode every value is
+    /// `0` (the stacks still show the shape of the run).
+    pub fn folded_stacks(&self) -> String {
+        let pairs = matched_pairs(&self.events);
+        let enters: std::collections::BTreeSet<usize> = pairs.iter().map(|&(b, _)| b).collect();
+        let exits: std::collections::BTreeSet<usize> = pairs.iter().map(|&(_, e)| e).collect();
+        let mut lines: BTreeMap<String, u64> = BTreeMap::new();
+        // Replay per thread: a stack of open matched frames, each
+        // accumulating the time its children consumed.
+        struct Frame<'a> {
+            name: &'a str,
+            start_ns: u64,
+            child_ns: u64,
+        }
+        let mut stacks: BTreeMap<u32, Vec<Frame<'_>>> = BTreeMap::new();
+        for (i, e) in self.events.iter().enumerate() {
+            match &e.kind {
+                TraceKind::Enter(name) if enters.contains(&i) => {
+                    stacks.entry(e.tid).or_default().push(Frame {
+                        name,
+                        start_ns: e.ts_ns,
+                        child_ns: 0,
+                    });
+                }
+                TraceKind::Exit(_) if exits.contains(&i) => {
+                    let stack = stacks.entry(e.tid).or_default();
+                    let frame = stack.pop().expect("matched exit has a frame");
+                    let total = e.ts_ns.saturating_sub(frame.start_ns);
+                    let self_ns = total.saturating_sub(frame.child_ns);
+                    let mut key = String::new();
+                    for f in stack.iter() {
+                        key.push_str(f.name);
+                        key.push(';');
+                    }
+                    key.push_str(frame.name);
+                    *lines.entry(key).or_default() += self_ns;
+                    if let Some(parent) = stack.last_mut() {
+                        parent.child_ns = parent.child_ns.saturating_add(total);
+                    }
+                }
+                _ => {}
+            }
+        }
+        let mut out = String::new();
+        for (stack, ns) in &lines {
+            let _ = writeln!(out, "{stack} {ns}");
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(ts_ns: u64, tid: u32, kind: TraceKind) -> TraceEvent {
+        TraceEvent {
+            ts_ns,
+            tid,
+            request_id: 0,
+            kind,
+        }
+    }
+
+    fn enter(name: &str) -> TraceKind {
+        TraceKind::Enter(name.into())
+    }
+    fn exit(name: &str) -> TraceKind {
+        TraceKind::Exit(name.into())
+    }
+
+    #[test]
+    fn ring_keeps_the_newest_events() {
+        let mut log = TraceLog::new(3);
+        for i in 0..5u64 {
+            log.push(ev(i, 0, TraceKind::Count("c".into(), i)));
+        }
+        assert_eq!(log.len(), 3);
+        assert_eq!(log.dropped(), 2);
+        let ts: Vec<u64> = log.events().iter().map(|e| e.ts_ns).collect();
+        assert_eq!(ts, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn exporters_skip_orphaned_exits_and_open_enters() {
+        // An exit whose enter was overwritten, plus a still-open span.
+        let events = vec![
+            ev(0, 0, exit("lost")),
+            ev(1, 0, enter("kept")),
+            ev(2, 0, exit("kept")),
+            ev(3, 0, enter("open")),
+        ];
+        let snap = TraceSnapshot {
+            events,
+            dropped: 1,
+            capacity: 4,
+        };
+        let json = snap.chrome_trace_json();
+        assert!(json.contains("\"kept\""));
+        assert!(!json.contains("\"lost\""));
+        assert!(!json.contains("\"open\""));
+        let folded = snap.folded_stacks();
+        assert_eq!(folded, "kept 1\n");
+    }
+
+    #[test]
+    fn folded_stacks_attribute_self_time() {
+        let events = vec![
+            ev(0, 0, enter("outer")),
+            ev(10, 0, enter("inner")),
+            ev(40, 0, exit("inner")),
+            ev(100, 0, exit("outer")),
+        ];
+        let snap = TraceSnapshot {
+            events,
+            dropped: 0,
+            capacity: 16,
+        };
+        // outer total 100, inner total 30 → outer self 70.
+        assert_eq!(snap.folded_stacks(), "outer 70\nouter;inner 30\n");
+    }
+
+    #[test]
+    fn chrome_counters_carry_running_totals() {
+        let events = vec![
+            ev(0, 0, TraceKind::Count("cache.hits".into(), 2)),
+            ev(1, 0, TraceKind::Count("cache.hits".into(), 3)),
+        ];
+        let snap = TraceSnapshot {
+            events,
+            dropped: 0,
+            capacity: 16,
+        };
+        let json = snap.chrome_trace_json();
+        assert!(json.contains("{\"value\": 2}"));
+        assert!(json.contains("{\"value\": 5}"));
+    }
+
+    #[test]
+    fn threads_match_independently() {
+        // Interleaved enters/exits across two threads still pair up.
+        let events = vec![
+            ev(0, 0, enter("a")),
+            ev(1, 1, enter("b")),
+            ev(2, 0, exit("a")),
+            ev(3, 1, exit("b")),
+        ];
+        let pairs = matched_pairs(&events);
+        assert_eq!(pairs, vec![(0, 2), (1, 3)]);
+    }
+}

@@ -104,6 +104,70 @@
 //! assert!(summary.spans.contains_key("eval/mapping_search"));
 //! ```
 //!
+//! # Tracing & profiling workflow
+//!
+//! When the summary says *where* work went but not *when*, capture a
+//! trace. `Obs::wall_clock().traced(n)` attaches a bounded ring buffer of
+//! typed events (span enter/exit, counter deltas) to the recorder; every
+//! span is stamped with the `RequestId` the session minted for its
+//! evaluation, so concurrent requests untangle on the timeline.
+//!
+//! 1. **Capture.** Attach a traced handle and evaluate:
+//!    `eval_report --wallclock --trace-out trace.json --folded-out
+//!    stacks.txt`, or in code: `Obs::wall_clock().traced(65536)` →
+//!    `obs.trace_snapshot()`. The ring is bounded — a run that overflows
+//!    it drops the *oldest* events and the exporters still emit a
+//!    well-formed trace (only matched enter/exit pairs are written).
+//! 2. **Look at the timeline.** The Chrome trace-event JSON
+//!    (`chrome_trace_json()`) loads in [Perfetto](https://ui.perfetto.dev)
+//!    or `chrome://tracing`: `eval/evaluate` parents
+//!    `eval/{context_build,mapping_search,aggregate}`, explorer runs add
+//!    `explore/shard/strategy`, and counter tracks plot cache warmth over
+//!    time. Click any span to read its `request_id`.
+//! 3. **Find the hot stack.** `folded_stacks()` emits `outer;inner ns`
+//!    lines for flamegraph tools (inferno, `flamegraph.pl`, speedscope) —
+//!    self time per stack, children subtracted.
+//! 4. **Read the percentiles.** Summaries carry log-bucketed p50/p90/p99
+//!    per span and per recorded value (`SpanStat::p99_ns`), so a long
+//!    tail is visible even when the mean looks fine. Deterministic mode
+//!    records the same bucket *counts* but zeroes all wall values — the
+//!    rendered summary stays byte-identical across runs.
+//! 5. **Gate the regression.** `perf_bench diff before.json after.json`
+//!    compares two bench documents with per-metric tolerances (default
+//!    1.25×; `--tolerance-for explore_wall=2.0` overrides one series) and
+//!    exits nonzero when a wall metric grew — or a throughput shrank —
+//!    past tolerance, or a metric vanished or changed unit. CI runs it
+//!    against the committed `BENCH_eval_wall.json` with a generous 2×
+//!    threshold; `perf_bench record` appends each run (mode, iterations,
+//!    full row set) to the append-only `BENCH_trajectory.jsonl`.
+//!
+//! ```
+//! use lego::eval::{EvalRequest, EvalSession};
+//! use lego::obs::Obs;
+//! use lego::sim::HwConfig;
+//!
+//! // Deterministic here so the doctest is stable; use wall_clock() to
+//! // profile for real.
+//! let obs = Obs::deterministic().traced(4096);
+//! let session = EvalSession::new().with_obs(obs.clone());
+//! let request = EvalRequest::new(
+//!     lego::workloads::zoo::lenet(),
+//!     HwConfig::lego_256(),
+//! );
+//! session.evaluate(&request);
+//!
+//! let snapshot = obs.trace_snapshot().unwrap();
+//! let trace = snapshot.chrome_trace_json();       // -> Perfetto
+//! let stacks = snapshot.folded_stacks();          // -> flamegraph
+//! assert!(trace.contains("\"name\": \"eval/mapping_search\""));
+//! assert!(trace.contains("\"request_id\": 1"));
+//! assert!(stacks.contains("eval/evaluate;eval/mapping_search"));
+//!
+//! // The session's cache gauges price what stayed resident.
+//! let gauges = session.cache().gauges();
+//! assert!(gauges.entries > 0 && gauges.resident_bytes > 0);
+//! ```
+//!
 //! # Generating hardware
 //!
 //! The generator half: describe a workload relation-centrically, pick a

@@ -16,6 +16,7 @@ const EXAMPLES: &[&str] = &[
     "fused_accelerator",
     "quickstart",
     "sharded_exploration",
+    "trace_eval",
 ];
 
 #[test]
