@@ -26,9 +26,10 @@
 //! produces byte-identical snapshots and output.
 
 use lego_bench::harness::{row, section};
+use lego_eval::EvalError;
 use lego_explorer::{
     default_strategies, explore, explore_shard, DesignSpace, ExploreOptions, GridSearch,
-    ParetoFrontier, SearchStrategy, Snapshot,
+    ParetoFrontier, SearchStrategy, Snapshot, SnapshotError,
 };
 use lego_workloads::{zoo, Model};
 use std::path::{Path, PathBuf};
@@ -42,12 +43,12 @@ fn main() -> ExitCode {
         Some("run") => cmd_run(&args[1..]),
         Some("merge") => cmd_merge(&args[1..]),
         Some("verify") => cmd_verify(&args[1..]),
-        _ => Err(USAGE.to_string()),
+        _ => Err(EvalError::Usage(USAGE.to_string())),
     };
     match result {
         Ok(()) => ExitCode::SUCCESS,
-        Err(msg) => {
-            eprintln!("{msg}");
+        Err(e) => {
+            eprintln!("dse_shard: {e} [status {}]", e.status());
             ExitCode::FAILURE
         }
     }
@@ -58,7 +59,7 @@ const USAGE: &str = "usage:
   dse_shard merge SNAP... [--out SNAP] [--report]
   dse_shard verify [--shards N] [--model M] [--space paper|sparse|tiny]";
 
-fn model_by_name(name: &str) -> Result<Model, String> {
+fn model_by_name(name: &str) -> Result<Model, EvalError> {
     Ok(match name {
         "lenet" => zoo::lenet(),
         "mobilenet_v2" => zoo::mobilenet_v2(),
@@ -66,21 +67,42 @@ fn model_by_name(name: &str) -> Result<Model, String> {
         "bert_base" => zoo::bert_base(),
         "resnet50_2to4" => zoo::resnet50_2to4(),
         "bert_base_pruned90" => zoo::bert_base_pruned90(),
-        _ => return Err(format!("unknown model {name:?}")),
+        _ => {
+            return Err(EvalError::Unknown {
+                what: "model",
+                name: name.to_string(),
+            })
+        }
     })
 }
 
-fn space_by_name(name: &str) -> Result<DesignSpace, String> {
+fn space_by_name(name: &str) -> Result<DesignSpace, EvalError> {
     Ok(match name {
         "paper" => DesignSpace::paper(),
         "sparse" => DesignSpace::sparse(),
         "tiny" => DesignSpace::tiny(),
-        _ => return Err(format!("unknown space {name:?}")),
+        _ => {
+            return Err(EvalError::Unknown {
+                what: "space",
+                name: name.to_string(),
+            })
+        }
     })
 }
 
+/// Keeps the snapshot path in a codec failure's message without
+/// abandoning the typed error (and its stable status code).
+fn snapshot_ctx(path: &str, e: SnapshotError) -> EvalError {
+    match e {
+        SnapshotError::Io(io) => {
+            EvalError::Io(std::io::Error::new(io.kind(), format!("{path}: {io}")))
+        }
+        other => other.into(),
+    }
+}
+
 /// Pulls `--flag value` out of an argument list; the leftovers stay.
-fn take_flag(args: &mut Vec<String>, flag: &str) -> Result<Option<String>, String> {
+fn take_flag(args: &mut Vec<String>, flag: &str) -> Result<Option<String>, EvalError> {
     match args.iter().position(|a| a == flag) {
         None => Ok(None),
         Some(i) if i + 1 < args.len() => {
@@ -88,7 +110,7 @@ fn take_flag(args: &mut Vec<String>, flag: &str) -> Result<Option<String>, Strin
             args.remove(i);
             Ok(Some(value))
         }
-        Some(_) => Err(format!("{flag} needs a value\n{USAGE}")),
+        Some(_) => Err(EvalError::Usage(format!("{flag} needs a value\n{USAGE}"))),
     }
 }
 
@@ -103,38 +125,47 @@ fn take_switch(args: &mut Vec<String>, flag: &str) -> bool {
     }
 }
 
-fn parse_seed(text: Option<String>) -> Result<u64, String> {
+fn parse_seed(text: Option<String>) -> Result<u64, EvalError> {
     match text {
         None => Ok(DEFAULT_SEED),
         Some(s) => {
             let digits = s.trim_start_matches("0x");
             let radix = if digits.len() < s.len() { 16 } else { 10 };
-            u64::from_str_radix(digits, radix).map_err(|_| format!("bad seed {s:?}"))
+            u64::from_str_radix(digits, radix)
+                .map_err(|_| EvalError::Usage(format!("bad seed {s:?}")))
         }
     }
 }
 
-fn cmd_run(args: &[String]) -> Result<(), String> {
+fn cmd_run(args: &[String]) -> Result<(), EvalError> {
     let mut args = args.to_vec();
-    let shard_spec =
-        take_flag(&mut args, "--shard")?.ok_or(format!("--shard I/N required\n{USAGE}"))?;
-    let out = take_flag(&mut args, "--out")?.ok_or(format!("--out SNAP required\n{USAGE}"))?;
+    let shard_spec = take_flag(&mut args, "--shard")?
+        .ok_or_else(|| EvalError::Usage(format!("--shard I/N required\n{USAGE}")))?;
+    let out = take_flag(&mut args, "--out")?
+        .ok_or_else(|| EvalError::Usage(format!("--out SNAP required\n{USAGE}")))?;
     let model = model_by_name(&take_flag(&mut args, "--model")?.unwrap_or("mobilenet_v2".into()))?;
     let space = space_by_name(&take_flag(&mut args, "--space")?.unwrap_or("paper".into()))?;
     let seed = parse_seed(take_flag(&mut args, "--seed")?)?;
     let budget = take_flag(&mut args, "--budget")?
-        .map(|b| b.parse::<usize>().map_err(|_| format!("bad budget {b:?}")))
+        .map(|b| {
+            b.parse::<usize>()
+                .map_err(|_| EvalError::Usage(format!("bad budget {b:?}")))
+        })
         .transpose()?;
     let warm = take_flag(&mut args, "--warm")?;
     if !args.is_empty() {
-        return Err(format!("unexpected arguments {args:?}\n{USAGE}"));
+        return Err(EvalError::Usage(format!(
+            "unexpected arguments {args:?}\n{USAGE}"
+        )));
     }
 
     let (index, count) = shard_spec
         .split_once('/')
         .and_then(|(i, n)| Some((i.parse::<u32>().ok()?, n.parse::<u32>().ok()?)))
         .filter(|&(i, n)| n > 0 && i < n)
-        .ok_or(format!("--shard wants I/N with I < N, got {shard_spec:?}"))?;
+        .ok_or_else(|| {
+            EvalError::Usage(format!("--shard wants I/N with I < N, got {shard_spec:?}"))
+        })?;
 
     let shard = space.shard(index, count);
     let mut opts = ExploreOptions {
@@ -142,13 +173,13 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
         ..Default::default()
     };
     if let Some(warm_path) = &warm {
-        let warm_snap = Snapshot::read_from(Path::new(warm_path))
-            .map_err(|e| format!("reading {warm_path}: {e}"))?;
+        let warm_snap =
+            Snapshot::read_from(Path::new(warm_path)).map_err(|e| snapshot_ctx(warm_path, e))?;
         if warm_snap.model != model.name {
-            return Err(format!(
+            return Err(EvalError::Usage(format!(
                 "warm snapshot is for {:?}, run targets {:?}",
                 warm_snap.model, model.name
-            ));
+            )));
         }
         println!(
             "warm start: preloading {} cache entries from {warm_path}",
@@ -166,7 +197,7 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
     let snapshot = run.snapshot(&model.name, seed);
     snapshot
         .write_to(Path::new(&out))
-        .map_err(|e| format!("writing {out}: {e}"))?;
+        .map_err(|e| snapshot_ctx(&out, e))?;
     println!(
         "{} genomes evaluated: frontier {} points, cache {} entries ({} hits / {} misses) -> {out}",
         run.evaluated(),
@@ -185,18 +216,20 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_merge(args: &[String]) -> Result<(), String> {
+fn cmd_merge(args: &[String]) -> Result<(), EvalError> {
     let mut args = args.to_vec();
     let out = take_flag(&mut args, "--out")?;
     let report = take_switch(&mut args, "--report");
     if args.is_empty() {
-        return Err(format!("merge needs at least one snapshot\n{USAGE}"));
+        return Err(EvalError::Usage(format!(
+            "merge needs at least one snapshot\n{USAGE}"
+        )));
     }
     let paths: Vec<PathBuf> = args.iter().map(PathBuf::from).collect();
     let mut snapshots = Vec::new();
     for p in &paths {
         snapshots
-            .push(Snapshot::read_from(p).map_err(|e| format!("reading {}: {e}", p.display()))?);
+            .push(Snapshot::read_from(p).map_err(|e| snapshot_ctx(&p.display().to_string(), e))?);
     }
 
     let mut merged = snapshots[0].clone();
@@ -207,10 +240,10 @@ fn cmd_merge(args: &[String]) -> Result<(), String> {
     let (mut joined, mut absorbed) = (0, 0);
     for s in &snapshots[1..] {
         if s.model != merged.model {
-            return Err(format!(
+            return Err(EvalError::Usage(format!(
                 "snapshot models disagree: {:?} vs {:?}",
                 merged.model, s.model
-            ));
+            )));
         }
         let (j, a) = merged.absorb(s);
         contributions.push((j, a));
@@ -290,21 +323,24 @@ fn cmd_merge(args: &[String]) -> Result<(), String> {
     if let Some(out) = out {
         merged
             .write_to(Path::new(&out))
-            .map_err(|e| format!("writing {out}: {e}"))?;
+            .map_err(|e| snapshot_ctx(&out, e))?;
         println!("wrote merged snapshot -> {out}");
     }
     Ok(())
 }
 
-fn cmd_verify(args: &[String]) -> Result<(), String> {
+fn cmd_verify(args: &[String]) -> Result<(), EvalError> {
     let mut args = args.to_vec();
     let shards: u32 = take_flag(&mut args, "--shards")?.map_or(Ok(4), |n| {
-        n.parse().map_err(|_| format!("bad shard count {n:?}"))
+        n.parse()
+            .map_err(|_| EvalError::Usage(format!("bad shard count {n:?}")))
     })?;
     let model = model_by_name(&take_flag(&mut args, "--model")?.unwrap_or("mobilenet_v2".into()))?;
     let space = space_by_name(&take_flag(&mut args, "--space")?.unwrap_or("paper".into()))?;
     if !args.is_empty() {
-        return Err(format!("unexpected arguments {args:?}\n{USAGE}"));
+        return Err(EvalError::Usage(format!(
+            "unexpected arguments {args:?}\n{USAGE}"
+        )));
     }
     // No --seed here: both sides are pure grid search, which is
     // deterministic and seed-free by construction.
@@ -336,18 +372,18 @@ fn cmd_verify(args: &[String]) -> Result<(), String> {
         );
     }
     if covered != space.size() {
-        return Err(format!(
+        return Err(EvalError::Internal(format!(
             "VERIFY FAILED: shards covered {covered} of {} genomes",
             space.size()
-        ));
+        )));
     }
     if !merged.dominance_equal(&single.frontier) {
-        return Err(format!(
+        return Err(EvalError::Internal(format!(
             "VERIFY FAILED: merged frontier ({} points) is not dominance-equal \
              to the single-process frontier ({} points)",
             merged.len(),
             single.frontier.len()
-        ));
+        )));
     }
     println!(
         "OK: union of {shards} shard frontiers is dominance-equal to the \

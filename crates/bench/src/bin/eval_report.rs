@@ -24,7 +24,7 @@
 //! timestamps and is byte-identical across runs.
 
 use lego_bench::harness::section;
-use lego_eval::{EvalRequest, EvalSession};
+use lego_eval::{CodecError, EvalError, EvalRequest, EvalSession};
 use lego_model::{SparseAccel, SparseHw};
 use lego_obs::Obs;
 use lego_sim::HwConfig;
@@ -51,7 +51,7 @@ fn take_switch(args: &mut Vec<String>, flag: &str) -> bool {
     }
 }
 
-fn model_by_name(name: &str) -> Result<Model, String> {
+fn model_by_name(name: &str) -> Result<Model, EvalError> {
     Ok(match name {
         "lenet" => zoo::lenet(),
         "mobilenet_v2" => zoo::mobilenet_v2(),
@@ -60,11 +60,16 @@ fn model_by_name(name: &str) -> Result<Model, String> {
         "resnet50_2to4" => zoo::resnet50_2to4(),
         "bert_base_pruned90" => zoo::bert_base_pruned90(),
         "gpt2_prefill_causal" => zoo::gpt2_prefill_causal(),
-        _ => return Err(format!("unknown model {name:?}")),
+        _ => {
+            return Err(EvalError::Unknown {
+                what: "model",
+                name: name.to_string(),
+            })
+        }
     })
 }
 
-fn take_flag(args: &mut Vec<String>, flag: &str) -> Result<Option<String>, String> {
+fn take_flag(args: &mut Vec<String>, flag: &str) -> Result<Option<String>, EvalError> {
     match args.iter().position(|a| a == flag) {
         None => Ok(None),
         Some(i) if i + 1 < args.len() => {
@@ -72,11 +77,22 @@ fn take_flag(args: &mut Vec<String>, flag: &str) -> Result<Option<String>, Strin
             args.remove(i);
             Ok(Some(value))
         }
-        Some(_) => Err(format!("{flag} needs a value\n{USAGE}")),
+        Some(_) => Err(EvalError::Usage(format!("{flag} needs a value\n{USAGE}"))),
     }
 }
 
-fn run() -> Result<(), String> {
+/// Keeps the file path in a codec failure's message without abandoning the
+/// typed error (and its stable status code).
+fn file_ctx(path: &str, e: CodecError) -> EvalError {
+    match e {
+        CodecError::Io(io) => {
+            EvalError::Io(std::io::Error::new(io.kind(), format!("{path}: {io}")))
+        }
+        other => EvalError::Codec(other),
+    }
+}
+
+fn run() -> Result<(), EvalError> {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let input = take_flag(&mut args, "--in")?;
     let model = take_flag(&mut args, "--model")?;
@@ -88,7 +104,9 @@ fn run() -> Result<(), String> {
     let folded_out = take_flag(&mut args, "--folded-out")?;
     let wallclock = take_switch(&mut args, "--wallclock");
     if !args.is_empty() {
-        return Err(format!("unexpected arguments {args:?}\n{USAGE}"));
+        return Err(EvalError::Usage(format!(
+            "unexpected arguments {args:?}\n{USAGE}"
+        )));
     }
 
     let mut obs = if wallclock {
@@ -102,27 +120,41 @@ fn run() -> Result<(), String> {
     let request = match input {
         Some(path) => {
             if model.is_some() || hw.is_some() || sparse.is_some() {
-                return Err(format!("--in replaces the request flags\n{USAGE}"));
+                return Err(EvalError::Usage(format!(
+                    "--in replaces the request flags\n{USAGE}"
+                )));
             }
             obs.time("codec/request_decode", || {
                 EvalRequest::read_from(Path::new(&path))
             })
-            .map_err(|e| format!("reading {path}: {e}"))?
+            .map_err(|e| file_ctx(&path, e))?
         }
         None => {
             let model = model_by_name(&model.unwrap_or("resnet50_2to4".into()))?;
             let hw = match hw.as_deref().unwrap_or("lego_256") {
                 "lego_256" => HwConfig::lego_256(),
                 "lego_icoc_1k" => HwConfig::lego_icoc_1k(),
-                other => return Err(format!("unknown hw {other:?}")),
+                other => {
+                    return Err(EvalError::Unknown {
+                        what: "hw",
+                        name: other.to_string(),
+                    })
+                }
             };
             let accel = match sparse.as_deref().unwrap_or("skip") {
                 "dense" => SparseAccel::None,
                 "gate" => SparseAccel::Gating,
                 "skip" => SparseAccel::Skipping,
-                other => return Err(format!("unknown sparse feature {other:?}")),
+                other => {
+                    return Err(EvalError::Unknown {
+                        what: "sparse feature",
+                        name: other.to_string(),
+                    })
+                }
             };
-            EvalRequest::new(model, hw).with_sparse(SparseHw::with_accel(accel))
+            EvalRequest::builder(model, hw)
+                .sparse(SparseHw::with_accel(accel))
+                .build()?
         }
     };
 
@@ -136,7 +168,7 @@ fn run() -> Result<(), String> {
     ));
     if let Some(path) = &request_out {
         obs.time("codec/request_encode", || request.write_to(Path::new(path)))
-            .map_err(|e| format!("writing {path}: {e}"))?;
+            .map_err(|e| file_ctx(path, e))?;
         println!("request ({} bytes) -> {path}", request.encode().len());
     }
 
@@ -162,7 +194,7 @@ fn run() -> Result<(), String> {
     );
     if let Some(path) = &out {
         obs.time("codec/report_encode", || report.write_to(Path::new(path)))
-            .map_err(|e| format!("writing {path}: {e}"))?;
+            .map_err(|e| file_ctx(path, e))?;
         println!("report ({} bytes) -> {path}", report.encode().len());
     }
 
@@ -180,12 +212,12 @@ fn run() -> Result<(), String> {
     if let Some(snapshot) = obs.trace_snapshot() {
         if let Some(path) = &trace_out {
             std::fs::write(path, snapshot.chrome_trace_json())
-                .map_err(|e| format!("writing {path}: {e}"))?;
+                .map_err(|e| file_ctx(path, CodecError::Io(e)))?;
             println!("chrome trace ({} events) -> {path}", snapshot.events.len());
         }
         if let Some(path) = &folded_out {
             std::fs::write(path, snapshot.folded_stacks())
-                .map_err(|e| format!("writing {path}: {e}"))?;
+                .map_err(|e| file_ctx(path, CodecError::Io(e)))?;
             println!("folded stacks -> {path}");
         }
         if snapshot.dropped > 0 {
@@ -204,8 +236,8 @@ fn run() -> Result<(), String> {
 fn main() -> ExitCode {
     match run() {
         Ok(()) => ExitCode::SUCCESS,
-        Err(msg) => {
-            eprintln!("{msg}");
+        Err(e) => {
+            eprintln!("eval_report: {e} [status {}]", e.status());
             ExitCode::FAILURE
         }
     }

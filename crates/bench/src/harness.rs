@@ -15,7 +15,10 @@ use lego_workloads::Model;
 /// Prices `model` on `hw` (default technology) through the shared
 /// request/response evaluation layer.
 pub fn evaluate(session: &EvalSession, model: &Model, hw: &HwConfig) -> EvalReport {
-    session.evaluate(&EvalRequest::new(model.clone(), hw.clone()))
+    let request = EvalRequest::builder(model.clone(), hw.clone())
+        .build()
+        .expect("table inputs are valid requests");
+    session.evaluate(&request)
 }
 
 /// [`evaluate`] under an explicit technology model (45 nm tables).
@@ -25,7 +28,11 @@ pub fn evaluate_with_tech(
     hw: &HwConfig,
     tech: &TechModel,
 ) -> EvalReport {
-    session.evaluate(&EvalRequest::new(model.clone(), hw.clone()).with_tech(*tech))
+    let request = EvalRequest::builder(model.clone(), hw.clone())
+        .tech(*tech)
+        .build()
+        .expect("table inputs are valid requests");
+    session.evaluate(&request)
 }
 
 /// Prints a row of right-aligned cells under a fixed-width layout.

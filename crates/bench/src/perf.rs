@@ -203,7 +203,9 @@ pub fn run(mode: ObsMode) -> PerfRun {
     // 1. Single cold evaluate: a fresh session per iteration, so every
     // repetition prices from an empty cache.
     {
-        let request = EvalRequest::new(zoo::resnet50(), HwConfig::lego_256());
+        let request = EvalRequest::builder(zoo::resnet50(), HwConfig::lego_256())
+            .build()
+            .expect("zoo model on stock hardware is a valid request");
         let cfg = tag("resnet50@lego_256");
         let mut wall = 0u64;
         let mut last = None;
@@ -246,7 +248,11 @@ pub fn run(mode: ObsMode) -> PerfRun {
             .with_obs(obs.clone());
         let requests: Vec<EvalRequest> = [zoo::lenet(), zoo::mobilenet_v2(), zoo::resnet50()]
             .into_iter()
-            .map(|m| EvalRequest::new(m, HwConfig::lego_256()))
+            .map(|m| {
+                EvalRequest::builder(m, HwConfig::lego_256())
+                    .build()
+                    .expect("zoo model on stock hardware is a valid request")
+            })
             .collect();
         let cfg = tag("lenet+mobilenet_v2+resnet50@lego_256");
         let mut wall = 0u64;

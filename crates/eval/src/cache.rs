@@ -2,11 +2,68 @@
 
 use lego_sim::LayerPerf;
 use lego_workloads::Layer;
-use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::RwLock;
 
 const SHARDS: usize = 16;
+
+/// One cached mapping result plus its CLOCK reference bit. The bit is an
+/// atomic so the hit path can mark recency through a shared read lock —
+/// hits stay reader-parallel even in a bounded cache.
+#[derive(Debug)]
+struct Slot {
+    perf: LayerPerf,
+    referenced: AtomicBool,
+}
+
+/// One shard: the memo map plus (in bounded mode) the CLOCK ring of
+/// resident keys in insertion/rotation order. The ring holds exactly the
+/// map's keys; eviction pops the front, giving recently referenced
+/// entries a second chance at the back.
+#[derive(Debug, Default)]
+struct Shard {
+    map: HashMap<(u64, u64), Slot>,
+    ring: VecDeque<(u64, u64)>,
+}
+
+impl Shard {
+    /// Inserts `key` if absent, evicting via CLOCK second-chance until the
+    /// shard fits `cap` entries (`None` = unbounded). Returns whether the
+    /// value joined, plus how many entries were evicted to admit it.
+    fn insert(&mut self, key: (u64, u64), perf: LayerPerf, cap: Option<usize>) -> (bool, u64) {
+        if self.map.contains_key(&key) {
+            return (false, 0);
+        }
+        let mut evicted = 0;
+        if let Some(cap) = cap {
+            if cap == 0 {
+                // A budget below one entry per shard: nothing is resident.
+                return (false, 0);
+            }
+            while self.map.len() >= cap {
+                let candidate = self.ring.pop_front().expect("ring tracks the map");
+                let slot = self.map.get(&candidate).expect("ring tracks the map");
+                if slot.referenced.swap(false, Ordering::Relaxed) {
+                    // Second chance: referenced since the hand last passed.
+                    self.ring.push_back(candidate);
+                } else {
+                    self.map.remove(&candidate);
+                    evicted += 1;
+                }
+            }
+            self.ring.push_back(key);
+        }
+        self.map.insert(
+            key,
+            Slot {
+                perf,
+                referenced: AtomicBool::new(false),
+            },
+        );
+        (true, evicted)
+    }
+}
 
 /// Concurrent memo table from (hardware fingerprint, layer fingerprint) to
 /// the layer's best mapping result.
@@ -22,27 +79,72 @@ const SHARDS: usize = 16;
 /// only shared read locks and never serializes readers; writers appear only
 /// on misses and absorbs. It counts hits and misses so callers can verify
 /// the sharing actually happens.
+///
+/// # Bounded mode
+///
+/// By default the cache grows without bound — right for a one-shot sweep,
+/// wrong for a long-lived server. [`EvalCache::with_byte_budget`] caps
+/// resident memory (as priced by [`estimated_resident_bytes_for`]) with a
+/// CLOCK second-chance policy: each hit sets the entry's reference bit
+/// through the read lock (hits never take the write lock, bounded or
+/// not), and an insert that would breach the budget sweeps the clock
+/// ring, giving referenced entries a second chance and evicting the first
+/// unreferenced one. Evictions are counted and surfaced through
+/// [`CacheGauges::evictions`].
 #[derive(Debug)]
 pub struct EvalCache {
-    shards: Vec<RwLock<HashMap<(u64, u64), LayerPerf>>>,
+    shards: Vec<RwLock<Shard>>,
+    /// Per-shard entry cap; `None` = unbounded.
+    shard_cap: Option<usize>,
+    /// The configured budget in bytes (`None` = unbounded).
+    budget_bytes: Option<usize>,
     hits: AtomicU64,
     misses: AtomicU64,
+    evictions: AtomicU64,
 }
 
 impl Default for EvalCache {
     fn default() -> Self {
         EvalCache {
-            shards: (0..SHARDS).map(|_| RwLock::new(HashMap::new())).collect(),
+            shards: (0..SHARDS).map(|_| RwLock::new(Shard::default())).collect(),
+            shard_cap: None,
+            budget_bytes: None,
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
         }
     }
 }
 
 impl EvalCache {
-    /// An empty cache.
+    /// An empty, unbounded cache.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// An empty cache that keeps
+    /// [`estimated_resident_bytes`](EvalCache::estimated_resident_bytes)
+    /// at or under `budget_bytes` by CLOCK second-chance eviction.
+    ///
+    /// The budget is split evenly across the cache's shards, so the
+    /// guarantee is exact: the cache never reports more resident bytes
+    /// than the budget. Budgets smaller than one entry per shard
+    /// (16 entries) leave some or all shards capped at zero — those
+    /// shards simply never retain, which keeps the bound honest at any
+    /// budget.
+    pub fn with_byte_budget(budget_bytes: usize) -> Self {
+        let per_entry = estimated_resident_bytes_for(1);
+        let total_entries = budget_bytes / per_entry;
+        EvalCache {
+            shard_cap: Some(total_entries / SHARDS),
+            budget_bytes: Some(budget_bytes),
+            ..Self::default()
+        }
+    }
+
+    /// The configured byte budget (`None` = unbounded).
+    pub fn byte_budget(&self) -> Option<usize> {
+        self.budget_bytes
     }
 
     /// Looks up `(hw_key, layer_key)`, running `compute` on a miss.
@@ -61,17 +163,21 @@ impl EvalCache {
     ) -> LayerPerf {
         let key = (hw_key, layer_key);
         let shard = &self.shards[(hw_key ^ layer_key) as usize % SHARDS];
-        if let Some(hit) = shard.read().expect("cache shard poisoned").get(&key) {
+        if let Some(hit) = shard.read().expect("cache shard poisoned").map.get(&key) {
             self.hits.fetch_add(1, Ordering::Relaxed);
-            return *hit;
+            hit.referenced.store(true, Ordering::Relaxed);
+            return hit.perf;
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
         let value = compute();
-        shard
-            .write()
-            .expect("cache shard poisoned")
-            .entry(key)
-            .or_insert(value);
+        let (_, evicted) =
+            shard
+                .write()
+                .expect("cache shard poisoned")
+                .insert(key, value, self.shard_cap);
+        if evicted > 0 {
+            self.evictions.fetch_add(evicted, Ordering::Relaxed);
+        }
         value
     }
 
@@ -85,14 +191,21 @@ impl EvalCache {
         self.misses.load(Ordering::Relaxed)
     }
 
+    /// Entries evicted to honor the byte budget (always `0` unbounded).
+    pub fn evictions(&self) -> u64 {
+        self.evictions.load(Ordering::Relaxed)
+    }
+
     /// Reads an entry without computing (and without touching the hit/miss
-    /// statistics) — the lookup merge tooling and tests use.
+    /// statistics or the entry's recency) — the lookup merge tooling and
+    /// tests use.
     pub fn peek(&self, hw_key: u64, layer_key: u64) -> Option<LayerPerf> {
         self.shards[(hw_key ^ layer_key) as usize % SHARDS]
             .read()
             .expect("cache shard poisoned")
+            .map
             .get(&(hw_key, layer_key))
-            .copied()
+            .map(|s| s.perf)
     }
 
     /// Every `((hw_key, layer_key), perf)` entry, sorted by key — the
@@ -105,8 +218,9 @@ impl EvalCache {
             .flat_map(|s| {
                 s.read()
                     .expect("cache shard poisoned")
+                    .map
                     .iter()
-                    .map(|(k, v)| (*k, *v))
+                    .map(|(k, v)| (*k, v.perf))
                     .collect::<Vec<_>>()
             })
             .collect();
@@ -119,16 +233,20 @@ impl EvalCache {
     /// merge story — and an existing entry is **never** overwritten: on a
     /// key collision the resident value wins (both sides computed the same
     /// deterministic simulation, so they agree; the invariant is pinned by
-    /// proptests). Returns the number of entries actually added.
+    /// proptests). Returns the number of entries actually added. A bounded
+    /// cache absorbs through the same CLOCK admission as a miss, so the
+    /// byte budget holds across warms and merges too.
     pub fn absorb<I: IntoIterator<Item = ((u64, u64), LayerPerf)>>(&self, entries: I) -> usize {
         let mut added = 0;
         for ((hw_key, layer_key), perf) in entries {
             let shard = &self.shards[(hw_key ^ layer_key) as usize % SHARDS];
-            let mut map = shard.write().expect("cache shard poisoned");
-            if let std::collections::hash_map::Entry::Vacant(slot) = map.entry((hw_key, layer_key))
-            {
-                slot.insert(perf);
+            let mut guard = shard.write().expect("cache shard poisoned");
+            let (joined, evicted) = guard.insert((hw_key, layer_key), perf, self.shard_cap);
+            if joined {
                 added += 1;
+            }
+            if evicted > 0 {
+                self.evictions.fetch_add(evicted, Ordering::Relaxed);
             }
         }
         added
@@ -152,6 +270,8 @@ impl EvalCache {
             resident_bytes: self.estimated_resident_bytes(),
             hits: self.hits(),
             misses: self.misses(),
+            evictions: self.evictions(),
+            budget_bytes: self.budget_bytes,
         }
     }
 
@@ -159,7 +279,7 @@ impl EvalCache {
     pub fn len(&self) -> usize {
         self.shards
             .iter()
-            .map(|s| s.read().expect("cache shard poisoned").len())
+            .map(|s| s.read().expect("cache shard poisoned").map.len())
             .sum()
     }
 
@@ -181,8 +301,9 @@ pub fn estimated_resident_bytes_for(entries: usize) -> usize {
 
 /// A point-in-time reading of an [`EvalCache`]'s size and effectiveness
 /// gauges — what `eval_report` and `dse_shard merge --report` surface in
-/// their stats tables (ROADMAP item 1: the cache "grows without bound",
-/// so its growth must at least be visible).
+/// their stats tables, and what `lego-serve` exposes for a long-lived
+/// session (where the byte budget and eviction count are the proof the
+/// cache is actually bounded).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CacheGauges {
     /// Distinct entries resident.
@@ -193,6 +314,10 @@ pub struct CacheGauges {
     pub hits: u64,
     /// Lookups that had to evaluate.
     pub misses: u64,
+    /// Entries evicted to honor the byte budget (`0` when unbounded).
+    pub evictions: u64,
+    /// The configured byte budget (`None` = unbounded).
+    pub budget_bytes: Option<usize>,
 }
 
 impl CacheGauges {
@@ -204,6 +329,12 @@ impl CacheGauges {
         } else {
             self.hits as f64 / total as f64
         }
+    }
+
+    /// Whether resident bytes respect the budget (vacuously true
+    /// unbounded).
+    pub fn within_budget(&self) -> bool {
+        self.budget_bytes.is_none_or(|b| self.resident_bytes <= b)
     }
 }
 
@@ -235,6 +366,11 @@ mod tests {
         )
     }
 
+    /// A budget that admits exactly `entries_per_shard` entries per shard.
+    fn budget_for(entries_per_shard: usize) -> usize {
+        estimated_resident_bytes_for(entries_per_shard * SHARDS)
+    }
+
     #[test]
     fn hit_and_miss_accounting() {
         let cache = EvalCache::new();
@@ -249,6 +385,8 @@ mod tests {
         assert_eq!(cache.misses(), 1);
         assert_eq!(cache.hits(), 2);
         assert_eq!(cache.len(), 1);
+        assert_eq!(cache.evictions(), 0);
+        assert_eq!(cache.byte_budget(), None);
     }
 
     #[test]
@@ -276,6 +414,9 @@ mod tests {
         assert_eq!(g.resident_bytes, cache.estimated_resident_bytes());
         assert_eq!((g.hits, g.misses), (2, 2));
         assert_eq!(g.hit_rate(), 0.5);
+        assert_eq!(g.evictions, 0);
+        assert_eq!(g.budget_bytes, None);
+        assert!(g.within_budget());
     }
 
     #[test]
@@ -330,6 +471,73 @@ mod tests {
         let c = EvalCache::new();
         assert_eq!(c.absorb(a.entries()), 3);
         assert_eq!(c.entries(), a.entries());
+    }
+
+    #[test]
+    fn bounded_cache_never_exceeds_its_budget() {
+        let budget = budget_for(2);
+        let cache = EvalCache::with_byte_budget(budget);
+        assert_eq!(cache.byte_budget(), Some(budget));
+        // Hammer one shard far past its cap: all keys with the same
+        // (hw ^ layer) % SHARDS land together when hw varies by SHARDS.
+        for i in 0..64u64 {
+            cache.get_or_compute(i * SHARDS as u64, 0, perf);
+        }
+        let g = cache.gauges();
+        assert!(
+            g.within_budget(),
+            "resident {} > budget {budget}",
+            g.resident_bytes
+        );
+        assert!(g.evictions > 0, "overflow must evict");
+        // The shard holds exactly its cap.
+        assert_eq!(g.entries, 2);
+        assert_eq!(g.evictions, 62);
+    }
+
+    #[test]
+    fn clock_gives_referenced_entries_a_second_chance() {
+        // One shard, cap 2: insert A and B, touch A, then insert C.
+        // The clock hand must pass over referenced A and evict B.
+        let cache = EvalCache::with_byte_budget(budget_for(2));
+        let s = SHARDS as u64;
+        cache.get_or_compute(s, 0, perf); // A
+        cache.get_or_compute(2 * s, 0, perf); // B
+        cache.get_or_compute(s, 0, perf); // hit A → referenced
+        cache.get_or_compute(3 * s, 0, perf); // C → evicts B
+        assert!(cache.peek(s, 0).is_some(), "referenced A survives");
+        assert!(cache.peek(2 * s, 0).is_none(), "unreferenced B evicted");
+        assert!(cache.peek(3 * s, 0).is_some(), "C resident");
+        assert_eq!(cache.evictions(), 1);
+    }
+
+    #[test]
+    fn absorb_respects_the_budget() {
+        let budget = budget_for(1);
+        let cache = EvalCache::with_byte_budget(budget);
+        let p = perf();
+        // 4 entries into one shard, cap 1: three must be refused/evicted.
+        let s = SHARDS as u64;
+        let added = cache.absorb((1..=4).map(|i| ((i * s, 0), p)));
+        assert!(added >= 1);
+        let g = cache.gauges();
+        assert!(g.within_budget());
+        assert_eq!(g.entries, 1);
+    }
+
+    #[test]
+    fn zero_budget_caches_nothing_but_still_serves() {
+        let cache = EvalCache::with_byte_budget(0);
+        let mut computed = 0;
+        for _ in 0..2 {
+            cache.get_or_compute(1, 2, || {
+                computed += 1;
+                perf()
+            });
+        }
+        assert_eq!(computed, 2, "nothing retained, every lookup computes");
+        assert_eq!(cache.len(), 0);
+        assert!(cache.gauges().within_budget());
     }
 
     #[test]

@@ -69,6 +69,16 @@ pub enum CodecError {
     InvalidUtf8,
     /// Well-formed data followed by garbage.
     TrailingBytes(usize),
+    /// A framed payload's checksum did not match its bytes.
+    ChecksumMismatch,
+    /// A frame header announced a payload larger than the receiver's
+    /// configured limit.
+    FrameTooLarge {
+        /// The announced payload length.
+        len: usize,
+        /// The receiver's limit.
+        max: usize,
+    },
     /// Reading or writing the payload file failed.
     Io(std::io::Error),
 }
@@ -95,12 +105,25 @@ impl fmt::Display for CodecError {
             CodecError::InvalidTag { what, tag } => write!(f, "invalid {what} tag {tag:#04x}"),
             CodecError::InvalidUtf8 => write!(f, "payload string is not valid UTF-8"),
             CodecError::TrailingBytes(n) => write!(f, "{n} trailing bytes after the payload"),
+            CodecError::ChecksumMismatch => write!(f, "frame checksum mismatch"),
+            CodecError::FrameTooLarge { len, max } => {
+                write!(
+                    f,
+                    "frame payload of {len} bytes exceeds the {max}-byte limit"
+                )
+            }
             CodecError::Io(e) => write!(f, "payload I/O failed: {e}"),
         }
     }
 }
 
 impl std::error::Error for CodecError {}
+
+impl From<std::io::Error> for CodecError {
+    fn from(e: std::io::Error) -> CodecError {
+        CodecError::Io(e)
+    }
+}
 
 /// Little-endian byte writer.
 #[derive(Default)]

@@ -47,22 +47,30 @@
 //! assert_eq!(EvalSession::new().evaluate(&decoded), report);
 //! ```
 //!
-//! The pre-session entry points still exist as `#[deprecated]` shims over
-//! the same internals (`simulate_layer_ctx` / `best_mapping_ctx` /
-//! `map_model_ctx` are what a session runs per layer), so downstream code
-//! migrates on its own schedule — but workspace CI builds with
-//! `-D deprecated`, so nothing inside this repository can regress onto
-//! them.
+//! The pre-session free-function shims (`simulate_layer`, `best_mapping`,
+//! `map_model`, …) served one full `#[deprecated]` cycle and are now gone;
+//! `simulate_layer_ctx` / `best_mapping_ctx` / `map_model_ctx` — what a
+//! session runs per layer — remain the supported low-level entry points,
+//! and workspace CI still builds with `-D deprecated` so future
+//! deprecations are enforced the same way.
+//!
+//! Failures across the stack — codec, validation, transport, admission —
+//! collapse into one [`EvalError`] enum whose [`StatusCode`] mapping is
+//! the `lego-serve` wire status contract.
 
+pub mod builder;
 pub mod cache;
 pub mod codec;
+pub mod error;
 pub mod hash;
 pub mod objective;
 pub mod pool;
 pub mod session;
 
+pub use builder::EvalRequestBuilder;
 pub use cache::{estimated_resident_bytes_for, layer_key, CacheGauges, EvalCache};
 pub use codec::{CodecError, ALL_MAPPINGS, VERSION as CODEC_VERSION};
+pub use error::{EvalError, Reject, StatusCode};
 pub use hash::{stable_hash, FnvHasher};
 pub use objective::{BaseObjective, Objective, Objectives};
 pub use pool::WorkerPool;

@@ -232,6 +232,26 @@ impl fmt::Display for SnapshotError {
 
 impl std::error::Error for SnapshotError {}
 
+/// A snapshot failure folds into the workspace-wide
+/// [`lego_eval::EvalError`] hierarchy: each variant maps onto its exact
+/// [`lego_eval::CodecError`] twin (the two codecs share the same decode
+/// discipline), so snapshot problems carry the same stable
+/// [`lego_eval::StatusCode`]s as wire-payload problems.
+impl From<SnapshotError> for lego_eval::EvalError {
+    fn from(e: SnapshotError) -> lego_eval::EvalError {
+        use lego_eval::CodecError;
+        lego_eval::EvalError::Codec(match e {
+            SnapshotError::Truncated { at, needed } => CodecError::Truncated { at, needed },
+            SnapshotError::BadMagic => CodecError::BadMagic,
+            SnapshotError::UnsupportedVersion(v) => CodecError::UnsupportedVersion(v),
+            SnapshotError::InvalidTag { what, tag } => CodecError::InvalidTag { what, tag },
+            SnapshotError::InvalidUtf8 => CodecError::InvalidUtf8,
+            SnapshotError::TrailingBytes(n) => CodecError::TrailingBytes(n),
+            SnapshotError::Io(e) => CodecError::Io(e),
+        })
+    }
+}
+
 /// Little-endian byte writer.
 #[derive(Default)]
 struct Enc {

@@ -8,8 +8,9 @@
 //! ([`map_model_ctx`]) and the single-layer convenience ([`map_layer`])
 //! are the same internals an [`lego_eval::EvalSession`] runs — `map_layer`
 //! literally builds a one-shot session — so the two can never disagree.
-//! The pre-context entry points ([`map_model`], [`map_model_with`]) are
-//! `#[deprecated]` shims kept for downstream callers.
+//! (The pre-context entry points, `map_model` and `map_model_with`, served
+//! a full `#[deprecated]` cycle and are gone; evaluate an
+//! [`lego_eval::EvalRequest`] through a session instead.)
 
 use lego_eval::{EvalRequest, EvalSession};
 use lego_model::{CostContext, TechModel};
@@ -35,32 +36,6 @@ pub struct Mapping {
     pub layers: Vec<MappedLayer>,
     /// Aggregated model performance.
     pub perf: ModelPerf,
-}
-
-/// Maps every layer of `model` onto `hw`, choosing the best dataflow per
-/// layer, and aggregates the result.
-#[deprecated(
-    since = "0.1.0",
-    note = "evaluate an EvalRequest through lego_eval::EvalSession (its \
-            EvalReport carries the same per-layer results), or use \
-            map_model_ctx with a prebuilt CostContext"
-)]
-pub fn map_model(model: &Model, hw: &HwConfig, tech: &TechModel) -> Mapping {
-    // One-shot session: the same internals, cache and all, for one call.
-    let report =
-        EvalSession::new().evaluate(&EvalRequest::new(model.clone(), hw.clone()).with_tech(*tech));
-    Mapping {
-        layers: report
-            .per_layer
-            .into_iter()
-            .map(|l| MappedLayer {
-                name: l.name,
-                count: l.count,
-                perf: l.perf,
-            })
-            .collect(),
-        perf: report.model,
-    }
 }
 
 /// Maps every layer against a prebuilt [`CostContext`] with an optional L1
@@ -96,30 +71,6 @@ pub fn map_model_ctx(model: &Model, ctx: &CostContext, tile_cap: Option<i64>) ->
         })
         .collect();
     let perf = aggregate_iter(model, layers.iter().map(|m| (m.count, &m.perf)), &ctx.tech);
-    Mapping { layers, perf }
-}
-
-/// Maps every layer through a caller-supplied evaluator and aggregates.
-#[deprecated(
-    since = "0.1.0",
-    note = "the injection point moved into lego_eval::EvalSession (which \
-            owns the memoized cache); use map_model_ctx, or a session, \
-            instead"
-)]
-pub fn map_model_with<F>(model: &Model, tech: &TechModel, mut eval: F) -> Mapping
-where
-    F: FnMut(&Layer) -> LayerPerf,
-{
-    let layers: Vec<MappedLayer> = model
-        .layers
-        .iter()
-        .map(|l| MappedLayer {
-            name: Arc::clone(&l.name),
-            count: l.count,
-            perf: eval(l),
-        })
-        .collect();
-    let perf = aggregate_iter(model, layers.iter().map(|m| (m.count, &m.perf)), tech);
     Mapping { layers, perf }
 }
 
@@ -192,22 +143,21 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_shims_match_the_ctx_path() {
-        // The shims route through a one-shot session; pin that this is
-        // byte-identical to the context path they historically wrapped.
+    fn session_path_matches_the_ctx_path() {
+        // The golden equivalence the retired shims used to pin, kept on
+        // the supported surfaces: a one-shot session over a request is
+        // byte-identical to the context path per layer and in aggregate.
         let hw = HwConfig::lego_256();
         let t = TechModel::default();
         let m = zoo::mobilenet_v2();
-        let a = map_model(&m, &hw, &t);
+        let report =
+            EvalSession::new().evaluate(&EvalRequest::new(m.clone(), hw.clone()).with_tech(t));
         let b = map_model_ctx(&m, &ctx(&hw), None);
-        assert_eq!(a.perf, b.perf);
-        assert_eq!(a.layers.len(), b.layers.len());
-        for (x, y) in a.layers.iter().zip(&b.layers) {
+        assert_eq!(report.model, b.perf);
+        assert_eq!(report.per_layer.len(), b.layers.len());
+        for (x, y) in report.per_layer.iter().zip(&b.layers) {
             assert_eq!(x.perf, y.perf, "{}", x.name);
         }
-        let c = map_model_with(&m, &t, |l| best_mapping_ctx(l, &ctx(&hw), None));
-        assert_eq!(c.perf, b.perf);
     }
 
     #[test]

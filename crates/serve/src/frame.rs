@@ -1,0 +1,296 @@
+//! The length-prefixed, checksummed frame layer under every lego-serve
+//! stream.
+//!
+//! The `EvalRequest` / `EvalReport` codec in `lego-eval` describes one
+//! self-contained payload; a socket carries *many* of them back to back.
+//! Frames add the minimum structure a byte stream needs: a magic so a
+//! desynchronized peer is detected immediately, a kind byte so control
+//! frames can ride the same pipe as requests, a length prefix so the
+//! receiver knows where the payload ends, and an FNV-64 checksum so
+//! corrupted payloads fail loudly instead of decoding into garbage.
+//!
+//! ```text
+//! "LGFR" | kind u8 | len u32 LE | checksum u64 LE | payload (len bytes)
+//! ```
+//!
+//! Every failure is a plain [`CodecError`] — the same error type the
+//! payload codec uses — so one [`lego_eval::EvalError`] covers the whole
+//! decode path and maps onto a stable wire status.
+
+use lego_eval::{CodecError, FnvHasher};
+use std::hash::Hasher;
+use std::io::{self, Read, Write};
+
+/// Frame magic: the first four bytes of every frame on a lego-serve stream.
+pub const MAGIC: [u8; 4] = *b"LGFR";
+
+/// Frame carrying an encoded [`lego_eval::EvalRequest`].
+pub const KIND_REQUEST: u8 = 1;
+/// Frame carrying a reply payload: `status u16 LE | body`.
+pub const KIND_REPLY: u8 = 2;
+/// Control frame asking the server to drain and exit (empty payload).
+pub const KIND_SHUTDOWN: u8 = 3;
+
+/// Fixed header size: magic + kind + len + checksum.
+pub const HEADER_LEN: usize = 4 + 1 + 4 + 8;
+
+/// Default per-frame payload limit (16 MiB) — far above any zoo request,
+/// low enough that a corrupted length prefix cannot make the server
+/// allocate unbounded memory.
+pub const DEFAULT_MAX_FRAME_LEN: usize = 16 << 20;
+
+/// One decoded frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Frame {
+    /// Frame kind: [`KIND_REQUEST`], [`KIND_REPLY`], or [`KIND_SHUTDOWN`].
+    pub kind: u8,
+    /// The payload bytes (already checksum-verified).
+    pub payload: Vec<u8>,
+}
+
+/// FNV-64 checksum of a payload — the same hash the evaluation layer uses
+/// for fingerprints, so both ends agree without a new dependency.
+pub fn checksum(bytes: &[u8]) -> u64 {
+    let mut h = FnvHasher::new();
+    h.write(bytes);
+    h.finish()
+}
+
+/// Encodes one frame to bytes.
+pub fn encode_frame(kind: u8, payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(HEADER_LEN + payload.len());
+    out.extend_from_slice(&MAGIC);
+    out.push(kind);
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&checksum(payload).to_le_bytes());
+    out.extend_from_slice(payload);
+    out
+}
+
+fn valid_kind(kind: u8) -> Result<u8, CodecError> {
+    match kind {
+        KIND_REQUEST | KIND_REPLY | KIND_SHUTDOWN => Ok(kind),
+        tag => Err(CodecError::InvalidTag {
+            what: "frame kind",
+            tag,
+        }),
+    }
+}
+
+/// Decodes one frame from the front of `bytes`, returning the frame and
+/// how many bytes it consumed. Trailing bytes are the next frame's
+/// business and are not an error.
+pub fn decode_frame(bytes: &[u8], max_len: usize) -> Result<(Frame, usize), CodecError> {
+    if bytes.len() < HEADER_LEN {
+        return Err(CodecError::Truncated {
+            at: bytes.len(),
+            needed: HEADER_LEN - bytes.len(),
+        });
+    }
+    if bytes[..4] != MAGIC {
+        return Err(CodecError::BadMagic);
+    }
+    let kind = valid_kind(bytes[4])?;
+    let len = u32::from_le_bytes(bytes[5..9].try_into().unwrap()) as usize;
+    if len > max_len {
+        return Err(CodecError::FrameTooLarge { len, max: max_len });
+    }
+    let expect = u64::from_le_bytes(bytes[9..17].try_into().unwrap());
+    let total = HEADER_LEN + len;
+    if bytes.len() < total {
+        return Err(CodecError::Truncated {
+            at: bytes.len(),
+            needed: total - bytes.len(),
+        });
+    }
+    let payload = bytes[HEADER_LEN..total].to_vec();
+    if checksum(&payload) != expect {
+        return Err(CodecError::ChecksumMismatch);
+    }
+    Ok((Frame { kind, payload }, total))
+}
+
+/// Writes one frame (header + payload) and flushes.
+pub fn write_frame(w: &mut impl Write, kind: u8, payload: &[u8]) -> Result<(), CodecError> {
+    w.write_all(&encode_frame(kind, payload))?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Fills `buf` from `r`, distinguishing clean EOF at the first byte
+/// (`Ok(false)`) from EOF mid-buffer (`Truncated`).
+fn read_exact_or_eof(r: &mut impl Read, buf: &mut [u8]) -> Result<bool, CodecError> {
+    let mut at = 0;
+    while at < buf.len() {
+        match r.read(&mut buf[at..]) {
+            Ok(0) if at == 0 => return Ok(false),
+            Ok(0) => {
+                return Err(CodecError::Truncated {
+                    at,
+                    needed: buf.len() - at,
+                })
+            }
+            Ok(n) => at += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(CodecError::Io(e)),
+        }
+    }
+    Ok(true)
+}
+
+/// Reads one frame from a stream. `Ok(None)` is a clean end of stream
+/// (the peer closed between frames); EOF inside a frame is `Truncated`.
+///
+/// On [`CodecError::FrameTooLarge`] the header has been consumed but the
+/// payload has not — callers that want to keep the connection alive can
+/// [`discard`] the announced length and resynchronize on the next frame.
+pub fn read_frame(r: &mut impl Read, max_len: usize) -> Result<Option<Frame>, CodecError> {
+    let mut header = [0u8; HEADER_LEN];
+    if !read_exact_or_eof(r, &mut header)? {
+        return Ok(None);
+    }
+    if header[..4] != MAGIC {
+        return Err(CodecError::BadMagic);
+    }
+    let kind = valid_kind(header[4])?;
+    let len = u32::from_le_bytes(header[5..9].try_into().unwrap()) as usize;
+    if len > max_len {
+        return Err(CodecError::FrameTooLarge { len, max: max_len });
+    }
+    let expect = u64::from_le_bytes(header[9..17].try_into().unwrap());
+    // The length was just bounds-checked against the receiver's limit, so
+    // this allocation is capped no matter what the wire claims.
+    let mut payload = vec![0u8; len];
+    if !read_exact_or_eof(r, &mut payload)? {
+        return Err(CodecError::Truncated {
+            at: HEADER_LEN,
+            needed: len,
+        });
+    }
+    if checksum(&payload) != expect {
+        return Err(CodecError::ChecksumMismatch);
+    }
+    Ok(Some(Frame { kind, payload }))
+}
+
+/// Reads and throws away `len` bytes — how a server skips an oversized
+/// payload after refusing it, keeping the stream frame-aligned.
+pub fn discard(r: &mut impl Read, len: usize) -> Result<(), CodecError> {
+    let copied = io::copy(&mut r.take(len as u64), &mut io::sink())?;
+    if copied as usize != len {
+        return Err(CodecError::Truncated {
+            at: copied as usize,
+            needed: len - copied as usize,
+        });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frames_round_trip_for_every_kind() {
+        for kind in [KIND_REQUEST, KIND_REPLY, KIND_SHUTDOWN] {
+            let payload = vec![kind; 37];
+            let bytes = encode_frame(kind, &payload);
+            let (frame, used) = decode_frame(&bytes, DEFAULT_MAX_FRAME_LEN).unwrap();
+            assert_eq!(used, bytes.len());
+            assert_eq!(frame, Frame { kind, payload });
+        }
+    }
+
+    #[test]
+    fn empty_payloads_are_legal() {
+        let bytes = encode_frame(KIND_SHUTDOWN, &[]);
+        assert_eq!(bytes.len(), HEADER_LEN);
+        let (frame, _) = decode_frame(&bytes, 0).unwrap();
+        assert!(frame.payload.is_empty());
+    }
+
+    #[test]
+    fn every_truncated_prefix_fails_cleanly() {
+        // The never-trust-wire-lengths property, frame edition: every
+        // strict prefix must error (never panic, never succeed), and the
+        // error must say how many more bytes would be needed.
+        let bytes = encode_frame(KIND_REQUEST, b"all the paper's tables");
+        for cut in 0..bytes.len() {
+            match decode_frame(&bytes[..cut], DEFAULT_MAX_FRAME_LEN) {
+                Err(CodecError::Truncated { at, needed }) => {
+                    assert!(at + needed <= bytes.len(), "cut {cut}");
+                    assert!(needed > 0, "cut {cut}");
+                }
+                other => panic!("prefix of {cut} bytes gave {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn every_single_byte_corruption_is_detected() {
+        let bytes = encode_frame(KIND_REQUEST, b"checksummed");
+        for i in 0..bytes.len() {
+            for flip in [0x01u8, 0x80] {
+                let mut bad = bytes.clone();
+                bad[i] ^= flip;
+                let err = decode_frame(&bad, DEFAULT_MAX_FRAME_LEN)
+                    .expect_err(&format!("flipping byte {i} by {flip:#04x} must not decode"));
+                match (i, err) {
+                    (0..=3, CodecError::BadMagic) => {}
+                    (4, CodecError::InvalidTag { what, .. }) => assert_eq!(what, "frame kind"),
+                    // A corrupted length either overflows the limit or
+                    // leaves the buffer short / checksum-misaligned.
+                    (
+                        5..=8,
+                        CodecError::FrameTooLarge { .. }
+                        | CodecError::Truncated { .. }
+                        | CodecError::ChecksumMismatch,
+                    ) => {}
+                    (_, CodecError::ChecksumMismatch) => {}
+                    (i, err) => panic!("byte {i} flipped by {flip:#04x}: unexpected {err:?}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn oversized_frames_are_refused_before_allocation() {
+        let bytes = encode_frame(KIND_REQUEST, &[0u8; 64]);
+        match decode_frame(&bytes, 63) {
+            Err(CodecError::FrameTooLarge { len: 64, max: 63 }) => {}
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn stream_reads_match_slice_decodes_and_resume_after_discard() {
+        let a = encode_frame(KIND_REQUEST, b"first");
+        let big = encode_frame(KIND_REQUEST, &[7u8; 128]);
+        let b = encode_frame(KIND_REPLY, b"second");
+        let mut stream: Vec<u8> = Vec::new();
+        stream.extend_from_slice(&a);
+        stream.extend_from_slice(&big);
+        stream.extend_from_slice(&b);
+
+        let mut r = io::Cursor::new(stream);
+        let first = read_frame(&mut r, 64).unwrap().unwrap();
+        assert_eq!(first.payload, b"first");
+        match read_frame(&mut r, 64) {
+            Err(CodecError::FrameTooLarge { len, max: 64 }) => discard(&mut r, len).unwrap(),
+            other => panic!("{other:?}"),
+        }
+        let second = read_frame(&mut r, 64).unwrap().unwrap();
+        assert_eq!(second.payload, b"second");
+        assert!(read_frame(&mut r, 64).unwrap().is_none(), "clean EOF");
+    }
+
+    #[test]
+    fn eof_inside_a_frame_is_truncated_not_clean() {
+        let bytes = encode_frame(KIND_REQUEST, b"cut short");
+        let mut r = io::Cursor::new(&bytes[..bytes.len() - 3]);
+        match read_frame(&mut r, DEFAULT_MAX_FRAME_LEN) {
+            Err(CodecError::Truncated { .. }) => {}
+            other => panic!("{other:?}"),
+        }
+    }
+}

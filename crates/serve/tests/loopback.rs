@@ -1,0 +1,224 @@
+//! Loopback integration: a real in-process server, real sockets, and the
+//! full error/status discipline a client can observe.
+
+use lego_eval::{CodecError, EvalError, EvalRequest, EvalSession, StatusCode};
+use lego_serve::frame::{self, KIND_REQUEST};
+use lego_serve::{Client, Server, ServerConfig};
+use lego_sim::HwConfig;
+use lego_workloads::zoo;
+use std::io::Write;
+use std::net::TcpStream;
+
+fn request() -> EvalRequest {
+    EvalRequest::builder(zoo::lenet(), HwConfig::lego_256())
+        .build()
+        .unwrap()
+}
+
+fn unix_path(tag: &str) -> std::path::PathBuf {
+    let path =
+        std::env::temp_dir().join(format!("lego-serve-test-{tag}-{}.sock", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+    path
+}
+
+#[test]
+fn tcp_and_unix_replies_are_byte_identical_to_offline_evaluation() {
+    let server = Server::new(ServerConfig::default());
+    let addr = server.listen_tcp("127.0.0.1:0").unwrap();
+    let path = unix_path("dual");
+    server.listen_unix(&path).unwrap();
+
+    let request = request();
+    let offline = EvalSession::new().evaluate(&request).encode();
+
+    let mut tcp = Client::connect_tcp(addr).unwrap();
+    let mut unix = Client::connect_unix(&path).unwrap();
+    // Twice per transport: the second reply runs against a warm server
+    // cache and must still be pristine.
+    for _ in 0..2 {
+        assert_eq!(tcp.evaluate_bytes(&request).unwrap(), offline);
+        assert_eq!(unix.evaluate_bytes(&request).unwrap(), offline);
+    }
+    server.shutdown();
+    assert!(!std::fs::exists(&path).unwrap(), "socket file unlinked");
+}
+
+#[test]
+fn pipelined_replies_come_back_in_submission_order() {
+    let server = Server::new(ServerConfig::default());
+    let addr = server.listen_tcp("127.0.0.1:0").unwrap();
+
+    let reqs = [
+        request(),
+        EvalRequest::builder(zoo::lenet(), HwConfig::lego_256())
+            .tile_cap(32)
+            .build()
+            .unwrap(),
+        request(),
+    ];
+    let expected: Vec<Vec<u8>> = reqs
+        .iter()
+        .map(|r| EvalSession::new().evaluate(r).encode())
+        .collect();
+
+    let mut client = Client::connect_tcp(addr).unwrap();
+    for r in &reqs {
+        client.send(r).unwrap();
+    }
+    for want in &expected {
+        assert_eq!(&client.recv_report_bytes().unwrap(), want);
+    }
+    server.shutdown();
+}
+
+#[test]
+fn malformed_payload_is_a_status_frame_and_the_connection_survives() {
+    let server = Server::new(ServerConfig::default());
+    let addr = server.listen_tcp("127.0.0.1:0").unwrap();
+
+    let stream = TcpStream::connect(addr).unwrap();
+    let mut client = Client::over(stream.try_clone().unwrap());
+    // A well-framed frame whose payload is not a codec'd request.
+    frame::write_frame(
+        &mut stream.try_clone().unwrap(),
+        KIND_REQUEST,
+        b"this is not an EvalRequest",
+    )
+    .unwrap();
+    match client.recv_report_bytes() {
+        Err(EvalError::Remote { code, .. }) => {
+            assert_eq!(code, StatusCode::BAD_MAGIC, "payload magic is wrong first")
+        }
+        other => panic!("{other:?}"),
+    }
+    // Same connection, valid request: still served.
+    let offline = EvalSession::new().evaluate(&request()).encode();
+    assert_eq!(client.evaluate_bytes(&request()).unwrap(), offline);
+    server.shutdown();
+}
+
+#[test]
+fn oversized_frames_are_refused_and_the_stream_resynchronizes() {
+    let server = Server::new(ServerConfig {
+        max_frame_len: 1024,
+        ..Default::default()
+    });
+    let addr = server.listen_tcp("127.0.0.1:0").unwrap();
+
+    let stream = TcpStream::connect(addr).unwrap();
+    let mut client = Client::over(stream.try_clone().unwrap());
+    frame::write_frame(
+        &mut stream.try_clone().unwrap(),
+        KIND_REQUEST,
+        &vec![0u8; 4096],
+    )
+    .unwrap();
+    match client.recv_report_bytes() {
+        Err(EvalError::Remote { code, message }) => {
+            assert_eq!(code, StatusCode::FRAME_TOO_LARGE);
+            assert!(message.contains("4096"), "{message}");
+        }
+        other => panic!("{other:?}"),
+    }
+    // lenet requests are tiny; the connection must still work.
+    let offline = EvalSession::new().evaluate(&request()).encode();
+    assert_eq!(client.evaluate_bytes(&request()).unwrap(), offline);
+    server.shutdown();
+}
+
+#[test]
+fn desynchronized_stream_gets_a_status_then_the_connection_closes() {
+    let server = Server::new(ServerConfig::default());
+    let addr = server.listen_tcp("127.0.0.1:0").unwrap();
+
+    let mut stream = TcpStream::connect(addr).unwrap();
+    let mut client = Client::over(stream.try_clone().unwrap());
+    stream.write_all(b"garbage that is not a frame..").unwrap();
+    stream.flush().unwrap();
+    match client.recv_raw() {
+        Ok((status, _)) => assert_eq!(status, StatusCode::BAD_MAGIC),
+        Err(e) => panic!("expected a status frame before close: {e}"),
+    }
+    // After the status the server closes; the next read fails at the
+    // connection level (EOF, or a reset if unread garbage remained).
+    match client.recv_raw() {
+        Err(EvalError::Io(_) | EvalError::Codec(CodecError::Io(_))) => {}
+        other => panic!("{other:?}"),
+    }
+    server.shutdown();
+}
+
+#[test]
+fn invalid_requests_come_back_with_their_admission_status() {
+    let server = Server::new(ServerConfig::default());
+    let addr = server.listen_tcp("127.0.0.1:0").unwrap();
+
+    let mut bad_hw = HwConfig::lego_256();
+    bad_hw.dataflows.clear();
+    // Bypass the validating builder the way a hostile peer would.
+    let invalid = EvalRequest::new(zoo::lenet(), bad_hw);
+    let mut client = Client::connect_tcp(addr).unwrap();
+    match client.evaluate_bytes(&invalid) {
+        Err(EvalError::Remote { code, .. }) => assert_eq!(code, StatusCode::INVALID_HW),
+        other => panic!("{other:?}"),
+    }
+    // The refusal cost nothing: the connection still serves.
+    assert!(client.evaluate_bytes(&request()).is_ok());
+    server.shutdown();
+}
+
+#[test]
+fn queue_full_backpressure_reaches_the_wire_as_a_status() {
+    // No workers: everything admitted stays queued, so the capacity+1'th
+    // pipelined request must be refused on the wire.
+    let server = Server::new(ServerConfig {
+        workers: 0,
+        queue_capacity: 2,
+        ..Default::default()
+    });
+    let addr = server.listen_tcp("127.0.0.1:0").unwrap();
+
+    let mut client = Client::connect_tcp(addr).unwrap();
+    for _ in 0..3 {
+        client.send(&request()).unwrap();
+    }
+    // Replies come in submission order: the first two are still pending
+    // (no workers), so the rejection is necessarily for the third —
+    // observable only after shutdown flushes the pending slots.
+    let tail = std::thread::spawn(move || {
+        let mut statuses = Vec::new();
+        for _ in 0..3 {
+            statuses.push(client.recv_raw().unwrap().0);
+        }
+        statuses
+    });
+    // Give the reader a moment to admit, then drain: shutting down with
+    // zero workers drops the queued jobs, which the connection writer
+    // turns into SHUTTING_DOWN statuses rather than silence.
+    std::thread::sleep(std::time::Duration::from_millis(100));
+    server.shutdown();
+    let statuses = match tail.join() {
+        Ok(s) => s,
+        Err(e) => std::panic::resume_unwind(e),
+    };
+    assert_eq!(
+        statuses,
+        vec![
+            StatusCode::SHUTTING_DOWN,
+            StatusCode::SHUTTING_DOWN,
+            StatusCode::QUEUE_FULL,
+        ]
+    );
+}
+
+#[test]
+fn shutdown_frame_is_acknowledged_and_stops_the_server() {
+    let server = Server::new(ServerConfig::default());
+    let addr = server.listen_tcp("127.0.0.1:0").unwrap();
+    let mut client = Client::connect_tcp(addr).unwrap();
+    client.shutdown_server().unwrap();
+    // wait_for_shutdown_request returns promptly once the frame landed.
+    server.wait_for_shutdown_request();
+    server.shutdown();
+}

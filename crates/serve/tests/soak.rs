@@ -1,0 +1,144 @@
+//! The soak: many concurrent clients, both transports, a byte-budgeted
+//! cache under eviction pressure, and byte-identity on every reply.
+//!
+//! By default 1024 requests fan out from 16 threads, half over TCP and
+//! half over a Unix socket, cycling the full dense/sparse/clustered mix.
+//! `LEGO_SOAK_REQUESTS` scales the total (CI smoke uses a reduced run).
+//!
+//! What must hold:
+//!
+//! * every request eventually succeeds — `QUEUE_FULL` is retried, no
+//!   connection is ever dropped;
+//! * every reply body is byte-identical to a fresh offline
+//!   `EvalSession` evaluation of the same request;
+//! * the budgeted cache stays within its byte budget the whole time and
+//!   actually evicts (the working set is sized to exceed the budget).
+
+use lego_eval::{estimated_resident_bytes_for, EvalError, EvalSession, StatusCode};
+use lego_serve::mix::roster;
+use lego_serve::{Client, Server, ServerConfig};
+use std::io::{Read, Write};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+fn soak_total() -> usize {
+    std::env::var("LEGO_SOAK_REQUESTS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1024)
+}
+
+fn evaluate_with_retry<S: Read + Write>(
+    client: &mut Client<S>,
+    request: &lego_eval::EvalRequest,
+    rejections: &AtomicU64,
+) -> Result<Vec<u8>, EvalError> {
+    loop {
+        match client.evaluate_bytes(request) {
+            Err(EvalError::Remote { code, .. }) if code == StatusCode::QUEUE_FULL => {
+                rejections.fetch_add(1, Ordering::Relaxed);
+                std::thread::yield_now();
+            }
+            other => return other,
+        }
+    }
+}
+
+#[test]
+fn soak_mixed_load_over_tcp_and_unix() {
+    let plan = roster("all").unwrap();
+
+    // Size the cache budget *below* the mix's distinct-key working set so
+    // eviction pressure is guaranteed, but high enough that the soak stays
+    // mostly warm. Each roster entry's distinct keys are its cold-cache
+    // misses, and entries are pairwise disjoint (different model,
+    // hardware, sparsity, or tiling ⇒ different cache keys).
+    let working_set: u64 = plan
+        .iter()
+        .map(|r| EvalSession::new().evaluate(r).provenance.cache_misses)
+        .sum();
+    let budget_entries = (working_set as usize * 3 / 4).max(16);
+    let budget = estimated_resident_bytes_for(budget_entries);
+
+    let server = Server::new(ServerConfig {
+        workers: 4,
+        queue_capacity: 64,
+        cache_budget: Some(budget),
+        ..Default::default()
+    });
+    let addr = server.listen_tcp("127.0.0.1:0").unwrap();
+    let path = std::env::temp_dir().join(format!("lego-serve-soak-{}.sock", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+    server.listen_unix(&path).unwrap();
+
+    // The byte-identity oracle: fresh offline sessions, one per roster
+    // entry, evaluated before the server sees any load.
+    let expected: Arc<Vec<Vec<u8>>> = Arc::new(
+        plan.iter()
+            .map(|r| EvalSession::new().evaluate(r).encode())
+            .collect(),
+    );
+    let plan = Arc::new(plan);
+
+    let threads = 16;
+    let total = soak_total();
+    let per_thread = total.div_ceil(threads);
+    let rejections = Arc::new(AtomicU64::new(0));
+
+    let workers: Vec<_> = (0..threads)
+        .map(|t| {
+            let plan = Arc::clone(&plan);
+            let expected = Arc::clone(&expected);
+            let rejections = Arc::clone(&rejections);
+            let path = path.clone();
+            std::thread::spawn(move || {
+                // Even threads speak TCP, odd threads speak Unix; each
+                // opens one long-lived connection for its whole share.
+                let check = |client: &mut dyn FnMut(
+                    &lego_eval::EvalRequest,
+                )
+                    -> Result<Vec<u8>, EvalError>| {
+                    for k in 0..per_thread {
+                        let i = (t * per_thread + k) % plan.len();
+                        let got = client(&plan[i]).expect("request must eventually succeed");
+                        assert_eq!(got, expected[i], "reply {i} diverged from offline bytes");
+                    }
+                };
+                if t % 2 == 0 {
+                    let mut c = Client::connect_tcp(addr).unwrap();
+                    check(&mut |r| evaluate_with_retry(&mut c, r, &rejections));
+                } else {
+                    let mut c = Client::connect_unix(&path).unwrap();
+                    check(&mut |r| evaluate_with_retry(&mut c, r, &rejections));
+                }
+            })
+        })
+        .collect();
+    for w in workers {
+        w.join().expect("soak worker panicked");
+    }
+
+    let gauges = server.gauges();
+    server.shutdown();
+
+    assert!(
+        gauges.within_budget(),
+        "resident {} bytes exceeds budget {budget}",
+        gauges.resident_bytes
+    );
+    assert!(
+        gauges.evictions > 0,
+        "a working set of {working_set} keys against a {budget_entries}-entry budget must evict"
+    );
+    assert!(
+        gauges.hits > 0,
+        "the soak must observably reuse the warm cache"
+    );
+    println!(
+        "soak: {} requests, {} queue-full retries, cache {} entries / {} evictions",
+        per_thread * threads,
+        rejections.load(Ordering::Relaxed),
+        gauges.entries,
+        gauges.evictions,
+    );
+}

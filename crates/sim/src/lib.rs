@@ -30,11 +30,6 @@ pub use perf::{
     aggregate, aggregate_iter, best_mapping_ctx, best_mapping_obs, simulate_layer_ctx,
     tiled_dram_traffic, tiled_dram_traffic_sparse, EnergyBreakdown, LayerPerf, ModelPerf,
 };
-// Deprecated shims, re-exported for downstream callers still migrating to
-// `lego_eval::EvalSession`; the deprecation travels with the re-export.
-#[allow(deprecated)]
-pub use perf::{best_mapping, best_mapping_tiled, simulate_layer, simulate_layer_tiled};
-
 #[cfg(test)]
 mod tests {
     use super::*;

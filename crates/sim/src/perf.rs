@@ -2,10 +2,9 @@
 //!
 //! Every cost a layer pays — FU cycles, DRAM streams, SRAM/DRAM/NoC energy,
 //! L2 mesh latency — is charged through the [`CostContext`] built from the
-//! [`HwConfig`] under evaluation, so the simulation and the design-space
+//! [`HwConfig`](crate::HwConfig) under evaluation, so the simulation and the design-space
 //! search price hardware through one stack.
 
-use crate::HwConfig;
 use lego_model::{
     ComputeCost, CostContext, L2Traffic, MemoryCost, NocCost, SparseEffects, TechModel,
 };
@@ -313,45 +312,6 @@ fn cluster_halo_bytes(kind: &LayerKind, n_clusters: i64) -> i64 {
     }
 }
 
-/// Simulates one layer instance under a fixed mapping.
-#[deprecated(
-    since = "0.1.0",
-    note = "evaluate an EvalRequest through lego_eval::EvalSession, or use \
-            simulate_layer_ctx with a prebuilt CostContext"
-)]
-pub fn simulate_layer(
-    layer: &Layer,
-    mapping: SpatialMapping,
-    hw: &HwConfig,
-    tech: &TechModel,
-) -> LayerPerf {
-    simulate_layer_ctx(layer, mapping, &CostContext::new(hw.clone(), *tech), None)
-}
-
-/// [`simulate_layer_ctx`] with a throwaway one-shot [`CostContext`] and an
-/// explicit L1 tile-edge cap (see [`tiled_dram_traffic`]). `None` keeps
-/// the automatic tiling.
-#[deprecated(
-    since = "0.1.0",
-    note = "evaluate an EvalRequest (with_tile_cap) through \
-            lego_eval::EvalSession, or use simulate_layer_ctx with a \
-            prebuilt CostContext"
-)]
-pub fn simulate_layer_tiled(
-    layer: &Layer,
-    mapping: SpatialMapping,
-    hw: &HwConfig,
-    tech: &TechModel,
-    tile_cap: Option<i64>,
-) -> LayerPerf {
-    simulate_layer_ctx(
-        layer,
-        mapping,
-        &CostContext::new(hw.clone(), *tech),
-        tile_cap,
-    )
-}
-
 /// Simulates one layer instance under a fixed mapping, charging every cost
 /// through the configuration's [`CostContext`].
 ///
@@ -512,39 +472,11 @@ pub fn simulate_layer_ctx(
 }
 
 /// Picks the best supported mapping for a layer (fewest cycles, then least
-/// energy) — the paper's mapping-search tool at layer granularity.
-#[deprecated(
-    since = "0.1.0",
-    note = "evaluate an EvalRequest through lego_eval::EvalSession (or \
-            lego_mapper::map_layer), or use best_mapping_ctx with a \
-            prebuilt CostContext"
-)]
-pub fn best_mapping(layer: &Layer, hw: &HwConfig, tech: &TechModel) -> LayerPerf {
-    best_mapping_ctx(layer, &CostContext::new(hw.clone(), *tech), None)
-}
-
-/// [`best_mapping_ctx`] with a throwaway one-shot [`CostContext`] and an
-/// explicit L1 tile-edge cap (see [`tiled_dram_traffic`]). `None` keeps
-/// the automatic tiling.
-#[deprecated(
-    since = "0.1.0",
-    note = "evaluate an EvalRequest (with_tile_cap) through \
-            lego_eval::EvalSession, or use best_mapping_ctx with a \
-            prebuilt CostContext"
-)]
-pub fn best_mapping_tiled(
-    layer: &Layer,
-    hw: &HwConfig,
-    tech: &TechModel,
-    tile_cap: Option<i64>,
-) -> LayerPerf {
-    best_mapping_ctx(layer, &CostContext::new(hw.clone(), *tech), tile_cap)
-}
-
-/// [`best_mapping`] against a prebuilt [`CostContext`].
+/// energy) against a prebuilt [`CostContext`] — the paper's mapping-search
+/// tool at layer granularity.
 ///
 /// A configuration with an empty dataflow set cannot map anything
-/// ([`HwConfig::validate`] rejects it); rather than panic, the layer falls
+/// ([`HwConfig::validate`](crate::HwConfig::validate) rejects it); rather than panic, the layer falls
 /// back to the universal im2col `GemmMN` mapping.
 pub fn best_mapping_ctx(layer: &Layer, ctx: &CostContext, tile_cap: Option<i64>) -> LayerPerf {
     best_mapping_obs(layer, ctx, tile_cap, &lego_obs::Obs::disabled())
@@ -625,25 +557,10 @@ where
     }
 }
 
-/// Maps every layer with [`best_mapping_ctx`] and aggregates.
-#[deprecated(
-    since = "0.1.0",
-    note = "evaluate an EvalRequest through lego_eval::EvalSession (the \
-            report's `model` field is this ModelPerf)"
-)]
-pub fn simulate_model(model: &Model, hw: &HwConfig, tech: &TechModel) -> ModelPerf {
-    let ctx = CostContext::new(hw.clone(), *tech);
-    let perfs: Vec<(i64, LayerPerf)> = model
-        .layers
-        .iter()
-        .map(|l| (l.count, best_mapping_ctx(l, &ctx, None)))
-        .collect();
-    aggregate(model, &perfs, tech)
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::HwConfig;
     use lego_workloads::zoo;
 
     fn tech() -> TechModel {
@@ -853,43 +770,6 @@ mod tests {
         let a = sim(&l, SpatialMapping::GemmMN, &hw);
         let b = simulate_layer_ctx(&l, SpatialMapping::GemmMN, &ctx_of(&hw), Some(1 << 20));
         assert_eq!(a, b);
-    }
-
-    /// The `#[deprecated]` shims exist for downstream callers; inside the
-    /// workspace they are compile errors (CI builds with `-D deprecated`).
-    /// Pin that each stays byte-identical to the `_ctx` internals it
-    /// wraps, so external code migrating late loses nothing.
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_shims_match_the_ctx_path() {
-        let hw = HwConfig::lego_256();
-        let ctx = ctx_of(&hw);
-        let l = lego_workloads::Layer::new(
-            "g",
-            LayerKind::Gemm {
-                m: 96,
-                n: 64,
-                k: 48,
-            },
-        );
-        assert_eq!(
-            simulate_layer(&l, SpatialMapping::GemmMN, &hw, &tech()),
-            simulate_layer_ctx(&l, SpatialMapping::GemmMN, &ctx, None),
-        );
-        assert_eq!(
-            simulate_layer_tiled(&l, SpatialMapping::GemmMN, &hw, &tech(), Some(8)),
-            simulate_layer_ctx(&l, SpatialMapping::GemmMN, &ctx, Some(8)),
-        );
-        assert_eq!(
-            best_mapping(&l, &hw, &tech()),
-            best_mapping_ctx(&l, &ctx, None),
-        );
-        assert_eq!(
-            best_mapping_tiled(&l, &hw, &tech(), Some(8)),
-            best_mapping_ctx(&l, &ctx, Some(8)),
-        );
-        let m = zoo::lenet();
-        assert_eq!(simulate_model(&m, &hw, &tech()), sim_model(&m, &hw));
     }
 
     #[test]

@@ -18,7 +18,10 @@ fn main() {
     let model = zoo::mobilenet_v2();
 
     let session = EvalSession::new();
-    let report = session.evaluate(&EvalRequest::new(model.clone(), hw.clone()));
+    let request = EvalRequest::builder(model.clone(), hw.clone())
+        .build()
+        .expect("zoo model on stock hardware is a valid request");
+    let report = session.evaluate(&request);
     println!(
         "MobileNetV2 on LEGO-256: {:.0} GOP/s at {:.0} GOPS/W ({:.1}% utilization)",
         report.model.gops,

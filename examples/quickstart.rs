@@ -25,7 +25,9 @@ fn main() {
     // One session owns the cost model, the memoized evaluation cache, and
     // the worker pool; requests describe *what* to price.
     let session = EvalSession::new();
-    let request = EvalRequest::new(lego::workloads::zoo::resnet50(), HwConfig::lego_256());
+    let request = EvalRequest::builder(lego::workloads::zoo::resnet50(), HwConfig::lego_256())
+        .build()
+        .expect("zoo model on stock hardware is a valid request");
     let report = session.evaluate(&request);
     println!(
         "ResNet50 on LEGO-256: {:.0} GOP/s at {:.0} GOPS/W, {:.2} mm^2, EDP {:.3e}",

@@ -31,7 +31,9 @@ fn main() {
 
     // Evaluate twice: the first request runs cold, the second hits the
     // session cache — both visible in the trace as separate request ids.
-    let request = EvalRequest::new(lego::workloads::zoo::mobilenet_v2(), HwConfig::lego_256());
+    let request = EvalRequest::builder(lego::workloads::zoo::mobilenet_v2(), HwConfig::lego_256())
+        .build()
+        .expect("zoo model on stock hardware is a valid request");
     let cold = session.evaluate(&request);
     let warm = session.evaluate(&request);
     // Same prices either way — only provenance records the cache warmth.

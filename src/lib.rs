@@ -21,6 +21,11 @@
 //!   `EvalRequest`s into `EvalReport`s (`evaluate` / `evaluate_batch` /
 //!   `evaluate_stream`); the versioned binary codec makes requests and
 //!   reports wire payloads a multi-host driver can ship anywhere;
+//! * [`serve`] — the long-lived evaluation server over that codec:
+//!   framed TCP/Unix streams of requests into a warm shared session,
+//!   bounded admission with backpressure, a byte-budgeted cache, and the
+//!   unified `EvalError`/`StatusCode` wire status contract (`lego_serve`
+//!   server and `serve_client` load-gen binaries);
 //! * [`noc`] — butterfly and wormhole-mesh NoC models with
 //!   `Transfer`-returning latency queries (broadcast, scatter, halo);
 //! * [`sim`] — the performance/energy simulator (multi-cluster designs pay
@@ -76,6 +81,44 @@
 //! assert_eq!(decoded.encode(), bytes);
 //! assert_eq!(EvalSession::new().evaluate(&decoded), report);
 //! ```
+//!
+//! # Serving workflow
+//!
+//! The same bytes can be priced without sharing a process: [`serve`]
+//! keeps an `EvalSession` warm behind framed TCP and Unix-socket
+//! streams. A request travels as a checksummed frame; the reply is a
+//! `status u16 | body` payload where OK carries the encoded report —
+//! byte-identical to an offline `EvalSession::new()` evaluation, no
+//! matter how warm the server is — and every failure (malformed bytes,
+//! invalid hardware, full queue, oversized frame) is a typed
+//! [`StatusCode`](eval::StatusCode) the client receives as
+//! [`EvalError::Remote`](eval::EvalError), never a dropped connection.
+//!
+//! ```
+//! use lego::eval::{EvalRequest, EvalSession};
+//! use lego::serve::{Client, Server, ServerConfig};
+//! use lego::sim::HwConfig;
+//!
+//! let server = Server::new(ServerConfig::default());
+//! let addr = server.listen_tcp("127.0.0.1:0").unwrap();
+//!
+//! let request = EvalRequest::builder(
+//!     lego::workloads::zoo::lenet(),
+//!     HwConfig::lego_256(),
+//! )
+//! .build()
+//! .unwrap();
+//! let mut client = Client::connect_tcp(addr).unwrap();
+//! let served = client.evaluate_bytes(&request).unwrap();
+//! assert_eq!(served, EvalSession::new().evaluate(&request).encode());
+//! server.shutdown();
+//! ```
+//!
+//! Out of process, the `lego_serve` binary serves the same protocol
+//! (`lego_serve --tcp 127.0.0.1:7878 --cache-budget 16000000`) and
+//! `serve_client` generates deterministic mixed load against it — see
+//! `examples/serve_roundtrip.rs` for the full tour, including
+//! backpressure and the status discipline.
 //!
 //! # Observability
 //!
@@ -285,6 +328,7 @@ pub use lego_model as model;
 pub use lego_noc as noc;
 pub use lego_obs as obs;
 pub use lego_rtl as rtl;
+pub use lego_serve as serve;
 pub use lego_sim as sim;
 pub use lego_sparse as sparse;
 pub use lego_workloads as workloads;
