@@ -1,0 +1,150 @@
+//! Enumerated-best vs rewrite-best mapping per zoo model (ROADMAP item 3).
+//!
+//! For each dense zoo model × hardware menu, the equality-saturation
+//! search seeds an e-graph from the mapper's enumerated-best assignment,
+//! saturates the dataflow/tiling/fusion rewrite rules, and extracts the
+//! minimum-EDP assignment priced through a shared warm [`EvalSession`].
+//! The rewrite search can never lose (its coordinate descent starts at
+//! the enumerated assignment) and must strictly win somewhere the
+//! hardware's dataflow menu is restrictive — on `lego_icoc_1k`, which
+//! lacks the OHOW template, MobileNetV2's depthwise layers map badly
+//! under enumeration and the rewrite search recovers the loss.
+//!
+//! The run is deterministic: sorted rule matching, dense insertion-order
+//! e-class ids, memoized deterministic pricing — byte-identical across
+//! runs (the CI determinism job diffs two invocations).
+
+use lego_bench::harness::{row, section};
+use lego_eval::EvalSession;
+use lego_explorer::{
+    DesignSpace, Evaluator, EvolutionarySearch, Genome, ParetoFrontier, SearchStrategy,
+};
+use lego_mapspace::MapSearch;
+use lego_model::TechModel;
+use lego_sim::HwConfig;
+use lego_workloads::zoo;
+
+const ES_SEED: u64 = 7;
+
+fn main() {
+    let session = EvalSession::new();
+    let tech = TechModel::default();
+    let hws = [
+        ("lego_256", HwConfig::lego_256()),
+        ("lego_icoc_1k", HwConfig::lego_icoc_1k()),
+    ];
+
+    section("Mapping search: enumerated best vs equality-saturation rewrite best (EDP)");
+    row(&[
+        "model".into(),
+        "hw".into(),
+        "enumerated EDP".into(),
+        "rewrite EDP".into(),
+        "gain".into(),
+        "dataflows".into(),
+        "rounds".into(),
+        "nodes".into(),
+        "classes".into(),
+    ]);
+
+    let mut wins = 0usize;
+    for model in [
+        zoo::lenet(),
+        zoo::mobilenet_v2(),
+        zoo::resnet50(),
+        zoo::bert_base(),
+    ] {
+        for (hw_name, hw) in &hws {
+            let out = MapSearch::new(&model, hw.clone(), tech).run(&session);
+            assert!(
+                out.rewrite_edp <= out.enumerated_edp,
+                "rewrite search must never lose to enumeration"
+            );
+            if out.improved() {
+                wins += 1;
+            }
+            let dataflows = out
+                .dataflows
+                .iter()
+                .map(|m| m.name())
+                .collect::<Vec<_>>()
+                .join("+");
+            row(&[
+                model.name.clone(),
+                (*hw_name).into(),
+                format!("{:.6e}", out.enumerated_edp),
+                format!("{:.6e}", out.rewrite_edp),
+                format!("{:.4}", out.gain()),
+                dataflows,
+                out.stats.rounds.to_string(),
+                out.stats.nodes.to_string(),
+                out.stats.classes.to_string(),
+            ]);
+        }
+    }
+    assert!(
+        wins > 0,
+        "the rewrite search must strictly beat enumeration on at least one model"
+    );
+    println!("\ngain = 1 - rewrite/enumerated; 0.0000 means the enumerated mapping was");
+    println!("already optimal within the rewrite space. Wins concentrate where the");
+    println!("hardware menu is restrictive (no OHOW on lego_icoc_1k: depthwise layers");
+    println!("fall back to im2col under enumeration; the rewrite search re-spatializes");
+    println!("them and re-tiles the rest).");
+
+    // The explorer ↔ mapspace loop, extraction → ES direction: warm-start
+    // an evolutionary search from the genome the rewrite outcome suggests
+    // and show it finds a design at least as good as a cold ES under the
+    // same budget.
+    section("Warm-starting the evolutionary search from the rewrite outcome");
+    row(&[
+        "model".into(),
+        "suggested genome".into(),
+        "cold best EDP".into(),
+        "warm best EDP".into(),
+    ]);
+    let model = zoo::mobilenet_v2();
+    let out = MapSearch::new(&model, HwConfig::lego_icoc_1k(), tech)
+        .seed_genome(&Genome::lego_256_baseline())
+        .run(&session);
+    let suggested = out.suggest_genome(&Genome::lego_256_baseline());
+    let space = DesignSpace::paper();
+    let run_es = |warm: Option<Genome>| {
+        let evaluator = Evaluator::new(&model, tech);
+        let mut es = EvolutionarySearch {
+            seed: ES_SEED,
+            mu: 4,
+            lambda: 4,
+            ..Default::default()
+        };
+        if let Some(g) = warm {
+            es.warm_start(&[g]);
+        }
+        let mut frontier = ParetoFrontier::new();
+        let report = es.run(&space.full(), &evaluator, &mut frontier, 16);
+        report.best.expect("non-empty search").objectives.edp()
+    };
+    let cold = run_es(None);
+    let warm = run_es(Some(suggested));
+    // The suggested genome joins the warm initial population and the ES
+    // is elitist, so the warm best can never be worse than the seed
+    // itself.
+    let seed_edp = Evaluator::new(&model, tech)
+        .eval(&suggested)
+        .objectives
+        .edp();
+    assert!(
+        warm <= seed_edp,
+        "elitist ES must retain (or beat) its warm-start seed"
+    );
+    row(&[
+        model.name.clone(),
+        suggested.to_string(),
+        format!("{cold:.6e}"),
+        format!("{warm:.6e}"),
+    ]);
+    println!("\nThe suggested genome folds the extracted dataflow set and modal tile cap");
+    println!("into the explorer's design space; seeding the initial population with it");
+    println!("gives the ES the rewrite search's head start (enumerate -> saturate ->");
+    println!("extract -> warm-start, the full ROADMAP item 3 loop).");
+}

@@ -2,7 +2,7 @@
 //! fixed set of measurements over the evaluation stack, emitted as
 //! [`BenchRow`]s for `BENCH_eval.json`.
 //!
-//! Every run exercises four surfaces:
+//! Every run exercises five surfaces:
 //!
 //! 1. **Single evaluate** — one cold `EvalSession::evaluate` of ResNet-50
 //!    on `lego_256`;
@@ -10,7 +10,10 @@
 //! 3. **Explorer** — a full [`explore`] (grid + random + ES) over the tiny
 //!    design space, with the obs handle threaded through the strategies;
 //! 4. **Snapshot codec** — encode, decode, and merge of two shard
-//!    checkpoints.
+//!    checkpoints;
+//! 5. **Mapspace rewrite search** — one cold
+//!    [`MapSearch`] run (seed → saturate →
+//!    extract) of MobileNetV2 on the menu-restricted `lego_icoc_1k`.
 //!
 //! The same row set is emitted in every [`ObsMode`]. In
 //! [`ObsMode::Deterministic`] all wall-clock rows are exactly `0` and the
@@ -28,6 +31,8 @@ use lego_eval::{EvalRequest, EvalSession};
 use lego_explorer::{
     default_strategies, explore, explore_shard, DesignSpace, ExploreOptions, Snapshot,
 };
+use lego_mapspace::MapSearch;
+use lego_model::TechModel;
 use lego_obs::bench::BenchRow;
 use lego_obs::{Obs, ObsMode, Summary};
 use lego_sim::HwConfig;
@@ -53,6 +58,9 @@ pub const REQUIRED_METRICS: &[&str] = &[
     "snapshot_decode_wall",
     "snapshot_merge_wall",
     "snapshot_bytes",
+    "mapspace_wall",
+    "mapspace_nodes",
+    "mapspace_classes",
 ];
 
 /// The subset of [`REQUIRED_METRICS`] a wallclock-mode run must fill with
@@ -69,6 +77,7 @@ pub const WALL_METRICS: &[&str] = &[
     "snapshot_encode_wall",
     "snapshot_decode_wall",
     "snapshot_merge_wall",
+    "mapspace_wall",
 ];
 
 /// Everything one perf run produces: the machine-readable rows plus the
@@ -119,7 +128,9 @@ pub fn expected_unit(metric: &str) -> Option<&'static str> {
         | "evaluate_batch_requests"
         | "explore_evals"
         | "snapshot_cache_entries"
-        | "snapshot_evaluated" => Some("count"),
+        | "snapshot_evaluated"
+        | "mapspace_nodes"
+        | "mapspace_classes" => Some("count"),
         _ => None,
     }
 }
@@ -397,6 +408,48 @@ pub fn run(mode: ObsMode) -> PerfRun {
         rows.push(BenchRow::new(
             "snapshot_evaluated",
             merged.evaluated as f64,
+            "count",
+            &cfg,
+        ));
+    }
+
+    // 5. Mapspace rewrite search: seed → saturate → extract against a
+    // fresh session per iteration, so the minimum is a cold search (warm
+    // extraction is the `EvalCache`'s job and surface 2 already covers
+    // cache-hit pricing).
+    {
+        let model = zoo::mobilenet_v2();
+        let cfg = tag("mobilenet_v2@lego_icoc_1k");
+        let mut wall = 0u64;
+        let mut outcome = None;
+        for it in 0..iters {
+            let session = EvalSession::new()
+                .with_threads(if threads == 0 { 8 } else { threads })
+                .with_obs(obs.clone());
+            let started = clock();
+            let out = obs.time("bench/mapspace_search", || {
+                MapSearch::new(&model, HwConfig::lego_icoc_1k(), TechModel::default())
+                    .with_obs(obs.clone())
+                    .run(&session)
+            });
+            fold_min_wall(&mut wall, it, started);
+            assert!(
+                out.rewrite_edp <= out.enumerated_edp,
+                "rewrite search must never lose to enumeration"
+            );
+            outcome = Some(out);
+        }
+        let out = outcome.expect("at least one iteration");
+        rows.push(BenchRow::new("mapspace_wall", wall as f64, "ns", &cfg));
+        rows.push(BenchRow::new(
+            "mapspace_nodes",
+            out.stats.nodes as f64,
+            "count",
+            &cfg,
+        ));
+        rows.push(BenchRow::new(
+            "mapspace_classes",
+            out.stats.classes as f64,
             "count",
             &cfg,
         ));

@@ -567,6 +567,7 @@ fn encode_objective(e: &mut Enc, o: &Objective) {
             e.opt_f64(power_budget);
             e.f64(weight);
         }
+        Objective::Lexicographic => e.u8(2),
     }
 }
 
@@ -592,6 +593,7 @@ fn decode_objective(d: &mut Dec<'_>) -> Result<Objective, CodecError> {
             power_budget: d.opt_f64()?,
             weight: d.f64()?,
         }),
+        2 => Ok(Objective::Lexicographic),
         tag => Err(CodecError::InvalidTag {
             what: "objective",
             tag,

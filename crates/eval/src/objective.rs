@@ -97,6 +97,12 @@ pub enum Objective {
         /// Penalty strength: score multiplier per 100 % overshoot.
         weight: f64,
     },
+    /// Latency, then energy, then area: candidates compare on latency
+    /// first and fall through to the next objective only on exact ties.
+    /// Rank with [`Objective::key`]; the scalar [`Objective::score`] of a
+    /// lexicographic objective is its leading component (latency), which
+    /// is what a scalar-only consumer should see.
+    Lexicographic,
 }
 
 impl Default for Objective {
@@ -126,6 +132,7 @@ impl Objective {
     pub fn score(&self, objectives: &Objectives, peak_power_mw: f64) -> f64 {
         match *self {
             Objective::Base(base) => base.score(objectives),
+            Objective::Lexicographic => objectives.latency_cycles,
             Objective::Penalized {
                 base,
                 area_budget,
@@ -140,6 +147,24 @@ impl Objective {
                     + overshoot(peak_power_mw, power_budget);
                 base.score(objectives) * (1.0 + weight.max(0.0) * penalty)
             }
+        }
+    }
+
+    /// The full ranking key (lower is better, compared element-wise
+    /// left to right — `[f64; 3]`'s `PartialOrd` is exactly that).
+    ///
+    /// Scalar objectives put their score in the leading slot and zero the
+    /// tie-breakers, so ranking by key ranks identically to ranking by
+    /// [`score`](Objective::score) for them; the lexicographic objective
+    /// fills all three slots with latency, energy, and area.
+    pub fn key(&self, objectives: &Objectives, peak_power_mw: f64) -> [f64; 3] {
+        match *self {
+            Objective::Lexicographic => [
+                objectives.latency_cycles,
+                objectives.energy_pj,
+                objectives.area_um2,
+            ],
+            _ => [self.score(objectives, peak_power_mw), 0.0, 0.0],
         }
     }
 }
@@ -201,5 +226,38 @@ mod tests {
         assert!(hard.score(&over, power) > soft.score(&over, power));
         let zero = Objective::penalized_edp(Some(2.0), Some(1.0), 0.0);
         assert!((zero.score(&over, power) - over.edp()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lexicographic_breaks_latency_ties_on_energy_then_area() {
+        let lex = Objective::Lexicographic;
+        let slow = o(20.0, 1.0, 1.0);
+        let fast_hot = o(10.0, 9.0, 1.0);
+        let fast_cool = o(10.0, 2.0, 5.0);
+        let fast_cool_small = o(10.0, 2.0, 3.0);
+        // Latency decides first …
+        assert!(lex.key(&fast_hot, 0.0) < lex.key(&slow, 0.0));
+        // … energy breaks latency ties …
+        assert!(lex.key(&fast_cool, 0.0) < lex.key(&fast_hot, 0.0));
+        // … and area breaks (latency, energy) ties.
+        assert!(lex.key(&fast_cool_small, 0.0) < lex.key(&fast_cool, 0.0));
+        // The scalar view of a lexicographic objective is its leading
+        // component.
+        assert_eq!(lex.score(&fast_hot, 0.0), 10.0);
+    }
+
+    #[test]
+    fn scalar_objectives_rank_identically_by_key_and_score() {
+        let a = o(10.0, 2.0, 1.0);
+        let b = o(3.0, 5.0, 1.0);
+        for obj in [
+            Objective::EDP,
+            Objective::Base(BaseObjective::Latency),
+            Objective::penalized_edp(Some(2.0), Some(1.0), 4.0),
+        ] {
+            let by_key = obj.key(&a, 0.0) < obj.key(&b, 0.0);
+            let by_score = obj.score(&a, 0.0) < obj.score(&b, 0.0);
+            assert_eq!(by_key, by_score, "{obj:?}");
+        }
     }
 }

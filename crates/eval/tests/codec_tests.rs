@@ -25,6 +25,8 @@ fn requests() -> Vec<EvalRequest> {
         EvalRequest::new(zoo::lenet(), HwConfig::lego_256()),
         EvalRequest::new(zoo::resnet50_2to4(), HwConfig::lego_256())
             .with_sparse(SparseHw::with_accel(SparseAccel::Gating)),
+        EvalRequest::new(zoo::lenet(), HwConfig::lego_256())
+            .with_objective(Objective::Lexicographic),
         kitchen_sink_request(),
     ]
 }

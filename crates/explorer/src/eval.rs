@@ -119,6 +119,14 @@ impl<'m> Evaluator<'m> {
         self.objective.score(&point.objectives, point.peak_power_mw)
     }
 
+    /// The full ranking key of a point (lower is better, compared
+    /// lexicographically). For scalar objectives this ranks exactly like
+    /// [`score`](Evaluator::score); for [`Objective::Lexicographic`] it
+    /// carries the latency → energy → area tie-break chain.
+    pub fn key(&self, point: &DesignPoint) -> [f64; 3] {
+        self.objective.key(&point.objectives, point.peak_power_mw)
+    }
+
     /// The target model.
     pub fn model(&self) -> &Model {
         self.model

@@ -71,7 +71,7 @@ fn score_batch(
         frontier.insert(p.clone());
         let better = best
             .as_ref()
-            .is_none_or(|b| evaluator.score(p) < evaluator.score(b));
+            .is_none_or(|b| evaluator.key(p) < evaluator.key(b));
         if better {
             *best = Some(p.clone());
         }
@@ -181,17 +181,18 @@ impl Default for EvolutionarySearch {
 }
 
 impl EvolutionarySearch {
-    fn fitness(evaluator: &Evaluator<'_>, p: &DesignPoint) -> (f64, u64) {
-        // Deterministic total order: objective score, then the genome
-        // fingerprint. Infeasible designs sort behind every feasible one
-        // (but stay in the population, so search can cross the infeasible
-        // region).
-        let score = if p.feasible {
-            evaluator.score(p)
+    fn fitness(evaluator: &Evaluator<'_>, p: &DesignPoint) -> ([f64; 3], u64) {
+        // Deterministic total order: the objective's ranking key (score
+        // plus tie-breakers under a lexicographic objective), then the
+        // genome fingerprint. Infeasible designs sort behind every
+        // feasible one (but stay in the population, so search can cross
+        // the infeasible region).
+        let key = if p.feasible {
+            evaluator.key(p)
         } else {
-            f64::INFINITY
+            [f64::INFINITY; 3]
         };
-        (score, p.genome.key())
+        (key, p.genome.key())
     }
 }
 
@@ -291,6 +292,7 @@ impl SearchStrategy for EvolutionarySearch {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::pareto::Objective;
     use lego_model::TechModel;
     use lego_workloads::zoo;
 
@@ -420,5 +422,33 @@ mod tests {
             .points()
             .iter()
             .all(|p| best.objectives.edp() <= p.objectives.edp() + 1e-9));
+    }
+
+    #[test]
+    fn lexicographic_objective_minimizes_latency_first() {
+        let model = zoo::lenet();
+        let space = DesignSpace::tiny();
+        let ev =
+            Evaluator::new(&model, TechModel::default()).with_objective(Objective::Lexicographic);
+        let mut frontier = ParetoFrontier::new();
+        let report = GridSearch.run(&space.full(), &ev, &mut frontier, 1 << 20);
+        let best = report.best.expect("grid finds a best");
+        // The winner has the minimum latency over the whole frontier …
+        for p in frontier.points() {
+            assert!(
+                best.objectives.latency_cycles <= p.objectives.latency_cycles,
+                "lexicographic best must lead on latency"
+            );
+            // … and among latency ties, the minimum energy.
+            if p.objectives.latency_cycles == best.objectives.latency_cycles {
+                assert!(best.objectives.energy_pj <= p.objectives.energy_pj);
+            }
+        }
+        // The scalar score reported for it is its latency.
+        assert_eq!(ev.score(&best), best.objectives.latency_cycles);
+        // Replays identically.
+        let mut f2 = ParetoFrontier::new();
+        let again = GridSearch.run(&space.full(), &ev, &mut f2, 1 << 20);
+        assert_eq!(again.best.unwrap().genome, best.genome);
     }
 }

@@ -13,8 +13,10 @@
 //! [`lego_eval::EvalRequest`] through a session instead.)
 
 use lego_eval::{EvalRequest, EvalSession};
+use lego_mapspace::{MapSearch, RewriteOutcome, SearchConfig};
 use lego_model::{CostContext, TechModel};
-use lego_sim::{aggregate_iter, best_mapping_ctx, HwConfig, LayerPerf, ModelPerf};
+use lego_obs::Obs;
+use lego_sim::{aggregate_iter, best_mapping_obs, HwConfig, LayerPerf, ModelPerf};
 use lego_workloads::{Layer, Model};
 use std::sync::Arc;
 
@@ -61,17 +63,72 @@ pub struct Mapping {
 /// assert_eq!(mapping.layers.len(), model.layers.len());
 /// ```
 pub fn map_model_ctx(model: &Model, ctx: &CostContext, tile_cap: Option<i64>) -> Mapping {
+    map_model_obs(model, ctx, tile_cap, &Obs::disabled())
+}
+
+/// [`map_model_ctx`] with observability: the whole mapping runs under a
+/// `mapper/map_model` span, every layer's dataflow sweep is counted into
+/// `mapper.candidates` (and `sim.mappings_tried` underneath), so an
+/// enumerated mapping trace lines up against a `mapspace.*` rewrite-search
+/// trace in the same summary output.
+pub fn map_model_obs(
+    model: &Model,
+    ctx: &CostContext,
+    tile_cap: Option<i64>,
+    obs: &Obs,
+) -> Mapping {
+    let _span = obs.span("mapper/map_model");
+    obs.count("mapper.layers", model.layers.len() as u64);
     let layers: Vec<MappedLayer> = model
         .layers
         .iter()
-        .map(|l| MappedLayer {
-            name: Arc::clone(&l.name),
-            count: l.count,
-            perf: best_mapping_ctx(l, ctx, tile_cap),
+        .map(|l| {
+            obs.count("mapper.candidates", ctx.hw.dataflows.len().max(1) as u64);
+            MappedLayer {
+                name: Arc::clone(&l.name),
+                count: l.count,
+                perf: best_mapping_obs(l, ctx, tile_cap, obs),
+            }
         })
         .collect();
     let perf = aggregate_iter(model, layers.iter().map(|m| (m.count, &m.perf)), &ctx.tech);
     Mapping { layers, perf }
+}
+
+/// Rewrite-based whole-model mapping (ROADMAP item 3): seeds an e-graph
+/// from the enumerated-best assignment, saturates the
+/// dataflow/tiling/fusion rewrite rules, and extracts the minimum-EDP
+/// assignment priced through `session` (sharing its
+/// [`EvalCache`](lego_eval::EvalCache)). The outcome's
+/// `enumerated_edp` is exactly what [`map_model_ctx`] achieves on the
+/// same hardware, so `outcome.improved()` reports whether rewriting beat
+/// enumeration.
+///
+/// # Examples
+///
+/// ```
+/// use lego_eval::EvalSession;
+/// use lego_mapper::map_model_rewrite;
+/// use lego_model::TechModel;
+/// use lego_sim::HwConfig;
+///
+/// let model = lego_workloads::zoo::lenet();
+/// let session = EvalSession::new();
+/// let out = map_model_rewrite(&model, HwConfig::lego_256(), TechModel::default(), None, &session);
+/// assert!(out.rewrite_edp <= out.enumerated_edp);
+/// ```
+pub fn map_model_rewrite(
+    model: &Model,
+    hw: HwConfig,
+    tech: TechModel,
+    tile_cap: Option<i64>,
+    session: &EvalSession,
+) -> RewriteOutcome {
+    MapSearch::new(model, hw, tech)
+        .with_tile_cap(tile_cap)
+        .with_config(SearchConfig::default())
+        .with_obs(session.obs().clone())
+        .run(session)
 }
 
 /// Counts how many layers chose each dataflow — used by the evaluation to
@@ -172,6 +229,43 @@ mod tests {
         for (layer, mapped) in m.layers.iter().zip(&whole.layers) {
             assert_eq!(map_layer(layer, &hw, &t), mapped.perf, "{}", layer.name);
         }
+    }
+
+    #[test]
+    fn instrumented_mapping_is_unperturbed_and_counted() {
+        let hw = HwConfig::lego_256();
+        let m = zoo::mobilenet_v2();
+        let obs = Obs::deterministic();
+        let plain = map_model_ctx(&m, &ctx(&hw), None);
+        let instrumented = map_model_obs(&m, &ctx(&hw), None, &obs);
+        assert_eq!(plain.perf, instrumented.perf, "obs must not perturb");
+        let summary = obs.summary();
+        assert_eq!(summary.counter("mapper.layers"), m.layers.len() as u64);
+        assert_eq!(
+            summary.counter("mapper.candidates"),
+            (m.layers.len() * hw.dataflows.len()) as u64
+        );
+        assert_eq!(
+            summary.counter("mapper.candidates"),
+            summary.counter("sim.mappings_tried"),
+            "mapper candidates are exactly the sim-level sweep"
+        );
+    }
+
+    #[test]
+    fn rewrite_entry_point_baselines_at_the_enumerated_mapping() {
+        let hw = HwConfig::lego_256();
+        let t = TechModel::default();
+        let m = zoo::mobilenet_v2();
+        let session = EvalSession::new();
+        let out = map_model_rewrite(&m, hw.clone(), t, None, &session);
+        // The outcome's baseline is exactly the enumerated mapping's EDP.
+        let enumerated = map_model_ctx(&m, &ctx(&hw), None);
+        let time_s = enumerated.perf.cycles as f64 / (t.freq_ghz * 1e9);
+        let energy_pj = enumerated.perf.watts * time_s * 1e12;
+        let edp = enumerated.perf.cycles as f64 * energy_pj;
+        assert!((out.enumerated_edp - edp).abs() <= 1e-6 * edp);
+        assert!(out.rewrite_edp <= out.enumerated_edp);
     }
 
     #[test]

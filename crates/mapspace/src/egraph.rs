@@ -1,0 +1,366 @@
+//! A hash-consed e-graph over [`ENode`] mapping terms.
+//!
+//! Three deterministic ingredients, in the classic egg shape:
+//!
+//! * a [`UnionFind`] with path compression whose tie-breaks always keep
+//!   the **smaller** numeric id as the class representative, so the
+//!   partition *and* the representative choice replay identically;
+//! * a hash-consing memo (FNV-keyed, so iteration order is a pure
+//!   function of insertion order, never of a per-process hash seed) that
+//!   makes re-adding a structurally equal node return the class it is
+//!   already in;
+//! * congruence closure on [`rebuild`](EGraph::rebuild): after unions,
+//!   nodes whose children became equal are re-canonicalized and their
+//!   classes merged to a fixpoint.
+//!
+//! Every public operation is deterministic: class ids are minted densely
+//! in insertion order and all iteration is over sorted snapshots.
+
+use crate::term::{ENode, Id};
+use lego_eval::FnvHasher;
+use std::collections::HashMap;
+use std::hash::BuildHasherDefault;
+
+type FnvMap<K, V> = HashMap<K, V, BuildHasherDefault<FnvHasher>>;
+
+/// Union-find with path compression and union by rank; ties keep the
+/// smaller id as root, so representatives are deterministic.
+#[derive(Debug, Clone, Default)]
+pub struct UnionFind {
+    parent: Vec<u32>,
+    rank: Vec<u8>,
+}
+
+impl UnionFind {
+    /// An empty forest.
+    pub fn new() -> Self {
+        UnionFind::default()
+    }
+
+    /// Mints the next set, returning its id.
+    pub fn make_set(&mut self) -> Id {
+        let id = self.parent.len() as u32;
+        self.parent.push(id);
+        self.rank.push(0);
+        Id(id)
+    }
+
+    /// Number of ids ever minted (not the number of distinct sets).
+    pub fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// Whether no set was ever minted.
+    pub fn is_empty(&self) -> bool {
+        self.parent.is_empty()
+    }
+
+    /// The representative of `id`'s set, compressing the path walked.
+    pub fn find(&mut self, id: Id) -> Id {
+        let mut root = id.0;
+        while self.parent[root as usize] != root {
+            root = self.parent[root as usize];
+        }
+        let mut cur = id.0;
+        while self.parent[cur as usize] != root {
+            let next = self.parent[cur as usize];
+            self.parent[cur as usize] = root;
+            cur = next;
+        }
+        Id(root)
+    }
+
+    /// The representative of `id`'s set without mutating the forest
+    /// (no path compression; use [`find`](UnionFind::find) on hot paths).
+    pub fn probe(&self, id: Id) -> Id {
+        let mut root = id.0;
+        while self.parent[root as usize] != root {
+            root = self.parent[root as usize];
+        }
+        Id(root)
+    }
+
+    /// Unites the two sets; returns the surviving representative and
+    /// whether the sets were distinct before the call.
+    pub fn union(&mut self, a: Id, b: Id) -> (Id, bool) {
+        let ra = self.find(a);
+        let rb = self.find(b);
+        if ra == rb {
+            return (ra, false);
+        }
+        let (hi, lo) = match self.rank[ra.0 as usize].cmp(&self.rank[rb.0 as usize]) {
+            std::cmp::Ordering::Greater => (ra, rb),
+            std::cmp::Ordering::Less => (rb, ra),
+            // Equal rank: the smaller id wins, deterministically.
+            std::cmp::Ordering::Equal => {
+                let (hi, lo) = if ra.0 < rb.0 { (ra, rb) } else { (rb, ra) };
+                self.rank[hi.0 as usize] += 1;
+                (hi, lo)
+            }
+        };
+        self.parent[lo.0 as usize] = hi.0;
+        (hi, true)
+    }
+
+    /// Whether the two ids are in the same set.
+    pub fn same(&mut self, a: Id, b: Id) -> bool {
+        self.find(a) == self.find(b)
+    }
+}
+
+/// The hash-consed e-graph.
+#[derive(Debug, Clone, Default)]
+pub struct EGraph {
+    uf: UnionFind,
+    /// Canonicalized node → the class containing it.
+    memo: FnvMap<ENode, Id>,
+    /// Canonical class id → the class's canonicalized nodes, sorted.
+    classes: FnvMap<u32, Vec<ENode>>,
+    /// Total distinct nodes resident (the saturation budget's currency).
+    n_nodes: usize,
+    /// Times `add` returned an existing class instead of minting one.
+    dedup_hits: u64,
+    /// Unions that actually merged two distinct classes.
+    unions: u64,
+}
+
+impl EGraph {
+    /// An empty e-graph.
+    pub fn new() -> Self {
+        EGraph::default()
+    }
+
+    /// Distinct resident nodes.
+    pub fn node_count(&self) -> usize {
+        self.n_nodes
+    }
+
+    /// Distinct e-classes.
+    pub fn class_count(&self) -> usize {
+        self.classes.len()
+    }
+
+    /// Times [`add`](EGraph::add) found its node already interned.
+    pub fn dedup_hits(&self) -> u64 {
+        self.dedup_hits
+    }
+
+    /// Class merges that united two previously distinct classes.
+    pub fn union_count(&self) -> u64 {
+        self.unions
+    }
+
+    /// The canonical representative of `id`'s class.
+    pub fn find(&self, id: Id) -> Id {
+        self.uf.probe(id)
+    }
+
+    fn canonicalize(&mut self, node: ENode) -> ENode {
+        let uf = &mut self.uf;
+        node.map_children(|c| uf.find(c))
+    }
+
+    /// Interns `node`, returning its class: hash-consing means a
+    /// structurally equal node (up to class equivalence of children)
+    /// returns the existing class without growing the graph.
+    pub fn add(&mut self, node: ENode) -> Id {
+        let node = self.canonicalize(node);
+        if let Some(&id) = self.memo.get(&node) {
+            self.dedup_hits += 1;
+            return self.uf.find(id);
+        }
+        let id = self.uf.make_set();
+        self.memo.insert(node, id);
+        self.classes.insert(id.0, vec![node]);
+        self.n_nodes += 1;
+        id
+    }
+
+    /// Asserts `a ≡ b`, merging their classes. Returns `true` when the
+    /// classes were distinct. Callers must [`rebuild`](EGraph::rebuild)
+    /// before relying on congruence again.
+    pub fn union(&mut self, a: Id, b: Id) -> bool {
+        let ra = self.uf.find(a);
+        let rb = self.uf.find(b);
+        if ra == rb {
+            return false;
+        }
+        let (root, _) = self.uf.union(ra, rb);
+        self.unions += 1;
+        // Fold the absorbed class's node list into the survivor's.
+        let loser = if root == ra { rb } else { ra };
+        let lost_nodes = self.classes.remove(&loser.0).unwrap_or_default();
+        let survivor = self.classes.entry(root.0).or_default();
+        survivor.extend(lost_nodes);
+        survivor.sort_unstable();
+        survivor.dedup();
+        true
+    }
+
+    /// Restores the congruence invariant: re-canonicalizes every node and
+    /// merges classes that now share one, to a fixpoint. Returns the
+    /// number of congruence-induced unions.
+    pub fn rebuild(&mut self) -> u64 {
+        let mut induced = 0;
+        loop {
+            // Sorted snapshot so the union order — and therefore the
+            // surviving representatives — replay identically.
+            let mut entries: Vec<(ENode, Id)> = self.memo.iter().map(|(n, &id)| (*n, id)).collect();
+            entries.sort_unstable();
+            let mut next: FnvMap<ENode, Id> = FnvMap::default();
+            let mut pending: Vec<(Id, Id)> = Vec::new();
+            for (node, id) in entries {
+                let canon = {
+                    let uf = &mut self.uf;
+                    node.map_children(|c| uf.find(c))
+                };
+                let class = self.uf.find(id);
+                match next.get(&canon) {
+                    Some(&existing) => {
+                        if self.uf.probe(existing) != class {
+                            pending.push((existing, class));
+                        }
+                    }
+                    None => {
+                        next.insert(canon, class);
+                    }
+                }
+            }
+            if pending.is_empty() && next.len() == self.memo.len() {
+                self.memo = next;
+                self.refresh_class_lists();
+                return induced;
+            }
+            self.memo = next;
+            self.n_nodes = self.memo.len();
+            for (a, b) in pending {
+                if self.union(a, b) {
+                    induced += 1;
+                }
+            }
+        }
+    }
+
+    fn refresh_class_lists(&mut self) {
+        let mut classes: FnvMap<u32, Vec<ENode>> = FnvMap::default();
+        let mut entries: Vec<(ENode, Id)> = self.memo.iter().map(|(n, &id)| (*n, id)).collect();
+        entries.sort_unstable();
+        for (node, id) in entries {
+            classes.entry(self.uf.probe(id).0).or_default().push(node);
+        }
+        self.classes = classes;
+    }
+
+    /// Sorted snapshot of every class and its nodes — the deterministic
+    /// iteration surface rewrite rules and extraction walk.
+    pub fn class_snapshot(&self) -> Vec<(Id, Vec<ENode>)> {
+        let mut all: Vec<(Id, Vec<ENode>)> = self
+            .classes
+            .iter()
+            .map(|(&id, nodes)| (Id(id), nodes.clone()))
+            .collect();
+        all.sort_unstable_by_key(|(id, _)| id.0);
+        all
+    }
+
+    /// The sorted nodes of `id`'s class.
+    pub fn nodes_of(&self, id: Id) -> &[ENode] {
+        self.classes
+            .get(&self.uf.probe(id).0)
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::term::Axis;
+
+    #[test]
+    fn hash_consing_returns_the_same_id() {
+        let mut eg = EGraph::new();
+        let leaf = eg.add(ENode::Access { shape: 0 });
+        let a = eg.add(ENode::Temporal {
+            axis: Axis::M,
+            tile: 0,
+            body: leaf,
+        });
+        let b = eg.add(ENode::Temporal {
+            axis: Axis::M,
+            tile: 0,
+            body: leaf,
+        });
+        assert_eq!(a, b);
+        assert_eq!(eg.node_count(), 2);
+        assert_eq!(eg.dedup_hits(), 1);
+    }
+
+    #[test]
+    fn union_find_is_idempotent_and_deterministic() {
+        let mut uf = UnionFind::new();
+        let ids: Vec<Id> = (0..8).map(|_| uf.make_set()).collect();
+        assert!(uf.union(ids[0], ids[5]).1);
+        assert!(!uf.union(ids[0], ids[5]).1);
+        assert!(uf.union(ids[5], ids[2]).1);
+        // Smaller id survives equal-rank ties.
+        assert_eq!(uf.find(ids[5]), Id(0));
+        assert_eq!(uf.find(ids[2]), Id(0));
+        assert_eq!(uf.find(ids[7]), ids[7]);
+        assert!(uf.same(ids[0], ids[2]));
+    }
+
+    #[test]
+    fn congruence_closure_merges_parents_of_merged_children() {
+        let mut eg = EGraph::new();
+        let x = eg.add(ENode::Access { shape: 0 });
+        let y = eg.add(ENode::Access { shape: 1 });
+        let fx = eg.add(ENode::Temporal {
+            axis: Axis::N,
+            tile: 0,
+            body: x,
+        });
+        let fy = eg.add(ENode::Temporal {
+            axis: Axis::N,
+            tile: 0,
+            body: y,
+        });
+        assert_ne!(eg.find(fx), eg.find(fy));
+        eg.union(x, y);
+        eg.rebuild();
+        assert_eq!(eg.find(fx), eg.find(fy), "f(x) ≡ f(y) once x ≡ y");
+        // The two congruent nodes collapsed into one resident node.
+        assert_eq!(eg.node_count(), 3);
+    }
+
+    #[test]
+    fn rebuild_is_a_fixpoint() {
+        let mut eg = EGraph::new();
+        let x = eg.add(ENode::Access { shape: 0 });
+        let y = eg.add(ENode::Access { shape: 1 });
+        let mut prev = x;
+        for axis in [Axis::M, Axis::N, Axis::K] {
+            prev = eg.add(ENode::Temporal {
+                axis,
+                tile: 0,
+                body: prev,
+            });
+        }
+        let mut prev_y = y;
+        for axis in [Axis::M, Axis::N, Axis::K] {
+            prev_y = eg.add(ENode::Temporal {
+                axis,
+                tile: 0,
+                body: prev_y,
+            });
+        }
+        eg.union(x, y);
+        eg.rebuild();
+        assert_eq!(
+            eg.find(prev),
+            eg.find(prev_y),
+            "towers collapse level by level"
+        );
+        assert_eq!(eg.rebuild(), 0, "second rebuild has nothing to do");
+    }
+}

@@ -1,0 +1,270 @@
+//! Cost extraction: lowering saturated e-classes to priced mappings.
+//!
+//! Extraction happens in two stages. [`lowerings`] walks one shape's
+//! e-class bottom-up and enumerates every *lowerable* nest it contains —
+//! a nest whose spatial axis pair the simulator has a hardware template
+//! for ([`lower_spatial`]) — as a [`Candidate`] (template + tile cap).
+//! [`Pricer`] then prices candidates through a warm [`EvalSession`]: each
+//! distinct `(mapping, tile_cap)` point costs one whole-model evaluation
+//! under a hardware variant whose dataflow menu is pinned to exactly that
+//! mapping, which reuses the shared [`EvalCache`](lego_eval::EvalCache)
+//! and is byte-deterministic. Because the menu only steers *mapping
+//! selection* (never area, peak power, or per-layer simulation), the
+//! forced variant prices each layer exactly as the original hardware
+//! would under that mapping.
+
+use crate::egraph::EGraph;
+use crate::term::{lower_spatial, Axis, ENode, Id};
+use lego_eval::{EvalRequestRef, EvalSession, Objective};
+use lego_model::{HwConfig, SparseHw, SpatialMapping, TechModel};
+use lego_obs::Obs;
+use lego_sim::LayerPerf;
+use lego_workloads::Model;
+use std::collections::HashMap;
+use std::hash::BuildHasherDefault;
+
+type FnvMap<K, V> = HashMap<K, V, BuildHasherDefault<lego_eval::FnvHasher>>;
+
+/// One lowerable mapping choice extracted from an e-class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Candidate {
+    /// The hardware template the nest's spatial pair lowers to.
+    pub mapping: SpatialMapping,
+    /// L1 tile-edge cap: the tightest tile annotation in the nest
+    /// (`None` = every temporal loop is a full sweep).
+    pub tile_cap: Option<i64>,
+}
+
+/// A partial lowering of the nest below some class: which axes are bound
+/// spatially so far, and the tightest tile annotation seen.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+struct State {
+    spatial: [Option<Axis>; 2],
+    tile: Option<i64>,
+}
+
+impl State {
+    const LEAF: State = State {
+        spatial: [None, None],
+        tile: None,
+    };
+
+    fn bind(self, axis: Axis) -> Option<State> {
+        match self.spatial {
+            [None, None] => Some(State {
+                spatial: [Some(axis), None],
+                ..self
+            }),
+            [Some(a), None] if a != axis => Some(State {
+                spatial: [Some(a), Some(axis)],
+                ..self
+            }),
+            // Three spatial bindings (or a duplicate) never lower.
+            _ => None,
+        }
+    }
+
+    fn cap(self, tile: u16) -> State {
+        if tile == 0 {
+            return self;
+        }
+        let t = i64::from(tile);
+        State {
+            tile: Some(self.tile.map_or(t, |prev| prev.min(t))),
+            ..self
+        }
+    }
+}
+
+/// Enumerates the lowerable candidates of `root`'s class, capped at
+/// `max` distinct partial states per class. Returns the sorted candidate
+/// set and how many states were dropped to the cap (0 = exhaustive).
+pub fn lowerings(eg: &EGraph, root: Id, max: usize) -> (Vec<Candidate>, u64) {
+    let mut memo: FnvMap<u32, Option<Vec<State>>> = FnvMap::default();
+    let mut truncated = 0u64;
+    let states = class_states(eg, eg.find(root), max, &mut memo, &mut truncated);
+    let mut out: Vec<Candidate> = states
+        .iter()
+        .filter_map(|s| match s.spatial {
+            [Some(a), Some(b)] => lower_spatial(a, b).map(|mapping| Candidate {
+                mapping,
+                tile_cap: s.tile,
+            }),
+            _ => None,
+        })
+        .collect();
+    out.sort_unstable();
+    out.dedup();
+    (out, truncated)
+}
+
+fn class_states(
+    eg: &EGraph,
+    class: Id,
+    max: usize,
+    memo: &mut FnvMap<u32, Option<Vec<State>>>,
+    truncated: &mut u64,
+) -> Vec<State> {
+    let class = eg.find(class);
+    match memo.get(&class.0) {
+        // In-progress marker: a cyclic path contributes no finite nest.
+        Some(None) => return Vec::new(),
+        Some(Some(states)) => return states.clone(),
+        None => {}
+    }
+    memo.insert(class.0, None);
+    let mut states: Vec<State> = Vec::new();
+    for node in eg.nodes_of(class) {
+        match *node {
+            ENode::Access { .. } => states.push(State::LEAF),
+            ENode::Temporal { tile, body, .. } => {
+                for s in class_states(eg, body, max, memo, truncated) {
+                    states.push(s.cap(tile));
+                }
+            }
+            ENode::Spatial { axis, body } => {
+                for s in class_states(eg, body, max, memo, truncated) {
+                    if let Some(bound) = s.bind(axis) {
+                        states.push(bound);
+                    }
+                }
+            }
+            // Fusion groups are model-level terms, not layer nests.
+            ENode::Seq { .. } => {}
+        }
+    }
+    states.sort_unstable();
+    states.dedup();
+    if states.len() > max {
+        *truncated += (states.len() - max) as u64;
+        states.truncate(max);
+    }
+    memo.insert(class.0, Some(states.clone()));
+    states
+}
+
+/// Prices `(mapping, tile_cap)` points through a warm [`EvalSession`] by
+/// pinning the hardware's dataflow menu to one mapping per evaluation.
+pub struct Pricer<'a> {
+    session: &'a EvalSession,
+    model: &'a Model,
+    hw: &'a HwConfig,
+    tech: TechModel,
+    layer_keys: Vec<u64>,
+    /// `(mapping, tile_cap)` → per-layer performance, memoized.
+    priced: FnvMap<(SpatialMapping, Option<i64>), Vec<LayerPerf>>,
+    evals: u64,
+}
+
+impl<'a> Pricer<'a> {
+    /// A pricer for `model` on `hw` under `tech`.
+    pub fn new(
+        session: &'a EvalSession,
+        model: &'a Model,
+        hw: &'a HwConfig,
+        tech: TechModel,
+    ) -> Self {
+        Pricer {
+            session,
+            model,
+            hw,
+            tech,
+            layer_keys: model.layers.iter().map(lego_eval::layer_key).collect(),
+            priced: FnvMap::default(),
+            evals: 0,
+        }
+    }
+
+    /// Whole-model evaluations issued (cache-hit or not).
+    pub fn evals(&self) -> u64 {
+        self.evals
+    }
+
+    /// Per-layer performance of every layer priced under `candidate`,
+    /// index-aligned with `model.layers`.
+    pub fn price(&mut self, candidate: Candidate, obs: &Obs) -> &[LayerPerf] {
+        let key = (candidate.mapping, candidate.tile_cap);
+        if !self.priced.contains_key(&key) {
+            let variant = HwConfig {
+                dataflows: vec![candidate.mapping],
+                ..self.hw.clone()
+            };
+            let report = self.session.evaluate_view(EvalRequestRef {
+                workload: self.model,
+                hw: &variant,
+                sparse: SparseHw::dense(),
+                tech: self.tech,
+                objective: Objective::EDP,
+                tile_cap: candidate.tile_cap,
+                hw_key: None,
+                layer_keys: Some(&self.layer_keys),
+            });
+            self.evals += 1;
+            obs.count("mapspace.extract_evals", 1);
+            self.priced
+                .insert(key, report.per_layer.iter().map(|l| l.perf).collect());
+        }
+        &self.priced[&key]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rewrite::{saturate, RewriteConfig};
+
+    fn seed_conv_nest(eg: &mut EGraph, tile: u16) -> Id {
+        let leaf = eg.add(ENode::Access { shape: 0 });
+        let mut id = leaf;
+        for axis in [Axis::Kh, Axis::Ow, Axis::Oh] {
+            id = eg.add(ENode::Temporal {
+                axis,
+                tile,
+                body: id,
+            });
+        }
+        for axis in [Axis::Oc, Axis::Ic] {
+            id = eg.add(ENode::Spatial { axis, body: id });
+        }
+        id
+    }
+
+    #[test]
+    fn seed_nest_lowers_to_its_seed_mapping() {
+        let mut eg = EGraph::new();
+        let root = seed_conv_nest(&mut eg, 64);
+        let (cands, truncated) = lowerings(&eg, root, 64);
+        assert_eq!(truncated, 0);
+        assert_eq!(
+            cands,
+            vec![Candidate {
+                mapping: SpatialMapping::ConvIcOc,
+                tile_cap: Some(64),
+            }]
+        );
+    }
+
+    #[test]
+    fn saturation_reaches_every_conv_template() {
+        let mut eg = EGraph::new();
+        let root = seed_conv_nest(&mut eg, 0);
+        saturate(&mut eg, &RewriteConfig::default(), &Obs::disabled());
+        let (cands, _) = lowerings(&eg, root, 4096);
+        let mappings: Vec<SpatialMapping> = {
+            let mut m: Vec<_> = cands.iter().map(|c| c.mapping).collect();
+            m.sort_unstable_by_key(|m| *m as u8);
+            m.dedup();
+            m
+        };
+        for want in lego_eval::ALL_MAPPINGS {
+            assert!(mappings.contains(&want), "missing {want:?} in {mappings:?}");
+        }
+        // The tile ladder is reachable too.
+        for cap in [None, Some(32), Some(64), Some(128), Some(256)] {
+            assert!(
+                cands.iter().any(|c| c.tile_cap == cap),
+                "missing cap {cap:?}"
+            );
+        }
+    }
+}

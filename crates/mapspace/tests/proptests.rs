@@ -1,0 +1,245 @@
+//! Property tests for the `lego-mapspace` e-graph invariants
+//! (satellite 3): union-find find/union laws under arbitrary op
+//! sequences, hash-consing identity, congruence-closure fixpoint,
+//! byte-identical saturation replay, and rewrite soundness — every
+//! extracted candidate lowers to a real hardware template and prices to
+//! a finite EDP no worse than enumeration.
+
+use lego_eval::EvalSession;
+use lego_mapspace::{
+    layer_axes, lower_spatial, lowerings, saturate, Axis, EGraph, ENode, MapSearch, RewriteConfig,
+    SearchConfig, UnionFind,
+};
+use lego_model::HwConfig;
+use lego_model::TechModel;
+use lego_obs::Obs;
+use lego_workloads::zoo;
+use proptest::prelude::*;
+use proptest::{collection, sample};
+
+const CONV_AXES: [Axis; 5] = [Axis::Oh, Axis::Ow, Axis::Ic, Axis::Oc, Axis::Kh];
+
+/// One loop wrapped around the nest under construction: which axis,
+/// whether it binds spatially, and (for temporal loops) the tile edge.
+#[derive(Debug, Clone, Copy)]
+struct Wrap {
+    axis: Axis,
+    spatial: bool,
+    tile: u16,
+}
+
+fn wrap_strategy() -> impl Strategy<Value = Wrap> {
+    (
+        sample::select(CONV_AXES.to_vec()),
+        sample::select(vec![false, true]),
+        sample::select(vec![0u16, 32, 64, 128, 256]),
+    )
+        .prop_map(|(axis, spatial, tile)| Wrap {
+            axis,
+            spatial,
+            tile,
+        })
+}
+
+/// Builds a nest from the wrap sequence, innermost (the access leaf)
+/// outward, returning the root class.
+fn build_nest(eg: &mut EGraph, shape: u32, wraps: &[Wrap]) -> lego_mapspace::Id {
+    let mut body = eg.add(ENode::Access { shape });
+    for w in wraps {
+        body = if w.spatial {
+            eg.add(ENode::Spatial { axis: w.axis, body })
+        } else {
+            eg.add(ENode::Temporal {
+                axis: w.axis,
+                tile: w.tile,
+                body,
+            })
+        };
+    }
+    body
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    // Union-find laws under arbitrary make_set/union sequences:
+    // find is idempotent, union is commutative in effect, re-unioning
+    // an already-merged pair reports no change, and every member of a
+    // merged pair resolves to the same representative.
+    #[test]
+    fn union_find_laws_hold_under_arbitrary_merges(
+        n in 1usize..32,
+        pairs in collection::vec((0usize..32, 0usize..32), 0usize..48),
+    ) {
+        let mut uf = UnionFind::new();
+        let ids: Vec<_> = (0..n).map(|_| uf.make_set()).collect();
+        prop_assert_eq!(uf.len(), n);
+        for &(a, b) in &pairs {
+            let (a, b) = (ids[a % n], ids[b % n]);
+            let (root, merged) = uf.union(a, b);
+            prop_assert_eq!(uf.find(a), root);
+            prop_assert_eq!(uf.find(b), root);
+            // Idempotence: a second union of the same pair is a no-op
+            // with the same representative.
+            let (root2, merged2) = uf.union(a, b);
+            prop_assert_eq!(root2, root);
+            prop_assert!(!merged2);
+            let _ = merged;
+            // find is idempotent and agrees with the non-mutating probe
+            // after path compression.
+            let r = uf.find(a);
+            prop_assert_eq!(uf.find(r), r);
+            prop_assert_eq!(uf.probe(a), r);
+            prop_assert!(uf.same(a, b));
+        }
+    }
+
+    // Hash-consing: re-adding any node of the graph returns its
+    // existing class id and counts a dedup hit instead of minting a
+    // new id.
+    #[test]
+    fn hash_consing_returns_the_same_id(
+        wraps in collection::vec(wrap_strategy(), 0usize..10),
+    ) {
+        let mut eg = EGraph::new();
+        let root = build_nest(&mut eg, 0, &wraps);
+        let nodes_before = eg.node_count();
+        let hits_before = eg.dedup_hits();
+        let replay = build_nest(&mut eg, 0, &wraps);
+        prop_assert_eq!(eg.find(replay), eg.find(root));
+        prop_assert_eq!(eg.node_count(), nodes_before, "no new nodes on replay");
+        prop_assert_eq!(
+            eg.dedup_hits(),
+            hits_before + wraps.len() as u64 + 1,
+            "every re-added node is a dedup hit"
+        );
+    }
+
+    // Congruence closure: after arbitrary unions, rebuild reaches a
+    // fixpoint — running it again finds nothing new — and identical
+    // replays produce byte-identical class snapshots.
+    #[test]
+    fn rebuild_reaches_a_deterministic_fixpoint(
+        wrap_sets in collection::vec(collection::vec(wrap_strategy(), 0usize..6), 1usize..5),
+        unions in collection::vec((0usize..8, 0usize..8), 0usize..6),
+    ) {
+        let run = || {
+            let mut eg = EGraph::new();
+            let roots: Vec<_> = wrap_sets
+                .iter()
+                .enumerate()
+                .map(|(i, ws)| build_nest(&mut eg, i as u32, ws))
+                .collect();
+            for &(a, b) in &unions {
+                eg.union(roots[a % roots.len()], roots[b % roots.len()]);
+            }
+            eg.rebuild();
+            eg
+        };
+        let mut eg = run();
+        let snapshot = eg.class_snapshot();
+        prop_assert_eq!(eg.rebuild(), 0, "rebuild must be a fixpoint");
+        prop_assert_eq!(eg.class_snapshot(), snapshot.clone(), "rebuild at fixpoint is a no-op");
+        let eg2 = run();
+        prop_assert_eq!(eg2.class_snapshot(), snapshot, "identical replays converge identically");
+    }
+
+    // Saturation is deterministic: two runs over the same seed nest
+    // produce byte-identical stats and class snapshots, and never
+    // exceed the node budget by more than one matching round's growth.
+    #[test]
+    fn saturation_replays_byte_identically(
+        wraps in collection::vec(wrap_strategy(), 1usize..6),
+        budget in 64usize..512,
+    ) {
+        let config = RewriteConfig {
+            node_budget: budget,
+            ..RewriteConfig::default()
+        };
+        let run = || {
+            let mut eg = EGraph::new();
+            build_nest(&mut eg, 0, &wraps);
+            let stats = saturate(&mut eg, &config, &Obs::disabled());
+            (stats, eg.class_snapshot())
+        };
+        let (stats_a, snap_a) = run();
+        let (stats_b, snap_b) = run();
+        prop_assert_eq!(stats_a, stats_b);
+        prop_assert_eq!(snap_a, snap_b);
+    }
+
+    // Rewrite soundness at the term level: every candidate extracted
+    // from a saturated nest names a template the simulator really has
+    // for some axis pair, and its tile cap (if any) is a positive edge
+    // drawn from the nest's annotations or the split ladder.
+    #[test]
+    fn extracted_candidates_are_lowerable(
+        wraps in collection::vec(wrap_strategy(), 1usize..6),
+    ) {
+        let mut eg = EGraph::new();
+        let root = build_nest(&mut eg, 0, &wraps);
+        saturate(&mut eg, &RewriteConfig::default(), &Obs::disabled());
+        let (candidates, _truncated) = lowerings(&eg, root, 64);
+        for c in &candidates {
+            let pair_exists = CONV_AXES.iter().enumerate().any(|(i, &a)| {
+                CONV_AXES[i + 1..]
+                    .iter()
+                    .any(|&b| lower_spatial(a, b) == Some(c.mapping))
+            });
+            prop_assert!(pair_exists, "{:?} has no conv axis pair", c.mapping);
+            if let Some(t) = c.tile_cap {
+                prop_assert!(t > 0, "tile caps are positive edges");
+                let ladder = RewriteConfig::default().tile_ladder;
+                let seeded = wraps.iter().any(|w| i64::from(w.tile) == t);
+                prop_assert!(
+                    seeded || ladder.contains(&t),
+                    "cap {t} must come from the nest or the split ladder"
+                );
+            }
+        }
+        // Sanity on the harness itself: the conv axes cover every
+        // native template, so a fully-saturated nest has candidates.
+        prop_assert!(layer_axes(&lego_workloads::LayerKind::Conv {
+            n: 1, ic: 8, oc: 8, oh: 8, ow: 8, kh: 3, kw: 3, stride: 1,
+        }).iter().all(|a| CONV_AXES.contains(a)));
+    }
+}
+
+proptest! {
+    // End-to-end pricing is slow per case, so keep the case count low;
+    // the cheap structural properties above carry the volume.
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    // Rewrite soundness end to end: whatever the budget, lowering cap,
+    // and tile cap, the extracted assignment prices to a finite
+    // positive EDP that never loses to enumeration, and the whole
+    // outcome replays byte-identically on a fresh session.
+    #[test]
+    fn search_is_sound_and_deterministic_for_any_config(
+        node_budget in 512usize..4096,
+        max_class_lowerings in 4usize..64,
+        tile_cap in sample::select(vec![None, Some(32i64), Some(64), Some(128)]),
+    ) {
+        let model = zoo::lenet();
+        let config = SearchConfig {
+            node_budget,
+            max_class_lowerings,
+            ..SearchConfig::default()
+        };
+        let run = || {
+            let session = EvalSession::new();
+            MapSearch::new(&model, HwConfig::lego_256(), TechModel::default())
+                .with_tile_cap(tile_cap)
+                .with_config(config.clone())
+                .run(&session)
+        };
+        let out = run();
+        prop_assert!(out.rewrite_edp.is_finite() && out.rewrite_edp > 0.0);
+        prop_assert!(out.rewrite_edp <= out.enumerated_edp, "never lose to enumeration");
+        for l in &out.layers {
+            prop_assert!(HwConfig::lego_256().dataflows.contains(&l.mapping));
+            prop_assert!(l.perf.cycles > 0);
+        }
+        prop_assert_eq!(run().render(), out.render(), "byte-identical replay");
+    }
+}

@@ -10,7 +10,7 @@ use lego_noc::{Butterfly, Mesh};
 use std::fmt;
 
 /// A spatial dataflow the hardware can be configured into.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum SpatialMapping {
     /// GEMM output tile (M on rows, N on columns); convs run as im2col.
     GemmMN,

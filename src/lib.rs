@@ -31,6 +31,10 @@
 //! * [`sim`] — the performance/energy simulator (multi-cluster designs pay
 //!   modeled L2-mesh latency, not just energy);
 //! * [`mapper`] — per-layer dataflow search;
+//! * [`mapspace`] — equality-saturation mapping search: a hash-consed
+//!   e-graph over loop-nest mapping terms, dataflow/tiling/fusion rewrite
+//!   rules saturated under a node budget, and a minimum-EDP extractor
+//!   priced through a warm `EvalSession`;
 //! * [`explorer`] — parallel hardware design-space exploration: grid /
 //!   random / (μ+λ) evolutionary search over array shape × L2 cluster
 //!   grid × buffer × bandwidth × dataflow set × tiling, under hard
@@ -260,6 +264,51 @@
 //! assert!(result.frontier.len() >= 1);
 //! ```
 //!
+//! # Mapping-search workflow
+//!
+//! The mapper's enumeration picks each layer's best mapping from the
+//! hardware's dataflow menu independently. The [`mapspace`] crate searches
+//! a *rewrite space* instead: seed an e-graph with the enumerated
+//! assignment, saturate loop-interchange / tile-split / spatial↔temporal /
+//! fusion-regrouping rules, and extract the minimum-EDP assignment by
+//! pricing candidates through the same warm `EvalSession` (so nothing is
+//! simulated twice). The extracted EDP can never lose to enumeration —
+//! the extractor's descent starts there — and strictly wins where the
+//! menu is restrictive (e.g. depthwise layers on hardware without the
+//! `OHOW` template). The outcome folds back into the explorer:
+//! `suggest_genome` turns the extracted dataflow set and modal tile cap
+//! into a warm-start genome for the evolutionary search, closing the
+//! enumerate → saturate → extract → explore loop.
+//!
+//! ```
+//! use lego::eval::EvalSession;
+//! use lego::explorer::Genome;
+//! use lego::mapper::map_model_rewrite;
+//! use lego::model::TechModel;
+//! use lego::sim::HwConfig;
+//!
+//! let model = lego::workloads::zoo::lenet();
+//! let session = EvalSession::new();
+//! let out = map_model_rewrite(
+//!     &model,
+//!     HwConfig::lego_icoc_1k(),
+//!     TechModel::default(),
+//!     None,
+//!     &session,
+//! );
+//! assert!(out.rewrite_edp <= out.enumerated_edp);
+//! println!("{}", out.render()); // per-layer choices + EDP summary
+//!
+//! // Fold the outcome back into the explorer's design space.
+//! let warm = out.suggest_genome(&Genome::lego_256_baseline());
+//! assert!(warm.dataflows.to_vec().len() >= 1);
+//! ```
+//!
+//! The `mapspace_search` bench binary prints the enumerated-vs-rewrite
+//! EDP table for the dense zoo (byte-identical across runs; CI diffs two
+//! invocations), and `examples/rewrite_mapping.rs` walks the loop on
+//! MobileNetV2.
+//!
 //! # Performance workflow
 //!
 //! The evaluation hot path is benchmarked, not guessed at. The contract
@@ -324,6 +373,7 @@ pub use lego_ir as ir;
 pub use lego_linalg as linalg;
 pub use lego_lp as lp;
 pub use lego_mapper as mapper;
+pub use lego_mapspace as mapspace;
 pub use lego_model as model;
 pub use lego_noc as noc;
 pub use lego_obs as obs;

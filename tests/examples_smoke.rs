@@ -15,6 +15,7 @@ const EXAMPLES: &[&str] = &[
     "explore_design_space",
     "fused_accelerator",
     "quickstart",
+    "rewrite_mapping",
     "serve_roundtrip",
     "sharded_exploration",
     "trace_eval",
